@@ -1,0 +1,36 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper
+(DESIGN.md §3 maps experiment ids to files).  Workload sizes are laptop
+versions of the paper's datasets; set the environment variables below to
+trade fidelity for speed:
+
+* ``REPRO_BENCH_SCALE``  — Table II stand-in scale  (default 0.06)
+* ``REPRO_BENCH_SEED_SCALE`` — bn/econ/email scale  (default 0.18)
+* ``REPRO_BENCH_REPEATS`` — runs averaged per cell  (default 1; paper: 50)
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+BENCH_SCALE = _env_float("REPRO_BENCH_SCALE", 0.06)
+SEED_SCALE = _env_float("REPRO_BENCH_SEED_SCALE", 0.18)
+REPEATS = int(_env_float("REPRO_BENCH_REPEATS", 1))
+BASE_SEED = 20200420  # ICDE 2020
+
+
+@pytest.fixture
+def bench_rng():
+    return np.random.default_rng(BASE_SEED)
+
+
+def print_section(title: str) -> None:
+    bar = "=" * len(title)
+    print(f"\n{bar}\n{title}\n{bar}")

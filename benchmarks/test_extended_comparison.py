@@ -1,0 +1,50 @@
+"""Extended comparison — the Table III roster plus the related-work methods.
+
+Adds BigAlign (ICDM'13), IONE (IJCAI'16), NetAlign (ICDM'09), and DeepLink
+(INFOCOM'18) — methods
+the paper discusses in §VIII but does not benchmark — to the standard
+end-to-end comparison on the Douban-like pair.  Useful for positioning the
+reproduction against the wider literature.
+"""
+
+import numpy as np
+
+from repro.baselines import BigAlign, DeepLink, IONE, NetAlign
+from repro.eval import ExperimentRunner, MethodSpec, format_comparison_table
+from repro.eval.experiments import all_method_specs, table3_pairs
+
+from conftest import BASE_SEED, BENCH_SCALE, REPEATS, print_section
+
+
+def _specs():
+    return all_method_specs() + [
+        MethodSpec("BigAlign", BigAlign),
+        MethodSpec("IONE", lambda: IONE(epochs=6, dim=48)),
+        MethodSpec("NetAlign", lambda: NetAlign(iterations=10)),
+        MethodSpec("DeepLink", lambda: DeepLink(
+            num_walks=3, walk_length=12, dim=48, mapping_epochs=120,
+        )),
+    ]
+
+
+def _run():
+    rng = np.random.default_rng(BASE_SEED)
+    pair = table3_pairs(rng, scale=BENCH_SCALE)["Douban Online-Offline"]
+    runner = ExperimentRunner(supervision_ratio=0.1, repeats=REPEATS,
+                              seed=BASE_SEED)
+    return runner.run_pair(pair, _specs())
+
+
+def test_extended_comparison(benchmark):
+    summaries = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_section("Extended comparison — Douban-like, 10 methods")
+    print(format_comparison_table({"Douban-like": summaries}))
+
+    assert len(summaries) == 10
+    galign = summaries["GAlign"]
+    # GAlign should remain at/near the top of the extended field on MAP.
+    best_extension = max(
+        summaries[name].map
+        for name in ("BigAlign", "IONE", "NetAlign", "DeepLink")
+    )
+    assert galign.map >= 0.75 * best_extension

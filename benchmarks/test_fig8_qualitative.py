@@ -1,0 +1,105 @@
+"""Fig 8 — qualitative study on the 10-movie toy dataset.
+
+Three embedding variants are compared, as in the paper's t-SNE panels:
+
+  (a) traditional — final-layer embeddings only,
+  (b) multi-order — all layers concatenated,
+  (c) multi-order after refinement.
+
+For each variant we print the anchor-separation diagnostics (the
+quantitative counterpart of "anchor nodes sit closer") and the 2-D t-SNE
+coordinates of every movie pair.
+
+Expected shape (paper): (b) brings anchor embeddings closer than (a);
+(c) makes anchors more distinctive than (b) (better separation margin /
+nearest-neighbour accuracy).
+"""
+
+import numpy as np
+
+from repro.analysis import concatenate_orders, diagnose_embeddings, tsne
+from repro.core import AlignmentRefiner, GAlignTrainer
+from repro.eval import format_table
+from repro.eval.experiments import galign_config
+from repro.graphs import toy_movie_pair, weighted_propagation_matrix
+
+from conftest import BASE_SEED, print_section
+
+
+def _run():
+    rng = np.random.default_rng(BASE_SEED)
+    pair = toy_movie_pair(rng)
+    config = galign_config(
+        embedding_dim=16, epochs=80, refinement_iterations=10, seed=BASE_SEED
+    )
+    model, _ = GAlignTrainer(config, np.random.default_rng(BASE_SEED)).train(pair)
+
+    source_layers = model.embed(pair.source)
+    target_layers = model.embed(pair.target)
+
+    variants = {
+        "traditional (H(k) only)": (source_layers[-1], target_layers[-1]),
+        "multi-order": (
+            concatenate_orders(source_layers),
+            concatenate_orders(target_layers),
+        ),
+    }
+
+    # Refined variant: run the refinement loop (Alg 2) and re-embed both
+    # networks through the final influence-weighted propagation (Eq 15).
+    refiner = AlignmentRefiner(config)
+    _, log = refiner.refine(pair, model)
+    variants["multi-order refined"] = (
+        concatenate_orders(model.embed(
+            pair.source,
+            weighted_propagation_matrix(pair.source, log.final_influence_source),
+        )),
+        concatenate_orders(model.embed(
+            pair.target,
+            weighted_propagation_matrix(pair.target, log.final_influence_target),
+        )),
+    )
+
+    diagnostics = {
+        name: diagnose_embeddings(src, dst, pair.groundtruth)
+        for name, (src, dst) in variants.items()
+    }
+
+    # t-SNE coordinates of the multi-order variant for the visual panel.
+    src, dst = variants["multi-order"]
+    stacked = np.vstack([src, dst])
+    coordinates = tsne(stacked, perplexity=5.0, iterations=300,
+                       rng=np.random.default_rng(BASE_SEED))
+    labels = list(pair.source.node_labels) + [
+        f"{label}'" for label in pair.source.node_labels
+    ]
+    return pair, diagnostics, labels, coordinates
+
+
+def test_fig8_qualitative(benchmark):
+    pair, diagnostics, labels, coordinates = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    print_section("Fig 8 — qualitative study (toy movie dataset)")
+    rows = [
+        [name, d.anchor_similarity, d.background_similarity,
+         d.separation_margin, d.nearest_neighbor_accuracy]
+        for name, d in diagnostics.items()
+    ]
+    print(format_table(
+        ["variant", "anchor-sim", "background-sim", "margin", "nn-acc"], rows
+    ))
+    print()
+    print(format_table(
+        ["movie", "x", "y"],
+        [[label, float(x), float(y)] for label, (x, y) in zip(labels, coordinates)],
+        title="t-SNE coordinates (multi-order embeddings)",
+        float_format="{:.2f}",
+    ))
+
+    traditional = diagnostics["traditional (H(k) only)"]
+    multi_order = diagnostics["multi-order"]
+    # Paper shape: multi-order anchors at least as close as last-layer-only.
+    assert multi_order.separation_margin >= traditional.separation_margin - 0.05
+    assert multi_order.nearest_neighbor_accuracy >= 0.5

@@ -1,0 +1,76 @@
+"""Complexity validation (paper §VI-C).
+
+The paper analyses GAlign's time complexity as O(ed + nd²) — linear in the
+edge count for fixed dimension — and alignment-side space as O(n(d+1)+d²+e)
+when S is streamed row-wise.  This bench measures wall-clock against
+growing n (BA graphs, so e ≈ 2n) and checks the growth is far below
+quadratic, plus verifies the streaming evaluator matches the dense one
+while never materializing S.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import (
+    GAlignConfig,
+    GAlignTrainer,
+    StreamingAligner,
+    aggregate_alignment,
+    layerwise_alignment_matrices,
+)
+from repro.eval import format_table
+from repro.graphs import generators, noisy_copy_pair
+from repro.metrics import evaluate_alignment
+
+from conftest import BASE_SEED, print_section
+
+SIZES = [100, 200, 400, 800]
+
+
+def _time_training(n, rng):
+    graph = generators.barabasi_albert(n, 2, rng, feature_dim=16,
+                                       feature_kind="degree")
+    pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+    config = GAlignConfig(epochs=10, embedding_dim=32,
+                          refinement_iterations=2, num_augmentations=1)
+    started = time.perf_counter()
+    model, _ = GAlignTrainer(config, rng).train(pair)
+    train_seconds = time.perf_counter() - started
+    return pair, model, config, train_seconds
+
+
+def _run():
+    rows = []
+    for n in SIZES:
+        rng = np.random.default_rng(BASE_SEED)
+        pair, model, config, train_seconds = _time_training(n, rng)
+
+        started = time.perf_counter()
+        streaming_report = StreamingAligner(model, config, block_size=64).evaluate(pair)
+        stream_seconds = time.perf_counter() - started
+
+        dense = aggregate_alignment(
+            layerwise_alignment_matrices(
+                model.embed(pair.source), model.embed(pair.target)
+            ),
+            config.resolved_layer_weights(),
+        )
+        dense_report = evaluate_alignment(dense, pair.groundtruth)
+        assert streaming_report.map == dense_report.map
+
+        rows.append([n, pair.source.num_edges, train_seconds, stream_seconds])
+    return rows
+
+
+def test_scalability(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_section("Scalability — GAlign training time vs graph size (§VI-C)")
+    print(format_table(["n", "edges", "train(s)", "stream-eval(s)"], rows))
+
+    # Train time growth from n=100 to n=800 (8x nodes, ~8x edges) must stay
+    # far below quadratic (64x); allow generous headroom for n² loss terms
+    # at these sizes.
+    times = {row[0]: row[2] for row in rows}
+    growth = times[800] / max(times[100], 1e-9)
+    assert growth < 64.0, f"training time grew {growth:.1f}x over an 8x graph"

@@ -1,0 +1,97 @@
+"""Reconciling two movie databases (the paper's Allmovie-Imdb scenario).
+
+Two movie catalogues link films that share actors; the same film appears in
+both under different internal ids.  Aligning the two co-actor networks
+recovers the film identity mapping — the paper's densest, most attribute-
+rich workload, plus the Fig 8 qualitative toy study:
+
+* embeds the toy 10-movie dataset with the trained multi-order GCN,
+* compares traditional (last-layer) vs multi-order embeddings vs refined,
+* prints a 2-D t-SNE layout as ASCII coordinates.
+
+Run:  python examples/movie_db_reconciliation.py
+"""
+
+import numpy as np
+
+from repro import GAlign, GAlignConfig
+from repro.analysis import concatenate_orders, diagnose_embeddings, tsne
+from repro.core import AlignmentRefiner, GAlignTrainer
+from repro.eval import format_table
+from repro.graphs import allmovie_imdb_like, toy_movie_pair, weighted_propagation_matrix
+from repro.metrics import evaluate_alignment
+
+
+def reconcile_catalogues() -> None:
+    rng = np.random.default_rng(3)
+    pair = allmovie_imdb_like(rng, scale=0.04)
+    print(f"catalogue A: {pair.source}")
+    print(f"catalogue B: {pair.target}")
+
+    config = GAlignConfig(epochs=40, embedding_dim=64,
+                          refinement_iterations=8, seed=0)
+    result = GAlign(config).align(pair, rng=rng)
+    report = evaluate_alignment(result.scores, pair.groundtruth)
+    print(f"reconciliation quality: {report}  ({result.elapsed_seconds:.1f}s)\n")
+
+
+def qualitative_toy_study() -> None:
+    rng = np.random.default_rng(5)
+    pair = toy_movie_pair(rng)
+    config = GAlignConfig(epochs=80, embedding_dim=16,
+                          refinement_iterations=10, seed=0)
+    model, _ = GAlignTrainer(config, np.random.default_rng(0)).train(pair)
+
+    source_layers = model.embed(pair.source)
+    target_layers = model.embed(pair.target)
+
+    refiner = AlignmentRefiner(config)
+    _, log = refiner.refine(pair, model)
+    refined_source = concatenate_orders(model.embed(
+        pair.source,
+        weighted_propagation_matrix(pair.source, log.final_influence_source),
+    ))
+    refined_target = concatenate_orders(model.embed(
+        pair.target,
+        weighted_propagation_matrix(pair.target, log.final_influence_target),
+    ))
+
+    variants = {
+        "last layer only": (source_layers[-1], target_layers[-1]),
+        "multi-order": (concatenate_orders(source_layers),
+                        concatenate_orders(target_layers)),
+        "multi-order + refinement": (refined_source, refined_target),
+    }
+    rows = [
+        [name, *map(float, (
+            d.anchor_similarity, d.separation_margin, d.nearest_neighbor_accuracy
+        ))]
+        for name, d in (
+            (name, diagnose_embeddings(src, dst, pair.groundtruth))
+            for name, (src, dst) in variants.items()
+        )
+    ]
+    print(format_table(
+        ["embedding variant", "anchor-sim", "margin", "nn-accuracy"], rows,
+        title="Fig 8 toy study — anchor separation per embedding variant",
+    ))
+
+    # 2-D t-SNE of the multi-order embeddings (both networks together).
+    src, dst = variants["multi-order"]
+    coordinates = tsne(np.vstack([src, dst]), perplexity=5.0, iterations=300,
+                       rng=np.random.default_rng(0))
+    labels = list(pair.source.node_labels) + [
+        f"{name}'" for name in pair.source.node_labels
+    ]
+    print("\nt-SNE layout (a movie and its primed twin should sit together):")
+    for label, (x, y) in zip(labels, coordinates):
+        print(f"  {label:20s} ({x:7.2f}, {y:7.2f})")
+
+
+def main() -> None:
+    reconcile_catalogues()
+    qualitative_toy_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Noise-robustness study: how alignment quality degrades with noise.
+
+A compact version of the paper's adversarial-conditions evaluation (§VII-D,
+Figs 3-4) that a user can adapt to their own graphs:
+
+* sweeps structural noise (edge removal) and attribute noise,
+* compares GAlign against FINAL (the strongest baseline),
+* shows the effect of GAlign's adaptivity loss (GAlign vs GAlign-1).
+
+Run:  python examples/noise_robustness_study.py
+"""
+
+import numpy as np
+
+from repro import GAlign, GAlignConfig
+from repro.baselines import FINAL
+from repro.eval import format_series_table
+from repro.graphs import econ_like, noisy_copy_pair
+from repro.metrics import success_at
+
+NOISE_LEVELS = [0.1, 0.3, 0.5]
+
+
+def galign(adaptive: bool) -> GAlign:
+    return GAlign(GAlignConfig(
+        epochs=40, embedding_dim=48, refinement_iterations=8,
+        use_augmentation=adaptive, seed=0,
+    ))
+
+
+def sweep(kind: str, seed_graph, rng) -> dict:
+    series = {"GAlign": [], "GAlign-no-adapt": [], "FINAL": []}
+    for ratio in NOISE_LEVELS:
+        if kind == "structural":
+            pair = noisy_copy_pair(seed_graph, rng, structure_noise_ratio=ratio)
+        else:
+            pair = noisy_copy_pair(seed_graph, rng, attribute_noise_ratio=ratio)
+        supervision, _ = pair.split_groundtruth(0.1, rng)
+
+        for name, method, sup in (
+            ("GAlign", galign(adaptive=True), None),
+            ("GAlign-no-adapt", galign(adaptive=False), None),
+            ("FINAL", FINAL(), supervision),
+        ):
+            scores = method.align(pair, supervision=sup,
+                                  rng=np.random.default_rng(0)).scores
+            series[name].append(success_at(scores, pair.groundtruth, 1))
+    return series
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    seed_graph = econ_like(rng, scale=0.15)
+    print(f"seed network: {seed_graph}\n")
+
+    structural = sweep("structural", seed_graph, rng)
+    print(format_series_table(
+        "edge-removal", NOISE_LEVELS, structural,
+        title="Success@1 under structural noise",
+    ))
+    print()
+    attribute = sweep("attribute", seed_graph, rng)
+    print(format_series_table(
+        "attr-noise", NOISE_LEVELS, attribute,
+        title="Success@1 under attribute noise",
+    ))
+
+    print(
+        "\nReading the tables: GAlign should degrade most gracefully; the "
+        "gap between GAlign and GAlign-no-adapt is the contribution of the "
+        "perturbation-based augmentation (paper Eq 9 / Table IV)."
+    )
+
+
+if __name__ == "__main__":
+    main()

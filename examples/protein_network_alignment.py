@@ -1,0 +1,101 @@
+"""Cross-species protein-network alignment (the paper's bioinformatics
+motivation: "aligning protein networks may reveal new patterns of
+protein-protein interactions, such as cross-species gene prioritization").
+
+Two species' protein-protein interaction (PPI) networks are modelled as
+SBM-style module graphs (proteins cluster into functional complexes); the
+second species' network is an evolutionarily diverged copy — edges rewired,
+some proteins missing.  The example shows:
+
+* IsoRank on its home turf (it was designed for PPI alignment),
+* GAlign aligning the same networks unsupervised,
+* the memory-bounded streaming API for candidate-ortholog extraction
+  (paper §VI-C: no n×n matrix is ever materialized).
+
+Run:  python examples/protein_network_alignment.py
+"""
+
+import numpy as np
+
+from repro import GAlignConfig
+from repro.baselines import IsoRank, NetAlign
+from repro.core import GAlignTrainer, StreamingAligner
+from repro.eval import format_table
+from repro.graphs import generators, subnetwork_pair
+from repro.metrics import evaluate_alignment, hungarian_matching
+
+
+def build_ppi_pair(rng):
+    """Species A PPI net + diverged subnetwork as species B."""
+    species_a = generators.stochastic_block_model(
+        sizes=[40, 35, 30, 25], p_in=0.25, p_out=0.01, rng=rng,
+        feature_dim=12, feature_kind="degree",
+    )
+    # Species B: ~80% of proteins conserved, 10% of interactions rewired.
+    return subnetwork_pair(
+        species_a, rng, target_ratio=0.8,
+        structure_noise_ratio=0.10, attribute_noise_ratio=0.05,
+        name="ppi-cross-species",
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    pair = build_ppi_pair(rng)
+    print(f"species A: {pair.source}")
+    print(f"species B: {pair.target}")
+    print(f"conserved proteins (ground truth): {pair.num_anchors}\n")
+
+    supervision, _ = pair.split_groundtruth(0.1, rng)
+
+    rows = []
+    config = GAlignConfig(epochs=50, embedding_dim=64,
+                          refinement_iterations=8, seed=0)
+    trainer = GAlignTrainer(config, np.random.default_rng(0))
+    model, _ = trainer.train(pair)
+    aligner = StreamingAligner(model, config, block_size=64)
+    galign_report = aligner.evaluate(pair)
+    rows.append(["GAlign (streaming, unsupervised)",
+                 galign_report.map, galign_report.success_at_1,
+                 galign_report.success_at_10])
+
+    for label, method in (
+        ("IsoRank (10% homologs)", IsoRank()),
+        ("NetAlign (10% homologs)", NetAlign(iterations=12)),
+    ):
+        result = method.align(pair, supervision=supervision,
+                              rng=np.random.default_rng(0))
+        report = evaluate_alignment(result.scores, pair.groundtruth)
+        rows.append([label, report.map, report.success_at_1,
+                     report.success_at_10])
+
+    print(format_table(
+        ["method", "MAP", "Success@1", "Success@10"], rows,
+        title="Cross-species protein alignment",
+    ))
+
+    # Candidate orthologs for the first few proteins, streamed (top-3 each).
+    candidates = aligner.top_anchors(pair, k=3)
+    print("\ntop-3 ortholog candidates (streaming, no full matrix):")
+    for protein in list(pair.groundtruth)[:4]:
+        matches = ", ".join(
+            f"B{target} ({score:.2f})" for target, score in candidates[protein]
+        )
+        truth = pair.groundtruth[protein]
+        print(f"  A{protein:<3d} -> {matches}   [truth: B{truth}]")
+
+    # One-to-one ortholog map via optimal assignment on GAlign scores.
+    scores = np.zeros((pair.source.num_nodes, pair.target.num_nodes))
+    for source, matches in candidates.items():
+        for target, value in matches:
+            scores[source, target] = value
+    matching = hungarian_matching(scores)
+    correct = sum(
+        1 for s, t in pair.groundtruth.items() if matching.get(s) == t
+    )
+    print(f"\nHungarian one-to-one map: {correct}/{pair.num_anchors} "
+          "conserved proteins recovered")
+
+
+if __name__ == "__main__":
+    main()

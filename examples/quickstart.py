@@ -1,0 +1,63 @@
+"""Quickstart: align a network with a noisy copy of itself.
+
+Demonstrates the minimal GAlign workflow:
+
+1. build (or load) an attributed network,
+2. create an alignment task — here a permuted noisy copy with known ground
+   truth, exactly the paper's synthetic protocol (§VII-A),
+3. run GAlign (fully unsupervised — no anchors given to the model),
+4. evaluate with the paper's metrics and extract anchor links.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GAlign, GAlignConfig
+from repro.graphs import generators, noisy_copy_pair
+from repro.metrics import evaluate_alignment, top1_matching
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # 1. A scale-free attributed network (power-law degrees, 16 attributes).
+    graph = generators.barabasi_albert(
+        200, m=2, rng=rng, feature_dim=16, feature_kind="degree"
+    )
+    print(f"source network: {graph}")
+
+    # 2. Target = permuted copy with 10% of edges removed.
+    pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.10)
+    print(f"alignment task: {pair}")
+
+    # 3. Unsupervised alignment.
+    config = GAlignConfig(
+        epochs=50,
+        embedding_dim=64,
+        refinement_iterations=10,
+        seed=0,
+    )
+    result = GAlign(config).align(pair, rng=rng)
+    print(f"aligned in {result.elapsed_seconds:.1f}s")
+
+    # 4. Evaluation against the known ground truth.
+    report = evaluate_alignment(result.scores, pair.groundtruth)
+    print(f"metrics: {report}")
+
+    # Extract anchor links with the top-1 rule and show a few.
+    anchors = top1_matching(result.scores)
+    correct = sum(
+        1 for s, t in pair.groundtruth.items() if anchors[s] == t
+    )
+    print(f"top-1 anchors correct: {correct}/{pair.num_anchors}")
+    for source in list(pair.groundtruth)[:5]:
+        predicted = anchors[source]
+        truth = pair.groundtruth[source]
+        status = "ok " if predicted == truth else "MISS"
+        print(f"  [{status}] source {source:3d} -> target {predicted:3d} "
+              f"(truth {truth:3d})")
+
+
+if __name__ == "__main__":
+    main()

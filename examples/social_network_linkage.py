@@ -1,0 +1,75 @@
+"""User identity linkage across two social networks (paper's motivating app).
+
+Scenario: the same user community appears on two platforms — a large one
+("online") and a smaller one ("offline") where only some users registered,
+with different friend lists and slightly different profile attributes
+(the Douban Online/Offline setting, §VII-A).  The task: for each account on
+the big platform, find the matching account on the small one.
+
+This example shows:
+
+* graph-size imbalance (the target is a ~30% subnetwork),
+* supervised baselines receiving 10% of anchors vs GAlign using none,
+* ranked candidate lists per user (what a friend-suggestion system needs).
+
+Run:  python examples/social_network_linkage.py
+"""
+
+import numpy as np
+
+from repro import GAlign, GAlignConfig
+from repro.baselines import FINAL, REGAL
+from repro.eval import format_table
+from repro.graphs import douban_like
+from repro.metrics import evaluate_alignment
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # A Douban-like pair: BA friendship topology, sparse binary profile
+    # attributes, the offline side a noisy 29% subnetwork of the online one.
+    pair = douban_like(rng, scale=0.1)
+    print(f"online : {pair.source}")
+    print(f"offline: {pair.target}")
+    print(f"anchors: {pair.num_anchors} (users on both platforms)\n")
+
+    # 10% of anchors as supervision for the baselines that need it.
+    supervision, _ = pair.split_groundtruth(0.1, rng)
+
+    rows = []
+    methods = [
+        ("GAlign (unsupervised)", GAlign(GAlignConfig(
+            epochs=50, embedding_dim=64, refinement_iterations=10, seed=1
+        )), None),
+        ("FINAL (10% anchors)", FINAL(), supervision),
+        ("REGAL (unsupervised)", REGAL(), None),
+    ]
+    results = {}
+    for label, method, sup in methods:
+        result = method.align(pair, supervision=sup, rng=np.random.default_rng(1))
+        report = evaluate_alignment(result.scores, pair.groundtruth)
+        results[label] = result
+        rows.append([label, report.map, report.success_at_1,
+                     report.success_at_10, result.elapsed_seconds])
+
+    print(format_table(
+        ["method", "MAP", "Success@1", "Success@10", "Time(s)"], rows,
+        title="Identity linkage, online -> offline",
+    ))
+
+    # Ranked candidates for one user — the friend-suggestion view.
+    galign_scores = results["GAlign (unsupervised)"].scores
+    user = next(iter(pair.groundtruth))
+    candidates = np.argsort(galign_scores[user])[::-1][:5]
+    truth = pair.groundtruth[user]
+    print(f"\ntop-5 offline candidates for online user {user} "
+          f"(truth: {truth}):")
+    for rank, candidate in enumerate(candidates, start=1):
+        marker = "  <-- true match" if candidate == truth else ""
+        print(f"  {rank}. account {candidate} "
+              f"(score {galign_scores[user, candidate]:.3f}){marker}")
+
+
+if __name__ == "__main__":
+    main()

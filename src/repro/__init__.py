@@ -1,0 +1,40 @@
+"""repro — reproduction of GAlign (ICDE 2020).
+
+*Adaptive Network Alignment with Unsupervised and Multi-order Convolutional
+Networks* (Huynh Thanh Trung et al.), built from scratch in Python:
+
+* :mod:`repro.core` — the GAlign framework (multi-order GCN, augmented
+  training, alignment refinement).
+* :mod:`repro.autograd` — numpy reverse-mode autodiff substrate.
+* :mod:`repro.graphs` — attributed graphs, generators, noise, datasets.
+* :mod:`repro.baselines` — REGAL, IsoRank, FINAL, PALE, CENALP.
+* :mod:`repro.metrics` — Success@q, MAP, AUC, matchings.
+* :mod:`repro.analysis` — t-SNE / PCA / embedding diagnostics.
+* :mod:`repro.eval` — experiment runner and paper-style reporting.
+
+Quickstart::
+
+    import numpy as np
+    from repro import GAlign, GAlignConfig
+    from repro.graphs import generators, noisy_copy_pair
+    from repro.metrics import evaluate_alignment
+
+    rng = np.random.default_rng(0)
+    graph = generators.barabasi_albert(200, 2, rng, feature_dim=16)
+    pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.1)
+    result = GAlign(GAlignConfig(epochs=40, embedding_dim=64)).align(pair)
+    print(evaluate_alignment(result.scores, pair.groundtruth))
+"""
+
+from .base import AlignmentMethod, AlignmentResult
+from .core import GAlign, GAlignConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignmentMethod",
+    "AlignmentResult",
+    "GAlign",
+    "GAlignConfig",
+    "__version__",
+]

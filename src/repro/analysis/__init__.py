@@ -1,0 +1,24 @@
+"""Embedding analysis: t-SNE / PCA projection and qualitative diagnostics."""
+
+from .tsne import tsne
+from .pca import pca, explained_variance_ratio
+from .terminal_plot import ascii_scatter, ascii_series
+from .errors import MisalignmentReport, analyze_errors
+from .diagnostics import (
+    EmbeddingDiagnostics,
+    diagnose_embeddings,
+    concatenate_orders,
+)
+
+__all__ = [
+    "tsne",
+    "ascii_scatter",
+    "ascii_series",
+    "pca",
+    "explained_variance_ratio",
+    "EmbeddingDiagnostics",
+    "diagnose_embeddings",
+    "concatenate_orders",
+    "MisalignmentReport",
+    "analyze_errors",
+]

@@ -1,0 +1,81 @@
+"""Embedding-space diagnostics for the qualitative study (paper §VII-F).
+
+Quantifies what Fig 8 shows visually: how close anchor pairs sit in
+embedding space relative to non-anchor pairs, and how separable the anchor
+match is, for any embedding variant (last layer, multi-order concatenation,
+refined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..baselines._similarity import cosine_similarity
+
+__all__ = ["EmbeddingDiagnostics", "diagnose_embeddings", "concatenate_orders"]
+
+
+def concatenate_orders(embeddings: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate multi-order embeddings [H(0)..H(k)] along features.
+
+    This is the "multi-order embedding" view the paper visualizes in
+    Fig 8b/8c.
+    """
+    if not embeddings:
+        raise ValueError("no embeddings to concatenate")
+    return np.concatenate(list(embeddings), axis=1)
+
+
+@dataclass
+class EmbeddingDiagnostics:
+    """Separation statistics of anchor pairs in a shared embedding space."""
+
+    #: Mean cosine similarity between true anchor pairs.
+    anchor_similarity: float
+    #: Mean cosine similarity between non-anchor (mismatched) pairs.
+    background_similarity: float
+    #: anchor − background: larger is better.
+    separation_margin: float
+    #: Fraction of anchors that are their source's nearest target.
+    nearest_neighbor_accuracy: float
+
+    def __str__(self) -> str:
+        return (
+            f"anchor={self.anchor_similarity:.4f} "
+            f"background={self.background_similarity:.4f} "
+            f"margin={self.separation_margin:.4f} "
+            f"nn-acc={self.nearest_neighbor_accuracy:.4f}"
+        )
+
+
+def diagnose_embeddings(
+    source_embedding: np.ndarray,
+    target_embedding: np.ndarray,
+    groundtruth: Dict[int, int],
+) -> EmbeddingDiagnostics:
+    """Compute anchor-separation statistics for one embedding variant."""
+    if not groundtruth:
+        raise ValueError("groundtruth is empty")
+    similarity = cosine_similarity(source_embedding, target_embedding)
+    sources = np.array(sorted(groundtruth))
+    targets = np.array([groundtruth[s] for s in sources])
+
+    anchor_scores = similarity[sources, targets]
+    mask = np.zeros_like(similarity, dtype=bool)
+    mask[sources, targets] = True
+    background_scores = similarity[~mask]
+
+    nearest = similarity[sources].argmax(axis=1)
+    accuracy = float(np.mean(nearest == targets))
+
+    anchor_mean = float(anchor_scores.mean())
+    background_mean = float(background_scores.mean())
+    return EmbeddingDiagnostics(
+        anchor_similarity=anchor_mean,
+        background_similarity=background_mean,
+        separation_margin=anchor_mean - background_mean,
+        nearest_neighbor_accuracy=accuracy,
+    )

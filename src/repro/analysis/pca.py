@@ -1,0 +1,40 @@
+"""Principal component analysis in numpy (SVD-based)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pca", "explained_variance_ratio"]
+
+
+def pca(data: np.ndarray, num_components: int = 2) -> np.ndarray:
+    """Project ``data`` (n, d) onto its top principal components.
+
+    A deterministic, fast alternative to t-SNE for embedding diagnostics;
+    sign convention is fixed (largest-magnitude loading positive) so results
+    are reproducible across BLAS backends.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected 2-D data, got shape {data.shape}")
+    if not 1 <= num_components <= min(data.shape):
+        raise ValueError(
+            f"num_components must be in [1, {min(data.shape)}], got {num_components}"
+        )
+    centered = data - data.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    components = vt[:num_components]
+    # Deterministic signs.
+    flips = np.sign(components[np.arange(num_components),
+                               np.abs(components).argmax(axis=1)])
+    components = components * flips[:, None]
+    return centered @ components.T
+
+
+def explained_variance_ratio(data: np.ndarray) -> np.ndarray:
+    """Fraction of variance captured by each principal component."""
+    centered = np.asarray(data, dtype=np.float64)
+    centered = centered - centered.mean(axis=0)
+    _, singular_values, _ = np.linalg.svd(centered, full_matrices=False)
+    variances = singular_values ** 2
+    return variances / variances.sum()

@@ -1,0 +1,107 @@
+"""Terminal (ASCII) rendering of 2-D embeddings and series.
+
+The qualitative study (Fig 8) projects embeddings with t-SNE; on a headless
+box the scatter is rendered as a character grid.  Also provides a compact
+line-chart renderer for the noise-sweep figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "ascii_series"]
+
+
+def ascii_scatter(
+    points: np.ndarray,
+    labels: Optional[Sequence[str]] = None,
+    width: int = 70,
+    height: int = 24,
+    legend: bool = True,
+) -> str:
+    """Render 2-D points as a character grid.
+
+    Each point gets a distinct marker (``A``-``Z`` then ``a``-``z`` then
+    ``*``); the legend maps markers to labels.  Colliding points keep the
+    first marker placed.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {points.shape}")
+    if width < 10 or height < 5:
+        raise ValueError("grid must be at least 10x5")
+
+    markers = [chr(ord("A") + i) for i in range(26)]
+    markers += [chr(ord("a") + i) for i in range(26)]
+
+    minimum = points.min(axis=0)
+    extent = np.maximum(points.max(axis=0) - minimum, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for i, (x, y) in enumerate(points):
+        column = int((x - minimum[0]) / extent[0] * (width - 1))
+        row = int((1.0 - (y - minimum[1]) / extent[1]) * (height - 1))
+        marker = markers[i] if i < len(markers) else "*"
+        if grid[row][column] == " ":
+            grid[row][column] = marker
+
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    lines += ["|" + "".join(row) + "|" for row in grid]
+    lines.append(border)
+    if legend and labels is not None:
+        if len(labels) != len(points):
+            raise ValueError("labels must match the number of points")
+        for i, label in enumerate(labels):
+            marker = markers[i] if i < len(markers) else "*"
+            lines.append(f"  {marker} = {label}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render one or more y-vs-x series as an ASCII line chart.
+
+    Each series gets a marker (``o``, ``x``, ``+``, ``#``, …); points are
+    plotted at their nearest grid cell and the legend maps markers to
+    series names.  Useful for eyeballing the Fig 3-5 noise sweeps in a
+    terminal.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "ox+#%@&$"
+    all_values = [v for values in series.values() for v in values]
+    low = min(all_values) if y_min is None else y_min
+    high = max(all_values) if y_max is None else y_max
+    if high <= low:
+        high = low + 1.0
+    x = np.asarray(list(x_values), dtype=np.float64)
+    x_low, x_high = float(x.min()), float(x.max())
+    if x_high <= x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for xi, yi in zip(x, values):
+            column = int((xi - x_low) / (x_high - x_low) * (width - 1))
+            row = int((1.0 - (yi - low) / (high - low)) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][column] = marker
+
+    lines = [f"{high:8.3f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{low:8.3f} +" + "".join(grid[-1]))
+    lines.append(" " * 10 + f"{x_low:<10.3g}" + " " * max(0, width - 20)
+                 + f"{x_high:>10.3g}")
+    for index, name in enumerate(series):
+        lines.append(f"  {markers[index % len(markers)]} = {name}")
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Small neural-network module layer over the autograd engine.
+
+Mirrors the subset of ``torch.nn`` the alignment models need: a ``Module``
+base with parameter collection and train/eval mode, ``Linear``, ``GCNLayer``
+(the propagation rule of paper Eq 1 as a reusable layer), activations,
+``Dropout``, and ``Sequential`` composition.
+
+The core GAlign model (:class:`repro.core.MultiOrderGCN`) predates this
+layer and manages its weights directly; ``nn`` exists for downstream users
+building custom alignment heads (e.g. the PALE-style mapping MLPs) on the
+same engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor
+from .ops import spmm, dropout_mask
+from . import init as _init
+
+__all__ = [
+    "Module",
+    "Linear",
+    "GCNLayer",
+    "Tanh",
+    "ReLU",
+    "Sigmoid",
+    "Dropout",
+    "Sequential",
+    "mse_loss",
+    "binary_cross_entropy_with_logits",
+]
+
+
+class Module:
+    """Base class: tracks sub-modules and parameters, train/eval mode."""
+
+    def __init__(self) -> None:
+        self._modules: List["Module"] = []
+        self._parameters: List[Tensor] = []
+        self.training = True
+
+    def register_parameter(self, parameter: Tensor) -> Tensor:
+        if not parameter.requires_grad:
+            raise ValueError("registered parameters must require grad")
+        self._parameters.append(parameter)
+        return parameter
+
+    def register_module(self, module: "Module") -> "Module":
+        self._modules.append(module)
+        return module
+
+    def parameters(self) -> List[Tensor]:
+        """All trainable tensors of this module and its children."""
+        found = list(self._parameters)
+        for child in self._modules:
+            found.extend(child.parameters())
+        return found
+
+    def train(self) -> "Module":
+        self.training = True
+        for child in self._modules:
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for child in self._modules:
+            child.eval()
+        return self
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with Xavier-uniform weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError(
+                f"feature sizes must be >= 1, got {in_features}, {out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            _init.xavier_uniform((in_features, out_features), rng, name="weight")
+        )
+        self.bias: Optional[Tensor] = None
+        if bias:
+            self.bias = self.register_parameter(
+                _init.zeros((out_features,), name="bias")
+            )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class GCNLayer(Module):
+    """One graph-convolution step ``σ(C X W)`` (paper Eq 1).
+
+    The propagation matrix ``C`` is passed at call time so the same layer
+    serves many graphs — exactly the weight-sharing mechanism of Alg 1.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: Optional[Callable[[Tensor], Tensor]] = None,
+    ) -> None:
+        super().__init__()
+        self.weight = self.register_parameter(
+            _init.xavier_uniform((in_features, out_features), rng, name="gcn_weight")
+        )
+        self.activation = activation if activation is not None else (lambda t: t.tanh())
+
+    def forward(self, propagation: sp.spmatrix, x: Tensor) -> Tensor:
+        return self.activation(spmm(propagation, x @ self.weight))
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        return x * dropout_mask(x.shape, self.rate, self.rng)
+
+
+class Sequential(Module):
+    """Feed-forward composition of modules."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for module in modules:
+            self.register_module(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[index]
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    difference = prediction - target
+    return (difference * difference).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, target: Tensor) -> Tensor:
+    """Numerically stable BCE from logits: mean over all elements.
+
+    Uses the identity  max(x, 0) − x·t + log(1 + e^{−|x|}).
+    """
+    positive_part = logits.clip_min(0.0)
+    stable_exp = (-(logits.abs())).exp()
+    return (positive_part - logits * target + (stable_exp + 1.0).log()).mean()

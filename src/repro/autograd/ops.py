@@ -1,0 +1,165 @@
+"""Free-function differentiable operations on :class:`~repro.autograd.Tensor`.
+
+These complement the methods on ``Tensor`` with operations that either take
+multiple tensors (``concat``, ``stack``), mix sparse and dense operands
+(``spmm``), or implement the paper-specific activations (``threshold_mask``
+for the σ_< gate of the adaptivity loss, Eq 9).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor
+
+__all__ = [
+    "spmm",
+    "concat",
+    "stack",
+    "row_norms",
+    "frobenius_norm",
+    "normalize_rows",
+    "threshold_mask",
+    "softmax",
+    "log_softmax",
+    "dropout_mask",
+]
+
+
+def spmm(sparse_matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Sparse @ dense product where the sparse operand is a constant.
+
+    The GCN propagation rule (Eq 1) multiplies the fixed normalized Laplacian
+    ``C`` with the parameter-dependent matrix ``H W``.  ``C`` never requires
+    gradients, so the adjoint only flows into ``dense``:
+
+        d/d(dense) [C @ dense] applied to G  =  C.T @ G
+    """
+    if not sp.issparse(sparse_matrix):
+        raise TypeError("spmm expects a scipy sparse matrix as the left operand")
+    csr = sparse_matrix.tocsr()
+    out_data = csr @ dense.data
+
+    def backward(grad: np.ndarray) -> None:
+        dense._accumulate(csr.T @ grad)
+
+    return Tensor._make(np.asarray(out_data), (dense,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``; gradient splits back."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack same-shape tensors along a new axis."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slabs = np.moveaxis(grad, axis, 0)
+        for tensor, slab in zip(tensors, slabs):
+            if tensor.requires_grad:
+                tensor._accumulate(slab)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def row_norms(matrix: Tensor, eps: float = 1e-12) -> Tensor:
+    """Per-row Euclidean norms of a 2-D tensor, shape ``(n,)``.
+
+    Used by the adaptivity loss: ``||H(v) - H*(v)||`` for every node v at
+    once.  ``eps`` keeps the square root differentiable at zero rows.
+    """
+    squared = (matrix * matrix).sum(axis=1)
+    return (squared + eps).sqrt()
+
+
+def frobenius_norm(matrix: Tensor, eps: float = 1e-12) -> Tensor:
+    """Frobenius norm of a matrix as a scalar tensor (Eq 7 building block)."""
+    squared = (matrix * matrix).sum()
+    return (squared + eps).sqrt()
+
+
+def normalize_rows(matrix: Tensor, eps: float = 1e-12) -> Tensor:
+    """L2-normalize each row; rows of (near-)zero norm are left tiny.
+
+    Row-normalized embeddings make the inner-product alignment matrix
+    (Eq 11) a cosine similarity, which is how alignment scores are made
+    comparable across layers.
+    """
+    norms = row_norms(matrix, eps=eps)
+    inverse = norms.reshape(len(matrix), 1) ** -1.0
+    return matrix * inverse
+
+
+def threshold_mask(values: Tensor, threshold: float) -> Tensor:
+    """The paper's σ_< activation (Eq 9): identity below ``threshold``, 0 above.
+
+    Gradients flow only through entries below the threshold, implementing the
+    confidence gate that ignores perturbations large enough to have destroyed
+    a node's neighbourhood.
+    """
+    keep = values.data < threshold
+    out_data = np.where(keep, values.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        values._accumulate(grad * keep)
+
+    return Tensor._make(out_data, (values,), backward)
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax."""
+    shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        logits._accumulate(out_data * (grad - inner))
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    probs = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        inner = grad.sum(axis=axis, keepdims=True)
+        logits._accumulate(grad - probs * inner)
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def dropout_mask(shape: tuple, rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Inverted-dropout mask (constant w.r.t. gradients).
+
+    Returned as a plain array so callers multiply tensors by it; scaling by
+    ``1 / (1 - rate)`` keeps expectations unchanged at train time.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    if rate == 0.0:
+        return np.ones(shape)
+    keep = rng.random(shape) >= rate
+    return keep / (1.0 - rate)

@@ -1,0 +1,99 @@
+"""Common interface for network-alignment methods.
+
+Every method — GAlign and all five baselines — implements
+:class:`AlignmentMethod`: given an :class:`~repro.graphs.AlignmentPair`, it
+produces an alignment matrix ``S`` (paper §II-B) where ``S[v, v']`` scores
+the match between source node ``v`` and target node ``v'``.
+
+Supervised baselines additionally receive ``supervision`` — a partial anchor
+dictionary.  Unsupervised methods must ignore it (GAlign's defining property,
+paper R3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .graphs import AlignmentPair
+
+__all__ = ["AlignmentMethod", "AlignmentResult"]
+
+
+@dataclass
+class AlignmentResult:
+    """Output of one alignment run.
+
+    Attributes
+    ----------
+    scores:
+        Alignment matrix ``S`` of shape ``(n_source, n_target)``.
+    elapsed_seconds:
+        Wall-clock time spent inside :meth:`AlignmentMethod.align`.
+    method:
+        Name of the producing method.
+    extras:
+        Free-form diagnostics (loss curves, refinement trajectory, ...).
+    """
+
+    scores: np.ndarray
+    elapsed_seconds: float
+    method: str
+    extras: Dict = field(default_factory=dict)
+
+    def top_matches(self) -> np.ndarray:
+        """Greedy per-row best target for each source node (top-1 rule)."""
+        return self.scores.argmax(axis=1)
+
+
+class AlignmentMethod:
+    """Base class: implement :meth:`_align_scores`; timing comes for free."""
+
+    #: Human-readable name used in result tables.
+    name: str = "method"
+    #: Whether the method consumes anchor supervision when provided.
+    requires_supervision: bool = False
+    #: Whether the method uses node attributes (Fig 4 includes only these).
+    uses_attributes: bool = True
+
+    def align(
+        self,
+        pair: AlignmentPair,
+        supervision: Optional[Dict[int, int]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> AlignmentResult:
+        """Compute the alignment matrix for ``pair``.
+
+        Parameters
+        ----------
+        pair:
+            The source/target networks to align.
+        supervision:
+            Optional partial anchors (10% of ground truth in the paper's
+            protocol for FINAL / IsoRank priors and PALE / CENALP training).
+        rng:
+            Source of randomness; a fresh default RNG is created if omitted.
+        """
+        if rng is None:
+            rng = np.random.default_rng()
+        started = time.perf_counter()
+        scores = self._align_scores(pair, supervision, rng)
+        elapsed = time.perf_counter() - started
+        scores = np.asarray(scores, dtype=np.float64)
+        expected = (pair.source.num_nodes, pair.target.num_nodes)
+        if scores.shape != expected:
+            raise RuntimeError(
+                f"{self.name}: alignment matrix shape {scores.shape} != {expected}"
+            )
+        return AlignmentResult(scores, elapsed, self.name)
+
+    def _align_scores(
+        self,
+        pair: AlignmentPair,
+        supervision: Optional[Dict[int, int]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        raise NotImplementedError

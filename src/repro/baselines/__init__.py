@@ -1,0 +1,30 @@
+"""Baseline alignment methods evaluated against GAlign (paper §VII-A).
+
+All five implement :class:`repro.base.AlignmentMethod`:
+
+* :class:`REGAL` — spectral, xNetMF features + low-rank landmarks (CIKM'18)
+* :class:`IsoRank` — spectral, similarity propagation (PNAS'08)
+* :class:`FINAL` — spectral, attributed consistency fixed point (KDD'16)
+* :class:`PALE` — embedding + supervised space mapping (IJCAI'16)
+* :class:`CENALP` — cross-graph walks + iterative expansion (IJCAI'19)
+
+Two further methods from the paper's related-work discussion (§VIII) are
+provided as extensions (not part of the paper's Table III roster):
+
+* :class:`BigAlign` — closed-form feature-space alignment (ICDM'13)
+* :class:`IONE` — anchor-shared second-order embeddings (IJCAI'16)
+* :class:`NetAlign` — belief-propagation sparse alignment (ICDM'09)
+* :class:`DeepLink` — walk embeddings + dual MLP mapping (INFOCOM'18)
+"""
+
+from .regal import REGAL
+from .isorank import IsoRank
+from .final import FINAL
+from .pale import PALE
+from .cenalp import CENALP
+from .bigalign import BigAlign
+from .ione import IONE
+from .netalign import NetAlign
+from .deeplink import DeepLink
+
+__all__ = ["REGAL", "IsoRank", "FINAL", "PALE", "CENALP", "BigAlign", "IONE", "NetAlign", "DeepLink"]

@@ -1,0 +1,40 @@
+"""Shared similarity helpers for the baseline implementations."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["attribute_similarity", "prior_from_supervision", "cosine_similarity"]
+
+
+def cosine_similarity(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Row-wise cosine similarity matrix between two embedding matrices."""
+    left_norm = left / np.maximum(np.linalg.norm(left, axis=1, keepdims=True), 1e-12)
+    right_norm = right / np.maximum(np.linalg.norm(right, axis=1, keepdims=True), 1e-12)
+    return left_norm @ right_norm.T
+
+
+def attribute_similarity(
+    source_features: np.ndarray, target_features: np.ndarray
+) -> np.ndarray:
+    """Node-attribute similarity N(i, j) = cosine(F_s(i), F_t(j))."""
+    if source_features.shape[1] != target_features.shape[1]:
+        raise ValueError(
+            "attribute dimensions differ: "
+            f"{source_features.shape[1]} vs {target_features.shape[1]}"
+        )
+    return cosine_similarity(source_features, target_features)
+
+
+def prior_from_supervision(
+    n_source: int, n_target: int, supervision: Dict[int, int]
+) -> np.ndarray:
+    """Prior alignment matrix with 1 at each supervised anchor pair."""
+    prior = np.zeros((n_source, n_target))
+    for source, target in supervision.items():
+        if not (0 <= source < n_source and 0 <= target < n_target):
+            raise ValueError(f"anchor ({source}, {target}) out of range")
+        prior[source, target] = 1.0
+    return prior

@@ -1,0 +1,103 @@
+"""Skip-gram with negative sampling (SGNS) over random-walk corpora.
+
+Shared by the CENALP baseline (cross-graph walks).  Gradients are computed
+in closed form (the classic word2vec update) rather than through the
+autograd engine — SGNS touches only a few rows per pair, so the dense
+reverse-mode graph would dominate the runtime for no benefit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["skipgram_pairs", "train_sgns"]
+
+
+def skipgram_pairs(
+    walks: Sequence[Sequence[int]], window: int
+) -> np.ndarray:
+    """(center, context) pairs from walks within ± ``window`` positions."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    pairs: List[tuple] = []
+    for walk in walks:
+        length = len(walk)
+        for i, center in enumerate(walk):
+            lo = max(0, i - window)
+            hi = min(length, i + window + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    pairs.append((center, walk[j]))
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def train_sgns(
+    pairs: np.ndarray,
+    vocab_size: int,
+    dim: int,
+    rng: np.random.Generator,
+    epochs: int = 2,
+    negatives: int = 5,
+    lr: float = 0.01,
+    batch_size: int = 1024,
+    frequencies: np.ndarray | None = None,
+) -> np.ndarray:
+    """Train SGNS embeddings and return the input-vector matrix.
+
+    Parameters
+    ----------
+    pairs:
+        (num_pairs, 2) center/context indices.
+    frequencies:
+        Unigram counts for the negative-sampling distribution; uniform when
+        omitted.  Raised to the 0.75 power as in word2vec.
+    """
+    if vocab_size < 1:
+        raise ValueError(f"vocab_size must be >= 1, got {vocab_size}")
+    in_vectors = rng.normal(scale=0.5 / dim, size=(vocab_size, dim))
+    out_vectors = np.zeros((vocab_size, dim))
+    if len(pairs) == 0:
+        return in_vectors
+
+    if frequencies is None:
+        noise = np.full(vocab_size, 1.0 / vocab_size)
+    else:
+        noise = np.asarray(frequencies, dtype=np.float64) ** 0.75
+        noise /= noise.sum()
+
+    for epoch in range(epochs):
+        step_lr = lr * (1.0 - epoch / max(1, epochs))
+        step_lr = max(step_lr, lr * 0.1)
+        order = rng.permutation(len(pairs))
+        for start in range(0, len(pairs), batch_size):
+            batch = pairs[order[start : start + batch_size]]
+            centers, contexts = batch[:, 0], batch[:, 1]
+            b = len(batch)
+            sampled = rng.choice(vocab_size, size=(b, negatives), p=noise)
+
+            v = in_vectors[centers]                      # (b, d)
+            u_pos = out_vectors[contexts]                # (b, d)
+            u_neg = out_vectors[sampled]                 # (b, neg, d)
+
+            # Logits clipped to ±6 (word2vec's sigmoid table range) so
+            # repeated pairs inside one batch cannot blow the update up.
+            pos_logits = np.clip((v * u_pos).sum(axis=1), -6.0, 6.0)
+            neg_logits = np.clip(np.einsum("bd,bnd->bn", v, u_neg), -6.0, 6.0)
+            pos_score = 1.0 / (1.0 + np.exp(-pos_logits))
+            neg_score = 1.0 / (1.0 + np.exp(-neg_logits))
+
+            # Gradients of the SGNS objective.
+            grad_pos = (pos_score - 1.0)[:, None]        # d/du_pos
+            grad_neg = neg_score[:, :, None]             # d/du_neg
+            grad_v = grad_pos * u_pos + (grad_neg * u_neg).sum(axis=1)
+
+            np.add.at(in_vectors, centers, -step_lr * grad_v)
+            np.add.at(out_vectors, contexts, -step_lr * (grad_pos * v))
+            flat_sampled = sampled.reshape(-1)
+            flat_grad = (grad_neg * v[:, None, :]).reshape(-1, v.shape[1])
+            np.add.at(out_vectors, flat_sampled, -step_lr * flat_grad)
+    return in_vectors

@@ -1,0 +1,301 @@
+"""CENALP baseline (Du, Yan & Zha, IJCAI 2019).
+
+Joint network alignment and link prediction through **cross-graph biased
+random walks**: both networks share one walk corpus — a walker standing on a
+node with a known (or confidently predicted) anchor may jump to the
+counterpart node in the other network and keep walking there.  Skip-gram
+over this corpus embeds all nodes of both networks in one space, so cosine
+similarity aligns them directly.
+
+The published method then iterates: the most confident mutual-best matches
+are promoted to anchors (alignment expands the supervision), predicted links
+densify the graphs, and walking/embedding repeats.  This implementation
+keeps the iterative anchor expansion (the component that drives CENALP's
+accuracy) and the degree-biased walk kernel; the joint link-prediction step
+is available via ``predict_links=True`` — each round, high-similarity
+non-adjacent node pairs *within* each network (scored by the same shared
+embedding) are added as predicted edges for the next round's walks.
+
+The walk corpus times embedding epochs make CENALP by far the slowest
+method here — matching its running-time column in the paper's Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..base import AlignmentMethod
+from ..graphs import AlignmentPair, AttributedGraph
+from ._similarity import attribute_similarity, cosine_similarity
+from ._skipgram import skipgram_pairs, train_sgns
+
+__all__ = ["CENALP"]
+
+
+class CENALP(AlignmentMethod):
+    """Cross-graph walks + skip-gram + iterative anchor expansion.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    num_walks, walk_length, window:
+        Walk-corpus shape per iteration.
+    jump_probability:
+        Chance of switching networks when standing on an anchored node.
+    rounds:
+        Alignment/expansion iterations.
+    expansion_per_round:
+        Number of confident mutual-best pairs promoted to anchors per round
+        (as a fraction of the smaller node count).
+    predict_links:
+        Enable the joint link-prediction step: per round, add the most
+        similar non-adjacent within-network pairs as predicted edges.
+    links_per_round:
+        Predicted edges added per network per round (fraction of the edge
+        count), when ``predict_links`` is on.
+    """
+
+    name = "CENALP"
+    requires_supervision = True
+    uses_attributes = True
+
+    def __init__(
+        self,
+        dim: int = 64,
+        num_walks: int = 5,
+        walk_length: int = 20,
+        window: int = 5,
+        jump_probability: float = 0.5,
+        rounds: int = 3,
+        expansion_per_round: float = 0.1,
+        sgns_epochs: int = 2,
+        predict_links: bool = False,
+        links_per_round: float = 0.02,
+    ) -> None:
+        if not 0.0 <= jump_probability <= 1.0:
+            raise ValueError(
+                f"jump_probability must be in [0, 1], got {jump_probability}"
+            )
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if links_per_round < 0.0:
+            raise ValueError(
+                f"links_per_round must be >= 0, got {links_per_round}"
+            )
+        self.dim = dim
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.window = window
+        self.jump_probability = jump_probability
+        self.rounds = rounds
+        self.expansion_per_round = expansion_per_round
+        self.sgns_epochs = sgns_epochs
+        self.predict_links = predict_links
+        self.links_per_round = links_per_round
+
+    # ------------------------------------------------------------------
+    def _align_scores(
+        self,
+        pair: AlignmentPair,
+        supervision: Optional[Dict[int, int]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n1, n2 = pair.source.num_nodes, pair.target.num_nodes
+        anchors: Dict[int, int] = dict(supervision) if supervision else {}
+
+        neighbors_source = _neighbor_lists(pair.source)
+        neighbors_target = _neighbor_lists(pair.target)
+        degrees_source = pair.source.degrees()
+        degrees_target = pair.target.degrees()
+
+        shared_attrs = pair.source.num_features == pair.target.num_features
+        attribute_prior = (
+            attribute_similarity(pair.source.features, pair.target.features)
+            if shared_attrs
+            else None
+        )
+
+        scores = np.zeros((n1, n2))
+        for _ in range(self.rounds):
+            walks = self._cross_graph_walks(
+                neighbors_source,
+                neighbors_target,
+                degrees_source,
+                degrees_target,
+                anchors,
+                rng,
+            )
+            pairs = skipgram_pairs(walks, self.window)
+            counts = np.bincount(pairs.reshape(-1), minlength=n1 + n2) + 1.0
+            embedding = train_sgns(
+                pairs,
+                vocab_size=n1 + n2,
+                dim=self.dim,
+                rng=rng,
+                epochs=self.sgns_epochs,
+                frequencies=counts,
+            )
+            scores = cosine_similarity(embedding[:n1], embedding[n1:])
+            if attribute_prior is not None:
+                scores = 0.8 * scores + 0.2 * attribute_prior
+            self._expand_anchors(scores, anchors, rng)
+            if self.predict_links:
+                self._add_predicted_links(
+                    embedding[:n1], neighbors_source, degrees_source,
+                    pair.source.num_edges,
+                )
+                self._add_predicted_links(
+                    embedding[n1:], neighbors_target, degrees_target,
+                    pair.target.num_edges,
+                )
+        return scores
+
+    def _add_predicted_links(
+        self,
+        embedding: np.ndarray,
+        neighbor_lists: List[np.ndarray],
+        degrees: np.ndarray,
+        num_edges: int,
+    ) -> None:
+        """Densify one network with its most-similar non-adjacent pairs.
+
+        Mutates ``neighbor_lists`` and ``degrees`` in place so subsequent
+        walk rounds traverse the predicted links (the joint link-prediction
+        side of CENALP).
+        """
+        budget = max(1, int(self.links_per_round * num_edges))
+        similarity = cosine_similarity(embedding, embedding)
+        np.fill_diagonal(similarity, -np.inf)
+        # Mask existing edges.
+        for node, neighbors in enumerate(neighbor_lists):
+            similarity[node, neighbors] = -np.inf
+        # Top pairs overall (upper triangle to avoid duplicates).
+        upper = np.triu(similarity, k=1)
+        flat = np.argsort(upper, axis=None)[::-1][:budget]
+        n = embedding.shape[0]
+        for index in flat:
+            u, v = divmod(int(index), n)
+            if upper[u, v] == -np.inf or upper[u, v] <= 0.0:
+                break
+            neighbor_lists[u] = np.append(neighbor_lists[u], v)
+            neighbor_lists[v] = np.append(neighbor_lists[v], u)
+            degrees[u] += 1
+            degrees[v] += 1
+
+    # ------------------------------------------------------------------
+    def _cross_graph_walks(
+        self,
+        neighbors_source: List[np.ndarray],
+        neighbors_target: List[np.ndarray],
+        degrees_source: np.ndarray,
+        degrees_target: np.ndarray,
+        anchors: Dict[int, int],
+        rng: np.random.Generator,
+    ) -> List[List[int]]:
+        """Biased walks over the union graph; target ids offset by n1.
+
+        The jump move uses the current anchor set both ways; the neighbour
+        step is degree-biased toward similar-degree nodes (the structural
+        bias kernel of the published walk).
+        """
+        n1 = len(neighbors_source)
+        inverse_anchors = {t: s for s, t in anchors.items()}
+        walks: List[List[int]] = []
+
+        for start_graph, neighbor_lists, n_offset in (
+            (0, neighbors_source, 0),
+            (1, neighbors_target, n1),
+        ):
+            n = len(neighbor_lists)
+            for node in range(n):
+                for _ in range(self.num_walks):
+                    walks.append(
+                        self._single_walk(
+                            node,
+                            start_graph,
+                            neighbors_source,
+                            neighbors_target,
+                            degrees_source,
+                            degrees_target,
+                            anchors,
+                            inverse_anchors,
+                            rng,
+                        )
+                    )
+        return walks
+
+    def _single_walk(
+        self,
+        start: int,
+        start_graph: int,
+        neighbors_source: List[np.ndarray],
+        neighbors_target: List[np.ndarray],
+        degrees_source: np.ndarray,
+        degrees_target: np.ndarray,
+        anchors: Dict[int, int],
+        inverse_anchors: Dict[int, int],
+        rng: np.random.Generator,
+    ) -> List[int]:
+        n1 = len(neighbors_source)
+        graph = start_graph
+        node = start
+        walk = [node + (n1 if graph == 1 else 0)]
+        for _ in range(self.walk_length - 1):
+            # Cross-graph jump when an anchor is available.
+            if graph == 0 and node in anchors and rng.random() < self.jump_probability:
+                graph, node = 1, anchors[node]
+                walk.append(node + n1)
+                continue
+            if graph == 1 and node in inverse_anchors and rng.random() < self.jump_probability:
+                graph, node = 0, inverse_anchors[node]
+                walk.append(node)
+                continue
+
+            neighbor_lists = neighbors_source if graph == 0 else neighbors_target
+            degrees = degrees_source if graph == 0 else degrees_target
+            candidates = neighbor_lists[node]
+            if len(candidates) == 0:
+                break
+            # Degree-similarity bias: favour neighbours whose degree is close
+            # to the current node's (structure-preserving walks).
+            weights = 1.0 / (
+                1.0 + np.abs(np.log1p(degrees[candidates]) - np.log1p(degrees[node]))
+            )
+            weights = weights / weights.sum()
+            node = int(rng.choice(candidates, p=weights))
+            walk.append(node + (n1 if graph == 1 else 0))
+        return walk
+
+    def _expand_anchors(
+        self,
+        scores: np.ndarray,
+        anchors: Dict[int, int],
+        rng: np.random.Generator,
+    ) -> None:
+        """Promote confident mutual-best pairs to anchors (in place)."""
+        n1, n2 = scores.shape
+        budget = max(1, int(self.expansion_per_round * min(n1, n2)))
+        best_for_source = scores.argmax(axis=1)
+        best_for_target = scores.argmax(axis=0)
+        used_targets = set(anchors.values())
+        candidates: List[Tuple[float, int, int]] = []
+        for source in range(n1):
+            if source in anchors:
+                continue
+            target = int(best_for_source[source])
+            if target in used_targets:
+                continue
+            if int(best_for_target[target]) == source:
+                candidates.append((float(scores[source, target]), source, target))
+        candidates.sort(reverse=True)
+        for _, source, target in candidates[:budget]:
+            if target not in used_targets:
+                anchors[source] = target
+                used_targets.add(target)
+
+
+def _neighbor_lists(graph: AttributedGraph) -> List[np.ndarray]:
+    return [graph.neighbors(node) for node in range(graph.num_nodes)]

@@ -1,0 +1,152 @@
+"""DeepLink baseline (Zhou, Liu, Jiao, Wang & Sun, INFOCOM 2018).
+
+Cited in the paper's related work (§VIII, [41]).  DeepLink embeds each
+network independently with **unbiased random walks + skip-gram**, then
+learns a deep (MLP) mapping between the two embedding spaces from anchor
+supervision with a **dual / cycle** objective: a forward mapping
+φ: Z_s → Z_t and a backward mapping ψ: Z_t → Z_s trained so that φ matches
+anchors and ψ(φ(z)) reconstructs z.  Alignment scores are cosine
+similarities between φ(Z_s) and Z_t.
+
+Like PALE and IONE, DeepLink relies purely on topology (no attributes) and
+needs anchor supervision for the mapping — the two properties GAlign's
+weight sharing removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..autograd import Adam, Tensor, nn
+from ..base import AlignmentMethod
+from ..graphs import AlignmentPair, AttributedGraph
+from ._similarity import cosine_similarity
+from ._skipgram import skipgram_pairs, train_sgns
+
+__all__ = ["DeepLink"]
+
+
+def _unbiased_walks(
+    graph: AttributedGraph,
+    num_walks: int,
+    walk_length: int,
+    rng: np.random.Generator,
+) -> List[List[int]]:
+    """Uniform random walks from every node (DeepLink's corpus)."""
+    neighbor_lists = [graph.neighbors(node) for node in range(graph.num_nodes)]
+    walks: List[List[int]] = []
+    for start in range(graph.num_nodes):
+        for _ in range(num_walks):
+            walk = [start]
+            node = start
+            for _ in range(walk_length - 1):
+                neighbors = neighbor_lists[node]
+                if len(neighbors) == 0:
+                    break
+                node = int(rng.choice(neighbors))
+                walk.append(node)
+            walks.append(walk)
+    return walks
+
+
+class DeepLink(AlignmentMethod):
+    """Walk+skip-gram embeddings with a dual MLP mapping.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    hidden_dim:
+        Hidden width of the forward/backward mapping MLPs.
+    num_walks, walk_length, window:
+        Walk-corpus shape.
+    mapping_epochs, lr:
+        Dual-mapping optimization.
+    cycle_weight:
+        Weight of the reconstruction (cycle) term.
+    """
+
+    name = "DeepLink"
+    requires_supervision = True
+    uses_attributes = False
+
+    def __init__(
+        self,
+        dim: int = 64,
+        hidden_dim: int = 64,
+        num_walks: int = 5,
+        walk_length: int = 20,
+        window: int = 5,
+        sgns_epochs: int = 2,
+        mapping_epochs: int = 200,
+        lr: float = 0.01,
+        cycle_weight: float = 0.5,
+    ) -> None:
+        if dim < 1 or hidden_dim < 1:
+            raise ValueError("dim and hidden_dim must be >= 1")
+        if cycle_weight < 0.0:
+            raise ValueError(f"cycle_weight must be >= 0, got {cycle_weight}")
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.window = window
+        self.sgns_epochs = sgns_epochs
+        self.mapping_epochs = mapping_epochs
+        self.lr = lr
+        self.cycle_weight = cycle_weight
+
+    # ------------------------------------------------------------------
+    def _embed(self, graph: AttributedGraph, rng: np.random.Generator) -> np.ndarray:
+        walks = _unbiased_walks(graph, self.num_walks, self.walk_length, rng)
+        pairs = skipgram_pairs(walks, self.window)
+        counts = np.bincount(pairs.reshape(-1), minlength=graph.num_nodes) + 1.0
+        return train_sgns(
+            pairs, vocab_size=graph.num_nodes, dim=self.dim, rng=rng,
+            epochs=self.sgns_epochs, frequencies=counts,
+        )
+
+    def _align_scores(
+        self,
+        pair: AlignmentPair,
+        supervision: Optional[Dict[int, int]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        source_embedding = self._embed(pair.source, rng)
+        target_embedding = self._embed(pair.target, rng)
+        if not supervision:
+            # No anchors: unreconciled spaces — documented near-random.
+            return cosine_similarity(source_embedding, target_embedding)
+
+        forward = nn.Sequential(
+            nn.Linear(self.dim, self.hidden_dim, rng),
+            nn.Tanh(),
+            nn.Linear(self.hidden_dim, self.dim, rng),
+        )
+        backward = nn.Sequential(
+            nn.Linear(self.dim, self.hidden_dim, rng),
+            nn.Tanh(),
+            nn.Linear(self.hidden_dim, self.dim, rng),
+        )
+        sources = np.array(sorted(supervision))
+        targets = np.array([supervision[s] for s in sources])
+        z_source = Tensor(source_embedding[sources])
+        z_target = Tensor(target_embedding[targets])
+
+        optimizer = Adam(forward.parameters() + backward.parameters(),
+                         lr=self.lr)
+        for _ in range(self.mapping_epochs):
+            forward.zero_grad()
+            backward.zero_grad()
+            mapped = forward(z_source)
+            reconstruction = backward(mapped)
+            loss = nn.mse_loss(mapped, z_target) + self.cycle_weight * (
+                nn.mse_loss(reconstruction, z_source)
+            )
+            loss.backward()
+            optimizer.step()
+
+        mapped_all = forward(Tensor(source_embedding)).data
+        return cosine_similarity(mapped_all, target_embedding)

@@ -1,0 +1,141 @@
+"""FINAL baseline (Zhang & Tong, KDD 2016) — fast attributed network alignment.
+
+FINAL solves the fixed point
+
+    vec(S) = α · D^{-1/2} (N ∘ (A_s ⊗ A_t)) D^{-1/2} vec(S) + (1 − α) vec(H)
+
+where ``N`` encodes node-attribute agreement and ``H`` is the prior
+alignment matrix.  The Kronecker product is never materialized: following
+the published FINAL-N power iteration, each step computes
+
+    S ← α · N ∘ (Ã_s (N ∘ S) Ã_tᵀ) + (1 − α) H
+
+with degree-normalized adjacencies — two sparse-dense products per
+iteration, which matches the paper's O(e²)-free practical variant (the
+cubic-growth cost the GAlign paper cites appears at large n through the
+dense n₁×n₂ iterate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..base import AlignmentMethod
+from ..graphs import AlignmentPair, AttributedGraph
+from ._similarity import attribute_similarity, prior_from_supervision
+
+__all__ = ["FINAL"]
+
+
+def _symmetric_normalized(graph: AttributedGraph) -> sp.csr_matrix:
+    adjacency = graph.adjacency
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    inverse_sqrt = np.divide(
+        1.0, np.sqrt(degrees), out=np.zeros_like(degrees), where=degrees > 0.0
+    )
+    scaling = sp.diags(inverse_sqrt)
+    return (scaling @ adjacency @ scaling).tocsr()
+
+
+class FINAL(AlignmentMethod):
+    """Attributed alignment via structure+attribute consistency fixed point.
+
+    Parameters
+    ----------
+    alpha:
+        Propagation weight (published default 0.82).
+    iterations:
+        Power-iteration count (published default ~30 suffices).
+    tolerance:
+        Early-stop threshold on the max absolute update.
+    """
+
+    name = "FINAL"
+    requires_supervision = True
+    uses_attributes = True
+
+    def __init__(
+        self,
+        alpha: float = 0.82,
+        iterations: int = 30,
+        tolerance: float = 1e-7,
+    ) -> None:
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.alpha = alpha
+        self.iterations = iterations
+        self.tolerance = tolerance
+
+    def _align_scores(
+        self,
+        pair: AlignmentPair,
+        supervision: Optional[Dict[int, int]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n1, n2 = pair.source.num_nodes, pair.target.num_nodes
+
+        node_similarity = self._node_similarity(pair)
+
+        if supervision:
+            prior = prior_from_supervision(n1, n2, supervision)
+            # Uniform background mass keeps unsupervised rows reachable.
+            prior = prior + 1.0 / n2
+        else:
+            prior = node_similarity.copy()
+        prior_sum = prior.sum()
+        if prior_sum > 0.0:
+            prior = prior / prior_sum
+
+        a_source = _symmetric_normalized(pair.source)
+        a_target = _symmetric_normalized(pair.target)
+
+        scores = prior.copy()
+        for _ in range(self.iterations):
+            masked = node_similarity * scores
+            middle = np.asarray(a_source @ masked)
+            propagated = np.asarray((a_target @ middle.T).T)
+            updated = (
+                self.alpha * node_similarity * propagated
+                + (1.0 - self.alpha) * prior
+            )
+            delta = float(np.max(np.abs(updated - scores)))
+            scores = updated
+            if delta < self.tolerance:
+                break
+        return scores
+
+    def _node_similarity(self, pair: AlignmentPair) -> np.ndarray:
+        """FINAL's node-attribute consistency matrix N.
+
+        The published FINAL-N treats node attributes as *categorical*:
+        N(i, j) = 1 iff the attribute vectors agree exactly, 0 otherwise.
+        Binary attribute matrices get that exact-match semantics here (one
+        moved bit ⇒ no match — FINAL's documented sensitivity to attribute
+        noise); real-valued attributes fall back to clipped cosine.
+        """
+        n1, n2 = pair.source.num_nodes, pair.target.num_nodes
+        if pair.source.num_features != pair.target.num_features:
+            return np.ones((n1, n2))
+        f_source, f_target = pair.source.features, pair.target.features
+        binary = np.all(np.isin(f_source, (0.0, 1.0))) and np.all(
+            np.isin(f_target, (0.0, 1.0))
+        )
+        if binary:
+            # Exact row match via inner products: rows match iff
+            # |i ∩ j| == |i| == |j| (both one counts and overlap agree).
+            overlap = f_source @ f_target.T
+            ones_source = f_source.sum(axis=1)
+            ones_target = f_target.sum(axis=1)
+            exact = (
+                (overlap == ones_source[:, None])
+                & (overlap == ones_target[None, :])
+            )
+            return exact.astype(np.float64)
+        return np.maximum(
+            attribute_similarity(f_source, f_target), 0.0
+        )

@@ -1,0 +1,142 @@
+"""IONE baseline (Liu, Cheung, Li & Liao, IJCAI 2016).
+
+Cited in the paper's related work (§VIII, [23]): **I**nput-**O**utput
+**N**etwork **E**mbedding aligns users across social networks by learning
+embeddings that preserve *second-order* proximity — each node carries an
+identity vector plus input/output context vectors, and edge likelihoods are
+modelled against contexts rather than identities — while **anchor nodes
+share their vectors across the two networks**, which pins both embedding
+spaces together without a separate mapping step.
+
+Implementation: the two node sets are merged, supervised anchors are
+union-folded onto one shared id, and SGNS-style training runs over the
+union edge set with identity→context scoring.  Alignment is cosine
+similarity of identity vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..base import AlignmentMethod
+from ..graphs import AlignmentPair
+from ._similarity import cosine_similarity
+
+__all__ = ["IONE"]
+
+
+class IONE(AlignmentMethod):
+    """Anchor-shared second-order embedding alignment.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    epochs, negatives, lr, batch_size:
+        SGNS optimization knobs.
+    """
+
+    name = "IONE"
+    requires_supervision = True
+    uses_attributes = False
+
+    def __init__(
+        self,
+        dim: int = 64,
+        epochs: int = 10,
+        negatives: int = 5,
+        lr: float = 0.01,
+        batch_size: int = 512,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.dim = dim
+        self.epochs = epochs
+        self.negatives = negatives
+        self.lr = lr
+        self.batch_size = batch_size
+
+    def _align_scores(
+        self,
+        pair: AlignmentPair,
+        supervision: Optional[Dict[int, int]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n1, n2 = pair.source.num_nodes, pair.target.num_nodes
+        total = n1 + n2
+
+        # Merge ids; anchors collapse target ids onto their source ids —
+        # IONE's hard vector sharing.
+        canonical = np.arange(total)
+        if supervision:
+            for source, target in supervision.items():
+                canonical[n1 + target] = source
+
+        edges = np.vstack([
+            pair.source.edge_list(),
+            pair.target.edge_list() + n1,
+        ])
+        edges = canonical[edges]
+
+        vocab = total
+        identity = rng.normal(scale=0.5 / self.dim, size=(vocab, self.dim))
+        context_in = np.zeros((vocab, self.dim))
+        context_out = np.zeros((vocab, self.dim))
+
+        degrees = np.bincount(edges.reshape(-1), minlength=vocab) + 1.0
+        noise = degrees ** 0.75
+        noise /= noise.sum()
+
+        for epoch in range(self.epochs):
+            step_lr = max(self.lr * (1.0 - epoch / self.epochs), self.lr * 0.1)
+            order = rng.permutation(len(edges))
+            for start in range(0, len(edges), self.batch_size):
+                batch = edges[order[start : start + self.batch_size]]
+                # Both directions: u predicts v's input context, v predicts
+                # u's output context (the input/output split of IONE).
+                for heads, tails, context in (
+                    (batch[:, 0], batch[:, 1], context_in),
+                    (batch[:, 1], batch[:, 0], context_out),
+                ):
+                    self._sgns_step(
+                        identity, context, heads, tails, noise, step_lr, rng
+                    )
+
+        source_vectors = identity[canonical[:n1]]
+        target_vectors = identity[canonical[n1 : n1 + n2]]
+        return cosine_similarity(source_vectors, target_vectors)
+
+    def _sgns_step(
+        self,
+        identity: np.ndarray,
+        context: np.ndarray,
+        heads: np.ndarray,
+        tails: np.ndarray,
+        noise: np.ndarray,
+        lr: float,
+        rng: np.random.Generator,
+    ) -> None:
+        b = len(heads)
+        sampled = rng.choice(identity.shape[0], size=(b, self.negatives), p=noise)
+
+        v = identity[heads]
+        u_pos = context[tails]
+        u_neg = context[sampled]
+
+        pos_logits = np.clip((v * u_pos).sum(axis=1), -6.0, 6.0)
+        neg_logits = np.clip(np.einsum("bd,bnd->bn", v, u_neg), -6.0, 6.0)
+        pos_score = 1.0 / (1.0 + np.exp(-pos_logits))
+        neg_score = 1.0 / (1.0 + np.exp(-neg_logits))
+
+        grad_pos = (pos_score - 1.0)[:, None]
+        grad_neg = neg_score[:, :, None]
+        grad_v = grad_pos * u_pos + (grad_neg * u_neg).sum(axis=1)
+
+        np.add.at(identity, heads, -lr * grad_v)
+        np.add.at(context, tails, -lr * (grad_pos * v))
+        flat = sampled.reshape(-1)
+        np.add.at(context, flat, -lr * (grad_neg * v[:, None, :]).reshape(-1, self.dim))

@@ -1,0 +1,107 @@
+"""IsoRank baseline (Singh, Xu & Berger, PNAS 2008).
+
+Propagates pairwise node similarity over the two networks under the
+homophily assumption: two nodes match when their neighbours match.  The
+fixed point of
+
+    R = α · W_sᵀ R W_t + (1 − α) · E
+
+is found by power iteration, where ``W`` are column-normalized adjacency
+matrices and ``E`` is the prior similarity.  Following the paper's protocol
+(§VII-A), the prior is built from 10% anchor supervision when available,
+with an attribute-similarity fallback (IsoRank itself used BLAST scores;
+attributes play that role for social networks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..base import AlignmentMethod
+from ..graphs import AlignmentPair, AttributedGraph
+from ._similarity import attribute_similarity, prior_from_supervision
+
+__all__ = ["IsoRank"]
+
+
+def _column_normalized(graph: AttributedGraph) -> sp.csr_matrix:
+    adjacency = graph.adjacency
+    degrees = np.asarray(adjacency.sum(axis=0)).ravel()
+    inverse = np.divide(
+        1.0, degrees, out=np.zeros_like(degrees), where=degrees > 0.0
+    )
+    return (adjacency @ sp.diags(inverse)).tocsr()
+
+
+class IsoRank(AlignmentMethod):
+    """Similarity-propagation alignment with a supervised/attribute prior.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the propagated term vs the prior (classic default 0.82).
+    iterations:
+        Power-iteration count; convergence is geometric in ``alpha``.
+    tolerance:
+        Early-stop threshold on the max absolute update.
+    """
+
+    name = "IsoRank"
+    requires_supervision = True
+    uses_attributes = False  # topology-first; attributes only seed the prior
+
+    def __init__(
+        self,
+        alpha: float = 0.82,
+        iterations: int = 50,
+        tolerance: float = 1e-6,
+    ) -> None:
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.alpha = alpha
+        self.iterations = iterations
+        self.tolerance = tolerance
+
+    def _align_scores(
+        self,
+        pair: AlignmentPair,
+        supervision: Optional[Dict[int, int]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        prior = self._build_prior(pair, supervision)
+        w_source = _column_normalized(pair.source)
+        w_target = _column_normalized(pair.target)
+
+        scores = prior.copy()
+        for _ in range(self.iterations):
+            # Wsᵀ R Wt as two sparse-dense products — no Kronecker blow-up.
+            middle = np.asarray(w_source.T @ scores)
+            propagated = np.asarray((w_target.T @ middle.T).T)
+            updated = self.alpha * propagated + (1.0 - self.alpha) * prior
+            delta = float(np.max(np.abs(updated - scores)))
+            scores = updated
+            if delta < self.tolerance:
+                break
+        return scores
+
+    def _build_prior(
+        self, pair: AlignmentPair, supervision: Optional[Dict[int, int]]
+    ) -> np.ndarray:
+        n1, n2 = pair.source.num_nodes, pair.target.num_nodes
+        if supervision:
+            prior = prior_from_supervision(n1, n2, supervision)
+        elif pair.source.num_features == pair.target.num_features:
+            prior = attribute_similarity(pair.source.features, pair.target.features)
+            prior = np.maximum(prior, 0.0)
+        else:
+            prior = np.ones((n1, n2))
+        total = prior.sum()
+        if total <= 0.0:
+            prior = np.ones((n1, n2))
+            total = prior.sum()
+        return prior / total

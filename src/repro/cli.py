@@ -1,0 +1,234 @@
+"""Command-line interface for the GAlign reproduction.
+
+Subcommands
+-----------
+``align``
+    Align a pair saved on disk (edge lists + attributes + optional ground
+    truth, the format of :mod:`repro.graphs.io`) with any method, print
+    metrics, and optionally write the predicted anchors.
+``generate``
+    Synthesize an alignment pair (Table II stand-ins or noisy copies of a
+    generated network) into a directory for later ``align`` runs.
+``stats``
+    Print statistics of a saved pair (the Table II view of a dataset).
+``compare``
+    Run the full method roster (GAlign + the five paper baselines) on a
+    saved pair and print a Table III-style comparison.
+
+Examples
+--------
+::
+
+    python -m repro.cli generate --dataset douban --scale 0.05 --out /tmp/pair
+    python -m repro.cli align --pair /tmp/pair --method galign --epochs 40
+    python -m repro.cli stats --pair /tmp/pair
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .base import AlignmentMethod
+from .baselines import (
+    BigAlign,
+    CENALP,
+    DeepLink,
+    FINAL,
+    IONE,
+    NetAlign,
+    PALE,
+    REGAL,
+    IsoRank,
+)
+from .core import GAlign, GAlignConfig
+from .graphs import (
+    douban_like,
+    flickr_myspace_like,
+    allmovie_imdb_like,
+    generators,
+    noisy_copy_pair,
+    pair_statistics,
+)
+from .graphs.io import load_alignment_pair, save_alignment_pair, save_groundtruth
+from .metrics import evaluate_alignment, top1_matching
+
+__all__ = ["main", "build_parser"]
+
+_DATASETS = {
+    "douban": douban_like,
+    "flickr": flickr_myspace_like,
+    "allmovie": allmovie_imdb_like,
+}
+
+
+def _build_method(args: argparse.Namespace) -> AlignmentMethod:
+    name = args.method.lower()
+    if name == "galign":
+        config = GAlignConfig(
+            epochs=args.epochs,
+            embedding_dim=args.dim,
+            num_layers=args.layers,
+            refinement_iterations=args.refinement_iterations,
+            seed=args.seed,
+        )
+        return GAlign(config)
+    simple = {
+        "regal": REGAL,
+        "isorank": IsoRank,
+        "final": FINAL,
+        "bigalign": BigAlign,
+        "netalign": NetAlign,
+    }
+    if name in simple:
+        return simple[name]()
+    if name == "pale":
+        return PALE(dim=args.dim)
+    if name == "ione":
+        return IONE(dim=args.dim)
+    if name == "cenalp":
+        return CENALP(dim=args.dim)
+    if name == "deeplink":
+        return DeepLink(dim=args.dim)
+    raise SystemExit(f"unknown method {args.method!r}")
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    pair = load_alignment_pair(args.pair)
+    rng = np.random.default_rng(args.seed)
+    method = _build_method(args)
+
+    supervision: Optional[Dict[int, int]] = None
+    if method.requires_supervision and pair.groundtruth and args.supervision > 0:
+        supervision, _ = pair.split_groundtruth(args.supervision, rng)
+
+    result = method.align(pair, supervision=supervision, rng=rng)
+    print(f"method   : {method.name}")
+    print(f"pair     : {pair}")
+    print(f"time     : {result.elapsed_seconds:.2f}s")
+    if pair.groundtruth:
+        report = evaluate_alignment(result.scores, pair.groundtruth)
+        print(f"metrics  : {report}")
+    if args.out:
+        anchors = top1_matching(result.scores)
+        save_groundtruth(anchors, args.out)
+        print(f"anchors  : written to {args.out}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.dataset in _DATASETS:
+        pair = _DATASETS[args.dataset](rng, scale=args.scale)
+    elif args.dataset == "ba":
+        graph = generators.barabasi_albert(
+            args.nodes, m=2, rng=rng, feature_dim=args.features,
+            feature_kind="degree",
+        )
+        pair = noisy_copy_pair(
+            graph, rng,
+            structure_noise_ratio=args.structure_noise,
+            attribute_noise_ratio=args.attribute_noise,
+            name="ba-noisy-copy",
+        )
+    else:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r} "
+            f"(choose from {sorted(_DATASETS)} or 'ba')"
+        )
+    save_alignment_pair(pair, args.out)
+    print(f"wrote {pair} to {args.out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .eval import ExperimentRunner, format_comparison_table
+    from .eval.experiments import all_method_specs
+
+    pair = load_alignment_pair(args.pair)
+    if not pair.groundtruth:
+        raise SystemExit("compare needs ground truth (groundtruth.txt)")
+    runner = ExperimentRunner(
+        supervision_ratio=args.supervision,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    results = runner.run_pair(pair, all_method_specs())
+    print(format_comparison_table({pair.name: results}))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    pair = load_alignment_pair(args.pair)
+    summary = pair_statistics(pair)
+    print(f"pair    : {summary['name']}")
+    print(f"source  : {summary['source']}")
+    print(f"target  : {summary['target']}")
+    print(f"anchors : {summary['anchors']} "
+          f"(source coverage {summary['anchor_coverage_source']:.1%}, "
+          f"target coverage {summary['anchor_coverage_target']:.1%})")
+    print(f"size ratio (target/source): {summary['size_ratio']:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GAlign network alignment (ICDE 2020 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    align = commands.add_parser("align", help="align a saved pair")
+    align.add_argument("--pair", required=True, help="pair directory")
+    align.add_argument("--method", default="galign",
+                       help="galign | regal | isorank | final | pale | cenalp | "
+                            "bigalign | ione | netalign | deeplink")
+    align.add_argument("--epochs", type=int, default=50)
+    align.add_argument("--dim", type=int, default=64)
+    align.add_argument("--layers", type=int, default=2)
+    align.add_argument("--refinement-iterations", type=int, default=10)
+    align.add_argument("--supervision", type=float, default=0.1,
+                       help="anchor fraction for supervised methods")
+    align.add_argument("--seed", type=int, default=0)
+    align.add_argument("--out", help="write predicted anchors to this file")
+    align.set_defaults(handler=_cmd_align)
+
+    generate = commands.add_parser("generate", help="synthesize a pair")
+    generate.add_argument("--dataset", default="ba",
+                          help="douban | flickr | allmovie | ba")
+    generate.add_argument("--scale", type=float, default=0.1)
+    generate.add_argument("--nodes", type=int, default=200)
+    generate.add_argument("--features", type=int, default=16)
+    generate.add_argument("--structure-noise", type=float, default=0.1)
+    generate.add_argument("--attribute-noise", type=float, default=0.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.set_defaults(handler=_cmd_generate)
+
+    stats = commands.add_parser("stats", help="describe a saved pair")
+    stats.add_argument("--pair", required=True, help="pair directory")
+    stats.set_defaults(handler=_cmd_stats)
+
+    compare = commands.add_parser(
+        "compare", help="run the Table III roster on a saved pair"
+    )
+    compare.add_argument("--pair", required=True, help="pair directory")
+    compare.add_argument("--supervision", type=float, default=0.1)
+    compare.add_argument("--repeats", type=int, default=1)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(handler=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

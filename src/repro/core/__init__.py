@@ -1,0 +1,65 @@
+"""GAlign core: multi-order GCN embedding, augmented training, refinement."""
+
+from .config import GAlignConfig
+from .model import MultiOrderGCN
+from .losses import consistency_loss, adaptivity_loss, combined_loss
+from .augment import AugmentedView, GraphAugmenter
+from .trainer import GAlignTrainer, TrainingLog
+from .alignment import (
+    layerwise_alignment_matrices,
+    aggregate_alignment,
+    greedy_anchor_links,
+    alignment_quality,
+)
+from .refine import find_stable_nodes, AlignmentRefiner, RefinementLog
+from .galign import GAlign
+from .instantiation import (
+    AnchorLink,
+    one_to_one,
+    one_to_many,
+    mutual_best,
+    soft_assignment,
+)
+from .sampling import sampled_consistency_loss, SampledGAlignTrainer
+from .checkpoint import save_model, load_model
+from .streaming import (
+    iter_score_blocks,
+    streaming_top_k,
+    streaming_evaluate,
+    streaming_find_stable_nodes,
+    StreamingAligner,
+)
+
+__all__ = [
+    "GAlignConfig",
+    "MultiOrderGCN",
+    "consistency_loss",
+    "adaptivity_loss",
+    "combined_loss",
+    "AugmentedView",
+    "GraphAugmenter",
+    "GAlignTrainer",
+    "TrainingLog",
+    "layerwise_alignment_matrices",
+    "aggregate_alignment",
+    "greedy_anchor_links",
+    "alignment_quality",
+    "find_stable_nodes",
+    "AlignmentRefiner",
+    "RefinementLog",
+    "GAlign",
+    "iter_score_blocks",
+    "streaming_top_k",
+    "streaming_evaluate",
+    "streaming_find_stable_nodes",
+    "StreamingAligner",
+    "AnchorLink",
+    "one_to_one",
+    "one_to_many",
+    "mutual_best",
+    "soft_assignment",
+    "sampled_consistency_loss",
+    "SampledGAlignTrainer",
+    "save_model",
+    "load_model",
+]

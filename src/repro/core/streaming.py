@@ -1,0 +1,236 @@
+"""Memory-bounded alignment computation (paper §VI-C, space complexity).
+
+The paper's space analysis notes that the full n₁×n₂ alignment matrix **S**
+never has to be materialized: every consumer — top-k anchor extraction,
+stability detection, the ranking metrics — only needs one row (or a block of
+rows) of S at a time, computed on the fly from the multi-order embeddings.
+That brings alignment-side memory from O(n²) down to O(n·d), which is what
+makes the method viable on large networks.
+
+This module provides that row-streaming layer:
+
+* :func:`iter_score_blocks` — yield (row-range, block of S) pairs built from
+  per-layer embeddings and layer weights, never holding all of S.
+* :func:`streaming_top_k` — per-source top-k targets and scores.
+* :func:`streaming_evaluate` — Success@q / MAP / AUC without full S.
+* :class:`StreamingAligner` — end-to-end: trained model + pair → anchors,
+  in O(block · n₂) peak memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs import AlignmentPair
+from ..metrics import EvaluationReport
+from .config import GAlignConfig
+from .model import MultiOrderGCN
+
+__all__ = [
+    "iter_score_blocks",
+    "streaming_top_k",
+    "streaming_evaluate",
+    "streaming_find_stable_nodes",
+    "StreamingAligner",
+]
+
+
+def iter_score_blocks(
+    source_embeddings: Sequence[np.ndarray],
+    target_embeddings: Sequence[np.ndarray],
+    layer_weights: Sequence[float],
+    block_size: int = 256,
+) -> Iterator[Tuple[range, np.ndarray]]:
+    """Yield (row range, S[rows]) blocks of the aggregated alignment matrix.
+
+    Equivalent to Eq 11 + Eq 12 evaluated lazily: each block is
+    ``Σ_l θ(l) · H_s(l)[rows] @ H_t(l)ᵀ``.
+    """
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    if len(source_embeddings) != len(target_embeddings):
+        raise ValueError("layer count mismatch between source and target")
+    if len(source_embeddings) != len(layer_weights):
+        raise ValueError("layer_weights must match the number of layers")
+    n_source = source_embeddings[0].shape[0]
+    for start in range(0, n_source, block_size):
+        rows = range(start, min(start + block_size, n_source))
+        block = None
+        for h_source, h_target, weight in zip(
+            source_embeddings, target_embeddings, layer_weights
+        ):
+            partial = weight * (h_source[rows.start : rows.stop] @ h_target.T)
+            block = partial if block is None else block + partial
+        yield rows, block
+
+
+def streaming_top_k(
+    source_embeddings: Sequence[np.ndarray],
+    target_embeddings: Sequence[np.ndarray],
+    layer_weights: Sequence[float],
+    k: int = 1,
+    block_size: int = 256,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-source top-k targets and their scores, streamed by row blocks.
+
+    Returns
+    -------
+    (targets, scores):
+        ``targets[v]`` are v's k best target nodes (descending score) and
+        ``scores[v]`` the matching alignment scores.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n_source = source_embeddings[0].shape[0]
+    n_target = target_embeddings[0].shape[0]
+    k = min(k, n_target)
+    all_targets = np.empty((n_source, k), dtype=np.int64)
+    all_scores = np.empty((n_source, k))
+    for rows, block in iter_score_blocks(
+        source_embeddings, target_embeddings, layer_weights, block_size
+    ):
+        # argpartition then sort the k winners per row.
+        top = np.argpartition(block, -k, axis=1)[:, -k:]
+        row_index = np.arange(block.shape[0])[:, None]
+        order = np.argsort(block[row_index, top], axis=1)[:, ::-1]
+        sorted_top = top[row_index, order]
+        all_targets[rows.start : rows.stop] = sorted_top
+        all_scores[rows.start : rows.stop] = block[row_index, sorted_top]
+    return all_targets, all_scores
+
+
+def streaming_evaluate(
+    source_embeddings: Sequence[np.ndarray],
+    target_embeddings: Sequence[np.ndarray],
+    layer_weights: Sequence[float],
+    groundtruth: Dict[int, int],
+    block_size: int = 256,
+) -> EvaluationReport:
+    """Success@{1,10} / MAP / AUC computed without materializing S.
+
+    Ranks are derived per streamed block with the same pessimistic
+    tie-breaking as :func:`repro.metrics.anchor_ranks`.
+    """
+    if not groundtruth:
+        raise ValueError("groundtruth is empty")
+    n_target = target_embeddings[0].shape[0]
+    ranks: List[int] = []
+    for rows, block in iter_score_blocks(
+        source_embeddings, target_embeddings, layer_weights, block_size
+    ):
+        for source in rows:
+            if source not in groundtruth:
+                continue
+            row = block[source - rows.start]
+            true_score = row[groundtruth[source]]
+            above = int(np.count_nonzero(row > true_score))
+            tied = int(np.count_nonzero(row == true_score)) - 1
+            ranks.append(above + tied + 1)
+    rank_array = np.asarray(ranks)
+    negatives = max(1, n_target - 1)
+    return EvaluationReport(
+        map=float(np.mean(1.0 / rank_array)),
+        auc=float(np.mean((negatives + 1.0 - rank_array) / negatives)),
+        success_at_1=float(np.mean(rank_array <= 1)),
+        success_at_10=float(np.mean(rank_array <= 10)),
+        num_anchors=len(rank_array),
+    )
+
+
+def streaming_find_stable_nodes(
+    source_embeddings: Sequence[np.ndarray],
+    target_embeddings: Sequence[np.ndarray],
+    layer_weights: Sequence[float],
+    threshold: float,
+    block_size: int = 256,
+    tie_tolerance: float = 1e-9,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Eq 13 stable nodes without materializing any n₁×n₂ matrix.
+
+    The paper's space analysis (§VI-C) observes that stable-node detection
+    "can be done by separately iterating the rows of S"; this implements
+    exactly that: per row block, the per-layer scores and the aggregate are
+    rebuilt from embeddings, the tie-tolerant Eq 13 test is applied, and
+    only the stable (source, target) ids are kept.
+
+    Semantics match :func:`repro.core.refine.find_stable_nodes` with a
+    ``reference_scores`` aggregate (verified in tests).
+    """
+    if not source_embeddings:
+        raise ValueError("need at least one layer of embeddings")
+    stable_sources: List[int] = []
+    stable_targets: List[int] = []
+    n_source = source_embeddings[0].shape[0]
+    for start in range(0, n_source, block_size):
+        stop = min(start + block_size, n_source)
+        layer_blocks = [
+            h_source[start:stop] @ h_target.T
+            for h_source, h_target in zip(source_embeddings, target_embeddings)
+        ]
+        aggregate = None
+        for block, weight in zip(layer_blocks, layer_weights):
+            aggregate = weight * block if aggregate is None else aggregate + weight * block
+        candidates = aggregate.argmax(axis=1)
+        rows = np.arange(stop - start)
+        maxima = np.stack([block.max(axis=1) for block in layer_blocks])
+        candidate_scores = np.stack(
+            [block[rows, candidates] for block in layer_blocks]
+        )
+        confident = np.all(maxima > threshold, axis=0)
+        consistent = np.all(candidate_scores >= maxima - tie_tolerance, axis=0)
+        for local in np.flatnonzero(confident & consistent):
+            stable_sources.append(start + int(local))
+            stable_targets.append(int(candidates[local]))
+    return np.asarray(stable_sources, dtype=np.int64), np.asarray(
+        stable_targets, dtype=np.int64
+    )
+
+
+@dataclass
+class StreamingAligner:
+    """Anchor extraction from a trained model in O(block · n₂) memory.
+
+    Example
+    -------
+    >>> # model trained by GAlignTrainer, pair as usual
+    >>> aligner = StreamingAligner(model, config)        # doctest: +SKIP
+    >>> anchors = aligner.top_anchors(pair, k=5)         # doctest: +SKIP
+    """
+
+    model: MultiOrderGCN
+    config: GAlignConfig
+    block_size: int = 256
+
+    def _embeddings(self, pair: AlignmentPair) -> tuple:
+        return self.model.embed(pair.source), self.model.embed(pair.target)
+
+    def top_anchors(
+        self, pair: AlignmentPair, k: int = 1
+    ) -> Dict[int, List[Tuple[int, float]]]:
+        """{source: [(target, score), ...]} with the k best targets each."""
+        source_embeddings, target_embeddings = self._embeddings(pair)
+        targets, scores = streaming_top_k(
+            source_embeddings,
+            target_embeddings,
+            self.config.resolved_layer_weights(),
+            k=k,
+            block_size=self.block_size,
+        )
+        return {
+            source: list(zip(map(int, targets[source]), map(float, scores[source])))
+            for source in range(targets.shape[0])
+        }
+
+    def evaluate(self, pair: AlignmentPair) -> EvaluationReport:
+        """Streamed evaluation against the pair's ground truth."""
+        source_embeddings, target_embeddings = self._embeddings(pair)
+        return streaming_evaluate(
+            source_embeddings,
+            target_embeddings,
+            self.config.resolved_layer_weights(),
+            pair.groundtruth,
+            block_size=self.block_size,
+        )

@@ -1,0 +1,24 @@
+"""Evaluation harness: runners, experiment definitions, text reporting."""
+
+from .runner import MethodSpec, RunRecord, MethodSummary, ExperimentRunner
+from .reporting import format_table, format_comparison_table, format_series_table
+from .tuning import TuningResult, grid_search, random_search
+from .persistence import save_results, load_results, diff_results
+from . import experiments
+
+__all__ = [
+    "MethodSpec",
+    "RunRecord",
+    "MethodSummary",
+    "ExperimentRunner",
+    "format_table",
+    "format_comparison_table",
+    "format_series_table",
+    "TuningResult",
+    "grid_search",
+    "random_search",
+    "save_results",
+    "load_results",
+    "diff_results",
+    "experiments",
+]

@@ -1,0 +1,150 @@
+"""Experiment definitions shared by the benchmark suite.
+
+Maps each paper artifact (Tables III-V, Figs 3-8) to its workload and
+method roster, at a laptop-friendly scale (DESIGN.md §1: stand-in datasets
+keep Table II's *shape* — size ratios, density, attribute dimensionality —
+at a configurable scale).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..baselines import CENALP, FINAL, PALE, REGAL, IsoRank
+from ..core import GAlign, GAlignConfig
+from ..graphs import (
+    AlignmentPair,
+    allmovie_imdb_like,
+    douban_like,
+    flickr_myspace_like,
+    noisy_copy_pair,
+    overlap_pair,
+    SEED_BUILDERS,
+)
+from .runner import MethodSpec
+
+__all__ = [
+    "BENCH_SCALE",
+    "galign_config",
+    "galign_spec",
+    "ablation_specs",
+    "baseline_specs",
+    "all_method_specs",
+    "attribute_method_specs",
+    "table3_pairs",
+    "noise_seed_graphs",
+    "noise_pair",
+    "attribute_noise_pair",
+    "isomorphic_pair",
+]
+
+#: Global down-scale factor for Table II stand-ins (1.0 = paper sizes).
+BENCH_SCALE = 0.06
+#: Scale for the bn/econ/email seed graphs of Figs 3-5.
+SEED_SCALE = 0.18
+
+
+def galign_config(**overrides) -> GAlignConfig:
+    """Bench-sized GAlign configuration (paper defaults, smaller budget)."""
+    defaults = dict(
+        epochs=40,
+        embedding_dim=64,
+        refinement_iterations=10,
+        num_augmentations=1,
+        seed=None,
+    )
+    defaults.update(overrides)
+    return GAlignConfig(**defaults)
+
+
+def galign_spec(**overrides) -> MethodSpec:
+    return MethodSpec("GAlign", lambda: GAlign(galign_config(**overrides)))
+
+
+def ablation_specs() -> List[MethodSpec]:
+    """Table IV roster: full model + the three published ablations."""
+    return [
+        galign_spec(),
+        MethodSpec(
+            "GAlign-1", lambda: GAlign(galign_config(use_augmentation=False))
+        ),
+        MethodSpec(
+            "GAlign-2", lambda: GAlign(galign_config(use_refinement=False))
+        ),
+        MethodSpec(
+            "GAlign-3", lambda: GAlign(galign_config(multi_order=False))
+        ),
+    ]
+
+
+def baseline_specs() -> List[MethodSpec]:
+    """All five baselines with bench-sized budgets."""
+    return [
+        MethodSpec("CENALP", lambda: CENALP(
+            rounds=2, num_walks=3, walk_length=15, dim=48,
+        )),
+        MethodSpec("PALE", lambda: PALE(embedding_epochs=6, dim=48)),
+        MethodSpec("REGAL", lambda: REGAL()),
+        MethodSpec("IsoRank", lambda: IsoRank(iterations=30)),
+        MethodSpec("FINAL", lambda: FINAL(iterations=30)),
+    ]
+
+
+def all_method_specs() -> List[MethodSpec]:
+    """Table III roster: GAlign first, then the baselines (paper order)."""
+    return [galign_spec()] + baseline_specs()
+
+
+def attribute_method_specs() -> List[MethodSpec]:
+    """Fig 4 roster: only methods that use node attributes."""
+    return [
+        spec
+        for spec in all_method_specs()
+        if spec.name in ("GAlign", "REGAL", "FINAL", "CENALP")
+    ]
+
+
+# ----------------------------------------------------------------------
+# Workload builders
+# ----------------------------------------------------------------------
+def table3_pairs(rng: np.random.Generator, scale: float = BENCH_SCALE) -> Dict[str, AlignmentPair]:
+    """The three real-dataset stand-ins of Table III."""
+    return {
+        "Douban Online-Offline": douban_like(rng, scale=scale),
+        "Flickr-Myspace": flickr_myspace_like(rng, scale=scale),
+        "Allmovie-Imdb": allmovie_imdb_like(rng, scale=scale),
+    }
+
+
+def noise_seed_graphs(rng: np.random.Generator, scale: float = SEED_SCALE) -> Dict:
+    """bn/econ/email-like seeds used by Figs 3-5."""
+    return {name: builder(rng, scale=scale) for name, builder in SEED_BUILDERS.items()}
+
+
+def noise_pair(
+    seed_graph, ratio: float, rng: np.random.Generator
+) -> AlignmentPair:
+    """Fig 3 workload: target = permuted copy with ``ratio`` edges removed."""
+    return noisy_copy_pair(
+        seed_graph, rng, structure_noise_ratio=ratio, structure_mode="remove",
+        name=f"structural-noise-{ratio:.1f}",
+    )
+
+
+def attribute_noise_pair(
+    seed_graph, ratio: float, rng: np.random.Generator
+) -> AlignmentPair:
+    """Fig 4 workload: target = permuted copy with attribute noise."""
+    return noisy_copy_pair(
+        seed_graph, rng, attribute_noise_ratio=ratio,
+        name=f"attribute-noise-{ratio:.1f}",
+    )
+
+
+def isomorphic_pair(
+    seed_graph, overlap: float, rng: np.random.Generator
+) -> AlignmentPair:
+    """Fig 5 workload: source/target share ``overlap`` of the seed's nodes."""
+    return overlap_pair(seed_graph, rng, overlap_ratio=overlap)

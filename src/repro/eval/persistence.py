@@ -1,0 +1,92 @@
+"""Persist experiment results as JSON for later comparison.
+
+The benchmark suite prints paper-style tables; this module additionally
+lets harness users save run summaries to disk and diff two runs (e.g.
+before/after a model change) — the bookkeeping behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, List, Mapping, Optional
+
+from .runner import MethodSummary
+
+__all__ = ["save_results", "load_results", "diff_results"]
+
+
+def save_results(
+    results: Mapping[str, Mapping[str, MethodSummary]],
+    path: str,
+    metadata: Optional[Dict] = None,
+) -> None:
+    """Write nested {dataset: {method: summary}} results to JSON.
+
+    ``metadata`` (free-form: seeds, scales, git revision, ...) is stored
+    alongside under the ``"metadata"`` key.
+    """
+    payload = {
+        "metadata": metadata or {},
+        "results": {
+            dataset: {
+                method: asdict(summary) for method, summary in summaries.items()
+            }
+            for dataset, summaries in results.items()
+        },
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_results(path: str) -> Dict[str, Dict[str, MethodSummary]]:
+    """Load results saved by :func:`save_results` (metadata is dropped)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    results: Dict[str, Dict[str, MethodSummary]] = {}
+    for dataset, summaries in payload["results"].items():
+        results[dataset] = {
+            method: MethodSummary(**fields)
+            for method, fields in summaries.items()
+        }
+    return results
+
+
+def diff_results(
+    baseline: Mapping[str, Mapping[str, MethodSummary]],
+    candidate: Mapping[str, Mapping[str, MethodSummary]],
+    metric: str = "MAP",
+) -> List[Dict]:
+    """Per-(dataset, method) metric deltas: candidate − baseline.
+
+    Entries present in only one run are reported with a None value on the
+    missing side.  Sorted by |delta| descending so regressions surface
+    first.
+    """
+    rows: List[Dict] = []
+    datasets = set(baseline) | set(candidate)
+    for dataset in sorted(datasets):
+        methods = set(baseline.get(dataset, {})) | set(candidate.get(dataset, {}))
+        for method in sorted(methods):
+            before = baseline.get(dataset, {}).get(method)
+            after = candidate.get(dataset, {}).get(method)
+            before_value = before.as_row()[metric] if before else None
+            after_value = after.as_row()[metric] if after else None
+            delta = (
+                after_value - before_value
+                if before_value is not None and after_value is not None
+                else None
+            )
+            rows.append({
+                "dataset": dataset,
+                "method": method,
+                "before": before_value,
+                "after": after_value,
+                "delta": delta,
+            })
+    rows.sort(key=lambda r: abs(r["delta"]) if r["delta"] is not None else float("inf"),
+              reverse=True)
+    return rows

@@ -1,0 +1,166 @@
+"""Experiment runner: methods × dataset pairs × repeats → metric tables.
+
+Drives every reproduction experiment (Tables III-V, Figs 3-8).  The paper
+averages 50 runs; ``repeats`` scales that to the local time budget.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..base import AlignmentMethod
+from ..graphs import AlignmentPair
+from ..metrics import EvaluationReport, evaluate_alignment
+
+__all__ = ["MethodSpec", "RunRecord", "MethodSummary", "ExperimentRunner"]
+
+
+@dataclass
+class MethodSpec:
+    """A named factory for a method instance (fresh instance per run)."""
+
+    name: str
+    factory: Callable[[], AlignmentMethod]
+
+    def build(self) -> AlignmentMethod:
+        method = self.factory()
+        if not isinstance(method, AlignmentMethod):
+            raise TypeError(f"{self.name}: factory returned {type(method)!r}")
+        return method
+
+
+@dataclass
+class RunRecord:
+    """One (method, repeat) outcome."""
+
+    method: str
+    report: EvaluationReport
+    elapsed_seconds: float
+
+
+@dataclass
+class MethodSummary:
+    """Aggregated metrics over repeats for one method on one pair."""
+
+    method: str
+    map: float
+    auc: float
+    success_at_1: float
+    success_at_10: float
+    time_seconds: float
+    map_std: float = 0.0
+    success_at_1_std: float = 0.0
+    repeats: int = 1
+
+    @classmethod
+    def from_records(cls, method: str, records: Sequence[RunRecord]) -> "MethodSummary":
+        if not records:
+            raise ValueError(f"no records for method {method}")
+        maps = [r.report.map for r in records]
+        success1 = [r.report.success_at_1 for r in records]
+        return cls(
+            method=method,
+            map=statistics.fmean(maps),
+            auc=statistics.fmean(r.report.auc for r in records),
+            success_at_1=statistics.fmean(success1),
+            success_at_10=statistics.fmean(r.report.success_at_10 for r in records),
+            time_seconds=statistics.fmean(r.elapsed_seconds for r in records),
+            map_std=statistics.pstdev(maps) if len(maps) > 1 else 0.0,
+            success_at_1_std=statistics.pstdev(success1) if len(success1) > 1 else 0.0,
+            repeats=len(records),
+        )
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "MAP": self.map,
+            "AUC": self.auc,
+            "Success@1": self.success_at_1,
+            "Success@10": self.success_at_10,
+            "Time(s)": self.time_seconds,
+        }
+
+
+class ExperimentRunner:
+    """Run a roster of methods on alignment pairs with repeats.
+
+    Parameters
+    ----------
+    supervision_ratio:
+        Fraction of ground truth handed to supervised methods (paper: 10%).
+        Unsupervised methods never see it.
+    repeats:
+        Independent runs per (method, pair); results are averaged.
+    seed:
+        Base seed; run r of method m uses a deterministic child seed.
+    """
+
+    def __init__(
+        self,
+        supervision_ratio: float = 0.1,
+        repeats: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= supervision_ratio <= 1.0:
+            raise ValueError(
+                f"supervision_ratio must be in [0, 1], got {supervision_ratio}"
+            )
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.supervision_ratio = supervision_ratio
+        self.repeats = repeats
+        self.seed = seed
+
+    def run_pair(
+        self,
+        pair: AlignmentPair,
+        methods: Sequence[MethodSpec],
+        verbose: bool = False,
+    ) -> Dict[str, MethodSummary]:
+        """Evaluate every method on one pair; returns {name: summary}."""
+        results: Dict[str, MethodSummary] = {}
+        for spec_index, spec in enumerate(methods):
+            records: List[RunRecord] = []
+            for repeat in range(self.repeats):
+                rng = np.random.default_rng(
+                    self.seed + 1000 * spec_index + repeat
+                )
+                # One split per repeat (seeded independently of the method
+                # index so every method sees the same train/test anchors).
+                split_rng = np.random.default_rng(self.seed + repeat)
+                if self.supervision_ratio > 0.0:
+                    train, test = pair.split_groundtruth(
+                        self.supervision_ratio, split_rng
+                    )
+                else:
+                    train, test = {}, pair.groundtruth
+                method = spec.build()
+                supervision = (
+                    train if method.requires_supervision and train else None
+                )
+                result = method.align(pair, supervision=supervision, rng=rng)
+                # Metrics on held-out anchors only: supervised methods must
+                # not be credited for anchors they received as input.
+                report = evaluate_alignment(result.scores, test)
+                records.append(
+                    RunRecord(spec.name, report, result.elapsed_seconds)
+                )
+                if verbose:
+                    print(f"  {spec.name} run {repeat}: {report}")
+            results[spec.name] = MethodSummary.from_records(spec.name, records)
+        return results
+
+    def run_many(
+        self,
+        pairs: Dict[str, AlignmentPair],
+        methods: Sequence[MethodSpec],
+        verbose: bool = False,
+    ) -> Dict[str, Dict[str, MethodSummary]]:
+        """Evaluate methods on several named pairs: {pair: {method: summary}}."""
+        return {
+            name: self.run_pair(pair, methods, verbose=verbose)
+            for name, pair in pairs.items()
+        }

@@ -1,0 +1,125 @@
+"""Hyper-parameter search over GAlign configurations (paper §VII-E).
+
+A small deterministic grid/random search that reruns GAlign with candidate
+configurations on a validation pair and ranks them by a chosen metric —
+the programmatic counterpart of the paper's sensitivity study (layer count,
+embedding dimension, layer weights, γ).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core import GAlign, GAlignConfig
+from ..graphs import AlignmentPair
+from ..metrics import evaluate_alignment
+
+__all__ = ["TuningResult", "grid_search", "random_search"]
+
+
+@dataclass
+class TuningResult:
+    """One evaluated configuration."""
+
+    overrides: Dict
+    config: GAlignConfig
+    metric_value: float
+    elapsed_seconds: float
+    report: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        settings = ", ".join(f"{k}={v}" for k, v in self.overrides.items())
+        return f"{self.metric_value:.4f}  [{settings}]  ({self.elapsed_seconds:.1f}s)"
+
+
+def _evaluate_config(
+    config: GAlignConfig,
+    pair: AlignmentPair,
+    metric: str,
+    rng: np.random.Generator,
+) -> tuple:
+    started = time.perf_counter()
+    result = GAlign(config).align(pair, rng=rng)
+    elapsed = time.perf_counter() - started
+    report = evaluate_alignment(result.scores, pair.groundtruth)
+    values = report.as_dict()
+    if metric not in values:
+        raise ValueError(
+            f"unknown metric {metric!r}; choose from {sorted(values)}"
+        )
+    return values[metric], values, elapsed
+
+
+def grid_search(
+    pair: AlignmentPair,
+    param_grid: Mapping[str, Sequence],
+    base_config: Optional[GAlignConfig] = None,
+    metric: str = "Success@1",
+    seed: int = 0,
+) -> List[TuningResult]:
+    """Evaluate the full Cartesian product of ``param_grid``.
+
+    Parameters
+    ----------
+    param_grid:
+        Mapping of GAlignConfig field name → candidate values, e.g.
+        ``{"num_layers": [1, 2, 3], "gamma": [0.5, 0.8]}``.
+
+    Returns
+    -------
+    list of TuningResult, best first.
+    """
+    if not param_grid:
+        raise ValueError("param_grid is empty")
+    if base_config is None:
+        base_config = GAlignConfig()
+    names = sorted(param_grid)
+    results: List[TuningResult] = []
+    for combination in itertools.product(*(param_grid[n] for n in names)):
+        overrides = dict(zip(names, combination))
+        config = replace(base_config, **overrides)
+        rng = np.random.default_rng(seed)
+        value, report, elapsed = _evaluate_config(config, pair, metric, rng)
+        results.append(TuningResult(overrides, config, value, elapsed, report))
+    results.sort(key=lambda r: r.metric_value, reverse=True)
+    return results
+
+
+def random_search(
+    pair: AlignmentPair,
+    param_distributions: Mapping[str, Callable[[np.random.Generator], object]],
+    num_samples: int,
+    base_config: Optional[GAlignConfig] = None,
+    metric: str = "Success@1",
+    seed: int = 0,
+) -> List[TuningResult]:
+    """Evaluate ``num_samples`` random draws from per-parameter samplers.
+
+    Each value of ``param_distributions`` is a callable taking the RNG and
+    returning a candidate value, e.g.
+    ``{"gamma": lambda rng: float(rng.uniform(0.5, 1.0))}``.
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    if not param_distributions:
+        raise ValueError("param_distributions is empty")
+    if base_config is None:
+        base_config = GAlignConfig()
+    sampler_rng = np.random.default_rng(seed)
+    results: List[TuningResult] = []
+    for _ in range(num_samples):
+        overrides = {
+            name: sampler(sampler_rng)
+            for name, sampler in sorted(param_distributions.items())
+        }
+        config = replace(base_config, **overrides)
+        rng = np.random.default_rng(seed)
+        value, report, elapsed = _evaluate_config(config, pair, metric, rng)
+        results.append(TuningResult(overrides, config, value, elapsed, report))
+    results.sort(key=lambda r: r.metric_value, reverse=True)
+    return results

@@ -1,0 +1,109 @@
+"""Attributed-graph substrate: data structures, generators, noise, datasets."""
+
+from .graph import AttributedGraph
+from .laplacian import (
+    propagation_matrix,
+    weighted_propagation_matrix,
+    degree_vector_with_self_loops,
+)
+from .permutation import (
+    random_permutation,
+    permutation_matrix,
+    apply_permutation,
+    invert_permutation,
+    groundtruth_from_permutation,
+    is_permutation,
+)
+from .noise import (
+    remove_edges,
+    add_edges,
+    structural_noise,
+    binary_attribute_noise,
+    real_attribute_noise,
+    attribute_noise,
+    perturb_graph,
+)
+from . import generators
+from .datasets import (
+    AlignmentPair,
+    noisy_copy_pair,
+    subnetwork_pair,
+    overlap_pair,
+    douban_like,
+    flickr_myspace_like,
+    allmovie_imdb_like,
+    bn_like,
+    econ_like,
+    email_like,
+    toy_movie_pair,
+    SEED_BUILDERS,
+)
+from .statistics import (
+    GraphStatistics,
+    graph_statistics,
+    pair_statistics,
+    degree_histogram,
+)
+from .community import (
+    label_propagation,
+    modularity,
+    conductance,
+    community_match_matrix,
+)
+from .features import (
+    one_hot_encode,
+    standardize,
+    min_max_scale,
+    binarize,
+    reduce_dimensions,
+    FeaturePipeline,
+)
+from . import io
+
+__all__ = [
+    "AttributedGraph",
+    "propagation_matrix",
+    "weighted_propagation_matrix",
+    "degree_vector_with_self_loops",
+    "random_permutation",
+    "permutation_matrix",
+    "apply_permutation",
+    "invert_permutation",
+    "groundtruth_from_permutation",
+    "is_permutation",
+    "remove_edges",
+    "add_edges",
+    "structural_noise",
+    "binary_attribute_noise",
+    "real_attribute_noise",
+    "attribute_noise",
+    "perturb_graph",
+    "generators",
+    "AlignmentPair",
+    "noisy_copy_pair",
+    "subnetwork_pair",
+    "overlap_pair",
+    "douban_like",
+    "flickr_myspace_like",
+    "allmovie_imdb_like",
+    "bn_like",
+    "econ_like",
+    "email_like",
+    "toy_movie_pair",
+    "SEED_BUILDERS",
+    "GraphStatistics",
+    "graph_statistics",
+    "pair_statistics",
+    "degree_histogram",
+    "label_propagation",
+    "modularity",
+    "conductance",
+    "community_match_matrix",
+    "one_hot_encode",
+    "standardize",
+    "min_max_scale",
+    "binarize",
+    "reduce_dimensions",
+    "FeaturePipeline",
+    "io",
+]

@@ -1,0 +1,371 @@
+"""Alignment dataset construction: pairs of networks with ground truth.
+
+The paper evaluates on three real alignment pairs (Douban Online/Offline,
+Flickr/Myspace, Allmovie/Imdb) and three seed networks for synthetic noise
+studies (bn, econ, email; Table II).  None of the raw crawls are available
+offline, so this module builds *stand-ins matched to Table II statistics*
+(node counts, edge counts, attribute dimensionality, degree shape) using the
+paper's own synthesis procedure (§VII-A "Synthetic data"): a target network
+is a permuted, noise-injected copy (or overlapping subnetwork) of the source,
+so node identity gives exact anchor ground truth.
+
+Every builder takes ``scale`` so tests and benches can run laptop-sized
+versions of the same workloads (scale=1.0 reproduces Table II sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .graph import AttributedGraph
+from . import generators
+from .noise import structural_noise, attribute_noise
+from .permutation import (
+    apply_permutation,
+    groundtruth_from_permutation,
+    random_permutation,
+)
+
+__all__ = [
+    "AlignmentPair",
+    "noisy_copy_pair",
+    "subnetwork_pair",
+    "overlap_pair",
+    "douban_like",
+    "flickr_myspace_like",
+    "allmovie_imdb_like",
+    "bn_like",
+    "econ_like",
+    "email_like",
+    "toy_movie_pair",
+    "SEED_BUILDERS",
+]
+
+
+@dataclass
+class AlignmentPair:
+    """A network-alignment task instance.
+
+    Attributes
+    ----------
+    source, target:
+        The two attributed networks.
+    groundtruth:
+        Anchor links as ``{source node -> target node}``.  May cover only a
+        subset of source nodes (e.g. Douban Offline is a subnetwork of
+        Online; only 1118 anchors exist).
+    name:
+        Human-readable dataset label used by the eval harness.
+    """
+
+    source: AttributedGraph
+    target: AttributedGraph
+    groundtruth: Dict[int, int]
+    name: str = "pair"
+
+    @property
+    def num_anchors(self) -> int:
+        return len(self.groundtruth)
+
+    def split_groundtruth(
+        self, train_ratio: float, rng: np.random.Generator
+    ) -> tuple:
+        """Split anchors into (train, test) dicts.
+
+        Supervised baselines (PALE, CENALP) and prior-based ones (FINAL,
+        IsoRank) receive the train part — the paper gives them 10% (§VII-A).
+        """
+        if not 0.0 <= train_ratio <= 1.0:
+            raise ValueError(f"train ratio must be in [0, 1], got {train_ratio}")
+        items = sorted(self.groundtruth.items())
+        order = rng.permutation(len(items))
+        cut = int(round(train_ratio * len(items)))
+        train = {items[i][0]: items[i][1] for i in order[:cut]}
+        test = {items[i][0]: items[i][1] for i in order[cut:]}
+        return train, test
+
+    def __repr__(self) -> str:
+        return (
+            f"AlignmentPair(name={self.name!r}, source={self.source!r}, "
+            f"target={self.target!r}, anchors={self.num_anchors})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Generic pair builders
+# ----------------------------------------------------------------------
+def noisy_copy_pair(
+    graph: AttributedGraph,
+    rng: np.random.Generator,
+    structure_noise_ratio: float = 0.0,
+    attribute_noise_ratio: float = 0.0,
+    structure_mode: str = "remove",
+    name: str = "noisy-copy",
+) -> AlignmentPair:
+    """Target = permuted + perturbed copy of source (paper §VII-A synthesis).
+
+    Node identity under the permutation is the alignment ground truth.
+    """
+    n = graph.num_nodes
+    perm = random_permutation(n, rng)
+    target = apply_permutation(graph, perm)
+    if structure_noise_ratio > 0.0:
+        target = structural_noise(target, structure_noise_ratio, rng, mode=structure_mode)
+    if attribute_noise_ratio > 0.0:
+        target = attribute_noise(target, attribute_noise_ratio, rng)
+    return AlignmentPair(
+        source=graph.copy(),
+        target=target,
+        groundtruth=groundtruth_from_permutation(perm),
+        name=name,
+    )
+
+
+def subnetwork_pair(
+    graph: AttributedGraph,
+    rng: np.random.Generator,
+    target_ratio: float,
+    structure_noise_ratio: float = 0.05,
+    attribute_noise_ratio: float = 0.0,
+    name: str = "subnetwork",
+) -> AlignmentPair:
+    """Target is a noisy induced subnetwork (graph-size imbalance, Douban-style).
+
+    Anchors exist only for nodes kept in the target; higher-degree nodes are
+    preferentially kept (active users appear in both networks more often).
+    """
+    if not 0.0 < target_ratio <= 1.0:
+        raise ValueError(f"target ratio must be in (0, 1], got {target_ratio}")
+    n = graph.num_nodes
+    keep = max(2, int(round(target_ratio * n)))
+    degrees = graph.degrees()
+    weights = (degrees + 1.0) / float((degrees + 1.0).sum())
+    kept_nodes = rng.choice(n, size=keep, replace=False, p=weights)
+    kept_nodes = np.sort(kept_nodes)
+    sub = graph.subgraph(kept_nodes)
+
+    perm = random_permutation(sub.num_nodes, rng)
+    target = apply_permutation(sub, perm)
+    if structure_noise_ratio > 0.0:
+        target = structural_noise(target, structure_noise_ratio, rng)
+    if attribute_noise_ratio > 0.0:
+        target = attribute_noise(target, attribute_noise_ratio, rng)
+
+    groundtruth = {
+        int(source_node): int(perm[sub_index])
+        for sub_index, source_node in enumerate(kept_nodes)
+    }
+    return AlignmentPair(graph.copy(), target, groundtruth, name=name)
+
+
+def overlap_pair(
+    graph: AttributedGraph,
+    rng: np.random.Generator,
+    overlap_ratio: float,
+    structure_noise_ratio: float = 0.02,
+    name: str = "overlap",
+) -> AlignmentPair:
+    """Source and target share ``overlap_ratio`` of the original nodes.
+
+    This is the isomorphic-level experiment (Fig 5): both networks are
+    induced subnetworks of one original graph that overlap on a controlled
+    fraction of nodes; anchors exist only for the shared part.
+    """
+    if not 0.0 < overlap_ratio <= 1.0:
+        raise ValueError(f"overlap ratio must be in (0, 1], got {overlap_ratio}")
+    n = graph.num_nodes
+    shared_count = max(2, int(round(overlap_ratio * n)))
+    exclusive = n - shared_count
+    order = rng.permutation(n)
+    shared = order[:shared_count]
+    source_only = order[shared_count : shared_count + exclusive // 2]
+    target_only = order[shared_count + exclusive // 2 :]
+
+    source_nodes = np.sort(np.concatenate([shared, source_only]))
+    target_nodes = np.sort(np.concatenate([shared, target_only]))
+    source = graph.subgraph(source_nodes)
+    target_base = graph.subgraph(target_nodes)
+
+    perm = random_permutation(target_base.num_nodes, rng)
+    target = apply_permutation(target_base, perm)
+    if structure_noise_ratio > 0.0:
+        target = structural_noise(target, structure_noise_ratio, rng)
+
+    source_index = {int(node): i for i, node in enumerate(source_nodes)}
+    target_index = {int(node): i for i, node in enumerate(target_nodes)}
+    groundtruth = {
+        source_index[int(node)]: int(perm[target_index[int(node)]])
+        for node in shared
+    }
+    return AlignmentPair(source, target, groundtruth, name=name)
+
+
+# ----------------------------------------------------------------------
+# Table II stand-ins
+# ----------------------------------------------------------------------
+def _scaled(value: int, scale: float, minimum: int = 20) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def douban_like(
+    rng: np.random.Generator, scale: float = 0.1
+) -> AlignmentPair:
+    """Douban Online (3906 nodes / 8164 edges / 538 attrs) vs Offline stand-in.
+
+    Social friendship network: BA topology (heavy tail), sparse binary
+    attributes.  Offline is a ~29% subnetwork (1118 of 3906) with mild noise,
+    matching the real pair's size imbalance.
+    """
+    n = _scaled(3906, scale)
+    online = generators.barabasi_albert(
+        n, m=2, rng=rng, feature_dim=max(8, _scaled(538, scale, minimum=8)),
+        feature_kind="binary",
+    )
+    return subnetwork_pair(
+        online,
+        rng,
+        target_ratio=1118 / 3906,
+        structure_noise_ratio=0.15,
+        attribute_noise_ratio=0.10,
+        name="douban-like",
+    )
+
+
+def flickr_myspace_like(
+    rng: np.random.Generator, scale: float = 0.1
+) -> AlignmentPair:
+    """Flickr (5740/8977) vs Myspace (4504/5507) stand-in: very sparse, 3 attrs.
+
+    Average degree < 5, only 3 attributes, and — crucially — a *tiny* user
+    overlap: the real pair has just 323 validated anchors among 5740/4504
+    nodes (~6%), so almost every node has no counterpart.  That overlap
+    regime, not only the sparsity, is what makes every method struggle in
+    the paper's Table III (supervised priors cover well under 1% of nodes).
+    Social networks are scale-free, so the topology is Barabási–Albert.
+    """
+    n = _scaled(5740, scale)
+    flickr = generators.barabasi_albert(
+        n, m=2, rng=rng, feature_dim=3, feature_kind="onehot"
+    )
+    # The real overlap is ~6%; at laptop scales that leaves too few anchors
+    # for stable metrics, so the stand-in uses 15% — still the "almost no
+    # node has a counterpart" regime that defines this dataset.
+    pair = overlap_pair(
+        flickr,
+        rng,
+        overlap_ratio=0.15,
+        structure_noise_ratio=0.20,
+        name="flickr-myspace-like",
+    )
+    noisy_target = attribute_noise(pair.target, 0.20, rng)
+    return AlignmentPair(pair.source, noisy_target, pair.groundtruth,
+                         name=pair.name)
+
+
+def allmovie_imdb_like(
+    rng: np.random.Generator, scale: float = 0.05
+) -> AlignmentPair:
+    """Allmovie (6011/124709) vs Imdb (5713/119073) stand-in: dense, 14 attrs.
+
+    Co-actor networks are dense with strong community structure: power-law
+    cluster topology with high edge density, one-hot genre attributes.  The
+    two sides almost fully overlap (5176 anchors of ~6000 nodes) with low
+    noise — the easy regime where methods score high.
+    """
+    n = _scaled(6011, scale)
+    # Target average degree ~41 at full scale; keep density comparable.
+    m = max(3, int(round(124709 / 6011 / 2)))
+    allmovie = generators.powerlaw_cluster(
+        n, m=min(m, max(3, n // 10)), p=0.5, rng=rng,
+        feature_dim=14, feature_kind="onehot",
+    )
+    return subnetwork_pair(
+        allmovie,
+        rng,
+        target_ratio=5713 / 6011,
+        structure_noise_ratio=0.10,
+        attribute_noise_ratio=0.05,
+        name="allmovie-imdb-like",
+    )
+
+
+def bn_like(rng: np.random.Generator, scale: float = 0.25) -> AttributedGraph:
+    """Brain-voxel network stand-in (1781 nodes / 9016 edges / 20 attrs).
+
+    Brain connectomes are spatially embedded with high clustering:
+    Watts–Strogatz topology, degree-correlated attributes.
+    """
+    n = _scaled(1781, scale)
+    k = max(4, int(round(2 * 9016 / 1781)))
+    graph = generators.watts_strogatz(n, k=k, p=0.3, rng=rng, feature_dim=20,
+                                      feature_kind="degree")
+    return graph
+
+
+def econ_like(rng: np.random.Generator, scale: float = 0.25) -> AttributedGraph:
+    """Economic-contract network stand-in (1258 nodes / 7619 edges / 20 attrs).
+
+    Firm-bank contract networks are heavy-tailed with hubs: power-law
+    cluster topology.
+    """
+    n = _scaled(1258, scale)
+    m = max(2, int(round(7619 / 1258)))
+    return generators.powerlaw_cluster(n, m=m, p=0.2, rng=rng, feature_dim=20,
+                                       feature_kind="degree")
+
+
+def email_like(rng: np.random.Generator, scale: float = 0.25) -> AttributedGraph:
+    """European-university email network stand-in (1133 nodes / 5451 edges).
+
+    Email graphs mix communities (departments) with hubs: SBM with a BA-ish
+    tail approximated by power-law cluster blocks.
+    """
+    n = _scaled(1133, scale)
+    blocks = max(2, n // 60)
+    sizes = [n // blocks] * blocks
+    sizes[0] += n - sum(sizes)
+    average_degree = 2 * 5451 / 1133
+    p_in = min(0.9, average_degree * 0.7 / max(1, sizes[0]))
+    p_out = min(0.5, average_degree * 0.3 / max(1, n))
+    return generators.stochastic_block_model(
+        sizes, p_in=p_in, p_out=p_out, rng=rng, feature_dim=20,
+        feature_kind="degree",
+    )
+
+
+SEED_BUILDERS = {
+    "bn": bn_like,
+    "econ": econ_like,
+    "email": email_like,
+}
+
+
+def toy_movie_pair(rng: np.random.Generator) -> AlignmentPair:
+    """The Fig-8 qualitative toy: ~10 movie pairs with genre attributes.
+
+    Two small co-actor cliques bridged by a few shared actors; attributes are
+    one-hot genres.  Designed so at least two movies share a genre and local
+    structure (the paper's "School Ties" vs "Duets" confusion).
+    """
+    num_movies = 10
+    genres = 4
+    edges = [
+        (0, 1), (0, 2), (1, 2), (2, 3),          # drama clique
+        (3, 4), (4, 5), (5, 6), (4, 6),          # comedy clique
+        (6, 7), (7, 8), (8, 9), (7, 9), (3, 7),  # action clique + bridge
+    ]
+    features = np.zeros((num_movies, genres))
+    genre_of = [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+    features[np.arange(num_movies), genre_of] = 1.0
+    movies = [
+        "School Ties", "Duets", "The Firm", "Heat", "Se7en",
+        "Alien", "Blade Runner", "Gattaca", "Moon", "Her",
+    ]
+    graph = AttributedGraph.from_edges(num_movies, edges, features, movies)
+    return noisy_copy_pair(
+        graph, rng, structure_noise_ratio=0.08, attribute_noise_ratio=0.0,
+        name="toy-movies",
+    )

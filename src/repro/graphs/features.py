@@ -1,0 +1,145 @@
+"""Attribute preprocessing for alignment inputs.
+
+Attribute consistency (paper §II-C) presumes the two networks' attribute
+matrices live in the same space with comparable scales.  Real data rarely
+arrives that way; these encoders produce matched matrices:
+
+* :func:`one_hot_encode` — shared-vocabulary categorical encoding,
+* :func:`standardize` / :func:`min_max_scale` — joint numeric scaling,
+* :func:`binarize` — threshold real attributes to binary,
+* :func:`reduce_dimensions` — joint PCA to a common low dimension,
+* :class:`FeaturePipeline` — compose the above.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "one_hot_encode",
+    "standardize",
+    "min_max_scale",
+    "binarize",
+    "reduce_dimensions",
+    "FeaturePipeline",
+]
+
+
+def one_hot_encode(
+    source_categories: Sequence,
+    target_categories: Sequence,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode two categorical columns against their shared vocabulary.
+
+    Unseen-on-one-side categories still get a column, so both outputs have
+    identical width and aligned meaning.
+    """
+    vocabulary = sorted(set(source_categories) | set(target_categories))
+    index = {value: i for i, value in enumerate(vocabulary)}
+
+    def encode(values: Sequence) -> np.ndarray:
+        matrix = np.zeros((len(values), len(vocabulary)))
+        for row, value in enumerate(values):
+            matrix[row, index[value]] = 1.0
+        return matrix
+
+    return encode(source_categories), encode(target_categories)
+
+
+def standardize(
+    source: np.ndarray, target: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Zero-mean unit-variance scaling with *joint* statistics.
+
+    Scaling each side separately would destroy attribute consistency
+    (identical raw values would map to different scaled values), so the
+    mean/std come from the stacked matrix.
+    """
+    _check_same_width(source, target)
+    stacked = np.vstack([source, target])
+    mean = stacked.mean(axis=0)
+    std = np.maximum(stacked.std(axis=0), 1e-12)
+    return (source - mean) / std, (target - mean) / std
+
+
+def min_max_scale(
+    source: np.ndarray, target: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Joint [0, 1] scaling (same rationale as :func:`standardize`)."""
+    _check_same_width(source, target)
+    stacked = np.vstack([source, target])
+    low = stacked.min(axis=0)
+    span = np.maximum(stacked.max(axis=0) - low, 1e-12)
+    return (source - low) / span, (target - low) / span
+
+
+def binarize(
+    source: np.ndarray, target: np.ndarray, threshold: float = 0.5
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Threshold real attributes to {0, 1} with a shared cut point."""
+    _check_same_width(source, target)
+    return (
+        (source >= threshold).astype(np.float64),
+        (target >= threshold).astype(np.float64),
+    )
+
+
+def reduce_dimensions(
+    source: np.ndarray, target: np.ndarray, num_components: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Joint PCA: one basis fitted on the stacked matrix, applied to both.
+
+    Keeps the two sides comparable (separate PCAs would rotate them
+    independently — exactly the reconciliation problem GAlign avoids).
+    """
+    _check_same_width(source, target)
+    if not 1 <= num_components <= source.shape[1]:
+        raise ValueError(
+            f"num_components must be in [1, {source.shape[1]}], got {num_components}"
+        )
+    stacked = np.vstack([source, target])
+    mean = stacked.mean(axis=0)
+    centered = stacked - mean
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    basis = vt[:num_components].T
+    return (source - mean) @ basis, (target - mean) @ basis
+
+
+class FeaturePipeline:
+    """Compose joint feature transforms.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> pipeline = FeaturePipeline([
+    ...     standardize,
+    ...     lambda s, t: reduce_dimensions(s, t, 2),
+    ... ])
+    >>> src, dst = pipeline(np.random.rand(5, 4), np.random.rand(6, 4))
+    >>> src.shape[1] == dst.shape[1] == 2
+    True
+    """
+
+    def __init__(
+        self,
+        steps: Sequence[Callable[[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]],
+    ) -> None:
+        if not steps:
+            raise ValueError("pipeline needs at least one step")
+        self.steps = list(steps)
+
+    def __call__(
+        self, source: np.ndarray, target: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        for step in self.steps:
+            source, target = step(source, target)
+        return source, target
+
+
+def _check_same_width(source: np.ndarray, target: np.ndarray) -> None:
+    if source.shape[1] != target.shape[1]:
+        raise ValueError(
+            f"attribute widths differ: {source.shape[1]} vs {target.shape[1]}"
+        )

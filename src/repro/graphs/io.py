@@ -1,0 +1,142 @@
+"""Edge-list / attribute / ground-truth file IO.
+
+Supports the simple whitespace formats used by public alignment datasets
+(one edge per line, one attribute row per line, one anchor pair per line),
+so real Douban/Flickr/Allmovie dumps drop in when available.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from .graph import AttributedGraph
+from .datasets import AlignmentPair
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "load_features",
+    "save_features",
+    "load_groundtruth",
+    "save_groundtruth",
+    "load_node_labels",
+    "save_node_labels",
+    "load_alignment_pair",
+    "save_alignment_pair",
+]
+
+
+def load_edge_list(path: str, num_nodes: Optional[int] = None) -> AttributedGraph:
+    """Read a whitespace edge list (``u v`` per line, '#' comments allowed)."""
+    edges = []
+    max_node = -1
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            u, v = int(parts[0]), int(parts[1])
+            edges.append((u, v))
+            max_node = max(max_node, u, v)
+    n = num_nodes if num_nodes is not None else max_node + 1
+    return AttributedGraph.from_edges(n, edges)
+
+
+def save_edge_list(graph: AttributedGraph, path: str) -> None:
+    """Write the undirected edge list (u < v) to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for u, v in graph.edge_list():
+            handle.write(f"{u} {v}\n")
+
+
+def load_features(path: str) -> np.ndarray:
+    """Read a dense attribute matrix (one whitespace row per node)."""
+    return np.loadtxt(path, ndmin=2)
+
+
+def save_features(features: np.ndarray, path: str) -> None:
+    np.savetxt(path, features, fmt="%.10g")
+
+
+def load_groundtruth(path: str) -> Dict[int, int]:
+    """Read anchor links (``source target`` per line)."""
+    groundtruth: Dict[int, int] = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            source, target = line.split()[:2]
+            groundtruth[int(source)] = int(target)
+    return groundtruth
+
+
+def save_groundtruth(groundtruth: Dict[int, int], path: str) -> None:
+    with open(path, "w") as handle:
+        for source, target in sorted(groundtruth.items()):
+            handle.write(f"{source} {target}\n")
+
+
+def load_node_labels(path: str) -> list:
+    """Read one label per line (written by :func:`save_node_labels`)."""
+    with open(path) as handle:
+        return [line.rstrip("\n") for line in handle]
+
+
+def save_node_labels(labels, path: str) -> None:
+    """Write one label per line; labels must not contain newlines."""
+    with open(path, "w") as handle:
+        for label in labels:
+            text = str(label)
+            if "\n" in text:
+                raise ValueError(f"label {text!r} contains a newline")
+            handle.write(text + "\n")
+
+
+def load_alignment_pair(directory: str, name: str = "pair") -> AlignmentPair:
+    """Load a pair saved by :func:`save_alignment_pair`."""
+    def path(stem: str) -> str:
+        return os.path.join(directory, stem)
+
+    source = load_edge_list(path("source.edges"))
+    target = load_edge_list(path("target.edges"))
+    if os.path.exists(path("source.feats")):
+        source = source.with_features(load_features(path("source.feats")))
+    if os.path.exists(path("target.feats")):
+        target = target.with_features(load_features(path("target.feats")))
+    if os.path.exists(path("source.labels")):
+        source = AttributedGraph(
+            source.adjacency, source.features,
+            load_node_labels(path("source.labels")),
+        )
+    if os.path.exists(path("target.labels")):
+        target = AttributedGraph(
+            target.adjacency, target.features,
+            load_node_labels(path("target.labels")),
+        )
+    groundtruth = load_groundtruth(path("groundtruth.txt"))
+    return AlignmentPair(source, target, groundtruth, name=name)
+
+
+def save_alignment_pair(pair: AlignmentPair, directory: str) -> None:
+    """Persist a pair as edge lists + attributes + anchors in ``directory``.
+
+    Node labels, when present, are saved alongside (``*.labels``).
+    """
+    os.makedirs(directory, exist_ok=True)
+    save_edge_list(pair.source, os.path.join(directory, "source.edges"))
+    save_edge_list(pair.target, os.path.join(directory, "target.edges"))
+    save_features(pair.source.features, os.path.join(directory, "source.feats"))
+    save_features(pair.target.features, os.path.join(directory, "target.feats"))
+    if pair.source.node_labels is not None:
+        save_node_labels(pair.source.node_labels,
+                         os.path.join(directory, "source.labels"))
+    if pair.target.node_labels is not None:
+        save_node_labels(pair.target.node_labels,
+                         os.path.join(directory, "target.labels"))
+    save_groundtruth(pair.groundtruth, os.path.join(directory, "groundtruth.txt"))

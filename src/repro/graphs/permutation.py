@@ -1,0 +1,89 @@
+"""Node permutation utilities (paper §IV-B, Eq 2 & 8).
+
+The paper models the target network as a permuted (and then perturbed)
+version of the source: ``A_t = P A_s P^T``.  These helpers build permutation
+matrices, apply them to graphs, and convert between the matrix view and the
+mapping view (``perm[i] = j`` means source node i becomes target node j).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import AttributedGraph
+
+__all__ = [
+    "random_permutation",
+    "permutation_matrix",
+    "apply_permutation",
+    "invert_permutation",
+    "groundtruth_from_permutation",
+    "is_permutation",
+]
+
+
+def random_permutation(n: int, rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random permutation of 0..n-1."""
+    return rng.permutation(n)
+
+
+def is_permutation(perm: np.ndarray) -> bool:
+    """True when ``perm`` is a bijection of 0..n-1."""
+    perm = np.asarray(perm)
+    return perm.ndim == 1 and np.array_equal(np.sort(perm), np.arange(perm.shape[0]))
+
+
+def permutation_matrix(perm: np.ndarray) -> sp.csr_matrix:
+    """Sparse P with ``P[i, perm[i]] = 1`` (paper Eq 8 convention).
+
+    With this convention ``(P @ X)[perm[i]] == X[i]`` does *not* hold;
+    instead ``P @ A @ P.T`` relabels node i of A to node perm[i] when P is
+    built as ``P[perm[i], i] = 1``.  We follow the row-selection convention:
+    ``P[j, i] = 1`` iff ``perm[i] = j``, so that ``(P @ X)[perm[i]] = X[i]``.
+    """
+    perm = np.asarray(perm, dtype=int)
+    if not is_permutation(perm):
+        raise ValueError("input is not a valid permutation")
+    n = perm.shape[0]
+    data = np.ones(n)
+    return sp.csr_matrix((data, (perm, np.arange(n))), shape=(n, n))
+
+
+def apply_permutation(
+    graph: AttributedGraph, perm: np.ndarray
+) -> AttributedGraph:
+    """Relabel nodes: node ``i`` of the input becomes node ``perm[i]``.
+
+    Returns a graph whose adjacency equals ``P A P^T`` and whose features
+    equal ``P F`` for the matrix of :func:`permutation_matrix`.
+    """
+    perm = np.asarray(perm, dtype=int)
+    if perm.shape[0] != graph.num_nodes:
+        raise ValueError(
+            f"permutation length {perm.shape[0]} != n={graph.num_nodes}"
+        )
+    matrix = permutation_matrix(perm)
+    adjacency = (matrix @ graph.adjacency @ matrix.T).tocsr()
+    features = np.asarray(matrix @ graph.features)
+    labels = None
+    if graph.node_labels is not None:
+        labels = [None] * graph.num_nodes
+        for i, label in enumerate(graph.node_labels):
+            labels[perm[i]] = label
+    return AttributedGraph(adjacency, features, labels)
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse mapping: ``inv[perm[i]] = i``."""
+    perm = np.asarray(perm, dtype=int)
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.shape[0])
+    return inverse
+
+
+def groundtruth_from_permutation(perm: np.ndarray) -> Dict[int, int]:
+    """Anchor-link dictionary {source node -> target node} for a permutation."""
+    return {int(i): int(j) for i, j in enumerate(np.asarray(perm, dtype=int))}

@@ -1,0 +1,79 @@
+"""Tests for ASCII scatter and series rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_scatter, ascii_series
+
+
+class TestAsciiScatter:
+    def test_renders_grid_with_border(self, rng):
+        points = rng.normal(size=(5, 2))
+        text = ascii_scatter(points, width=30, height=10, legend=False)
+        lines = text.splitlines()
+        assert lines[0] == "+" + "-" * 30 + "+"
+        assert len(lines) == 12  # border + 10 rows + border
+
+    def test_markers_present(self, rng):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        text = ascii_scatter(points, legend=False)
+        assert "A" in text
+        assert "B" in text
+
+    def test_legend(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        text = ascii_scatter(points, labels=["first", "second"])
+        assert "A = first" in text
+        assert "B = second" in text
+
+    def test_corners_placed_correctly(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        text = ascii_scatter(points, width=20, height=8, legend=False)
+        rows = text.splitlines()[1:-1]
+        # B is top-right (max y), A bottom-left.
+        assert "B" in rows[0]
+        assert "A" in rows[-1]
+
+    def test_validates_input(self, rng):
+        with pytest.raises(ValueError):
+            ascii_scatter(rng.normal(size=(3, 3)))
+        with pytest.raises(ValueError):
+            ascii_scatter(rng.normal(size=(3, 2)), width=2)
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros((2, 2)), labels=["only-one"])
+
+    def test_many_points_fall_back_to_star(self, rng):
+        points = rng.normal(size=(60, 2))
+        text = ascii_scatter(points, legend=False)
+        assert "*" in text
+
+    def test_identical_points_no_crash(self):
+        text = ascii_scatter(np.zeros((3, 2)), legend=False)
+        assert "A" in text
+
+
+class TestAsciiSeries:
+    def test_renders_axes_and_legend(self):
+        text = ascii_series([0.1, 0.2, 0.3], {"GAlign": [0.9, 0.8, 0.7]})
+        assert "o = GAlign" in text
+        assert "0.900" in text  # y max label
+
+    def test_multiple_series_markers(self):
+        text = ascii_series(
+            [0, 1], {"a": [0.0, 1.0], "b": [1.0, 0.0]}
+        )
+        assert "o = a" in text
+        assert "x = b" in text
+
+    def test_explicit_bounds(self):
+        text = ascii_series([0, 1], {"a": [0.4, 0.6]}, y_min=0.0, y_max=1.0)
+        assert "1.000" in text
+        assert "0.000" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series([0, 1], {})
+
+    def test_flat_series_no_crash(self):
+        text = ascii_series([0, 1, 2], {"flat": [0.5, 0.5, 0.5]})
+        assert "flat" in text

@@ -1,0 +1,155 @@
+"""Tests for the nn module layer: Module, Linear, GCNLayer, Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, Adam, nn
+from repro.graphs import propagation_matrix
+
+
+@pytest.fixture
+def nprng():
+    return np.random.default_rng(1)
+
+
+class TestModuleBase:
+    def test_parameters_collects_children(self, nprng):
+        model = nn.Sequential(
+            nn.Linear(4, 8, nprng), nn.Tanh(), nn.Linear(8, 2, nprng)
+        )
+        params = model.parameters()
+        assert len(params) == 4  # 2 weights + 2 biases
+        assert all(p.requires_grad for p in params)
+
+    def test_train_eval_propagates(self, nprng):
+        model = nn.Sequential(nn.Dropout(0.5, nprng), nn.Linear(2, 2, nprng))
+        model.eval()
+        assert not model.training
+        assert not model[0].training
+        model.train()
+        assert model[0].training
+
+    def test_zero_grad(self, nprng):
+        layer = nn.Linear(3, 2, nprng)
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_register_parameter_requires_grad(self, nprng):
+        module = nn.Module()
+        with pytest.raises(ValueError):
+            module.register_parameter(Tensor(np.ones(2)))
+
+    def test_forward_abstract(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+
+class TestLinear:
+    def test_shapes(self, nprng):
+        layer = nn.Linear(5, 3, nprng)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias(self, nprng):
+        layer = nn.Linear(5, 3, nprng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_bias_applied(self, nprng):
+        layer = nn.Linear(2, 2, nprng)
+        layer.weight.data[:] = 0.0
+        layer.bias.data[:] = 5.0
+        out = layer(Tensor(np.ones((1, 2))))
+        np.testing.assert_allclose(out.data, 5.0)
+
+    def test_validates_sizes(self, nprng):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3, nprng)
+
+    def test_trains_to_fit_linear_map(self, nprng):
+        target_w = np.array([[2.0], [-1.0]])
+        x = nprng.normal(size=(64, 2))
+        y = x @ target_w
+        layer = nn.Linear(2, 1, nprng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            layer.zero_grad()
+            loss = nn.mse_loss(layer(Tensor(x)), Tensor(y))
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, target_w, atol=0.05)
+
+
+class TestGCNLayer:
+    def test_matches_manual_formula(self, small_graph, nprng):
+        layer = nn.GCNLayer(small_graph.num_features, 4, nprng)
+        prop = propagation_matrix(small_graph)
+        out = layer(prop, Tensor(small_graph.features))
+        expected = np.tanh(
+            prop @ (small_graph.features @ layer.weight.data)
+        )
+        np.testing.assert_allclose(out.data, expected, rtol=1e-10)
+
+    def test_custom_activation(self, small_graph, nprng):
+        layer = nn.GCNLayer(
+            small_graph.num_features, 4, nprng, activation=lambda t: t.relu()
+        )
+        prop = propagation_matrix(small_graph)
+        out = layer(prop, Tensor(small_graph.features))
+        assert np.all(out.data >= 0.0)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, nprng):
+        layer = nn.Dropout(0.9, nprng).eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_train_mode_zeros_some(self, nprng):
+        layer = nn.Dropout(0.5, nprng)
+        out = layer(Tensor(np.ones((100, 100))))
+        zero_fraction = float((out.data == 0.0).mean())
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_invalid_rate(self, nprng):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0, nprng)
+
+
+class TestLosses:
+    def test_mse_zero_for_exact(self):
+        x = Tensor(np.ones((3, 2)))
+        assert nn.mse_loss(x, Tensor(np.ones((3, 2)))).item() == 0.0
+
+    def test_bce_matches_naive(self, nprng):
+        logits = Tensor(nprng.normal(size=(10,)))
+        target = Tensor((nprng.random(10) > 0.5).astype(float))
+        stable = nn.binary_cross_entropy_with_logits(logits, target).item()
+        probs = 1.0 / (1.0 + np.exp(-logits.data))
+        naive = -np.mean(
+            target.data * np.log(probs) + (1 - target.data) * np.log(1 - probs)
+        )
+        assert stable == pytest.approx(naive, rel=1e-6)
+
+    def test_bce_gradient_direction(self):
+        logits = Tensor(np.zeros(4), requires_grad=True)
+        target = Tensor(np.ones(4))
+        nn.binary_cross_entropy_with_logits(logits, target).backward()
+        # Increasing logits decreases loss for positive targets.
+        assert np.all(logits.grad < 0.0)
+
+
+class TestSequential:
+    def test_indexing_and_len(self, nprng):
+        model = nn.Sequential(nn.Linear(2, 2, nprng), nn.Tanh())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.Tanh)
+
+    def test_activations_chain(self, nprng):
+        model = nn.Sequential(nn.ReLU(), nn.Sigmoid())
+        out = model(Tensor(np.array([-5.0, 5.0])))
+        assert out.data[0] == pytest.approx(0.5)   # relu(-5)=0 → sigmoid=0.5
+        assert out.data[1] > 0.99

@@ -1,0 +1,154 @@
+"""Unit tests for free-function ops: spmm, concat, norms, masks, softmax."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import (
+    Tensor,
+    spmm,
+    concat,
+    stack,
+    row_norms,
+    frobenius_norm,
+    normalize_rows,
+    threshold_mask,
+    softmax,
+    log_softmax,
+    dropout_mask,
+    gradcheck,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestSpmm:
+    def test_matches_dense(self, rng):
+        sparse = sp.random(6, 6, density=0.4, random_state=1, format="csr")
+        dense = Tensor(rng.normal(size=(6, 3)))
+        out = spmm(sparse, dense)
+        np.testing.assert_allclose(out.data, sparse.toarray() @ dense.data)
+
+    def test_gradient(self, rng):
+        sparse = sp.random(5, 5, density=0.5, random_state=2, format="csr")
+        dense = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        gradcheck(lambda d: spmm(sparse, d), [dense])
+
+    def test_rejects_dense_left_operand(self, rng):
+        with pytest.raises(TypeError):
+            spmm(np.eye(3), Tensor(np.ones((3, 1))))
+
+    def test_accepts_coo(self, rng):
+        sparse = sp.random(4, 4, density=0.5, random_state=3, format="coo")
+        out = spmm(sparse, Tensor(np.ones((4, 2))))
+        np.testing.assert_allclose(out.data, sparse.toarray() @ np.ones((4, 2)))
+
+
+class TestConcatStack:
+    def test_concat_values(self, rng):
+        a, b = Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 3)))
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 6)
+
+    def test_concat_gradient_splits(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        gradcheck(lambda x, y: concat([x, y], axis=1), [a, b])
+
+    def test_concat_axis0_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 3)), requires_grad=True)
+        gradcheck(lambda x, y: concat([x, y], axis=0), [a, b])
+
+    def test_stack_values_and_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        out = stack([a, b])
+        assert out.shape == (2, 2, 2)
+        gradcheck(lambda x, y: stack([x, y], axis=0), [a, b])
+
+
+class TestNorms:
+    def test_row_norms_values(self, rng):
+        m = Tensor([[3.0, 4.0], [0.0, 0.0]])
+        out = row_norms(m)
+        assert out.data[0] == pytest.approx(5.0)
+        assert out.data[1] == pytest.approx(0.0, abs=1e-5)
+
+    def test_row_norms_gradient(self, rng):
+        m = Tensor(rng.uniform(0.5, 2.0, size=(4, 3)), requires_grad=True)
+        gradcheck(lambda a: row_norms(a), [m])
+
+    def test_frobenius_norm_value(self, rng):
+        m = Tensor(np.full((2, 2), 2.0))
+        assert frobenius_norm(m).item() == pytest.approx(4.0)
+
+    def test_frobenius_gradient(self, rng):
+        m = Tensor(rng.uniform(0.5, 2.0, size=(3, 3)), requires_grad=True)
+        gradcheck(lambda a: frobenius_norm(a), [m])
+
+    def test_normalize_rows_unit_norm(self, rng):
+        m = Tensor(rng.normal(size=(5, 4)) + 3.0)
+        out = normalize_rows(m)
+        np.testing.assert_allclose(np.linalg.norm(out.data, axis=1), 1.0, rtol=1e-6)
+
+    def test_normalize_rows_gradient(self, rng):
+        m = Tensor(rng.uniform(0.5, 2.0, size=(3, 4)), requires_grad=True)
+        gradcheck(lambda a: normalize_rows(a), [m], atol=1e-4)
+
+
+class TestThresholdMask:
+    def test_identity_below_threshold(self):
+        v = Tensor([0.1, 0.5, 2.0])
+        out = threshold_mask(v, threshold=1.0)
+        np.testing.assert_allclose(out.data, [0.1, 0.5, 0.0])
+
+    def test_gradient_masked(self):
+        v = Tensor(np.array([0.1, 0.5, 2.0]), requires_grad=True)
+        threshold_mask(v, 1.0).sum().backward()
+        np.testing.assert_allclose(v.grad, [1.0, 1.0, 0.0])
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)))
+        out = softmax(logits)
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0, rtol=1e-10)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 4))
+        a = softmax(Tensor(logits)).data
+        b = softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+    def test_softmax_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda a: softmax(a), [logits])
+
+    def test_log_softmax_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda a: log_softmax(a), [logits])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(
+            log_softmax(logits).data, np.log(softmax(logits).data), rtol=1e-10
+        )
+
+
+class TestDropoutMask:
+    def test_zero_rate_all_ones(self, rng):
+        np.testing.assert_array_equal(dropout_mask((5, 5), 0.0, rng), np.ones((5, 5)))
+
+    def test_expectation_preserved(self, rng):
+        mask = dropout_mask((2000,), 0.3, rng)
+        assert mask.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            dropout_mask((2, 2), 1.0, rng)
+        with pytest.raises(ValueError):
+            dropout_mask((2, 2), -0.1, rng)

@@ -1,0 +1,247 @@
+"""Unit tests for the autograd Tensor core: ops, broadcasting, backward."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, is_grad_enabled, gradcheck
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+        assert not t.requires_grad
+
+    def test_construction_requires_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert t.requires_grad
+        assert t.grad is None
+
+    def test_repr_mentions_name_and_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True, name="weights")
+        assert "weights" in repr(t)
+        assert "requires_grad" in repr(t)
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_item_on_vector_raises(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)).item()
+
+    def test_detach_severs_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+        assert b._parents == ()
+
+    def test_copy_is_deep(self):
+        a = Tensor(np.ones(3))
+        b = a.copy()
+        b.data[0] = 99.0
+        assert a.data[0] == 1.0
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar_and_radd(self):
+        out = 1.0 + Tensor([1.0, 2.0])
+        np.testing.assert_allclose(out.data, [2.0, 3.0])
+
+    def test_sub_and_rsub(self):
+        out = 10.0 - Tensor([1.0, 2.0])
+        np.testing.assert_allclose(out.data, [9.0, 8.0])
+
+    def test_mul_div(self):
+        a = Tensor([2.0, 4.0])
+        np.testing.assert_allclose((a * 3).data, [6.0, 12.0])
+        np.testing.assert_allclose((a / 2).data, [1.0, 2.0])
+        np.testing.assert_allclose((8.0 / a).data, [4.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([2.0, 3.0]) ** 2).data, [4.0, 9.0])
+
+    def test_pow_requires_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** np.array([1.0, 2.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_matmul(self):
+        a = Tensor([[1.0, 2.0]])
+        b = Tensor([[3.0], [4.0]])
+        assert (a @ b).data[0, 0] == pytest.approx(11.0)
+
+    def test_transpose(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.T.shape == (3, 2)
+
+    def test_reshape(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(10.0))
+        np.testing.assert_allclose(t[2:4].data, [2.0, 3.0])
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x * x + 3.0 * x  # dy/dx = 2x + 3 = 7
+        y.backward()
+        assert x.grad == pytest.approx(7.0)
+
+    def test_grad_accumulates_over_fanout(self):
+        x = Tensor(3.0, requires_grad=True)
+        y = x * x  # uses x twice
+        y.backward()
+        assert x.grad == pytest.approx(6.0)
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(1.0).backward()
+
+    def test_backward_nonscalar_needs_seed(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [2.0, 2.0, 2.0])
+
+    def test_broadcast_add_gradient_reduces(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.ones((1, 2)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 2)))
+        np.testing.assert_allclose(b.grad, [[3.0, 3.0]])
+
+    def test_broadcast_scalar_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        s = Tensor(2.0, requires_grad=True)
+        (a * s).sum().backward()
+        assert s.grad == pytest.approx(4.0)
+
+    def test_diamond_graph_topological_order(self):
+        # x -> a, b -> c uses both; gradient must flow through both paths once.
+        x = Tensor(2.0, requires_grad=True)
+        a = x * 3.0
+        b = x * 5.0
+        c = a * b  # c = 15 x^2, dc/dx = 30x = 60
+        c.backward()
+        assert x.grad == pytest.approx(60.0)
+
+    def test_zero_grad(self):
+        x = Tensor(1.0, requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_second_backward_accumulates(self):
+        x = Tensor(1.0, requires_grad=True)
+        (x * 2).backward()
+        (x * 2).backward()
+        assert x.grad == pytest.approx(4.0)
+
+
+class TestNoGrad:
+    def test_disables_graph(self):
+        x = Tensor(1.0, requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_new_tensor_inside_no_grad(self):
+        with no_grad():
+            t = Tensor(1.0, requires_grad=True)
+        assert not t.requires_grad
+
+
+class TestGradcheckOps:
+    """Validate analytic gradients of every elementwise op numerically."""
+
+    @pytest.fixture
+    def x(self):
+        rng = np.random.default_rng(7)
+        return Tensor(rng.uniform(0.3, 2.0, size=(3, 4)), requires_grad=True)
+
+    def test_add(self, x):
+        y = Tensor(np.random.default_rng(8).normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda a, b: a + b, [x, y])
+
+    def test_mul(self, x):
+        y = Tensor(np.random.default_rng(8).normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda a, b: a * b, [x, y])
+
+    def test_div(self, x):
+        y = Tensor(np.random.default_rng(8).uniform(0.5, 2.0, size=(3, 4)), requires_grad=True)
+        gradcheck(lambda a, b: a / b, [x, y])
+
+    def test_matmul(self, x):
+        w = Tensor(np.random.default_rng(9).normal(size=(4, 2)), requires_grad=True)
+        gradcheck(lambda a, b: a @ b, [x, w])
+
+    def test_tanh(self, x):
+        gradcheck(lambda a: a.tanh(), [x])
+
+    def test_relu(self, x):
+        gradcheck(lambda a: (a - 1.0).relu(), [x])
+
+    def test_sigmoid(self, x):
+        gradcheck(lambda a: a.sigmoid(), [x])
+
+    def test_exp_log(self, x):
+        gradcheck(lambda a: a.exp(), [x])
+        gradcheck(lambda a: a.log(), [x])
+
+    def test_sqrt(self, x):
+        gradcheck(lambda a: a.sqrt(), [x])
+
+    def test_abs(self, x):
+        gradcheck(lambda a: (a - 1.0).abs(), [x])
+
+    def test_pow(self, x):
+        gradcheck(lambda a: a ** 3, [x])
+
+    def test_sum_axis(self, x):
+        gradcheck(lambda a: a.sum(axis=0), [x])
+        gradcheck(lambda a: a.sum(axis=1, keepdims=True), [x])
+
+    def test_mean(self, x):
+        gradcheck(lambda a: a.mean(), [x])
+        gradcheck(lambda a: a.mean(axis=1), [x])
+
+    def test_transpose_reshape(self, x):
+        gradcheck(lambda a: a.T, [x])
+        gradcheck(lambda a: a.reshape(4, 3), [x])
+
+    def test_getitem(self, x):
+        gradcheck(lambda a: a[1:, :2], [x])
+
+    def test_clip_min(self, x):
+        gradcheck(lambda a: a.clip_min(1.0), [x])

@@ -1,0 +1,78 @@
+"""Tests for the AlignmentMethod/AlignmentResult interface contract."""
+
+import numpy as np
+import pytest
+
+from repro.base import AlignmentMethod, AlignmentResult
+from repro.graphs import AlignmentPair, generators, noisy_copy_pair
+
+
+class ShapeLiar(AlignmentMethod):
+    """Returns a wrong-shaped matrix — the base class must catch it."""
+
+    name = "Liar"
+
+    def _align_scores(self, pair, supervision, rng):
+        return np.zeros((2, 2))
+
+
+class RngRecorder(AlignmentMethod):
+    name = "Recorder"
+    seen_rng = None
+
+    def _align_scores(self, pair, supervision, rng):
+        RngRecorder.seen_rng = rng
+        return np.zeros((pair.source.num_nodes, pair.target.num_nodes))
+
+
+@pytest.fixture
+def pair(rng):
+    graph = generators.erdos_renyi(12, 0.3, rng, feature_dim=3)
+    return noisy_copy_pair(graph, rng)
+
+
+class TestAlignContract:
+    def test_shape_mismatch_detected(self, pair):
+        with pytest.raises(RuntimeError):
+            ShapeLiar().align(pair)
+
+    def test_default_rng_created(self, pair):
+        RngRecorder.seen_rng = None
+        RngRecorder().align(pair)
+        assert isinstance(RngRecorder.seen_rng, np.random.Generator)
+
+    def test_passed_rng_forwarded(self, pair):
+        rng = np.random.default_rng(5)
+        RngRecorder().align(pair, rng=rng)
+        assert RngRecorder.seen_rng is rng
+
+    def test_elapsed_time_measured(self, pair):
+        result = RngRecorder().align(pair)
+        assert result.elapsed_seconds >= 0.0
+
+    def test_scores_cast_to_float64(self, pair):
+        class IntScores(AlignmentMethod):
+            name = "Int"
+
+            def _align_scores(self, p, s, r):
+                return np.zeros(
+                    (p.source.num_nodes, p.target.num_nodes), dtype=np.int32
+                )
+
+        result = IntScores().align(pair)
+        assert result.scores.dtype == np.float64
+
+
+class TestAlignmentResult:
+    def test_top_matches(self):
+        scores = np.array([[0.1, 0.9], [0.8, 0.2]])
+        result = AlignmentResult(scores, 0.1, "m")
+        np.testing.assert_array_equal(result.top_matches(), [1, 0])
+
+    def test_extras_default_empty(self):
+        result = AlignmentResult(np.zeros((1, 1)), 0.0, "m")
+        assert result.extras == {}
+
+    def test_class_attribute_defaults(self):
+        assert AlignmentMethod.requires_supervision is False
+        assert AlignmentMethod.uses_attributes is True

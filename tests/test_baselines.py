@@ -1,0 +1,207 @@
+"""Unit and behaviour tests for the five baseline alignment methods."""
+
+import numpy as np
+import pytest
+
+from repro.base import AlignmentMethod
+from repro.baselines import CENALP, FINAL, PALE, REGAL, IsoRank
+from repro.baselines._similarity import (
+    attribute_similarity,
+    cosine_similarity,
+    prior_from_supervision,
+)
+from repro.graphs import AlignmentPair, generators, noisy_copy_pair
+from repro.metrics import evaluate_alignment, success_at
+
+
+@pytest.fixture(scope="module")
+def pair():
+    rng = np.random.default_rng(3)
+    graph = generators.barabasi_albert(
+        70, 2, rng, feature_dim=8, feature_kind="degree"
+    )
+    return noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+
+
+@pytest.fixture(scope="module")
+def supervision(pair):
+    rng = np.random.default_rng(4)
+    train, _ = pair.split_groundtruth(0.1, rng)
+    return train
+
+
+def random_baseline_map(pair):
+    rng = np.random.default_rng(0)
+    scores = rng.random((pair.source.num_nodes, pair.target.num_nodes))
+    return evaluate_alignment(scores, pair.groundtruth).map
+
+
+FAST_METHODS = [
+    REGAL(),
+    IsoRank(iterations=30),
+    FINAL(iterations=20),
+    PALE(embedding_epochs=4, dim=32),
+    CENALP(rounds=2, num_walks=2, walk_length=10, dim=32),
+]
+
+
+class TestInterfaceCompliance:
+    @pytest.mark.parametrize("method", FAST_METHODS, ids=lambda m: m.name)
+    def test_scores_shape_and_metadata(self, method, pair, supervision):
+        result = method.align(pair, supervision=supervision,
+                              rng=np.random.default_rng(0))
+        assert result.scores.shape == (
+            pair.source.num_nodes, pair.target.num_nodes
+        )
+        assert result.method == method.name
+        assert result.elapsed_seconds >= 0.0
+        assert np.all(np.isfinite(result.scores))
+
+    @pytest.mark.parametrize("method", FAST_METHODS, ids=lambda m: m.name)
+    def test_runs_without_supervision(self, method, pair):
+        result = method.align(pair, rng=np.random.default_rng(0))
+        assert result.scores.shape == (
+            pair.source.num_nodes, pair.target.num_nodes
+        )
+
+    def test_base_class_abstract(self, pair):
+        with pytest.raises(NotImplementedError):
+            AlignmentMethod().align(pair)
+
+    def test_top_matches_shape(self, pair, supervision):
+        result = FINAL(iterations=10).align(pair, supervision=supervision)
+        assert result.top_matches().shape == (pair.source.num_nodes,)
+
+
+class TestQuality:
+    @pytest.mark.parametrize(
+        "method",
+        [REGAL(), IsoRank(iterations=30), FINAL(iterations=20),
+         CENALP(rounds=2, num_walks=3, walk_length=15, dim=32)],
+        ids=lambda m: m.name,
+    )
+    def test_beats_random(self, method, pair, supervision):
+        result = method.align(pair, supervision=supervision,
+                              rng=np.random.default_rng(1))
+        report = evaluate_alignment(result.scores, pair.groundtruth)
+        assert report.map > 3 * random_baseline_map(pair)
+
+    def test_final_strong_on_attributed_graphs(self, pair, supervision):
+        result = FINAL().align(pair, supervision=supervision)
+        assert success_at(result.scores, pair.groundtruth, 10) > 0.5
+
+    def test_pale_improves_with_supervision(self, pair, supervision):
+        unsupervised = PALE(embedding_epochs=4, dim=32).align(
+            pair, rng=np.random.default_rng(5)
+        )
+        supervised = PALE(embedding_epochs=4, dim=32).align(
+            pair, supervision=pair.groundtruth, rng=np.random.default_rng(5)
+        )
+        map_unsup = evaluate_alignment(unsupervised.scores, pair.groundtruth).map
+        map_sup = evaluate_alignment(supervised.scores, pair.groundtruth).map
+        assert map_sup > map_unsup
+
+    def test_cenalp_anchor_expansion_grows(self, pair, supervision):
+        method = CENALP(rounds=2, num_walks=2, walk_length=10, dim=32)
+        anchors = dict(supervision)
+        scores = np.zeros((pair.source.num_nodes, pair.target.num_nodes))
+        scores[0, 0] = 1.0  # mutual best pair
+        method._expand_anchors(scores, anchors, np.random.default_rng(0))
+        assert len(anchors) >= len(supervision)
+
+
+class TestValidation:
+    def test_isorank_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            IsoRank(alpha=1.0)
+        with pytest.raises(ValueError):
+            IsoRank(iterations=0)
+
+    def test_final_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            FINAL(alpha=-0.1)
+
+    def test_regal_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            REGAL(max_hops=0)
+        with pytest.raises(ValueError):
+            REGAL(discount=0.0)
+
+    def test_pale_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            PALE(dim=0)
+        with pytest.raises(ValueError):
+            PALE(hidden_dim=-1)
+
+    def test_cenalp_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CENALP(jump_probability=2.0)
+        with pytest.raises(ValueError):
+            CENALP(rounds=0)
+
+
+class TestSimilarityHelpers:
+    def test_cosine_bounds(self, rng):
+        sims = cosine_similarity(rng.normal(size=(5, 4)), rng.normal(size=(6, 4)))
+        assert np.all(sims <= 1.0 + 1e-12)
+        assert np.all(sims >= -1.0 - 1e-12)
+
+    def test_cosine_self_diagonal(self, rng):
+        x = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(np.diag(cosine_similarity(x, x)), 1.0)
+
+    def test_attribute_similarity_rejects_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            attribute_similarity(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_prior_from_supervision(self):
+        prior = prior_from_supervision(3, 3, {0: 2, 1: 1})
+        assert prior[0, 2] == 1.0
+        assert prior[1, 1] == 1.0
+        assert prior.sum() == 2.0
+
+    def test_prior_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            prior_from_supervision(2, 2, {5: 0})
+
+
+class TestSkipgram:
+    def test_pairs_within_window(self):
+        from repro.baselines._skipgram import skipgram_pairs
+
+        pairs = skipgram_pairs([[0, 1, 2, 3]], window=1)
+        as_set = {tuple(p) for p in pairs}
+        assert (0, 1) in as_set
+        assert (1, 0) in as_set
+        assert (0, 2) not in as_set
+
+    def test_pairs_empty_walks(self):
+        from repro.baselines._skipgram import skipgram_pairs
+
+        assert skipgram_pairs([], window=2).shape == (0, 2)
+
+    def test_pairs_invalid_window(self):
+        from repro.baselines._skipgram import skipgram_pairs
+
+        with pytest.raises(ValueError):
+            skipgram_pairs([[0, 1]], window=0)
+
+    def test_sgns_cooccurring_nodes_closer(self):
+        from repro.baselines._skipgram import skipgram_pairs, train_sgns
+
+        rng = np.random.default_rng(0)
+        # Two cliques of tokens that only co-occur internally.
+        walks = [[0, 1, 2, 0, 1, 2] for _ in range(50)]
+        walks += [[3, 4, 5, 3, 4, 5] for _ in range(50)]
+        pairs = skipgram_pairs(walks, window=2)
+        emb = train_sgns(pairs, vocab_size=6, dim=16, rng=rng, epochs=4)
+        inside = cosine_similarity(emb[0:1], emb[1:2])[0, 0]
+        across = cosine_similarity(emb[0:1], emb[4:5])[0, 0]
+        assert inside > across
+
+    def test_sgns_empty_pairs(self):
+        from repro.baselines._skipgram import train_sgns
+
+        rng = np.random.default_rng(0)
+        emb = train_sgns(np.empty((0, 2), dtype=np.int64), 4, 8, rng)
+        assert emb.shape == (4, 8)

@@ -1,0 +1,195 @@
+"""Deep tests for the embedding-based baselines: PALE and CENALP."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CENALP, PALE
+from repro.baselines.pale import _train_edge_embedding, _train_mapping
+from repro.graphs import generators, noisy_copy_pair
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(61)
+    return generators.barabasi_albert(50, 2, rng, feature_dim=4)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    rng = np.random.default_rng(62)
+    g = generators.barabasi_albert(50, 2, rng, feature_dim=6,
+                                   feature_kind="degree")
+    return noisy_copy_pair(g, rng, structure_noise_ratio=0.05)
+
+
+class TestPALEEmbedding:
+    def test_adjacent_nodes_closer_than_random(self, graph):
+        rng = np.random.default_rng(0)
+        embedding = _train_edge_embedding(
+            graph, dim=32, epochs=12, batch_size=256, negatives=5, lr=0.02,
+            rng=rng,
+        )
+        normalized = embedding / np.linalg.norm(embedding, axis=1, keepdims=True)
+        edges = graph.edge_list()
+        edge_similarity = np.mean([
+            normalized[u] @ normalized[v] for u, v in edges
+        ])
+        non_edges = []
+        while len(non_edges) < len(edges):
+            u, v = rng.integers(0, graph.num_nodes, 2)
+            if u != v and not graph.has_edge(u, v):
+                non_edges.append((u, v))
+        random_similarity = np.mean([
+            normalized[u] @ normalized[v] for u, v in non_edges
+        ])
+        assert edge_similarity > random_similarity
+
+    def test_edgeless_graph_random_embedding(self):
+        from repro.graphs import AttributedGraph
+
+        graph = AttributedGraph(np.zeros((5, 5)))
+        embedding = _train_edge_embedding(
+            graph, dim=8, epochs=2, batch_size=32, negatives=2, lr=0.01,
+            rng=np.random.default_rng(0),
+        )
+        assert embedding.shape == (5, 8)
+
+
+class TestPALEMapping:
+    def test_linear_recovers_rotation(self, rng):
+        # Target space = rotated source space; a linear map must fix it.
+        source = rng.normal(size=(40, 8))
+        angle_matrix = np.linalg.qr(rng.normal(size=(8, 8)))[0]
+        target = source @ angle_matrix
+        anchors = {i: i for i in range(30)}
+        mapped = _train_mapping(source, target, anchors, hidden_dim=0,
+                                epochs=400, lr=0.02, rng=rng)
+        held_out = np.mean(np.linalg.norm(mapped[30:] - target[30:], axis=1))
+        baseline = np.mean(np.linalg.norm(source[30:] - target[30:], axis=1))
+        assert held_out < 0.5 * baseline
+
+    def test_mlp_mapping_runs(self, rng):
+        source = rng.normal(size=(20, 6))
+        target = rng.normal(size=(20, 6))
+        mapped = _train_mapping(source, target, {i: i for i in range(10)},
+                                hidden_dim=16, epochs=50, lr=0.01, rng=rng)
+        assert mapped.shape == (20, 6)
+
+    def test_mlp_variant_constructible(self, pair):
+        method = PALE(hidden_dim=16, embedding_epochs=2, mapping_epochs=20,
+                      dim=16)
+        result = method.align(pair, supervision=pair.groundtruth,
+                              rng=np.random.default_rng(0))
+        assert result.scores.shape == (50, 50)
+
+
+class TestCENALPWalks:
+    @pytest.fixture
+    def method(self):
+        return CENALP(num_walks=2, walk_length=12, rounds=1, dim=16)
+
+    def test_walk_steps_are_edges_or_jumps(self, method, pair):
+        rng = np.random.default_rng(0)
+        anchors = dict(list(pair.groundtruth.items())[:10])
+        inverse = {t: s for s, t in anchors.items()}
+        n1 = pair.source.num_nodes
+        neighbors_source = [pair.source.neighbors(i) for i in range(n1)]
+        neighbors_target = [
+            pair.target.neighbors(j) for j in range(pair.target.num_nodes)
+        ]
+        degrees_source = pair.source.degrees()
+        degrees_target = pair.target.degrees()
+        walk = method._single_walk(
+            0, 0, neighbors_source, neighbors_target,
+            degrees_source, degrees_target, anchors, inverse, rng,
+        )
+        for prev, current in zip(walk, walk[1:]):
+            prev_graph, current_graph = prev >= n1, current >= n1
+            if prev_graph == current_graph:
+                graph = pair.target if prev_graph else pair.source
+                offset = n1 if prev_graph else 0
+                assert graph.has_edge(prev - offset, current - offset)
+            else:
+                # Cross-graph move must follow an anchor link.
+                if prev_graph:
+                    assert inverse[prev - n1] == current
+                else:
+                    assert anchors[prev] == current - n1
+
+    def test_jump_probability_zero_stays_in_graph(self, pair):
+        method = CENALP(num_walks=1, walk_length=15, rounds=1,
+                        jump_probability=0.0, dim=16)
+        rng = np.random.default_rng(0)
+        n1 = pair.source.num_nodes
+        anchors = dict(pair.groundtruth)
+        walks = method._cross_graph_walks(
+            [pair.source.neighbors(i) for i in range(n1)],
+            [pair.target.neighbors(j) for j in range(pair.target.num_nodes)],
+            pair.source.degrees(), pair.target.degrees(), anchors, rng,
+        )
+        for walk in walks:
+            sides = {node >= n1 for node in walk}
+            assert len(sides) == 1  # never crosses
+
+    def test_expansion_respects_budget(self, pair):
+        method = CENALP(expansion_per_round=0.05, rounds=1)
+        anchors = {}
+        scores = np.eye(pair.source.num_nodes) + 0.01
+        method._expand_anchors(scores, anchors, np.random.default_rng(0))
+        budget = max(1, int(0.05 * pair.source.num_nodes))
+        assert len(anchors) <= budget
+
+    def test_expansion_skips_taken_targets(self, pair):
+        method = CENALP()
+        anchors = {0: 0}
+        scores = np.zeros((4, 4))
+        scores[1, 0] = 0.9  # best target already taken by anchor 0
+        scores[1, 1] = 0.1
+        scores[2, 2] = 0.8
+        method._expand_anchors(scores, anchors, np.random.default_rng(0))
+        assert anchors.get(1) != 0
+
+
+class TestCENALPLinkPrediction:
+    def test_predicted_links_added(self, pair):
+        method = CENALP(predict_links=True, links_per_round=0.1,
+                        rounds=1, num_walks=1, walk_length=8, dim=16)
+        n1 = pair.source.num_nodes
+        neighbors = [pair.source.neighbors(i) for i in range(n1)]
+        degrees = pair.source.degrees()
+        before = sum(len(x) for x in neighbors)
+        rng = np.random.default_rng(0)
+        embedding = rng.normal(size=(n1, 16))
+        method._add_predicted_links(embedding, neighbors, degrees,
+                                    pair.source.num_edges)
+        after = sum(len(x) for x in neighbors)
+        assert after > before
+        # Degrees track the added links.
+        assert degrees.sum() == after
+
+    def test_no_duplicate_links(self, pair):
+        method = CENALP(predict_links=True, links_per_round=0.2, rounds=1)
+        n1 = pair.source.num_nodes
+        neighbors = [pair.source.neighbors(i) for i in range(n1)]
+        degrees = pair.source.degrees()
+        rng = np.random.default_rng(0)
+        embedding = rng.normal(size=(n1, 8))
+        method._add_predicted_links(embedding, neighbors, degrees,
+                                    pair.source.num_edges)
+        for node, adjacency in enumerate(neighbors):
+            assert len(set(adjacency.tolist())) == len(adjacency)
+            assert node not in adjacency
+
+    def test_end_to_end_with_link_prediction(self, pair):
+        method = CENALP(predict_links=True, rounds=2, num_walks=2,
+                        walk_length=10, dim=24)
+        rng = np.random.default_rng(0)
+        sup = dict(list(pair.groundtruth.items())[:5])
+        result = method.align(pair, supervision=sup, rng=rng)
+        assert result.scores.shape == (
+            pair.source.num_nodes, pair.target.num_nodes
+        )
+
+    def test_validates_links_per_round(self):
+        with pytest.raises(ValueError):
+            CENALP(links_per_round=-0.1)

@@ -1,0 +1,140 @@
+"""Tests for the extension baselines BigAlign and IONE."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BigAlign, DeepLink, IONE
+from repro.graphs import generators, noisy_copy_pair
+from repro.metrics import evaluate_alignment
+
+
+@pytest.fixture(scope="module")
+def pair():
+    rng = np.random.default_rng(21)
+    graph = generators.barabasi_albert(
+        60, 2, rng, feature_dim=8, feature_kind="degree"
+    )
+    return noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+
+
+@pytest.fixture(scope="module")
+def supervision(pair):
+    rng = np.random.default_rng(22)
+    train, _ = pair.split_groundtruth(0.2, rng)
+    return train
+
+
+def random_map(pair):
+    rng = np.random.default_rng(0)
+    scores = rng.random((pair.source.num_nodes, pair.target.num_nodes))
+    return evaluate_alignment(scores, pair.groundtruth).map
+
+
+class TestBigAlign:
+    def test_scores_shape(self, pair):
+        result = BigAlign().align(pair, rng=np.random.default_rng(0))
+        assert result.scores.shape == (60, 60)
+        assert np.all(np.isfinite(result.scores))
+
+    def test_beats_random(self, pair):
+        result = BigAlign().align(pair, rng=np.random.default_rng(0))
+        report = evaluate_alignment(result.scores, pair.groundtruth)
+        assert report.map > 3 * random_map(pair)
+
+    def test_without_attributes(self, pair):
+        result = BigAlign(use_attributes=False).align(
+            pair, rng=np.random.default_rng(0)
+        )
+        assert result.scores.shape == (60, 60)
+
+    def test_attribute_dim_mismatch_falls_back(self, rng):
+        from repro.graphs import AlignmentPair
+
+        g1 = generators.erdos_renyi(20, 0.2, rng, feature_dim=4)
+        g2 = generators.erdos_renyi(20, 0.2, rng, feature_dim=6)
+        pair = AlignmentPair(g1, g2, {0: 0})
+        result = BigAlign().align(pair, rng=rng)
+        assert result.scores.shape == (g1.num_nodes, g2.num_nodes)
+
+    def test_validates_ridge(self):
+        with pytest.raises(ValueError):
+            BigAlign(ridge=0.0)
+
+    def test_is_fast(self, pair):
+        result = BigAlign().align(pair, rng=np.random.default_rng(0))
+        assert result.elapsed_seconds < 2.0
+
+
+class TestIONE:
+    def test_scores_shape(self, pair, supervision):
+        result = IONE(epochs=3, dim=24).align(
+            pair, supervision=supervision, rng=np.random.default_rng(0)
+        )
+        assert result.scores.shape == (60, 60)
+
+    def test_anchor_sharing_pins_anchors(self, pair, supervision):
+        # Supervised anchors share a vector: their similarity must be 1.
+        result = IONE(epochs=2, dim=16).align(
+            pair, supervision=supervision, rng=np.random.default_rng(0)
+        )
+        for source, target in supervision.items():
+            assert result.scores[source, target] == pytest.approx(1.0)
+
+    def test_supervision_improves(self, pair, supervision):
+        no_sup = IONE(epochs=3, dim=24).align(
+            pair, rng=np.random.default_rng(1)
+        )
+        with_sup = IONE(epochs=3, dim=24).align(
+            pair, supervision=pair.groundtruth, rng=np.random.default_rng(1)
+        )
+        map_no = evaluate_alignment(no_sup.scores, pair.groundtruth).map
+        map_with = evaluate_alignment(with_sup.scores, pair.groundtruth).map
+        assert map_with > map_no
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            IONE(dim=0)
+        with pytest.raises(ValueError):
+            IONE(epochs=0)
+
+
+class TestDeepLink:
+    def test_scores_shape(self, pair, supervision):
+        method = DeepLink(num_walks=2, walk_length=10, mapping_epochs=50,
+                          dim=32)
+        result = method.align(pair, supervision=supervision,
+                              rng=np.random.default_rng(0))
+        assert result.scores.shape == (60, 60)
+        assert np.all(np.isfinite(result.scores))
+
+    def test_beats_random_with_rich_supervision(self, pair):
+        rng = np.random.default_rng(3)
+        train, _ = pair.split_groundtruth(0.5, rng)
+        method = DeepLink(num_walks=3, walk_length=12, mapping_epochs=150,
+                          dim=32)
+        result = method.align(pair, supervision=train,
+                              rng=np.random.default_rng(0))
+        report = evaluate_alignment(result.scores, pair.groundtruth)
+        assert report.map > 2 * random_map(pair)
+
+    def test_runs_unsupervised(self, pair):
+        method = DeepLink(num_walks=1, walk_length=8, dim=16)
+        result = method.align(pair, rng=np.random.default_rng(0))
+        assert result.scores.shape == (60, 60)
+
+    def test_walks_follow_edges(self, pair):
+        from repro.baselines.deeplink import _unbiased_walks
+
+        rng = np.random.default_rng(0)
+        walks = _unbiased_walks(pair.source, num_walks=1, walk_length=6,
+                                rng=rng)
+        assert len(walks) == pair.source.num_nodes
+        for walk in walks:
+            for u, v in zip(walk, walk[1:]):
+                assert pair.source.has_edge(u, v)
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            DeepLink(dim=0)
+        with pytest.raises(ValueError):
+            DeepLink(cycle_weight=-1.0)

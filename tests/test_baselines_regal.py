@@ -1,0 +1,86 @@
+"""Deep tests for REGAL's xNetMF features and landmark embedding."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import REGAL
+from repro.baselines.regal import _khop_degree_histograms
+from repro.graphs import AttributedGraph, apply_permutation, generators, noisy_copy_pair
+from repro.metrics import evaluate_alignment
+
+
+class TestKhopHistograms:
+    def test_path_graph_hop1(self):
+        # Path 0-1-2: degrees [1, 2, 1]; bins: log2(1)=0, log2(2)=1.
+        graph = AttributedGraph.from_edges(3, [(0, 1), (1, 2)])
+        features = _khop_degree_histograms(graph, max_hops=1, num_bins=4,
+                                           discount=1.0)
+        # Node 0 sees node 1 (degree 2 → bin 1) at hop 1.
+        assert features[0, 1] == 1.0
+        # Node 1 sees nodes 0 and 2 (degree 1 → bin 0).
+        assert features[1, 0] == 2.0
+
+    def test_discount_scales_far_hops(self):
+        graph = AttributedGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        no_discount = _khop_degree_histograms(graph, 2, 4, discount=1.0)
+        discounted = _khop_degree_histograms(graph, 2, 4, discount=0.1)
+        # Hop-1 contributions identical; hop-2 shrinks by 10x.
+        hop2_mass_full = no_discount[0].sum()
+        hop2_mass_discounted = discounted[0].sum()
+        assert hop2_mass_discounted < hop2_mass_full
+
+    def test_permutation_equivariance(self, rng):
+        graph = generators.erdos_renyi(25, 0.2, rng, feature_dim=2)
+        perm = rng.permutation(graph.num_nodes)
+        permuted = apply_permutation(graph, perm)
+        original = _khop_degree_histograms(graph, 2, 8, 0.5)
+        moved = _khop_degree_histograms(permuted, 2, 8, 0.5)
+        np.testing.assert_allclose(moved[perm], original)
+
+
+class TestREGALEndToEnd:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        rng = np.random.default_rng(41)
+        graph = generators.barabasi_albert(70, 2, rng, feature_dim=6,
+                                           feature_kind="degree")
+        return noisy_copy_pair(graph, rng, structure_noise_ratio=0.03)
+
+    def test_exact_copy_nearly_perfect(self, rng):
+        graph = generators.barabasi_albert(50, 2, rng, feature_dim=6,
+                                           feature_kind="degree")
+        pair = noisy_copy_pair(graph, rng)  # no noise at all
+        result = REGAL().align(pair, rng=np.random.default_rng(0))
+        report = evaluate_alignment(result.scores, pair.groundtruth)
+        assert report.success_at_10 > 0.8
+
+    def test_landmark_count_controls_rank(self, pair):
+        result = REGAL(num_landmarks=6).align(pair, rng=np.random.default_rng(0))
+        # Embedding rank bounded by landmark count: scores matrix rank <= 6.
+        rank = np.linalg.matrix_rank(result.scores, tol=1e-8)
+        assert rank <= 6
+
+    def test_more_landmarks_not_worse(self, pair):
+        few = REGAL(num_landmarks=4).align(pair, rng=np.random.default_rng(0))
+        many = REGAL(num_landmarks=64).align(pair, rng=np.random.default_rng(0))
+        map_few = evaluate_alignment(few.scores, pair.groundtruth).map
+        map_many = evaluate_alignment(many.scores, pair.groundtruth).map
+        assert map_many >= map_few - 0.1
+
+    def test_attribute_weight_zero_ignores_attributes(self, pair):
+        structure_only = REGAL(attribute_weight=0.0)
+        result = structure_only.align(pair, rng=np.random.default_rng(0))
+        # Shuffling attributes must not change structure-only output.
+        shuffled = noisy_copy_pair(pair.source, np.random.default_rng(1))
+        assert result.scores.shape == (
+            pair.source.num_nodes, pair.target.num_nodes
+        )
+
+    def test_different_attribute_dims_fall_back(self, rng):
+        from repro.graphs import AlignmentPair
+
+        g1 = generators.erdos_renyi(20, 0.2, rng, feature_dim=3)
+        g2 = generators.erdos_renyi(22, 0.2, rng, feature_dim=5)
+        pair = AlignmentPair(g1, g2, {0: 0})
+        result = REGAL().align(pair, rng=rng)
+        assert result.scores.shape == (g1.num_nodes, g2.num_nodes)

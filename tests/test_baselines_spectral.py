@@ -1,0 +1,123 @@
+"""Deep tests for the spectral baselines: FINAL and IsoRank."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FINAL, IsoRank
+from repro.graphs import AlignmentPair, AttributedGraph, generators, noisy_copy_pair
+from repro.metrics import evaluate_alignment
+
+
+@pytest.fixture(scope="module")
+def pair():
+    rng = np.random.default_rng(51)
+    graph = generators.barabasi_albert(60, 2, rng, feature_dim=8,
+                                       feature_kind="degree")
+    return noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+
+
+@pytest.fixture(scope="module")
+def supervision(pair):
+    rng = np.random.default_rng(52)
+    train, _ = pair.split_groundtruth(0.1, rng)
+    return train
+
+
+class TestFINALNodeSimilarity:
+    def test_binary_exact_match_semantics(self, rng):
+        # Multi-hot rows: only identical vectors count as matching.
+        features_source = np.array([[1.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+        features_target = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 0.0],
+                                    [1.0, 1.0, 1.0]])
+        g_source = AttributedGraph.from_edges(2, [(0, 1)], features_source)
+        g_target = AttributedGraph.from_edges(3, [(0, 1), (1, 2)], features_target)
+        method = FINAL()
+        similarity = method._node_similarity(
+            AlignmentPair(g_source, g_target, {0: 0})
+        )
+        assert similarity[0, 0] == 1.0   # identical multi-hot rows
+        assert similarity[0, 1] == 0.0   # same popcount, different bits
+        assert similarity[0, 2] == 0.0   # superset is not an exact match
+        assert similarity[1, 1] == 0.0
+
+    def test_real_features_cosine(self, rng):
+        features = rng.uniform(0.1, 1.0, size=(4, 3))
+        g = AttributedGraph.from_edges(4, [(0, 1), (2, 3)], features)
+        similarity = FINAL()._node_similarity(AlignmentPair(g, g, {0: 0}))
+        np.testing.assert_allclose(np.diag(similarity), 1.0, rtol=1e-9)
+
+    def test_mismatched_dims_uniform(self, rng):
+        g1 = generators.erdos_renyi(5, 0.5, rng, feature_dim=2)
+        g2 = generators.erdos_renyi(6, 0.5, rng, feature_dim=3)
+        similarity = FINAL()._node_similarity(AlignmentPair(g1, g2, {0: 0}))
+        np.testing.assert_array_equal(
+            similarity, np.ones((g1.num_nodes, g2.num_nodes))
+        )
+
+
+class TestFINALFixedPoint:
+    def test_converges_before_cap(self, pair, supervision):
+        loose = FINAL(iterations=100, tolerance=1e-4)
+        strict = FINAL(iterations=100, tolerance=1e-12)
+        scores_loose = loose.align(pair, supervision=supervision).scores
+        scores_strict = strict.align(pair, supervision=supervision).scores
+        # Both near the same fixed point.
+        assert np.max(np.abs(scores_loose - scores_strict)) < 1e-2
+
+    def test_alpha_zero_returns_prior(self, pair, supervision):
+        method = FINAL(alpha=0.0, iterations=5)
+        scores = method.align(pair, supervision=supervision).scores
+        # With alpha=0 the iteration is the prior itself: supervised spikes
+        # dominate their rows.
+        for source, target in supervision.items():
+            assert scores[source].argmax() == target
+
+    def test_supervision_improves(self, pair, supervision):
+        without = FINAL().align(pair).scores
+        with_sup = FINAL().align(pair, supervision=pair.groundtruth).scores
+        map_without = evaluate_alignment(without, pair.groundtruth).map
+        map_with = evaluate_alignment(with_sup, pair.groundtruth).map
+        assert map_with >= map_without
+
+
+class TestIsoRank:
+    def test_scores_nonnegative(self, pair, supervision):
+        scores = IsoRank().align(pair, supervision=supervision).scores
+        assert scores.min() >= 0.0
+
+    def test_mass_preserved_roughly(self, pair, supervision):
+        # The (1-alpha) prior injection keeps total mass bounded.
+        scores = IsoRank(iterations=50).align(pair, supervision=supervision).scores
+        assert 0.0 < scores.sum() < 10.0
+
+    def test_attribute_prior_without_supervision(self, pair):
+        scores = IsoRank().align(pair).scores
+        assert np.all(np.isfinite(scores))
+
+    def test_uniform_prior_on_dim_mismatch(self, rng):
+        g1 = generators.erdos_renyi(10, 0.3, rng, feature_dim=2)
+        g2 = generators.erdos_renyi(12, 0.3, rng, feature_dim=4)
+        pair_mismatch = AlignmentPair(g1, g2, {0: 0})
+        scores = IsoRank(iterations=5).align(pair_mismatch).scores
+        assert scores.shape == (10, 12)
+
+    def test_more_iterations_converge(self, pair, supervision):
+        short = IsoRank(iterations=2, tolerance=0.0).align(
+            pair, supervision=supervision
+        ).scores
+        long = IsoRank(iterations=80, tolerance=0.0).align(
+            pair, supervision=supervision
+        ).scores
+        longer = IsoRank(iterations=120, tolerance=0.0).align(
+            pair, supervision=supervision
+        ).scores
+        # Later iterates closer together than early ones (geometric decay).
+        assert np.abs(longer - long).max() < np.abs(long - short).max() + 1e-12
+
+    def test_isolated_target_nodes_safe(self, rng):
+        source = generators.erdos_renyi(8, 0.4, rng, feature_dim=2)
+        target = AttributedGraph.from_edges(8, [(0, 1)],
+                                            source.features.copy())
+        pair_isolated = AlignmentPair(source, target, {0: 0})
+        scores = IsoRank(iterations=5).align(pair_isolated).scores
+        assert np.all(np.isfinite(scores))

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import generators, noisy_copy_pair
+from repro.graphs.io import load_groundtruth, save_alignment_pair
+
+
+@pytest.fixture
+def pair_dir(tmp_path, rng):
+    graph = generators.barabasi_albert(40, 2, rng, feature_dim=6,
+                                       feature_kind="degree")
+    pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+    directory = str(tmp_path / "pair")
+    save_alignment_pair(pair, directory)
+    return directory
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_align_defaults(self):
+        args = build_parser().parse_args(["align", "--pair", "/x"])
+        assert args.method == "galign"
+        assert args.epochs == 50
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestGenerate:
+    def test_ba_pair_written(self, tmp_path, capsys):
+        out = str(tmp_path / "generated")
+        code = main(["generate", "--dataset", "ba", "--nodes", "30",
+                     "--out", out, "--seed", "1"])
+        assert code == 0
+        groundtruth = load_groundtruth(f"{out}/groundtruth.txt")
+        assert len(groundtruth) > 0
+
+    def test_named_dataset(self, tmp_path):
+        out = str(tmp_path / "douban")
+        code = main(["generate", "--dataset", "douban", "--scale", "0.02",
+                     "--out", out])
+        assert code == 0
+
+    def test_unknown_dataset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--dataset", "nope",
+                  "--out", str(tmp_path / "x")])
+
+
+class TestStats:
+    def test_prints_summary(self, pair_dir, capsys):
+        assert main(["stats", "--pair", pair_dir]) == 0
+        output = capsys.readouterr().out
+        assert "anchors : 40" in output
+        assert "size ratio" in output
+
+
+class TestAlign:
+    def test_galign_run(self, pair_dir, tmp_path, capsys):
+        anchors_path = str(tmp_path / "anchors.txt")
+        code = main(["align", "--pair", pair_dir, "--method", "galign",
+                     "--epochs", "10", "--dim", "16",
+                     "--refinement-iterations", "2",
+                     "--out", anchors_path])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "metrics" in output
+        anchors = load_groundtruth(anchors_path)
+        assert len(anchors) == 40
+
+    @pytest.mark.parametrize("method", ["regal", "final", "bigalign"])
+    def test_fast_baselines(self, pair_dir, method, capsys):
+        assert main(["align", "--pair", pair_dir, "--method", method]) == 0
+        assert "metrics" in capsys.readouterr().out
+
+    def test_unknown_method(self, pair_dir):
+        with pytest.raises(SystemExit):
+            main(["align", "--pair", pair_dir, "--method", "quantum"])
+
+
+class TestCompare:
+    def test_prints_table(self, pair_dir, capsys, monkeypatch):
+        # Shrink the roster for test speed: only GAlign + FINAL.
+        from repro.cli import main as cli_main
+        from repro.eval import MethodSpec
+        from repro.baselines import FINAL
+        from repro import GAlign, GAlignConfig
+        import repro.eval.experiments as experiments
+
+        monkeypatch.setattr(
+            experiments, "all_method_specs",
+            lambda: [
+                MethodSpec("GAlign", lambda: GAlign(GAlignConfig(
+                    epochs=5, embedding_dim=8, refinement_iterations=1,
+                    seed=0,
+                ))),
+                MethodSpec("FINAL", lambda: FINAL(iterations=5)),
+            ],
+        )
+        assert cli_main(["compare", "--pair", pair_dir]) == 0
+        output = capsys.readouterr().out
+        assert "GAlign" in output
+        assert "FINAL" in output
+        assert "MAP" in output
+
+    def test_requires_groundtruth(self, tmp_path, rng):
+        from repro.graphs import AlignmentPair, generators
+        from repro.graphs.io import save_alignment_pair
+        import os
+
+        graph = generators.erdos_renyi(10, 0.3, rng, feature_dim=2)
+        pair = AlignmentPair(graph, graph.copy(), {0: 0})
+        directory = str(tmp_path / "nogt")
+        save_alignment_pair(pair, directory)
+        os.remove(os.path.join(directory, "groundtruth.txt"))
+        # Write an empty ground truth file.
+        open(os.path.join(directory, "groundtruth.txt"), "w").close()
+        with pytest.raises(SystemExit):
+            main(["compare", "--pair", directory])

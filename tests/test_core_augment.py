@@ -1,0 +1,60 @@
+"""Tests for the graph augmenter (§V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphAugmenter
+from repro.graphs import generators
+
+
+class TestAugmenter:
+    def test_num_views(self, small_graph, rng):
+        views = GraphAugmenter(num_views=3).augment(small_graph, rng)
+        assert len(views) == 3
+
+    def test_zero_views(self, small_graph, rng):
+        assert GraphAugmenter(num_views=0).augment(small_graph, rng) == []
+
+    def test_correspondence_is_permutation(self, small_graph, rng):
+        view = GraphAugmenter().augment_once(small_graph, rng)
+        assert np.array_equal(
+            np.sort(view.correspondence), np.arange(small_graph.num_nodes)
+        )
+
+    def test_no_permute_identity_correspondence(self, small_graph, rng):
+        view = GraphAugmenter(permute=False).augment_once(small_graph, rng)
+        np.testing.assert_array_equal(
+            view.correspondence, np.arange(small_graph.num_nodes)
+        )
+
+    def test_pure_permutation_preserves_structure(self, small_graph, rng):
+        augmenter = GraphAugmenter(structure_noise=0.0, attribute_noise=0.0)
+        view = augmenter.augment_once(small_graph, rng)
+        assert view.graph.num_edges == small_graph.num_edges
+        # Features travel with nodes.
+        for node in range(small_graph.num_nodes):
+            np.testing.assert_array_equal(
+                view.graph.features[view.correspondence[node]],
+                small_graph.features[node],
+            )
+
+    def test_structure_noise_changes_edges(self, rng):
+        graph = generators.barabasi_albert(100, 3, rng)
+        augmenter = GraphAugmenter(structure_noise=0.4, attribute_noise=0.0)
+        view = augmenter.augment_once(graph, rng)
+        assert view.graph.num_edges != graph.num_edges
+
+    def test_attribute_noise_changes_features(self, rng):
+        graph = generators.barabasi_albert(100, 3, rng, feature_kind="onehot")
+        augmenter = GraphAugmenter(structure_noise=0.0, attribute_noise=0.9,
+                                   permute=False)
+        view = augmenter.augment_once(graph, rng)
+        assert not np.array_equal(view.graph.features, graph.features)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphAugmenter(num_views=-1)
+        with pytest.raises(ValueError):
+            GraphAugmenter(structure_noise=1.5)
+        with pytest.raises(ValueError):
+            GraphAugmenter(attribute_noise=-0.1)

@@ -1,0 +1,68 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GAlignConfig,
+    GAlignTrainer,
+    load_model,
+    save_model,
+)
+from repro.graphs import generators, noisy_copy_pair
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(81)
+    graph = generators.barabasi_albert(40, 2, rng, feature_dim=6,
+                                       feature_kind="degree")
+    pair = noisy_copy_pair(graph, rng)
+    config = GAlignConfig(epochs=8, embedding_dim=12, seed=0,
+                          layer_weights=[0.5, 0.3, 0.2])
+    model, _ = GAlignTrainer(config, rng).train(pair)
+    return pair, model, config
+
+
+class TestCheckpointRoundtrip:
+    def test_embeddings_identical_after_reload(self, trained, tmp_path):
+        pair, model, _ = trained
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        reloaded, _ = load_model(path)
+        for original, restored in zip(
+            model.embed(pair.source), reloaded.embed(pair.source)
+        ):
+            np.testing.assert_allclose(restored, original, rtol=1e-12)
+
+    def test_config_restored(self, trained, tmp_path):
+        _, model, config = trained
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        _, restored_config = load_model(path)
+        assert restored_config.embedding_dim == config.embedding_dim
+        assert restored_config.num_layers == config.num_layers
+        assert restored_config.layer_weights == [0.5, 0.3, 0.2]
+
+    def test_creates_directories(self, trained, tmp_path):
+        _, model, _ = trained
+        path = str(tmp_path / "a" / "b" / "model.npz")
+        save_model(model, path)
+        load_model(path)
+
+    def test_unknown_version_rejected(self, trained, tmp_path):
+        import json
+
+        _, model, _ = trained
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        header = json.loads(bytes(arrays["header"].tobytes()).decode())
+        header["format_version"] = 999
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError):
+            load_model(path)

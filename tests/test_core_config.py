@@ -1,0 +1,57 @@
+"""Tests for GAlignConfig validation and defaults."""
+
+import pytest
+
+from repro.core import GAlignConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = GAlignConfig()
+        assert config.num_layers == 2
+        assert config.embedding_dim == 200
+        assert config.gamma == pytest.approx(0.8)
+        assert config.influence_gain == pytest.approx(1.1)
+        assert config.stability_threshold == pytest.approx(0.94)
+        assert config.activation == "tanh"
+
+    def test_uniform_layer_weights(self):
+        config = GAlignConfig(num_layers=2)
+        weights = config.resolved_layer_weights()
+        assert len(weights) == 3
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w == pytest.approx(1.0 / 3) for w in weights)
+
+    def test_explicit_layer_weights(self):
+        config = GAlignConfig(num_layers=2, layer_weights=[0.5, 0.3, 0.2])
+        assert config.resolved_layer_weights() == [0.5, 0.3, 0.2]
+
+
+class TestValidation:
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            GAlignConfig(num_layers=0)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            GAlignConfig(gamma=1.5)
+
+    def test_rejects_beta_not_above_one(self):
+        with pytest.raises(ValueError):
+            GAlignConfig(influence_gain=1.0)
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            GAlignConfig(activation="gelu")
+
+    def test_rejects_wrong_weight_count(self):
+        with pytest.raises(ValueError):
+            GAlignConfig(num_layers=2, layer_weights=[1.0, 0.0])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            GAlignConfig(num_layers=1, layer_weights=[-0.1, 1.1])
+
+    def test_rejects_bad_embedding_dim(self):
+        with pytest.raises(ValueError):
+            GAlignConfig(embedding_dim=0)

@@ -1,0 +1,122 @@
+"""Tests for anchor-link instantiation policies (one-to-one/one-to-many)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnchorLink,
+    mutual_best,
+    one_to_many,
+    one_to_one,
+    soft_assignment,
+)
+
+
+@pytest.fixture
+def scores():
+    return np.array([
+        [0.9, 0.1, 0.5],
+        [0.2, 0.8, 0.7],
+        [0.3, 0.75, 0.6],
+    ])
+
+
+class TestOneToOne:
+    def test_top1_policy(self, scores):
+        links = one_to_one(scores, policy="top1")
+        assert [l.target for l in links] == [0, 1, 1]
+        assert links[0].score == pytest.approx(0.9)
+
+    def test_top1_not_injective(self, scores):
+        links = one_to_one(scores, policy="top1")
+        targets = [l.target for l in links]
+        assert len(set(targets)) < len(targets)
+
+    def test_greedy_injective(self, scores):
+        links = one_to_one(scores, policy="greedy")
+        targets = [l.target for l in links]
+        assert len(set(targets)) == len(targets)
+
+    def test_optimal_maximizes_total(self, scores):
+        optimal = one_to_one(scores, policy="optimal")
+        greedy = one_to_one(scores, policy="greedy")
+        total_optimal = sum(l.score for l in optimal)
+        total_greedy = sum(l.score for l in greedy)
+        assert total_optimal >= total_greedy - 1e-12
+
+    def test_unknown_policy(self, scores):
+        with pytest.raises(ValueError):
+            one_to_one(scores, policy="psychic")
+
+    def test_anchor_link_frozen(self):
+        link = AnchorLink(0, 1, 0.5)
+        with pytest.raises(AttributeError):
+            link.score = 0.9
+
+
+class TestOneToMany:
+    def test_max_targets_cap(self, scores):
+        links = one_to_many(scores, max_targets=2)
+        assert all(len(v) <= 2 for v in links.values())
+        assert set(links) == {0, 1, 2}
+
+    def test_sorted_descending(self, scores):
+        links = one_to_many(scores, max_targets=3)
+        for candidates in links.values():
+            values = [l.score for l in candidates]
+            assert values == sorted(values, reverse=True)
+
+    def test_absolute_threshold(self, scores):
+        links = one_to_many(scores, max_targets=3, threshold=0.7)
+        assert [l.target for l in links[0]] == [0]
+        assert len(links[1]) == 2  # 0.8 and 0.7
+
+    def test_relative_threshold(self, scores):
+        links = one_to_many(scores, max_targets=3, relative_threshold=0.9)
+        # Row 1: max 0.8, keep >= 0.72 → {1 (0.8), 2 (0.7 excluded)}.
+        assert [l.target for l in links[1]] == [1]
+
+    def test_validates_params(self, scores):
+        with pytest.raises(ValueError):
+            one_to_many(scores, max_targets=0)
+        with pytest.raises(ValueError):
+            one_to_many(scores, relative_threshold=1.5)
+
+    def test_k_capped_at_target_count(self, scores):
+        links = one_to_many(scores, max_targets=100)
+        assert all(len(v) == 3 for v in links.values())
+
+
+class TestMutualBest:
+    def test_only_reciprocal_pairs(self, scores):
+        links = mutual_best(scores)
+        pairs = {(l.source, l.target) for l in links}
+        # Row argmaxes: 0→0, 1→1, 2→1.  Column argmaxes: 0→0, 1→1, 2→1.
+        assert (0, 0) in pairs
+        assert (1, 1) in pairs
+        assert (2, 1) not in pairs
+
+    def test_identity_matrix_all_mutual(self):
+        links = mutual_best(np.eye(4) + 0.01)
+        assert len(links) == 4
+
+
+class TestSoftAssignment:
+    def test_rows_sum_to_one(self, scores):
+        soft = soft_assignment(scores)
+        np.testing.assert_allclose(soft.sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_low_temperature_peaks(self, scores):
+        sharp = soft_assignment(scores, temperature=0.01)
+        np.testing.assert_array_equal(
+            sharp.argmax(axis=1), scores.argmax(axis=1)
+        )
+        assert sharp.max() > 0.999
+
+    def test_high_temperature_flattens(self, scores):
+        flat = soft_assignment(scores, temperature=100.0)
+        assert flat.std() < 0.01
+
+    def test_invalid_temperature(self, scores):
+        with pytest.raises(ValueError):
+            soft_assignment(scores, temperature=0.0)

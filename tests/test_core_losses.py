@@ -1,0 +1,113 @@
+"""Tests for the consistency / adaptivity / combined losses."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import (
+    GAlignConfig,
+    MultiOrderGCN,
+    adaptivity_loss,
+    combined_loss,
+    consistency_loss,
+)
+from repro.graphs import propagation_matrix
+
+
+def embeddings_for(graph, seed=0, **kwargs):
+    config = GAlignConfig(num_layers=2, embedding_dim=8, **kwargs)
+    model = MultiOrderGCN(graph.num_features, config, np.random.default_rng(seed))
+    return model.forward(graph)
+
+
+class TestConsistencyLoss:
+    def test_positive_scalar(self, small_graph):
+        prop = propagation_matrix(small_graph)
+        loss = consistency_loss(prop, embeddings_for(small_graph))
+        assert loss.data.size == 1
+        assert float(loss.data) > 0.0
+
+    def test_requires_trained_layer(self, small_graph):
+        prop = propagation_matrix(small_graph)
+        with pytest.raises(ValueError):
+            consistency_loss(prop, [Tensor(small_graph.features)])
+
+    def test_zero_when_gram_matches_target(self, tiny_graph):
+        prop = propagation_matrix(tiny_graph)
+        # Construct H with H Hᵀ == C exactly via eigendecomposition.
+        dense = prop.toarray()
+        values, vectors = np.linalg.eigh(dense)
+        values = np.clip(values, 0.0, None)  # PSD part
+        h = vectors @ np.diag(np.sqrt(values))
+        psd_target = h @ h.T
+        loss = consistency_loss(prop, [Tensor(tiny_graph.features), Tensor(h)])
+        expected = np.linalg.norm(dense - psd_target)
+        assert float(loss.data) == pytest.approx(expected, abs=1e-6)
+
+    def test_gradient_flows_to_weights(self, small_graph):
+        config = GAlignConfig(num_layers=1, embedding_dim=4)
+        model = MultiOrderGCN(
+            small_graph.num_features, config, np.random.default_rng(0)
+        )
+        prop = propagation_matrix(small_graph)
+        loss = consistency_loss(prop, model.forward(small_graph, prop))
+        loss.backward()
+        assert model.weights[0].grad is not None
+        assert np.any(model.weights[0].grad != 0.0)
+
+
+class TestAdaptivityLoss:
+    def test_zero_for_identical_embeddings(self, small_graph):
+        embeddings = embeddings_for(small_graph)
+        identity = np.arange(small_graph.num_nodes)
+        loss = adaptivity_loss(embeddings, embeddings, identity, threshold=1.0)
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-3)
+
+    def test_positive_for_different_embeddings(self, small_graph):
+        a = embeddings_for(small_graph, seed=0)
+        b = embeddings_for(small_graph, seed=1)
+        identity = np.arange(small_graph.num_nodes)
+        loss = adaptivity_loss(a, b, identity, threshold=10.0)
+        assert float(loss.data) > 0.0
+
+    def test_threshold_masks_large_differences(self, small_graph):
+        a = embeddings_for(small_graph, seed=0)
+        b = embeddings_for(small_graph, seed=1)
+        identity = np.arange(small_graph.num_nodes)
+        masked = adaptivity_loss(a, b, identity, threshold=1e-9)
+        assert float(masked.data) == pytest.approx(0.0)
+
+    def test_correspondence_reorders(self, small_graph, rng):
+        from repro.graphs import apply_permutation, random_permutation
+        from repro.core import GraphAugmenter
+
+        # With permutation-only augmentation (no noise), the adaptivity
+        # loss must vanish by Prop 1 when correspondence is honored.
+        augmenter = GraphAugmenter(structure_noise=0.0, attribute_noise=0.0,
+                                   num_views=1, permute=True)
+        view = augmenter.augment_once(small_graph, rng)
+        config = GAlignConfig(num_layers=2, embedding_dim=8)
+        model = MultiOrderGCN(small_graph.num_features, config, np.random.default_rng(0))
+        original = model.forward(small_graph)
+        augmented = model.forward(view.graph)
+        loss = adaptivity_loss(original, augmented, view.correspondence, threshold=1.0)
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-3)
+
+    def test_rejects_layer_mismatch(self, small_graph):
+        a = embeddings_for(small_graph)
+        with pytest.raises(ValueError):
+            adaptivity_loss(a, a[:-1], np.arange(small_graph.num_nodes))
+
+
+class TestCombinedLoss:
+    def test_gamma_weighting(self):
+        j = combined_loss(Tensor(2.0), Tensor(4.0), gamma=0.75)
+        assert float(j.data) == pytest.approx(0.75 * 2.0 + 0.25 * 4.0)
+
+    def test_none_adaptivity_passthrough(self):
+        j = combined_loss(Tensor(3.0), None, gamma=0.5)
+        assert float(j.data) == pytest.approx(3.0)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            combined_loss(Tensor(1.0), Tensor(1.0), gamma=-0.1)

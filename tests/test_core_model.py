@@ -1,0 +1,156 @@
+"""Tests for the multi-order GCN model, incl. Prop 1 and Prop 2 properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import GAlignConfig, MultiOrderGCN
+from repro.graphs import (
+    AttributedGraph,
+    apply_permutation,
+    generators,
+    random_permutation,
+)
+
+
+def make_model(input_dim, seed=0, **kwargs):
+    defaults = dict(num_layers=2, embedding_dim=16)
+    defaults.update(kwargs)
+    config = GAlignConfig(**defaults)
+    return MultiOrderGCN(input_dim, config, np.random.default_rng(seed))
+
+
+class TestForward:
+    def test_returns_k_plus_one_embeddings(self, small_graph):
+        model = make_model(small_graph.num_features)
+        embeddings = model.forward(small_graph)
+        assert len(embeddings) == 3
+
+    def test_layer_zero_is_normalized_features(self, small_graph):
+        model = make_model(small_graph.num_features)
+        h0 = model.forward(small_graph)[0].data
+        norms = np.linalg.norm(small_graph.features, axis=1, keepdims=True)
+        np.testing.assert_allclose(h0, small_graph.features / norms, rtol=1e-9)
+
+    def test_unnormalized_layer_zero_is_raw_features(self, small_graph):
+        model = make_model(small_graph.num_features)
+        h0 = model.forward(small_graph, normalize=False)[0].data
+        np.testing.assert_array_equal(h0, small_graph.features)
+
+    def test_hidden_shapes(self, small_graph):
+        model = make_model(small_graph.num_features, embedding_dim=10)
+        embeddings = model.forward(small_graph)
+        n = small_graph.num_nodes
+        assert embeddings[1].shape == (n, 10)
+        assert embeddings[2].shape == (n, 10)
+
+    def test_tanh_bounds(self, small_graph):
+        model = make_model(small_graph.num_features)
+        hidden = model.forward(small_graph, normalize=False)[1].data
+        assert np.all(np.abs(hidden) <= 1.0)
+
+    def test_rejects_wrong_feature_dim(self, small_graph):
+        model = make_model(small_graph.num_features + 1)
+        with pytest.raises(ValueError):
+            model.forward(small_graph)
+
+    def test_rejects_bad_input_dim(self):
+        with pytest.raises(ValueError):
+            make_model(0)
+
+    def test_embed_returns_numpy_without_graph(self, small_graph):
+        model = make_model(small_graph.num_features)
+        arrays = model.embed(small_graph)
+        assert all(isinstance(a, np.ndarray) for a in arrays)
+
+    def test_relu_activation_option(self, small_graph):
+        model = make_model(small_graph.num_features, activation="relu")
+        hidden = model.forward(small_graph, normalize=False)[1].data
+        assert np.all(hidden >= 0.0)
+
+
+class TestStateDict:
+    def test_roundtrip(self, small_graph):
+        model = make_model(small_graph.num_features, seed=0)
+        other = make_model(small_graph.num_features, seed=99)
+        other.load_state_dict(model.state_dict())
+        np.testing.assert_array_equal(
+            model.forward(small_graph)[2].data, other.forward(small_graph)[2].data
+        )
+
+    def test_rejects_wrong_length(self, small_graph):
+        model = make_model(small_graph.num_features)
+        with pytest.raises(ValueError):
+            model.load_state_dict(model.state_dict()[:1])
+
+    def test_rejects_wrong_shape(self, small_graph):
+        model = make_model(small_graph.num_features)
+        state = model.state_dict()
+        state[0] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_state_is_copy(self, small_graph):
+        model = make_model(small_graph.num_features)
+        state = model.state_dict()
+        state[0][:] = 0.0
+        assert not np.allclose(model.weights[0].data, 0.0)
+
+
+class TestPermutationImmunity:
+    """Paper Proposition 1: H_t(l) = P H_s(l) when A_t = P A_s Pᵀ."""
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_proposition_1(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = generators.erdos_renyi(30, 0.2, rng, feature_dim=5)
+        perm = random_permutation(graph.num_nodes, rng)
+        permuted = apply_permutation(graph, perm)
+
+        model = make_model(5, seed=seed % 1000)
+        originals = model.embed(graph)
+        permuteds = model.embed(permuted)
+        for h_original, h_permuted in zip(originals, permuteds):
+            # (P H)[perm[i]] == H[i]: embeddings travel with the node.
+            np.testing.assert_allclose(
+                h_permuted[perm], h_original, rtol=1e-8, atol=1e-10
+            )
+
+    def test_proposition_1_with_relu_also_holds(self, rng):
+        # Immunity is independent of the activation (proof commutes σ and P).
+        graph = generators.barabasi_albert(25, 2, rng, feature_dim=4)
+        perm = random_permutation(graph.num_nodes, rng)
+        permuted = apply_permutation(graph, perm)
+        model = make_model(4, activation="relu")
+        for h_orig, h_perm in zip(model.embed(graph), model.embed(permuted)):
+            np.testing.assert_allclose(h_perm[perm], h_orig, rtol=1e-8, atol=1e-10)
+
+
+class TestConsistencyProposition:
+    """Paper Proposition 2: nodes with matched degrees, matched-neighbour
+    embeddings and equal own degree get equal next-layer embeddings."""
+
+    def test_proposition_2_on_twin_nodes(self):
+        # Nodes 0 and 1 are structural twins (same neighbours {2, 3}, same
+        # attributes), so every layer must embed them identically.
+        edges = [(0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        features = np.array(
+            [[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.5, 0.5]]
+        )
+        graph = AttributedGraph.from_edges(4, edges, features)
+        model = make_model(2)
+        for hidden in model.embed(graph):
+            np.testing.assert_allclose(hidden[0], hidden[1], rtol=1e-10)
+
+    def test_twins_across_two_graphs_with_shared_weights(self):
+        # The same situation split across two graphs: matching neighbour
+        # structure + shared weights ⇒ identical embeddings (basis of the
+        # weight-sharing argument in §V-D).
+        edges = [(0, 1), (1, 2), (0, 2)]
+        features = np.eye(3)
+        g1 = AttributedGraph.from_edges(3, edges, features)
+        g2 = AttributedGraph.from_edges(3, edges, features)
+        model = make_model(3)
+        for h1, h2 in zip(model.embed(g1), model.embed(g2)):
+            np.testing.assert_allclose(h1, h2, rtol=1e-12)

@@ -1,0 +1,167 @@
+"""Tests for memory-bounded streaming alignment (paper §VI-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GAlignConfig,
+    GAlignTrainer,
+    StreamingAligner,
+    aggregate_alignment,
+    iter_score_blocks,
+    layerwise_alignment_matrices,
+    streaming_evaluate,
+    streaming_top_k,
+)
+from repro.graphs import generators, noisy_copy_pair
+from repro.metrics import evaluate_alignment
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(9)
+    graph = generators.barabasi_albert(60, 2, rng, feature_dim=8,
+                                       feature_kind="degree")
+    pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+    config = GAlignConfig(epochs=15, embedding_dim=16)
+    model, _ = GAlignTrainer(config, rng).train(pair)
+    source = model.embed(pair.source)
+    target = model.embed(pair.target)
+    weights = config.resolved_layer_weights()
+    return pair, model, config, source, target, weights
+
+
+class TestIterScoreBlocks:
+    def test_blocks_reassemble_full_matrix(self, trained):
+        pair, _, _, source, target, weights = trained
+        full = aggregate_alignment(
+            layerwise_alignment_matrices(source, target), weights
+        )
+        streamed = np.vstack([
+            block for _, block in iter_score_blocks(source, target, weights,
+                                                    block_size=17)
+        ])
+        np.testing.assert_allclose(streamed, full, rtol=1e-10)
+
+    def test_row_ranges_cover_all(self, trained):
+        _, _, _, source, target, weights = trained
+        covered = []
+        for rows, _ in iter_score_blocks(source, target, weights, block_size=13):
+            covered.extend(rows)
+        assert covered == list(range(source[0].shape[0]))
+
+    def test_validates_inputs(self, trained):
+        _, _, _, source, target, weights = trained
+        with pytest.raises(ValueError):
+            list(iter_score_blocks(source, target, weights, block_size=0))
+        with pytest.raises(ValueError):
+            list(iter_score_blocks(source, target[:-1], weights[:-1]))
+        with pytest.raises(ValueError):
+            list(iter_score_blocks(source, target, weights[:-1]))
+
+
+class TestStreamingTopK:
+    def test_matches_dense_argmax(self, trained):
+        _, _, _, source, target, weights = trained
+        full = aggregate_alignment(
+            layerwise_alignment_matrices(source, target), weights
+        )
+        targets, scores = streaming_top_k(source, target, weights, k=1,
+                                          block_size=11)
+        np.testing.assert_array_equal(targets[:, 0], full.argmax(axis=1))
+        np.testing.assert_allclose(scores[:, 0], full.max(axis=1), rtol=1e-10)
+
+    def test_topk_sorted_descending(self, trained):
+        _, _, _, source, target, weights = trained
+        _, scores = streaming_top_k(source, target, weights, k=5)
+        assert np.all(np.diff(scores, axis=1) <= 1e-12)
+
+    def test_k_capped_at_targets(self, trained):
+        _, _, _, source, target, weights = trained
+        targets, _ = streaming_top_k(source, target, weights, k=10_000)
+        assert targets.shape[1] == target[0].shape[0]
+
+    def test_invalid_k(self, trained):
+        _, _, _, source, target, weights = trained
+        with pytest.raises(ValueError):
+            streaming_top_k(source, target, weights, k=0)
+
+
+class TestStreamingEvaluate:
+    def test_matches_dense_metrics(self, trained):
+        pair, _, _, source, target, weights = trained
+        full = aggregate_alignment(
+            layerwise_alignment_matrices(source, target), weights
+        )
+        dense = evaluate_alignment(full, pair.groundtruth)
+        streamed = streaming_evaluate(source, target, weights,
+                                      pair.groundtruth, block_size=7)
+        assert streamed.map == pytest.approx(dense.map)
+        assert streamed.auc == pytest.approx(dense.auc)
+        assert streamed.success_at_1 == pytest.approx(dense.success_at_1)
+        assert streamed.success_at_10 == pytest.approx(dense.success_at_10)
+
+    def test_partial_groundtruth(self, trained):
+        pair, _, _, source, target, weights = trained
+        partial = dict(list(pair.groundtruth.items())[:10])
+        report = streaming_evaluate(source, target, weights, partial)
+        assert report.num_anchors == 10
+
+    def test_empty_groundtruth_rejected(self, trained):
+        _, _, _, source, target, weights = trained
+        with pytest.raises(ValueError):
+            streaming_evaluate(source, target, weights, {})
+
+
+class TestStreamingAligner:
+    def test_top_anchors_structure(self, trained):
+        pair, model, config, *_ = trained
+        aligner = StreamingAligner(model, config, block_size=16)
+        anchors = aligner.top_anchors(pair, k=3)
+        assert len(anchors) == pair.source.num_nodes
+        first = anchors[0]
+        assert len(first) == 3
+        assert first[0][1] >= first[1][1] >= first[2][1]
+
+    def test_evaluate_reasonable(self, trained):
+        pair, model, config, *_ = trained
+        report = StreamingAligner(model, config).evaluate(pair)
+        assert report.map > 0.2  # trained model beats random easily
+
+
+class TestStreamingStableNodes:
+    def test_matches_dense_find_stable_nodes(self, trained):
+        from repro.core import (
+            find_stable_nodes,
+            streaming_find_stable_nodes,
+        )
+
+        pair, _, config, source, target, weights = trained
+        matrices = layerwise_alignment_matrices(source, target)
+        dense_scores = aggregate_alignment(matrices, weights)
+        dense_sources, dense_targets = find_stable_nodes(
+            matrices, config.stability_threshold,
+            reference_scores=dense_scores,
+        )
+        stream_sources, stream_targets = streaming_find_stable_nodes(
+            source, target, weights, config.stability_threshold,
+            block_size=13,
+        )
+        np.testing.assert_array_equal(stream_sources, dense_sources)
+        np.testing.assert_array_equal(stream_targets, dense_targets)
+
+    def test_threshold_one_rejects_everything(self, trained):
+        from repro.core import streaming_find_stable_nodes
+
+        _, _, _, source, target, weights = trained
+        sources, targets = streaming_find_stable_nodes(
+            source, target, weights, threshold=10.0
+        )
+        assert len(sources) == 0
+        assert len(targets) == 0
+
+    def test_empty_embeddings_rejected(self):
+        from repro.core import streaming_find_stable_nodes
+
+        with pytest.raises(ValueError):
+            streaming_find_stable_nodes([], [], [], threshold=0.5)

@@ -1,0 +1,195 @@
+"""Tests for the experiment runner, reporting, and experiment definitions."""
+
+import numpy as np
+import pytest
+
+from repro.base import AlignmentMethod
+from repro.eval import (
+    ExperimentRunner,
+    MethodSpec,
+    MethodSummary,
+    format_comparison_table,
+    format_series_table,
+    format_table,
+)
+from repro.eval.experiments import (
+    ablation_specs,
+    all_method_specs,
+    attribute_method_specs,
+    galign_config,
+    isomorphic_pair,
+    noise_pair,
+    noise_seed_graphs,
+    table3_pairs,
+)
+from repro.eval.runner import RunRecord
+from repro.graphs import generators, noisy_copy_pair
+from repro.metrics import EvaluationReport
+
+
+class IdentityMethod(AlignmentMethod):
+    """Trivial method: scores = identity — perfect when groundtruth is i→i."""
+
+    name = "Identity"
+    requires_supervision = False
+
+    def _align_scores(self, pair, supervision, rng):
+        n1, n2 = pair.source.num_nodes, pair.target.num_nodes
+        scores = np.zeros((n1, n2))
+        np.fill_diagonal(scores, 1.0)
+        return scores
+
+
+class SupervisedProbe(AlignmentMethod):
+    """Records whether supervision was delivered."""
+
+    name = "Probe"
+    requires_supervision = True
+    received = None
+
+    def _align_scores(self, pair, supervision, rng):
+        SupervisedProbe.received = supervision
+        return np.ones((pair.source.num_nodes, pair.target.num_nodes))
+
+
+@pytest.fixture
+def simple_pair(rng):
+    graph = generators.erdos_renyi(25, 0.2, rng, feature_dim=4)
+    pair = noisy_copy_pair(graph, rng)
+    # Replace groundtruth with identity for the IdentityMethod check.
+    from repro.graphs import AlignmentPair
+
+    n = pair.source.num_nodes
+    return AlignmentPair(pair.source, pair.source.copy(), {i: i for i in range(n)},
+                         name="identity-pair")
+
+
+class TestRunner:
+    def test_run_pair_aggregates(self, simple_pair):
+        runner = ExperimentRunner(repeats=2, seed=0)
+        results = runner.run_pair(
+            simple_pair, [MethodSpec("Identity", IdentityMethod)]
+        )
+        summary = results["Identity"]
+        assert summary.success_at_1 == 1.0
+        assert summary.repeats == 2
+
+    def test_supervision_delivered_only_to_supervised(self, simple_pair):
+        SupervisedProbe.received = None
+        runner = ExperimentRunner(supervision_ratio=0.2, repeats=1)
+        runner.run_pair(simple_pair, [MethodSpec("Probe", SupervisedProbe)])
+        assert SupervisedProbe.received is not None
+        assert len(SupervisedProbe.received) == round(0.2 * simple_pair.num_anchors)
+
+    def test_zero_supervision_ratio(self, simple_pair):
+        SupervisedProbe.received = "sentinel"
+        runner = ExperimentRunner(supervision_ratio=0.0, repeats=1)
+        runner.run_pair(simple_pair, [MethodSpec("Probe", SupervisedProbe)])
+        assert SupervisedProbe.received is None
+
+    def test_run_many(self, simple_pair):
+        runner = ExperimentRunner(repeats=1)
+        results = runner.run_many(
+            {"a": simple_pair, "b": simple_pair},
+            [MethodSpec("Identity", IdentityMethod)],
+        )
+        assert set(results) == {"a", "b"}
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(supervision_ratio=2.0)
+        with pytest.raises(ValueError):
+            ExperimentRunner(repeats=0)
+
+    def test_spec_factory_type_checked(self, simple_pair):
+        bad = MethodSpec("Bad", lambda: object())
+        with pytest.raises(TypeError):
+            ExperimentRunner().run_pair(simple_pair, [bad])
+
+    def test_summary_statistics(self):
+        reports = [
+            EvaluationReport(map=0.4, auc=0.9, success_at_1=0.2,
+                             success_at_10=0.6, num_anchors=10),
+            EvaluationReport(map=0.6, auc=1.0, success_at_1=0.4,
+                             success_at_10=0.8, num_anchors=10),
+        ]
+        records = [RunRecord("m", r, 1.0) for r in reports]
+        summary = MethodSummary.from_records("m", records)
+        assert summary.map == pytest.approx(0.5)
+        assert summary.map_std == pytest.approx(0.1)
+        assert summary.success_at_1 == pytest.approx(0.3)
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MethodSummary.from_records("m", [])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "LongHeader"], [[1.0, 2.0], [3.0, 4.0]])
+        lines = text.splitlines()
+        assert "LongHeader" in lines[0]
+        assert len(lines) == 4
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1.0]], title="Table X")
+        assert text.startswith("Table X")
+
+    def test_comparison_table_layout(self):
+        summary = MethodSummary(
+            method="M", map=0.5, auc=0.9, success_at_1=0.4,
+            success_at_10=0.7, time_seconds=1.2,
+        )
+        text = format_comparison_table({"ds": {"M": summary}})
+        assert "Dataset" in text
+        assert "MAP" in text
+        assert "0.5000" in text
+
+    def test_series_table(self):
+        text = format_series_table(
+            "noise", [0.1, 0.2], {"GAlign": [0.9, 0.8], "REGAL": [0.7]}
+        )
+        assert "noise" in text
+        assert "-" in text  # missing REGAL value at 0.2
+
+
+class TestExperimentDefinitions:
+    def test_galign_config_overrides(self):
+        config = galign_config(epochs=5)
+        assert config.epochs == 5
+        assert config.embedding_dim == 64
+
+    def test_ablation_specs_names(self):
+        names = [s.name for s in ablation_specs()]
+        assert names == ["GAlign", "GAlign-1", "GAlign-2", "GAlign-3"]
+
+    def test_all_method_specs_roster(self):
+        names = [s.name for s in all_method_specs()]
+        assert names[0] == "GAlign"
+        assert set(names[1:]) == {"CENALP", "PALE", "REGAL", "IsoRank", "FINAL"}
+
+    def test_attribute_specs_exclude_structure_only(self):
+        names = {s.name for s in attribute_method_specs()}
+        assert "PALE" not in names
+        assert "IsoRank" not in names
+        assert "GAlign" in names
+
+    def test_table3_pairs_names(self, rng):
+        pairs = table3_pairs(rng, scale=0.03)
+        assert set(pairs) == {
+            "Douban Online-Offline", "Flickr-Myspace", "Allmovie-Imdb"
+        }
+
+    def test_noise_seed_graphs(self, rng):
+        seeds = noise_seed_graphs(rng, scale=0.1)
+        assert set(seeds) == {"bn", "econ", "email"}
+
+    def test_noise_pair_removes_edges(self, rng):
+        seeds = noise_seed_graphs(rng, scale=0.1)
+        pair = noise_pair(seeds["bn"], 0.4, rng)
+        assert pair.target.num_edges < pair.source.num_edges
+
+    def test_isomorphic_pair_overlap(self, rng):
+        seeds = noise_seed_graphs(rng, scale=0.1)
+        pair = isomorphic_pair(seeds["econ"], 0.5, rng)
+        assert pair.num_anchors < seeds["econ"].num_nodes

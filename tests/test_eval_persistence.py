@@ -1,0 +1,63 @@
+"""Tests for results persistence and diffing."""
+
+import pytest
+
+from repro.eval.persistence import diff_results, load_results, save_results
+from repro.eval.runner import MethodSummary
+
+
+def summary(**overrides):
+    fields = dict(method="M", map=0.5, auc=0.9, success_at_1=0.4,
+                  success_at_10=0.7, time_seconds=1.0)
+    fields.update(overrides)
+    return MethodSummary(**fields)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        results = {"ds": {"GAlign": summary(method="GAlign", map=0.8)}}
+        path = str(tmp_path / "run.json")
+        save_results(results, path, metadata={"seed": 7})
+        loaded = load_results(path)
+        assert loaded["ds"]["GAlign"].map == pytest.approx(0.8)
+        assert loaded["ds"]["GAlign"].method == "GAlign"
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "nested" / "deeper" / "run.json")
+        save_results({"ds": {"M": summary()}}, path)
+        assert load_results(path)["ds"]["M"].auc == pytest.approx(0.9)
+
+    def test_metadata_optional(self, tmp_path):
+        path = str(tmp_path / "run.json")
+        save_results({}, path)
+        assert load_results(path) == {}
+
+
+class TestDiff:
+    def test_delta_computed(self):
+        before = {"ds": {"M": summary(map=0.5)}}
+        after = {"ds": {"M": summary(map=0.7)}}
+        rows = diff_results(before, after)
+        assert rows[0]["delta"] == pytest.approx(0.2)
+
+    def test_missing_side_reported(self):
+        before = {"ds": {"Old": summary()}}
+        after = {"ds": {"New": summary()}}
+        rows = diff_results(before, after)
+        by_method = {r["method"]: r for r in rows}
+        assert by_method["Old"]["after"] is None
+        assert by_method["New"]["before"] is None
+        assert by_method["New"]["delta"] is None
+
+    def test_sorted_by_magnitude(self):
+        before = {"ds": {"A": summary(map=0.5), "B": summary(map=0.5)}}
+        after = {"ds": {"A": summary(map=0.51), "B": summary(map=0.9)}}
+        rows = diff_results(before, after)
+        deltas = [r["delta"] for r in rows if r["delta"] is not None]
+        assert abs(deltas[0]) >= abs(deltas[-1])
+
+    def test_custom_metric(self):
+        before = {"ds": {"M": summary(success_at_1=0.2)}}
+        after = {"ds": {"M": summary(success_at_1=0.6)}}
+        rows = diff_results(before, after, metric="Success@1")
+        assert rows[0]["delta"] == pytest.approx(0.4)

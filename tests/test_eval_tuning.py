@@ -1,0 +1,89 @@
+"""Tests for the hyper-parameter search utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import GAlignConfig
+from repro.eval import grid_search, random_search
+from repro.graphs import generators, noisy_copy_pair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    rng = np.random.default_rng(17)
+    graph = generators.barabasi_albert(40, 2, rng, feature_dim=6,
+                                       feature_kind="degree")
+    return noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+
+
+FAST = GAlignConfig(epochs=8, embedding_dim=12, refinement_iterations=2, seed=0)
+
+
+class TestGridSearch:
+    def test_covers_product(self, pair):
+        results = grid_search(
+            pair,
+            {"num_layers": [1, 2], "gamma": [0.5, 0.8]},
+            base_config=FAST,
+        )
+        assert len(results) == 4
+        seen = {tuple(sorted(r.overrides.items())) for r in results}
+        assert len(seen) == 4
+
+    def test_sorted_best_first(self, pair):
+        results = grid_search(pair, {"num_layers": [1, 2]}, base_config=FAST)
+        values = [r.metric_value for r in results]
+        assert values == sorted(values, reverse=True)
+
+    def test_custom_metric(self, pair):
+        results = grid_search(
+            pair, {"num_layers": [2]}, base_config=FAST, metric="MAP"
+        )
+        assert 0.0 <= results[0].metric_value <= 1.0
+
+    def test_unknown_metric_rejected(self, pair):
+        with pytest.raises(ValueError):
+            grid_search(pair, {"num_layers": [2]}, base_config=FAST,
+                        metric="F1")
+
+    def test_empty_grid_rejected(self, pair):
+        with pytest.raises(ValueError):
+            grid_search(pair, {}, base_config=FAST)
+
+    def test_result_str(self, pair):
+        results = grid_search(pair, {"num_layers": [2]}, base_config=FAST)
+        assert "num_layers=2" in str(results[0])
+
+
+class TestRandomSearch:
+    def test_sample_count(self, pair):
+        results = random_search(
+            pair,
+            {"gamma": lambda rng: float(rng.uniform(0.5, 1.0))},
+            num_samples=3,
+            base_config=FAST,
+        )
+        assert len(results) == 3
+        assert all(0.5 <= r.overrides["gamma"] <= 1.0 for r in results)
+
+    def test_deterministic_given_seed(self, pair):
+        def run():
+            return random_search(
+                pair,
+                {"gamma": lambda rng: float(rng.uniform(0.5, 1.0))},
+                num_samples=2,
+                base_config=FAST,
+                seed=5,
+            )
+
+        first, second = run(), run()
+        assert [r.overrides for r in first] == [r.overrides for r in second]
+
+    def test_validates_inputs(self, pair):
+        with pytest.raises(ValueError):
+            random_search(pair, {}, num_samples=1, base_config=FAST)
+        with pytest.raises(ValueError):
+            random_search(
+                pair, {"gamma": lambda rng: 0.8}, num_samples=0,
+                base_config=FAST,
+            )

@@ -1,0 +1,111 @@
+"""Tests for community detection and partition quality."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    community_match_matrix,
+    conductance,
+    generators,
+    label_propagation,
+    modularity,
+    noisy_copy_pair,
+)
+
+
+@pytest.fixture
+def two_blocks(rng):
+    """SBM with two dense blocks and weak coupling."""
+    return generators.stochastic_block_model(
+        [30, 30], p_in=0.4, p_out=0.01, rng=rng, feature_dim=4
+    )
+
+
+class TestLabelPropagation:
+    def test_labels_compact(self, two_blocks, rng):
+        labels = label_propagation(two_blocks, rng)
+        unique = np.unique(labels)
+        np.testing.assert_array_equal(unique, np.arange(len(unique)))
+
+    def test_finds_planted_blocks(self, two_blocks, rng):
+        labels = label_propagation(two_blocks, rng)
+        # Few communities (ideally 2), with high modularity.
+        assert len(np.unique(labels)) <= 6
+        assert modularity(two_blocks, labels) > 0.3
+
+    def test_deterministic_given_rng(self, two_blocks):
+        a = label_propagation(two_blocks, np.random.default_rng(0))
+        b = label_propagation(two_blocks, np.random.default_rng(0))
+        np.testing.assert_array_equal(a, b)
+
+    def test_isolated_nodes_keep_own_label(self, rng):
+        from repro.graphs import AttributedGraph
+
+        graph = AttributedGraph.from_edges(4, [(0, 1)])
+        labels = label_propagation(graph, rng)
+        assert labels[2] != labels[0]
+        assert labels[3] != labels[0]
+
+
+class TestModularity:
+    def test_single_community_zero(self, two_blocks):
+        labels = np.zeros(two_blocks.num_nodes, dtype=int)
+        assert modularity(two_blocks, labels) == pytest.approx(0.0, abs=1e-9)
+
+    def test_planted_partition_positive(self, two_blocks):
+        labels = np.array([0] * 30 + [1] * (two_blocks.num_nodes - 30))
+        assert modularity(two_blocks, labels) > 0.3
+
+    def test_random_partition_near_zero(self, two_blocks, rng):
+        labels = rng.integers(0, 2, size=two_blocks.num_nodes)
+        assert abs(modularity(two_blocks, labels)) < 0.15
+
+    def test_validates_length(self, two_blocks):
+        with pytest.raises(ValueError):
+            modularity(two_blocks, np.zeros(3))
+
+    def test_empty_graph(self):
+        from repro.graphs import AttributedGraph
+
+        graph = AttributedGraph(np.zeros((3, 3)))
+        assert modularity(graph, np.zeros(3, dtype=int)) == 0.0
+
+
+class TestConductance:
+    def test_separated_blocks_low(self, two_blocks):
+        labels = np.array([0] * 30 + [1] * (two_blocks.num_nodes - 30))
+        values = conductance(two_blocks, labels)
+        assert all(v < 0.25 for v in values.values())
+
+    def test_random_split_higher_than_planted(self, two_blocks, rng):
+        planted = np.array([0] * 30 + [1] * (two_blocks.num_nodes - 30))
+        random_labels = rng.permutation(planted)
+        planted_mean = np.mean(list(conductance(two_blocks, planted).values()))
+        random_mean = np.mean(list(conductance(two_blocks, random_labels).values()))
+        assert planted_mean < random_mean
+
+    def test_validates_length(self, two_blocks):
+        with pytest.raises(ValueError):
+            conductance(two_blocks, np.zeros(2))
+
+
+class TestCommunityMatchMatrix:
+    def test_identity_alignment_diagonal(self, two_blocks, rng):
+        pair = noisy_copy_pair(two_blocks, rng)
+        labels = np.array([0] * 30 + [1] * (two_blocks.num_nodes - 30))
+        target_labels = np.empty_like(labels)
+        for source, target in pair.groundtruth.items():
+            target_labels[target] = labels[source]
+        matrix = community_match_matrix(labels, target_labels, pair.groundtruth)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_rows_normalized(self, rng):
+        groundtruth = {0: 0, 1: 1, 2: 2}
+        matrix = community_match_matrix(
+            np.array([0, 0, 1]), np.array([0, 1, 1]), groundtruth
+        )
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_empty_groundtruth_rejected(self):
+        with pytest.raises(ValueError):
+            community_match_matrix(np.zeros(2, int), np.zeros(2, int), {})

@@ -1,0 +1,154 @@
+"""Tests for alignment-pair builders and Table II stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    AlignmentPair,
+    allmovie_imdb_like,
+    bn_like,
+    douban_like,
+    econ_like,
+    email_like,
+    flickr_myspace_like,
+    generators,
+    noisy_copy_pair,
+    overlap_pair,
+    subnetwork_pair,
+    toy_movie_pair,
+    SEED_BUILDERS,
+)
+
+
+class TestNoisyCopyPair:
+    def test_groundtruth_is_exact_without_noise(self, small_graph, rng):
+        pair = noisy_copy_pair(small_graph, rng)
+        # Without noise, target is an exact relabelling: every anchor's
+        # neighbourhood must map correctly.
+        for source, target in pair.groundtruth.items():
+            source_neighbors = {pair.groundtruth[v] for v in pair.source.neighbors(source)}
+            assert source_neighbors == set(pair.target.neighbors(target))
+
+    def test_features_follow_anchors(self, small_graph, rng):
+        pair = noisy_copy_pair(small_graph, rng)
+        for source, target in pair.groundtruth.items():
+            np.testing.assert_array_equal(
+                pair.source.features[source], pair.target.features[target]
+            )
+
+    def test_noise_changes_target(self, small_graph, rng):
+        pair = noisy_copy_pair(small_graph, rng, structure_noise_ratio=0.5)
+        assert pair.target.num_edges < pair.source.num_edges
+
+    def test_anchor_count_full(self, small_graph, rng):
+        pair = noisy_copy_pair(small_graph, rng)
+        assert pair.num_anchors == small_graph.num_nodes
+
+
+class TestSubnetworkPair:
+    def test_target_smaller(self, rng):
+        graph = generators.barabasi_albert(100, 2, rng)
+        pair = subnetwork_pair(graph, rng, target_ratio=0.5)
+        assert pair.target.num_nodes < pair.source.num_nodes
+        assert pair.num_anchors == pair.target.num_nodes
+
+    def test_anchors_valid_indices(self, rng):
+        graph = generators.barabasi_albert(80, 2, rng)
+        pair = subnetwork_pair(graph, rng, target_ratio=0.6)
+        for source, target in pair.groundtruth.items():
+            assert 0 <= source < pair.source.num_nodes
+            assert 0 <= target < pair.target.num_nodes
+
+    def test_anchor_features_match_without_attr_noise(self, rng):
+        graph = generators.barabasi_albert(60, 2, rng, feature_kind="onehot")
+        pair = subnetwork_pair(graph, rng, target_ratio=0.5,
+                               structure_noise_ratio=0.0, attribute_noise_ratio=0.0)
+        for source, target in pair.groundtruth.items():
+            np.testing.assert_array_equal(
+                pair.source.features[source], pair.target.features[target]
+            )
+
+    def test_invalid_ratio(self, small_graph, rng):
+        with pytest.raises(ValueError):
+            subnetwork_pair(small_graph, rng, target_ratio=0.0)
+
+
+class TestOverlapPair:
+    def test_anchor_count_tracks_overlap(self, rng):
+        graph = generators.barabasi_albert(100, 2, rng)
+        low = overlap_pair(graph, rng, overlap_ratio=0.3, structure_noise_ratio=0.0)
+        high = overlap_pair(graph, rng, overlap_ratio=0.9, structure_noise_ratio=0.0)
+        assert high.num_anchors > low.num_anchors
+
+    def test_anchors_within_bounds(self, rng):
+        graph = generators.barabasi_albert(60, 2, rng)
+        pair = overlap_pair(graph, rng, overlap_ratio=0.5)
+        for source, target in pair.groundtruth.items():
+            assert 0 <= source < pair.source.num_nodes
+            assert 0 <= target < pair.target.num_nodes
+
+    def test_invalid_ratio(self, small_graph, rng):
+        with pytest.raises(ValueError):
+            overlap_pair(small_graph, rng, overlap_ratio=1.5)
+
+
+class TestSplitGroundtruth:
+    def test_split_sizes(self, small_graph, rng):
+        pair = noisy_copy_pair(small_graph, rng)
+        train, test = pair.split_groundtruth(0.1, rng)
+        assert len(train) == round(0.1 * pair.num_anchors)
+        assert len(train) + len(test) == pair.num_anchors
+
+    def test_split_disjoint(self, small_graph, rng):
+        pair = noisy_copy_pair(small_graph, rng)
+        train, test = pair.split_groundtruth(0.5, rng)
+        assert set(train) & set(test) == set()
+
+    def test_invalid_ratio(self, small_graph, rng):
+        pair = noisy_copy_pair(small_graph, rng)
+        with pytest.raises(ValueError):
+            pair.split_groundtruth(2.0, rng)
+
+
+class TestTableIIStandIns:
+    def test_douban_like_shape(self, rng):
+        pair = douban_like(rng, scale=0.05)
+        # Offline is ~29% of Online (1118 / 3906).
+        ratio = pair.target.num_nodes / pair.source.num_nodes
+        assert 0.2 < ratio < 0.4
+        assert pair.source.num_features == pair.target.num_features
+
+    def test_flickr_like_sparse(self, rng):
+        pair = flickr_myspace_like(rng, scale=0.05)
+        average_degree = 2 * pair.source.num_edges / pair.source.num_nodes
+        assert average_degree < 5.0
+        assert pair.source.num_features == 3
+
+    def test_allmovie_like_dense(self, rng):
+        pair = allmovie_imdb_like(rng, scale=0.05)
+        average_degree = 2 * pair.source.num_edges / pair.source.num_nodes
+        assert average_degree > 8.0
+        assert pair.source.num_features == 14
+
+    @pytest.mark.parametrize("name", ["bn", "econ", "email"])
+    def test_seed_builders(self, name, rng):
+        graph = SEED_BUILDERS[name](rng, scale=0.15)
+        assert graph.num_nodes > 50
+        assert graph.num_features == 20
+
+    def test_seed_builders_scale(self, rng):
+        small = bn_like(rng, scale=0.1)
+        large = bn_like(rng, scale=0.3)
+        assert large.num_nodes > small.num_nodes
+
+
+class TestToyMoviePair:
+    def test_ten_movies_with_labels(self, rng):
+        pair = toy_movie_pair(rng)
+        assert pair.source.num_nodes == 10
+        assert "School Ties" in pair.source.node_labels
+        assert pair.num_anchors == 10
+
+    def test_onehot_genres(self, rng):
+        pair = toy_movie_pair(rng)
+        np.testing.assert_array_equal(pair.source.features.sum(axis=1), np.ones(10))

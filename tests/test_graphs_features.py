@@ -1,0 +1,99 @@
+"""Tests for joint attribute preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    FeaturePipeline,
+    binarize,
+    min_max_scale,
+    one_hot_encode,
+    reduce_dimensions,
+    standardize,
+)
+
+
+class TestOneHotEncode:
+    def test_shared_vocabulary(self):
+        source, target = one_hot_encode(["a", "b"], ["b", "c"])
+        assert source.shape == (2, 3)
+        assert target.shape == (2, 3)
+        # 'b' maps to the same column on both sides.
+        b_column_source = source[1].argmax()
+        b_column_target = target[0].argmax()
+        assert b_column_source == b_column_target
+
+    def test_exactly_one_hot(self):
+        source, _ = one_hot_encode([1, 2, 1], [2])
+        np.testing.assert_array_equal(source.sum(axis=1), np.ones(3))
+
+
+class TestJointScaling:
+    def test_standardize_joint_statistics(self, rng):
+        source = rng.normal(5.0, 2.0, size=(30, 3))
+        target = rng.normal(5.0, 2.0, size=(40, 3))
+        scaled_source, scaled_target = standardize(source, target)
+        stacked = np.vstack([scaled_source, scaled_target])
+        np.testing.assert_allclose(stacked.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(stacked.std(axis=0), 1.0, rtol=1e-10)
+
+    def test_standardize_preserves_equal_rows(self, rng):
+        # Attribute consistency: identical raw rows stay identical.
+        source = rng.normal(size=(5, 3))
+        target = source.copy()
+        scaled_source, scaled_target = standardize(source, target)
+        np.testing.assert_allclose(scaled_source, scaled_target)
+
+    def test_min_max_bounds(self, rng):
+        source = rng.normal(size=(10, 2)) * 10
+        target = rng.normal(size=(12, 2)) * 10
+        a, b = min_max_scale(source, target)
+        stacked = np.vstack([a, b])
+        assert stacked.min() >= 0.0
+        assert stacked.max() <= 1.0
+
+    def test_width_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            standardize(np.ones((2, 3)), np.ones((2, 4)))
+
+
+class TestBinarize:
+    def test_threshold(self):
+        source, target = binarize(
+            np.array([[0.2, 0.8]]), np.array([[0.5, 0.4]]), threshold=0.5
+        )
+        np.testing.assert_array_equal(source, [[0.0, 1.0]])
+        np.testing.assert_array_equal(target, [[1.0, 0.0]])
+
+
+class TestReduceDimensions:
+    def test_output_width(self, rng):
+        source = rng.normal(size=(20, 8))
+        target = rng.normal(size=(25, 8))
+        a, b = reduce_dimensions(source, target, 3)
+        assert a.shape == (20, 3)
+        assert b.shape == (25, 3)
+
+    def test_joint_basis_preserves_equal_rows(self, rng):
+        source = rng.normal(size=(10, 6))
+        target = source.copy()
+        a, b = reduce_dimensions(source, target, 2)
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_validates_components(self, rng):
+        with pytest.raises(ValueError):
+            reduce_dimensions(np.ones((4, 3)), np.ones((4, 3)), 5)
+
+
+class TestPipeline:
+    def test_composition(self, rng):
+        pipeline = FeaturePipeline([
+            standardize,
+            lambda s, t: reduce_dimensions(s, t, 2),
+        ])
+        a, b = pipeline(rng.normal(size=(8, 5)), rng.normal(size=(9, 5)))
+        assert a.shape[1] == b.shape[1] == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeaturePipeline([])

@@ -1,0 +1,75 @@
+"""Tests for synthetic generators and attribute builders."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+
+
+class TestTopologies:
+    def test_erdos_renyi_connected(self, rng):
+        g = generators.erdos_renyi(60, 0.1, rng)
+        import networkx as nx
+
+        assert nx.is_connected(g.to_networkx())
+
+    def test_barabasi_albert_heavy_tail(self, rng):
+        g = generators.barabasi_albert(300, 2, rng)
+        degrees = g.degrees()
+        # Power-law-ish: max degree far above median.
+        assert degrees.max() > 4 * np.median(degrees)
+
+    def test_watts_strogatz_clustering(self, rng):
+        import networkx as nx
+
+        g = generators.watts_strogatz(200, 8, 0.1, rng)
+        assert nx.average_clustering(g.to_networkx()) > 0.2
+
+    def test_sbm_block_density(self, rng):
+        g = generators.stochastic_block_model([40, 40], 0.3, 0.01, rng)
+        adj = g.adjacency.toarray()
+        # Graph was relabelled; detect blocks through density: total edges
+        # should be dominated by intra-block ones.  Just sanity check size.
+        assert g.num_nodes <= 80
+        assert g.num_edges > 100
+
+    def test_powerlaw_cluster(self, rng):
+        g = generators.powerlaw_cluster(150, 3, 0.4, rng)
+        assert g.num_edges >= 3 * (g.num_nodes - 3) * 0.8
+
+    def test_unknown_feature_kind(self, rng):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi(20, 0.2, rng, feature_kind="holographic")
+
+    def test_connectedness_enforced(self, rng):
+        # Very sparse ER would be disconnected; generator must keep the LCC.
+        import networkx as nx
+
+        g = generators.erdos_renyi(200, 0.008, rng)
+        assert nx.is_connected(g.to_networkx())
+
+
+class TestAttributeBuilders:
+    def test_binary_no_empty_rows(self, rng):
+        features = generators.random_binary_features(100, 12, rng, density=0.05)
+        assert np.all(features.sum(axis=1) >= 1)
+        assert set(np.unique(features)) <= {0.0, 1.0}
+
+    def test_onehot_exactly_one(self, rng):
+        features = generators.random_onehot_features(50, 7, rng)
+        np.testing.assert_array_equal(features.sum(axis=1), np.ones(50))
+
+    def test_real_in_unit_interval(self, rng):
+        features = generators.random_real_features(50, 4, rng)
+        assert features.min() >= 0.0
+        assert features.max() <= 1.0 + 1e-12
+
+    def test_degree_correlated_tracks_degree(self, rng):
+        g = generators.barabasi_albert(200, 3, rng)
+        features = generators.degree_correlated_features(g, 5, rng, noise=0.0)
+        categories = features.argmax(axis=1)
+        degrees = g.degrees()
+        # Higher-degree nodes must land in higher bins on average.
+        low = categories[degrees <= np.quantile(degrees, 0.3)].mean()
+        high = categories[degrees >= np.quantile(degrees, 0.9)].mean()
+        assert high > low

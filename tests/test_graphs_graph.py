@@ -1,0 +1,120 @@
+"""Unit tests for AttributedGraph."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import AttributedGraph
+
+
+class TestConstruction:
+    def test_from_dense_adjacency(self):
+        adj = np.array([[0, 1], [1, 0]], dtype=float)
+        g = AttributedGraph(adj)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+
+    def test_symmetrizes_directed_input(self):
+        adj = np.array([[0, 1], [0, 0]], dtype=float)
+        g = AttributedGraph(adj)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_drops_self_loops(self):
+        adj = np.array([[1, 1], [1, 1]], dtype=float)
+        g = AttributedGraph(adj)
+        assert not g.has_edge(0, 0)
+        assert g.num_edges == 1
+
+    def test_default_features_constant(self):
+        g = AttributedGraph(np.zeros((3, 3)))
+        assert g.features.shape == (3, 1)
+        np.testing.assert_array_equal(g.features, np.ones((3, 1)))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            AttributedGraph(np.zeros((2, 3)))
+
+    def test_rejects_bad_feature_shape(self):
+        with pytest.raises(ValueError):
+            AttributedGraph(np.zeros((3, 3)), features=np.zeros((2, 4)))
+
+    def test_rejects_bad_label_count(self):
+        with pytest.raises(ValueError):
+            AttributedGraph(np.zeros((3, 3)), node_labels=["a"])
+
+    def test_from_edges(self):
+        g = AttributedGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_edges == 3
+        assert g.degrees().tolist() == [1, 2, 2, 1]
+
+    def test_from_edges_skips_self_loops(self):
+        g = AttributedGraph.from_edges(3, [(0, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_from_edges_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            AttributedGraph.from_edges(2, [(0, 5)])
+
+    def test_from_networkx_roundtrip(self):
+        import networkx as nx
+
+        nxg = nx.path_graph(5)
+        g = AttributedGraph.from_networkx(nxg)
+        assert g.num_nodes == 5
+        assert g.num_edges == 4
+        back = g.to_networkx()
+        assert back.number_of_edges() == 4
+
+
+class TestAccessors:
+    def test_neighbors(self, tiny_graph):
+        assert set(tiny_graph.neighbors(1)) == {0, 2, 3}
+
+    def test_neighbors_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.neighbors(10)
+
+    def test_edge_list_sorted_pairs(self, tiny_graph):
+        edges = tiny_graph.edge_list()
+        assert all(u < v for u, v in edges)
+        assert len(edges) == tiny_graph.num_edges
+
+    def test_adjacency_with_self_loops(self, tiny_graph):
+        a_hat = tiny_graph.adjacency_with_self_loops()
+        assert np.all(a_hat.diagonal() == 1.0)
+        assert a_hat.nnz == tiny_graph.adjacency.nnz + tiny_graph.num_nodes
+
+    def test_degrees(self, tiny_graph):
+        np.testing.assert_array_equal(tiny_graph.degrees(), [1, 3, 2, 3, 1])
+
+
+class TestTransformations:
+    def test_copy_independent(self, tiny_graph):
+        clone = tiny_graph.copy()
+        clone.features[0, 0] = 42.0
+        assert tiny_graph.features[0, 0] != 42.0
+
+    def test_with_features(self, tiny_graph):
+        new = tiny_graph.with_features(np.zeros((5, 2)))
+        assert new.num_features == 2
+        assert new.num_edges == tiny_graph.num_edges
+
+    def test_subgraph_topology(self, tiny_graph):
+        sub = tiny_graph.subgraph([1, 2, 3])
+        # Edges among {1,2,3}: (1,2), (2,3), (1,3) -> 3 edges.
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+
+    def test_subgraph_features_follow(self, tiny_graph):
+        sub = tiny_graph.subgraph([4, 0])
+        np.testing.assert_array_equal(sub.features[0], tiny_graph.features[4])
+        np.testing.assert_array_equal(sub.features[1], tiny_graph.features[0])
+
+    def test_equality(self, tiny_graph):
+        assert tiny_graph == tiny_graph.copy()
+        assert tiny_graph != tiny_graph.subgraph([0, 1, 2])
+
+    def test_repr(self, tiny_graph):
+        text = repr(tiny_graph)
+        assert "nodes=5" in text

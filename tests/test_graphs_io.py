@@ -1,0 +1,96 @@
+"""Round-trip tests for edge-list / feature / ground-truth IO."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators, noisy_copy_pair
+from repro.graphs.io import (
+    load_alignment_pair,
+    load_edge_list,
+    load_features,
+    load_groundtruth,
+    save_alignment_pair,
+    save_edge_list,
+    save_features,
+    save_groundtruth,
+)
+
+
+class TestEdgeListRoundTrip:
+    def test_roundtrip(self, small_graph, tmp_path):
+        path = tmp_path / "graph.edges"
+        save_edge_list(small_graph, str(path))
+        loaded = load_edge_list(str(path), num_nodes=small_graph.num_nodes)
+        assert loaded.num_edges == small_graph.num_edges
+        assert (loaded.adjacency != small_graph.adjacency).nnz == 0
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# header\n\n0 1\n1 2\n")
+        graph = load_edge_list(str(path))
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_infers_node_count(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 5\n")
+        assert load_edge_list(str(path)).num_nodes == 6
+
+
+class TestFeatureRoundTrip:
+    def test_roundtrip(self, rng, tmp_path):
+        features = rng.normal(size=(10, 4))
+        path = tmp_path / "f.txt"
+        save_features(features, str(path))
+        np.testing.assert_allclose(load_features(str(path)), features, rtol=1e-9)
+
+    def test_single_column(self, tmp_path):
+        path = tmp_path / "f.txt"
+        save_features(np.ones((5, 1)), str(path))
+        assert load_features(str(path)).shape == (5, 1)
+
+
+class TestGroundtruthRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        groundtruth = {0: 3, 1: 2, 7: 5}
+        path = tmp_path / "gt.txt"
+        save_groundtruth(groundtruth, str(path))
+        assert load_groundtruth(str(path)) == groundtruth
+
+
+class TestAlignmentPairRoundTrip:
+    def test_full_roundtrip(self, rng, tmp_path):
+        graph = generators.barabasi_albert(40, 2, rng, feature_dim=5)
+        pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.1)
+        directory = str(tmp_path / "pair")
+        save_alignment_pair(pair, directory)
+        loaded = load_alignment_pair(directory, name=pair.name)
+        assert loaded.groundtruth == pair.groundtruth
+        assert loaded.source.num_edges == pair.source.num_edges
+        np.testing.assert_allclose(loaded.target.features, pair.target.features)
+
+
+class TestNodeLabelRoundTrip:
+    def test_labels_preserved(self, rng, tmp_path):
+        from repro.graphs import toy_movie_pair
+
+        pair = toy_movie_pair(rng)
+        directory = str(tmp_path / "labelled")
+        save_alignment_pair(pair, directory)
+        loaded = load_alignment_pair(directory)
+        assert loaded.source.node_labels == pair.source.node_labels
+        assert loaded.target.node_labels == pair.target.node_labels
+
+    def test_missing_labels_ok(self, rng, tmp_path):
+        graph = generators.barabasi_albert(10, 2, rng, feature_dim=2)
+        pair = noisy_copy_pair(graph, rng)
+        directory = str(tmp_path / "plain")
+        save_alignment_pair(pair, directory)
+        loaded = load_alignment_pair(directory)
+        assert loaded.source.num_nodes == pair.source.num_nodes
+
+    def test_newline_in_label_rejected(self, tmp_path):
+        from repro.graphs.io import save_node_labels
+
+        with pytest.raises(ValueError):
+            save_node_labels(["bad\nlabel"], str(tmp_path / "l.txt"))

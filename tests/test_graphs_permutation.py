@@ -1,0 +1,119 @@
+"""Tests for permutation utilities, incl. hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    AttributedGraph,
+    apply_permutation,
+    groundtruth_from_permutation,
+    invert_permutation,
+    is_permutation,
+    permutation_matrix,
+    random_permutation,
+    generators,
+)
+
+
+class TestBasics:
+    def test_random_permutation_is_permutation(self, rng):
+        perm = random_permutation(10, rng)
+        assert is_permutation(perm)
+
+    def test_is_permutation_rejects_duplicates(self):
+        assert not is_permutation(np.array([0, 0, 2]))
+
+    def test_is_permutation_rejects_2d(self):
+        assert not is_permutation(np.eye(3))
+
+    def test_matrix_row_selection_convention(self):
+        perm = np.array([2, 0, 1])
+        matrix = permutation_matrix(perm).toarray()
+        x = np.array([[10.0], [20.0], [30.0]])
+        moved = matrix @ x
+        # (P @ X)[perm[i]] == X[i]
+        for i in range(3):
+            assert moved[perm[i], 0] == x[i, 0]
+
+    def test_matrix_is_orthogonal(self, rng):
+        matrix = permutation_matrix(random_permutation(7, rng)).toarray()
+        np.testing.assert_allclose(matrix @ matrix.T, np.eye(7))
+
+    def test_matrix_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            permutation_matrix(np.array([0, 0, 1]))
+
+    def test_invert(self, rng):
+        perm = random_permutation(20, rng)
+        inverse = invert_permutation(perm)
+        np.testing.assert_array_equal(perm[inverse], np.arange(20))
+        np.testing.assert_array_equal(inverse[perm], np.arange(20))
+
+    def test_groundtruth_mapping(self):
+        perm = np.array([1, 2, 0])
+        assert groundtruth_from_permutation(perm) == {0: 1, 1: 2, 2: 0}
+
+
+class TestApplyPermutation:
+    def test_identity_permutation_is_noop(self, tiny_graph):
+        same = apply_permutation(tiny_graph, np.arange(5))
+        assert same == tiny_graph
+
+    def test_wrong_length_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            apply_permutation(tiny_graph, np.arange(3))
+
+    def test_edges_follow_mapping(self, tiny_graph):
+        perm = np.array([4, 3, 2, 1, 0])
+        permuted = apply_permutation(tiny_graph, perm)
+        for u, v in tiny_graph.edge_list():
+            assert permuted.has_edge(perm[u], perm[v])
+        assert permuted.num_edges == tiny_graph.num_edges
+
+    def test_features_follow_mapping(self, tiny_graph):
+        perm = np.array([1, 0, 3, 2, 4])
+        permuted = apply_permutation(tiny_graph, perm)
+        for node in range(5):
+            np.testing.assert_array_equal(
+                permuted.features[perm[node]], tiny_graph.features[node]
+            )
+
+    def test_labels_follow_mapping(self):
+        g = AttributedGraph.from_edges(3, [(0, 1)], node_labels=["a", "b", "c"])
+        permuted = apply_permutation(g, np.array([2, 0, 1]))
+        assert permuted.node_labels == ["b", "c", "a"]
+
+    def test_degree_sequence_preserved(self, small_graph, rng):
+        perm = random_permutation(small_graph.num_nodes, rng)
+        permuted = apply_permutation(small_graph, perm)
+        np.testing.assert_array_equal(
+            np.sort(permuted.degrees()), np.sort(small_graph.degrees())
+        )
+
+
+class TestPermutationProperties:
+    """Hypothesis property tests over random graphs and permutations."""
+
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(5, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_double_application_composes(self, seed, n):
+        rng = np.random.default_rng(seed)
+        graph = generators.erdos_renyi(n, 0.3, rng, feature_dim=3)
+        m = graph.num_nodes
+        p1 = random_permutation(m, rng)
+        p2 = random_permutation(m, rng)
+        once = apply_permutation(apply_permutation(graph, p1), p2)
+        composed = apply_permutation(graph, p2[p1])
+        assert once == composed
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_apply_then_invert_is_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = generators.barabasi_albert(25, 2, rng, feature_dim=4)
+        perm = random_permutation(graph.num_nodes, rng)
+        roundtrip = apply_permutation(
+            apply_permutation(graph, perm), invert_permutation(perm)
+        )
+        assert roundtrip == graph

@@ -1,0 +1,159 @@
+"""Cross-module integration tests: full pipelines over IO, training,
+refinement, streaming, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro import GAlign, GAlignConfig
+from repro.baselines import FINAL, REGAL
+from repro.core import GAlignTrainer, StreamingAligner
+from repro.eval import ExperimentRunner, MethodSpec
+from repro.graphs import (
+    AlignmentPair,
+    douban_like,
+    generators,
+    noisy_copy_pair,
+    toy_movie_pair,
+)
+from repro.graphs.io import load_alignment_pair, save_alignment_pair
+from repro.metrics import evaluate_alignment, success_at
+
+
+def fast_config(**kwargs):
+    defaults = dict(epochs=15, embedding_dim=16, refinement_iterations=3,
+                    seed=0)
+    defaults.update(kwargs)
+    return GAlignConfig(**defaults)
+
+
+class TestDiskRoundtripPipeline:
+    def test_save_load_align(self, tmp_path, rng):
+        graph = generators.barabasi_albert(40, 2, rng, feature_dim=6,
+                                           feature_kind="degree")
+        pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+        directory = str(tmp_path / "pair")
+        save_alignment_pair(pair, directory)
+        loaded = load_alignment_pair(directory)
+
+        original = GAlign(fast_config()).align(pair).scores
+        reloaded = GAlign(fast_config()).align(loaded).scores
+        np.testing.assert_allclose(original, reloaded)
+
+
+class TestRunnerWithRealMethods:
+    def test_runner_full_roster_small(self, rng):
+        graph = generators.barabasi_albert(35, 2, rng, feature_dim=6,
+                                           feature_kind="degree")
+        pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+        runner = ExperimentRunner(supervision_ratio=0.1, repeats=2, seed=0)
+        specs = [
+            MethodSpec("GAlign", lambda: GAlign(fast_config())),
+            MethodSpec("REGAL", REGAL),
+            MethodSpec("FINAL", FINAL),
+        ]
+        results = runner.run_pair(pair, specs)
+        assert set(results) == {"GAlign", "REGAL", "FINAL"}
+        for summary in results.values():
+            assert summary.repeats == 2
+            assert 0.0 <= summary.map <= 1.0
+
+
+class TestEndToEndOnTableIIStandIn:
+    def test_douban_like_pipeline(self, rng):
+        pair = douban_like(rng, scale=0.03)
+        result = GAlign(fast_config(epochs=25)).align(pair)
+        report = evaluate_alignment(result.scores, pair.groundtruth)
+        # Low bar: well above random on a size-imbalanced pair.
+        random_scores = np.random.default_rng(0).random(result.scores.shape)
+        random_map = evaluate_alignment(random_scores, pair.groundtruth).map
+        assert report.map > 3 * random_map
+
+
+class TestStreamingConsistencyWithFacade:
+    def test_streaming_matches_unrefined_facade(self, rng):
+        graph = generators.barabasi_albert(40, 2, rng, feature_dim=6,
+                                           feature_kind="degree")
+        pair = noisy_copy_pair(graph, rng)
+        config = fast_config(use_refinement=False)
+        facade = GAlign(config)
+        facade_scores = facade.align(pair).scores
+
+        aligner = StreamingAligner(facade.model, config)
+        report_streaming = aligner.evaluate(pair)
+        report_dense = evaluate_alignment(facade_scores, pair.groundtruth)
+        assert report_streaming.map == pytest.approx(report_dense.map)
+
+
+class TestToyStudyPipeline:
+    def test_fig8_pipeline_runs(self, rng):
+        from repro.analysis import concatenate_orders, diagnose_embeddings
+
+        pair = toy_movie_pair(rng)
+        config = fast_config(epochs=40, embedding_dim=8)
+        model, _ = GAlignTrainer(config, np.random.default_rng(0)).train(pair)
+        multi_source = concatenate_orders(model.embed(pair.source))
+        multi_target = concatenate_orders(model.embed(pair.target))
+        report = diagnose_embeddings(multi_source, multi_target,
+                                     pair.groundtruth)
+        assert report.separation_margin > 0.0
+
+
+class TestFailureInjection:
+    def test_graph_with_isolated_nodes(self, rng):
+        # Isolated nodes have only their self-loop; nothing should crash.
+        from repro.graphs import AttributedGraph
+
+        edges = [(0, 1), (1, 2)]
+        features = np.eye(5)
+        graph = AttributedGraph.from_edges(5, edges, features)
+        pair = noisy_copy_pair(graph, rng)
+        result = GAlign(fast_config(epochs=5)).align(pair)
+        assert np.all(np.isfinite(result.scores))
+
+    def test_complete_graph(self, rng):
+        from repro.graphs import AttributedGraph
+
+        n = 8
+        adjacency = np.ones((n, n)) - np.eye(n)
+        graph = AttributedGraph(adjacency, np.eye(n))
+        pair = noisy_copy_pair(graph, rng)
+        result = GAlign(fast_config(epochs=5)).align(pair)
+        assert result.scores.shape == (n, n)
+
+    def test_constant_features(self, rng):
+        # Featureless graphs get a constant attribute column; alignment is
+        # then structure-only and must still run.
+        graph = generators.barabasi_albert(25, 2, rng, feature_dim=2)
+        constant = graph.with_features(np.ones((graph.num_nodes, 1)))
+        pair = noisy_copy_pair(constant, rng)
+        result = GAlign(fast_config(epochs=5)).align(pair)
+        assert np.all(np.isfinite(result.scores))
+
+    def test_tiny_graph(self, rng):
+        from repro.graphs import AttributedGraph
+
+        graph = AttributedGraph.from_edges(3, [(0, 1), (1, 2)], np.eye(3))
+        pair = noisy_copy_pair(graph, rng)
+        result = GAlign(fast_config(epochs=3)).align(pair)
+        assert result.scores.shape == (3, 3)
+
+    def test_heavy_noise_does_not_crash(self, rng):
+        graph = generators.barabasi_albert(30, 2, rng, feature_dim=5,
+                                           feature_kind="degree")
+        pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.9,
+                               attribute_noise_ratio=0.9)
+        result = GAlign(fast_config(epochs=5)).align(pair)
+        assert np.all(np.isfinite(result.scores))
+
+    def test_size_mismatch_pair(self, rng):
+        # Source and target with very different sizes.
+        graph = generators.barabasi_albert(60, 2, rng, feature_dim=5,
+                                           feature_kind="degree")
+        from repro.graphs import subnetwork_pair
+
+        pair = subnetwork_pair(graph, rng, target_ratio=0.2)
+        result = GAlign(fast_config(epochs=5)).align(pair)
+        assert result.scores.shape == (
+            pair.source.num_nodes, pair.target.num_nodes
+        )
+        assert success_at(result.scores, pair.groundtruth, 10) >= 0.0
