@@ -1,0 +1,139 @@
+"""BENCH_*.json smoke test: the perf-trajectory artifact every future PR
+extends.
+
+Runs a tiny GAlign alignment end-to-end through the CLI with metrics
+enabled, validates the emitted ``BENCH_*.json`` against the schema, and
+checks the hot-path metric names the trajectory tracks are present.  Also
+bounds the instrumentation overhead: the registry must stay invisible next
+to the actual numeric work.
+"""
+
+import time
+
+import numpy as np
+
+from repro.cli import main
+from repro.core import GAlignConfig, GAlignTrainer
+from repro.graphs import generators, noisy_copy_pair
+from repro.observability import (
+    BENCH_SCHEMA,
+    MetricsRegistry,
+    load_bench_json,
+    use_registry,
+)
+
+from conftest import BASE_SEED, print_section
+
+#: Metric names the perf trajectory relies on; removing one breaks the
+#: BENCH_*.json consumers downstream.
+EXPECTED_METRICS = [
+    "trainer.epochs",
+    "trainer.epoch_time",
+    "trainer.forward_time",
+    "trainer.backward_time",
+    "trainer.step_time",
+    "trainer.loss.total",
+    "refine.iterations",
+    "refine.iteration_time",
+    "refine.quality",
+    "refine.stable_nodes",
+]
+
+
+def test_bench_export(tmp_path):
+    pair_dir = str(tmp_path / "pair")
+    bench_path = str(tmp_path / "BENCH_galign_tiny.json")
+    assert main(["generate", "--dataset", "ba", "--nodes", "40",
+                 "--seed", str(BASE_SEED % 2**31), "--out", pair_dir]) == 0
+    assert main(["align", "--pair", pair_dir, "--method", "galign",
+                 "--epochs", "8", "--dim", "16",
+                 "--refinement-iterations", "3", "--seed", "0",
+                 "--metrics-out", bench_path]) == 0
+
+    payload = load_bench_json(bench_path)  # validates against the schema
+    assert payload["schema"] == BENCH_SCHEMA
+    assert payload["run"]["command"] == "align"
+    assert payload["run"]["method"] == "GAlign"
+    for name in EXPECTED_METRICS:
+        assert name in payload["metrics"], f"missing metric {name}"
+    assert payload["metrics"]["trainer.epochs"]["value"] == 8
+    assert payload["metrics"]["trainer.epoch_time"]["count"] == 8
+    assert payload["metrics"]["trainer.epoch_time"]["total"] > 0.0
+
+    print_section("BENCH export — schema-validated metrics artifact")
+    for name in EXPECTED_METRICS:
+        print(f"  {name}: {payload['metrics'][name]}")
+
+
+def test_instrumentation_overhead_is_small():
+    """Instrumented training must cost < 5% over an inert-registry run.
+
+    Uses the ``test_scalability.py`` workload shape (BA graph, 10 epochs) at
+    n=400 so the per-epoch numeric work — not fixed noise — dominates.
+    """
+    import gc
+
+    rng = np.random.default_rng(BASE_SEED)
+    graph = generators.barabasi_albert(400, 2, rng, feature_dim=16,
+                                       feature_kind="degree")
+    pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+    config = GAlignConfig(epochs=10, embedding_dim=32,
+                          num_augmentations=1, seed=0)
+
+    def train_once(registry):
+        trainer = GAlignTrainer(config, np.random.default_rng(0),
+                                registry=registry)
+        gc.collect()
+        started = time.perf_counter()
+        trainer.train(pair)
+        return time.perf_counter() - started
+
+    class InertRegistry(MetricsRegistry):
+        """Registry whose recording paths are no-ops (baseline cost)."""
+
+        def increment(self, name, amount=1):
+            return 0
+
+        def observe(self, name, value):
+            pass
+
+        def emit(self, event, payload=None):
+            pass
+
+        def timed(self, name):
+            from repro.observability import Timer
+            return Timer()
+
+    # Warm-up to stabilize caches, then interleave best-of-5 each way so
+    # machine drift hits both measurements equally; min discards GC pauses
+    # and scheduler hiccups.
+    train_once(InertRegistry())
+    train_once(MetricsRegistry())
+    baselines, instrumenteds = [], []
+    for _ in range(5):
+        baselines.append(train_once(InertRegistry()))
+        instrumenteds.append(train_once(MetricsRegistry()))
+    baseline, instrumented = min(baselines), min(instrumenteds)
+    overhead = instrumented / baseline - 1.0
+    print_section("Instrumentation overhead")
+    print(f"  baseline {baseline:.3f}s, instrumented {instrumented:.3f}s, "
+          f"overhead {overhead:+.1%}")
+    assert overhead < 0.05, f"instrumentation overhead {overhead:.1%} >= 5%"
+
+
+def test_metrics_stay_scoped_to_run():
+    """use_registry isolates CLI-style runs from the process registry."""
+    from repro.observability import get_registry
+
+    process_registry = get_registry()
+    before = len(process_registry)
+    scoped = MetricsRegistry()
+    with use_registry(scoped):
+        rng = np.random.default_rng(BASE_SEED)
+        graph = generators.barabasi_albert(30, 2, rng, feature_dim=6,
+                                           feature_kind="degree")
+        pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+        config = GAlignConfig(epochs=2, embedding_dim=8, seed=0)
+        GAlignTrainer(config, rng).train(pair)
+    assert "trainer.epochs" in scoped
+    assert len(process_registry) == before

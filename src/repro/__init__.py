@@ -11,6 +11,7 @@ Networks* (Huynh Thanh Trung et al.), built from scratch in Python:
 * :mod:`repro.metrics` — Success@q, MAP, AUC, matchings.
 * :mod:`repro.analysis` — t-SNE / PCA / embedding diagnostics.
 * :mod:`repro.eval` — experiment runner and paper-style reporting.
+* :mod:`repro.observability` — metrics registry, timers, BENCH export.
 
 Quickstart::
 
@@ -28,6 +29,7 @@ Quickstart::
 
 from .base import AlignmentMethod, AlignmentResult
 from .core import GAlign, GAlignConfig
+from .observability import MetricsRegistry, get_registry, use_registry
 
 __version__ = "1.0.0"
 
@@ -36,5 +38,8 @@ __all__ = [
     "AlignmentResult",
     "GAlign",
     "GAlignConfig",
+    "MetricsRegistry",
+    "get_registry",
+    "use_registry",
     "__version__",
 ]

@@ -55,6 +55,7 @@ from .graphs import (
 )
 from .graphs.io import load_alignment_pair, save_alignment_pair, save_groundtruth
 from .metrics import evaluate_alignment, top1_matching
+from .observability import MetricsRegistry, use_registry, write_bench_json
 
 __all__ = ["main", "build_parser"]
 
@@ -105,7 +106,12 @@ def _cmd_align(args: argparse.Namespace) -> int:
     if method.requires_supervision and pair.groundtruth and args.supervision > 0:
         supervision, _ = pair.split_groundtruth(args.supervision, rng)
 
-    result = method.align(pair, supervision=supervision, rng=rng)
+    # A fresh registry per invocation: every instrumented component below
+    # (trainer, refiner, streaming) resolves the process registry at call
+    # time, so the export contains exactly this run.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = method.align(pair, supervision=supervision, rng=rng)
     print(f"method   : {method.name}")
     print(f"pair     : {pair}")
     print(f"time     : {result.elapsed_seconds:.2f}s")
@@ -116,6 +122,16 @@ def _cmd_align(args: argparse.Namespace) -> int:
         anchors = top1_matching(result.scores)
         save_groundtruth(anchors, args.out)
         print(f"anchors  : written to {args.out}")
+    if args.metrics_out:
+        run = {
+            "command": "align",
+            "method": method.name,
+            "pair": pair.name,
+            "seed": args.seed,
+            "elapsed_seconds": result.elapsed_seconds,
+        }
+        write_bench_json(args.metrics_out, registry, run=run)
+        print(f"bench    : written to {args.metrics_out}")
     return 0
 
 
@@ -151,13 +167,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     pair = load_alignment_pair(args.pair)
     if not pair.groundtruth:
         raise SystemExit("compare needs ground truth (groundtruth.txt)")
+    registry = MetricsRegistry()
     runner = ExperimentRunner(
         supervision_ratio=args.supervision,
         repeats=args.repeats,
         seed=args.seed,
+        registry=registry,
     )
-    results = runner.run_pair(pair, all_method_specs())
+    with use_registry(registry):
+        results = runner.run_pair(pair, all_method_specs())
     print(format_comparison_table({pair.name: results}))
+    if args.metrics_out:
+        run = {"command": "compare", **runner.run_manifest()}
+        write_bench_json(args.metrics_out, registry, run=run)
+        print(f"bench: written to {args.metrics_out}")
     return 0
 
 
@@ -194,6 +217,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="anchor fraction for supervised methods")
     align.add_argument("--seed", type=int, default=0)
     align.add_argument("--out", help="write predicted anchors to this file")
+    align.add_argument("--metrics-out",
+                       help="write run metrics as a BENCH_*.json artifact")
     align.set_defaults(handler=_cmd_align)
 
     generate = commands.add_parser("generate", help="synthesize a pair")
@@ -219,6 +244,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--supervision", type=float, default=0.1)
     compare.add_argument("--repeats", type=int, default=1)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--metrics-out",
+                        help="write run metrics + manifest as BENCH_*.json")
     compare.set_defaults(handler=_cmd_compare)
     return parser
 

@@ -11,7 +11,12 @@ from .alignment import (
     greedy_anchor_links,
     alignment_quality,
 )
-from .refine import find_stable_nodes, AlignmentRefiner, RefinementLog
+from .refine import (
+    find_stable_nodes,
+    apply_influence_gain,
+    AlignmentRefiner,
+    RefinementLog,
+)
 from .galign import GAlign
 from .instantiation import (
     AnchorLink,
@@ -45,6 +50,7 @@ __all__ = [
     "greedy_anchor_links",
     "alignment_quality",
     "find_stable_nodes",
+    "apply_influence_gain",
     "AlignmentRefiner",
     "RefinementLog",
     "GAlign",

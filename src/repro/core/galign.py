@@ -97,8 +97,13 @@ class GAlign(AlignmentMethod):
                 pair, self.model, self.target_model
             )
             if not config.multi_order:
-                # GAlign-3 under refinement: re-aggregate from last layer only.
-                scores = self._last_layer_scores(pair)
+                # GAlign-3 under refinement: last-layer scores only, but from
+                # the refiner's best-iteration (influence-weighted) embeddings
+                # — re-embedding with the default propagation would discard
+                # the refinement loop's work.
+                source_last = self.refinement_log.best_source_embeddings[-1]
+                target_last = self.refinement_log.best_target_embeddings[-1]
+                scores = source_last @ target_last.T
             return scores
 
         self.refinement_log = None

@@ -16,6 +16,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from ..graphs import AlignmentPair, weighted_propagation_matrix
+from ..observability import MetricsRegistry, get_registry
 from .alignment import (
     aggregate_alignment,
     alignment_quality,
@@ -24,7 +25,12 @@ from .alignment import (
 from .config import GAlignConfig
 from .model import MultiOrderGCN
 
-__all__ = ["find_stable_nodes", "AlignmentRefiner", "RefinementLog"]
+__all__ = [
+    "find_stable_nodes",
+    "apply_influence_gain",
+    "AlignmentRefiner",
+    "RefinementLog",
+]
 
 
 def find_stable_nodes(
@@ -73,9 +79,29 @@ def find_stable_nodes(
     return sources, targets
 
 
+def apply_influence_gain(
+    influence: np.ndarray, nodes: np.ndarray, gain: float
+) -> np.ndarray:
+    """Eq 14 in-place: multiply ``influence[node]`` by ``gain`` per entry.
+
+    ``nodes`` may contain duplicates — several stable sources sharing one
+    anchor target — and the gain accumulates once *per stable pair*, so a
+    node appearing twice is amplified by ``gain**2``.  A fancy-indexed
+    ``influence[nodes] *= gain`` would collapse duplicates (numpy buffers
+    the assignment per unique index); ``np.multiply.at`` does not.
+    """
+    np.multiply.at(influence, nodes, gain)
+    return influence
+
+
 @dataclass
 class RefinementLog:
-    """Trajectory of the greedy quality criterion and stable-node counts."""
+    """Trajectory of the greedy quality criterion and stable-node counts.
+
+    When constructed with a ``registry`` the log doubles as a view over it:
+    every :meth:`record_iteration` also updates the ``refine.*`` gauges and
+    emits a ``refine.iteration`` event.
+    """
 
     quality: List[float] = field(default_factory=list)
     stable_sources: List[int] = field(default_factory=list)
@@ -83,6 +109,34 @@ class RefinementLog:
     #: Influence factors α after the final iteration (Eq 14 accumulation).
     final_influence_source: np.ndarray | None = None
     final_influence_target: np.ndarray | None = None
+    #: Multi-order embeddings [H(0)..H(k)] from the best-quality iteration —
+    #: the embeddings the returned alignment matrix was built from (and what
+    #: GAlign-3 under refinement re-aggregates its last-layer scores from).
+    best_source_embeddings: List[np.ndarray] | None = None
+    best_target_embeddings: List[np.ndarray] | None = None
+    registry: MetricsRegistry | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def record_iteration(
+        self, quality: float, num_sources: int, num_targets: int
+    ) -> None:
+        self.quality.append(quality)
+        self.stable_sources.append(num_sources)
+        self.stable_targets.append(num_targets)
+        if self.registry is not None:
+            self.registry.observe("refine.quality", quality)
+            self.registry.observe("refine.stable_nodes", num_sources)
+            self.registry.observe("refine.stable_targets", num_targets)
+            self.registry.emit(
+                "refine.iteration",
+                {
+                    "iteration": len(self.quality) - 1,
+                    "quality": quality,
+                    "stable_sources": num_sources,
+                    "stable_targets": num_targets,
+                },
+            )
 
     @property
     def best_quality(self) -> float:
@@ -92,8 +146,15 @@ class RefinementLog:
 class AlignmentRefiner:
     """Run Alg 2 on a trained model and an alignment pair."""
 
-    def __init__(self, config: GAlignConfig) -> None:
+    def __init__(
+        self,
+        config: GAlignConfig,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.config = config
+        #: Metrics sink; ``None`` falls back to the process registry at
+        #: refine time (so ``use_registry`` scopes apply).
+        self.registry = registry
 
     def refine(
         self,
@@ -107,6 +168,7 @@ class AlignmentRefiner:
         weight-sharing ablation passes a separately trained model.
         """
         config = self.config
+        registry = self.registry if self.registry is not None else get_registry()
         if target_model is None:
             target_model = source_model
         layer_weights = config.resolved_layer_weights()
@@ -115,40 +177,52 @@ class AlignmentRefiner:
         influence_source = np.ones(pair.source.num_nodes)
         influence_target = np.ones(pair.target.num_nodes)
 
-        log = RefinementLog()
+        log = RefinementLog(registry=registry)
         best_scores = None
         best_quality = float("-inf")
 
         for _ in range(max(1, config.refinement_iterations)):
-            prop_source = weighted_propagation_matrix(pair.source, influence_source)
-            prop_target = weighted_propagation_matrix(pair.target, influence_target)
-            source_embeddings = source_model.embed(pair.source, prop_source)
-            target_embeddings = target_model.embed(pair.target, prop_target)
-            matrices = layerwise_alignment_matrices(
-                source_embeddings, target_embeddings
-            )
-            scores = aggregate_alignment(matrices, layer_weights)
-            quality = alignment_quality(scores)
+            with registry.timed("refine.iteration_time"):
+                prop_source = weighted_propagation_matrix(
+                    pair.source, influence_source
+                )
+                prop_target = weighted_propagation_matrix(
+                    pair.target, influence_target
+                )
+                source_embeddings = source_model.embed(pair.source, prop_source)
+                target_embeddings = target_model.embed(pair.target, prop_target)
+                matrices = layerwise_alignment_matrices(
+                    source_embeddings, target_embeddings
+                )
+                scores = aggregate_alignment(matrices, layer_weights)
+                quality = alignment_quality(scores)
 
-            sources, targets = find_stable_nodes(
-                matrices, config.stability_threshold, reference_scores=scores
-            )
-            log.quality.append(quality)
-            log.stable_sources.append(len(sources))
-            log.stable_targets.append(len(np.unique(targets)))
+                sources, targets = find_stable_nodes(
+                    matrices, config.stability_threshold, reference_scores=scores
+                )
+            registry.increment("refine.iterations")
+            log.record_iteration(quality, len(sources), len(np.unique(targets)))
 
             if quality > best_quality:
                 best_quality = quality
                 best_scores = scores
+                log.best_source_embeddings = source_embeddings
+                log.best_target_embeddings = target_embeddings
 
             if len(sources) == 0:
                 # No stable anchors: influence factors would not change and
                 # the iteration has reached a fixed point.
                 break
-            # Eq 14: amplify influence of stable nodes on both sides.
-            influence_source[sources] *= config.influence_gain
-            influence_target[targets] *= config.influence_gain
+            # Eq 14: amplify influence of stable nodes on both sides.  The
+            # target side accumulates per stable *pair*: duplicated anchor
+            # targets must be amplified once per sharing source.
+            apply_influence_gain(influence_source, sources, config.influence_gain)
+            apply_influence_gain(influence_target, targets, config.influence_gain)
 
+        registry.observe("refine.influence.source_max", influence_source.max())
+        registry.observe("refine.influence.target_max", influence_target.max())
+        registry.observe("refine.influence.source_mean", influence_source.mean())
+        registry.observe("refine.influence.target_mean", influence_target.mean())
         log.final_influence_source = influence_source
         log.final_influence_target = influence_target
         return best_scores, log

@@ -24,6 +24,7 @@ import scipy.sparse as sp
 
 from ..autograd import Adam, Tensor, clip_grad_norm
 from ..graphs import AlignmentPair, propagation_matrix
+from ..observability import MetricsRegistry, get_registry
 from .augment import GraphAugmenter
 from .config import GAlignConfig
 from .losses import adaptivity_loss, combined_loss
@@ -99,6 +100,7 @@ class SampledGAlignTrainer:
         rng: np.random.Generator,
         batch_size: int = 256,
         num_negatives: int = 5,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -106,6 +108,9 @@ class SampledGAlignTrainer:
             raise ValueError(f"num_negatives must be >= 0, got {num_negatives}")
         self.config = config
         self.rng = rng
+        #: Metrics sink; ``None`` falls back to the process registry at
+        #: train time (so ``use_registry`` scopes apply).
+        self.registry = registry
         self.batch_size = batch_size
         self.num_negatives = num_negatives
         self.augmenter = GraphAugmenter(
@@ -134,45 +139,61 @@ class SampledGAlignTrainer:
             for graph_views in views
         ]
 
-        log = TrainingLog()
+        registry = self.registry if self.registry is not None else get_registry()
+        log = TrainingLog(registry=registry)
         for _ in range(config.epochs):
-            optimizer.zero_grad()
-            total = None
-            consistency_value = 0.0
-            adaptivity_value = 0.0
-            for graph, propagation, graph_views, graph_view_props in zip(
-                networks, propagations, views, view_propagations
-            ):
-                batch = self.rng.choice(
-                    graph.num_nodes,
-                    size=min(self.batch_size, graph.num_nodes),
-                    replace=False,
-                )
-                embeddings = model.forward(graph, propagation)
-                j_consistency = sampled_consistency_loss(
-                    propagation, embeddings, batch, self.num_negatives,
-                    self.rng,
-                )
-                consistency_value += float(j_consistency.data)
-
-                j_adaptivity = None
-                if graph_views:
-                    for view, view_prop in zip(graph_views, graph_view_props):
-                        view_embeddings = model.forward(view.graph, view_prop)
-                        term = adaptivity_loss(
-                            embeddings, view_embeddings, view.correspondence,
-                            threshold=config.adaptivity_threshold,
+            with registry.timed("trainer.epoch_time"):
+                optimizer.zero_grad()
+                total = None
+                consistency_value = 0.0
+                adaptivity_value = 0.0
+                with registry.timed("trainer.forward_time"):
+                    for graph, propagation, graph_views, graph_view_props in zip(
+                        networks, propagations, views, view_propagations
+                    ):
+                        batch = self.rng.choice(
+                            graph.num_nodes,
+                            size=min(self.batch_size, graph.num_nodes),
+                            replace=False,
                         )
-                        j_adaptivity = (
-                            term if j_adaptivity is None else j_adaptivity + term
+                        registry.observe("trainer.batch_nodes", len(batch))
+                        embeddings = model.forward(graph, propagation)
+                        j_consistency = sampled_consistency_loss(
+                            propagation, embeddings, batch, self.num_negatives,
+                            self.rng,
                         )
-                    adaptivity_value += float(j_adaptivity.data)
+                        consistency_value += float(j_consistency.data)
 
-                loss = combined_loss(j_consistency, j_adaptivity, config.gamma)
-                total = loss if total is None else total + loss
+                        j_adaptivity = None
+                        if graph_views:
+                            for view, view_prop in zip(
+                                graph_views, graph_view_props
+                            ):
+                                view_embeddings = model.forward(
+                                    view.graph, view_prop
+                                )
+                                term = adaptivity_loss(
+                                    embeddings, view_embeddings,
+                                    view.correspondence,
+                                    threshold=config.adaptivity_threshold,
+                                )
+                                j_adaptivity = (
+                                    term
+                                    if j_adaptivity is None
+                                    else j_adaptivity + term
+                                )
+                            adaptivity_value += float(j_adaptivity.data)
 
-            total.backward()
-            clip_grad_norm(model.parameters(), max_norm=5.0)
-            optimizer.step()
+                        loss = combined_loss(
+                            j_consistency, j_adaptivity, config.gamma
+                        )
+                        total = loss if total is None else total + loss
+
+                with registry.timed("trainer.backward_time"):
+                    total.backward()
+                    clip_grad_norm(model.parameters(), max_norm=5.0)
+                with registry.timed("trainer.step_time"):
+                    optimizer.step()
+            registry.increment("trainer.epochs")
             log.record(float(total.data), consistency_value, adaptivity_value)
         return model, log

@@ -19,13 +19,15 @@ This module provides that row-streaming layer:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graphs import AlignmentPair
 from ..metrics import EvaluationReport
+from ..observability import MetricsRegistry, get_registry
 from .config import GAlignConfig
 from .model import MultiOrderGCN
 
@@ -43,11 +45,14 @@ def iter_score_blocks(
     target_embeddings: Sequence[np.ndarray],
     layer_weights: Sequence[float],
     block_size: int = 256,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Iterator[Tuple[range, np.ndarray]]:
     """Yield (row range, S[rows]) blocks of the aggregated alignment matrix.
 
     Equivalent to Eq 11 + Eq 12 evaluated lazily: each block is
-    ``Σ_l θ(l) · H_s(l)[rows] @ H_t(l)ᵀ``.
+    ``Σ_l θ(l) · H_s(l)[rows] @ H_t(l)ᵀ``.  Block build time and row
+    throughput land in the ``streaming.*`` metrics of ``registry`` (the
+    process registry when unset); consumer time is not charged.
     """
     if block_size < 1:
         raise ValueError(f"block_size must be >= 1, got {block_size}")
@@ -55,8 +60,11 @@ def iter_score_blocks(
         raise ValueError("layer count mismatch between source and target")
     if len(source_embeddings) != len(layer_weights):
         raise ValueError("layer_weights must match the number of layers")
+    if registry is None:
+        registry = get_registry()
     n_source = source_embeddings[0].shape[0]
     for start in range(0, n_source, block_size):
+        started = time.perf_counter()
         rows = range(start, min(start + block_size, n_source))
         block = None
         for h_source, h_target, weight in zip(
@@ -64,6 +72,9 @@ def iter_score_blocks(
         ):
             partial = weight * (h_source[rows.start : rows.stop] @ h_target.T)
             block = partial if block is None else block + partial
+        registry.record_time("streaming.block_time", time.perf_counter() - started)
+        registry.increment("streaming.blocks")
+        registry.increment("streaming.rows", len(rows))
         yield rows, block
 
 
@@ -73,6 +84,7 @@ def streaming_top_k(
     layer_weights: Sequence[float],
     k: int = 1,
     block_size: int = 256,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-source top-k targets and their scores, streamed by row blocks.
 
@@ -90,7 +102,8 @@ def streaming_top_k(
     all_targets = np.empty((n_source, k), dtype=np.int64)
     all_scores = np.empty((n_source, k))
     for rows, block in iter_score_blocks(
-        source_embeddings, target_embeddings, layer_weights, block_size
+        source_embeddings, target_embeddings, layer_weights, block_size,
+        registry=registry,
     ):
         # argpartition then sort the k winners per row.
         top = np.argpartition(block, -k, axis=1)[:, -k:]
@@ -108,6 +121,7 @@ def streaming_evaluate(
     layer_weights: Sequence[float],
     groundtruth: Dict[int, int],
     block_size: int = 256,
+    registry: Optional[MetricsRegistry] = None,
 ) -> EvaluationReport:
     """Success@{1,10} / MAP / AUC computed without materializing S.
 
@@ -119,7 +133,8 @@ def streaming_evaluate(
     n_target = target_embeddings[0].shape[0]
     ranks: List[int] = []
     for rows, block in iter_score_blocks(
-        source_embeddings, target_embeddings, layer_weights, block_size
+        source_embeddings, target_embeddings, layer_weights, block_size,
+        registry=registry,
     ):
         for source in rows:
             if source not in groundtruth:
@@ -147,6 +162,7 @@ def streaming_find_stable_nodes(
     threshold: float,
     block_size: int = 256,
     tie_tolerance: float = 1e-9,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Eq 13 stable nodes without materializing any n₁×n₂ matrix.
 
@@ -161,10 +177,13 @@ def streaming_find_stable_nodes(
     """
     if not source_embeddings:
         raise ValueError("need at least one layer of embeddings")
+    if registry is None:
+        registry = get_registry()
     stable_sources: List[int] = []
     stable_targets: List[int] = []
     n_source = source_embeddings[0].shape[0]
     for start in range(0, n_source, block_size):
+        started = time.perf_counter()
         stop = min(start + block_size, n_source)
         layer_blocks = [
             h_source[start:stop] @ h_target.T
@@ -184,6 +203,9 @@ def streaming_find_stable_nodes(
         for local in np.flatnonzero(confident & consistent):
             stable_sources.append(start + int(local))
             stable_targets.append(int(candidates[local]))
+        registry.record_time("streaming.block_time", time.perf_counter() - started)
+        registry.increment("streaming.blocks")
+        registry.increment("streaming.rows", stop - start)
     return np.asarray(stable_sources, dtype=np.int64), np.asarray(
         stable_targets, dtype=np.int64
     )
@@ -203,9 +225,15 @@ class StreamingAligner:
     model: MultiOrderGCN
     config: GAlignConfig
     block_size: int = 256
+    #: Metrics sink; ``None`` falls back to the process registry per call.
+    registry: Optional[MetricsRegistry] = None
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
 
     def _embeddings(self, pair: AlignmentPair) -> tuple:
-        return self.model.embed(pair.source), self.model.embed(pair.target)
+        with self._registry().timed("streaming.embed_time"):
+            return self.model.embed(pair.source), self.model.embed(pair.target)
 
     def top_anchors(
         self, pair: AlignmentPair, k: int = 1
@@ -218,6 +246,7 @@ class StreamingAligner:
             self.config.resolved_layer_weights(),
             k=k,
             block_size=self.block_size,
+            registry=self._registry(),
         )
         return {
             source: list(zip(map(int, targets[source]), map(float, scores[source])))
@@ -233,4 +262,5 @@ class StreamingAligner:
             self.config.resolved_layer_weights(),
             pair.groundtruth,
             block_size=self.block_size,
+            registry=self._registry(),
         )

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..autograd import Adam, clip_grad_norm
 from ..graphs import AlignmentPair, AttributedGraph, propagation_matrix
+from ..observability import MetricsRegistry, get_registry
 from .augment import AugmentedView, GraphAugmenter
 from .config import GAlignConfig
 from .losses import adaptivity_loss, combined_loss, consistency_loss
@@ -25,16 +26,38 @@ __all__ = ["GAlignTrainer", "TrainingLog"]
 
 @dataclass
 class TrainingLog:
-    """Per-epoch loss trajectory for diagnostics."""
+    """Per-epoch loss trajectory for diagnostics.
+
+    When constructed with a ``registry`` the log doubles as a view over it:
+    every :meth:`record` also updates the ``trainer.loss.*`` gauges and
+    emits a ``trainer.epoch`` event, so exports and hook subscribers see the
+    same trajectory the in-memory lists hold.
+    """
 
     total: List[float] = field(default_factory=list)
     consistency: List[float] = field(default_factory=list)
     adaptivity: List[float] = field(default_factory=list)
+    registry: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
 
     def record(self, total: float, consistency: float, adaptivity: float) -> None:
         self.total.append(total)
         self.consistency.append(consistency)
         self.adaptivity.append(adaptivity)
+        if self.registry is not None:
+            self.registry.observe("trainer.loss.total", total)
+            self.registry.observe("trainer.loss.consistency", consistency)
+            self.registry.observe("trainer.loss.adaptivity", adaptivity)
+            self.registry.emit(
+                "trainer.epoch",
+                {
+                    "epoch": len(self.total) - 1,
+                    "total": total,
+                    "consistency": consistency,
+                    "adaptivity": adaptivity,
+                },
+            )
 
     @property
     def final_loss(self) -> Optional[float]:
@@ -44,9 +67,17 @@ class TrainingLog:
 class GAlignTrainer:
     """Train a weight-shared multi-order GCN on an alignment pair (Alg 1)."""
 
-    def __init__(self, config: GAlignConfig, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        config: GAlignConfig,
+        rng: np.random.Generator,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config
         self.rng = rng
+        #: Metrics sink; ``None`` falls back to the process registry at
+        #: train time (so ``use_registry`` scopes apply).
+        self.registry = registry
         self.augmenter = GraphAugmenter(
             structure_noise=config.augment_structure_noise,
             attribute_noise=config.augment_attribute_noise,
@@ -80,7 +111,10 @@ class GAlignTrainer:
     def _optimize(
         self, networks: List[AttributedGraph], model: MultiOrderGCN
     ) -> TrainingLog:
+        if not networks:
+            raise ValueError("no networks to train on")
         config = self.config
+        registry = self.registry if self.registry is not None else get_registry()
         optimizer = Adam(
             model.parameters(),
             lr=config.learning_rate,
@@ -97,39 +131,52 @@ class GAlignTrainer:
             for graph_views in views
         ]
 
-        log = TrainingLog()
+        log = TrainingLog(registry=registry)
         for _ in range(config.epochs):
-            optimizer.zero_grad()
-            total = None
-            consistency_value = 0.0
-            adaptivity_value = 0.0
-            for graph, propagation, graph_views, graph_view_props in zip(
-                networks, propagations, views, view_propagations
-            ):
-                embeddings = model.forward(graph, propagation)
-                j_consistency = consistency_loss(propagation, embeddings)
-                consistency_value += float(j_consistency.data)
+            with registry.timed("trainer.epoch_time"):
+                optimizer.zero_grad()
+                total = None
+                consistency_value = 0.0
+                adaptivity_value = 0.0
+                with registry.timed("trainer.forward_time"):
+                    for graph, propagation, graph_views, graph_view_props in zip(
+                        networks, propagations, views, view_propagations
+                    ):
+                        embeddings = model.forward(graph, propagation)
+                        j_consistency = consistency_loss(propagation, embeddings)
+                        consistency_value += float(j_consistency.data)
 
-                j_adaptivity = None
-                if graph_views:
-                    for view, view_prop in zip(graph_views, graph_view_props):
-                        view_embeddings = model.forward(view.graph, view_prop)
-                        term = adaptivity_loss(
-                            embeddings,
-                            view_embeddings,
-                            view.correspondence,
-                            threshold=config.adaptivity_threshold,
+                        j_adaptivity = None
+                        if graph_views:
+                            for view, view_prop in zip(
+                                graph_views, graph_view_props
+                            ):
+                                view_embeddings = model.forward(
+                                    view.graph, view_prop
+                                )
+                                term = adaptivity_loss(
+                                    embeddings,
+                                    view_embeddings,
+                                    view.correspondence,
+                                    threshold=config.adaptivity_threshold,
+                                )
+                                j_adaptivity = (
+                                    term
+                                    if j_adaptivity is None
+                                    else j_adaptivity + term
+                                )
+                            adaptivity_value += float(j_adaptivity.data)
+
+                        loss = combined_loss(
+                            j_consistency, j_adaptivity, config.gamma
                         )
-                        j_adaptivity = (
-                            term if j_adaptivity is None else j_adaptivity + term
-                        )
-                    adaptivity_value += float(j_adaptivity.data)
+                        total = loss if total is None else total + loss
 
-                loss = combined_loss(j_consistency, j_adaptivity, config.gamma)
-                total = loss if total is None else total + loss
-
-            total.backward()
-            clip_grad_norm(model.parameters(), max_norm=5.0)
-            optimizer.step()
+                with registry.timed("trainer.backward_time"):
+                    total.backward()
+                    clip_grad_norm(model.parameters(), max_norm=5.0)
+                with registry.timed("trainer.step_time"):
+                    optimizer.step()
+            registry.increment("trainer.epochs")
             log.record(float(total.data), consistency_value, adaptivity_value)
         return log

@@ -1,7 +1,12 @@
 """Evaluation harness: runners, experiment definitions, text reporting."""
 
 from .runner import MethodSpec, RunRecord, MethodSummary, ExperimentRunner
-from .reporting import format_table, format_comparison_table, format_series_table
+from .reporting import (
+    format_table,
+    format_comparison_table,
+    format_series_table,
+    format_metrics_table,
+)
 from .tuning import TuningResult, grid_search, random_search
 from .persistence import save_results, load_results, diff_results
 from . import experiments
@@ -14,6 +19,7 @@ __all__ = [
     "format_table",
     "format_comparison_table",
     "format_series_table",
+    "format_metrics_table",
     "TuningResult",
     "grid_search",
     "random_search",

@@ -6,11 +6,17 @@ and the series behind Figs 3-7.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Union
 
+from ..observability import MetricsRegistry
 from .runner import MethodSummary
 
-__all__ = ["format_table", "format_comparison_table", "format_series_table"]
+__all__ = [
+    "format_table",
+    "format_comparison_table",
+    "format_series_table",
+    "format_metrics_table",
+]
 
 
 def format_table(
@@ -65,6 +71,46 @@ def format_comparison_table(
                 summary = summaries.get(name)
                 row.append(summary.as_row()[metric] if summary else "-")
             rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_metrics_table(
+    metrics: Union[MetricsRegistry, Mapping[str, Mapping]],
+    prefix: Optional[str] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a registry (or a snapshot dict) as timing/counter columns.
+
+    One row per metric: counters show their value under ``total``; gauges
+    and timers show observation count plus last/mean/min/max (timers in
+    seconds).
+    """
+    if isinstance(metrics, MetricsRegistry):
+        snapshot = metrics.snapshot(prefix)
+    else:
+        dotted = (prefix + ".") if prefix else None
+        snapshot = {
+            name: stats
+            for name, stats in sorted(metrics.items())
+            if dotted is None or name == prefix or name.startswith(dotted)
+        }
+    headers = ["Metric", "Kind", "Count", "Total", "Last", "Mean", "Min", "Max"]
+    rows = []
+    for name, stats in snapshot.items():
+        if stats["kind"] == "counter":
+            rows.append([name, "counter", stats["value"], stats["value"],
+                         "-", "-", "-", "-"])
+        else:
+            rows.append([
+                name,
+                stats["kind"],
+                stats["count"],
+                stats.get("total", "-"),
+                stats["last"],
+                stats["mean"],
+                stats["min"],
+                stats["max"],
+            ])
     return format_table(headers, rows, title=title)
 
 

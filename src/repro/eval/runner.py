@@ -6,17 +6,22 @@ averages 50 runs; ``repeats`` scales that to the local time budget.
 
 from __future__ import annotations
 
+import json
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..base import AlignmentMethod
 from ..graphs import AlignmentPair
 from ..metrics import EvaluationReport, evaluate_alignment
+from ..observability import MetricsRegistry, get_registry
 
 __all__ = ["MethodSpec", "RunRecord", "MethodSummary", "ExperimentRunner"]
+
+#: Schema identifier of the machine-readable run manifest.
+RUN_MANIFEST_SCHEMA = "repro.run/v1"
 
 
 @dataclass
@@ -96,6 +101,10 @@ class ExperimentRunner:
         Independent runs per (method, pair); results are averaged.
     seed:
         Base seed; run r of method m uses a deterministic child seed.
+    registry:
+        Metrics sink for per-run wall time (``runner.method.<name>.wall``)
+        and quality gauges; ``None`` falls back to the process registry at
+        run time.  Every run also lands in :meth:`run_manifest`.
     """
 
     def __init__(
@@ -103,6 +112,7 @@ class ExperimentRunner:
         supervision_ratio: float = 0.1,
         repeats: int = 1,
         seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not 0.0 <= supervision_ratio <= 1.0:
             raise ValueError(
@@ -113,6 +123,11 @@ class ExperimentRunner:
         self.supervision_ratio = supervision_ratio
         self.repeats = repeats
         self.seed = seed
+        self.registry = registry
+        self._manifest_runs: List[Dict] = []
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
 
     def run_pair(
         self,
@@ -121,6 +136,7 @@ class ExperimentRunner:
         verbose: bool = False,
     ) -> Dict[str, MethodSummary]:
         """Evaluate every method on one pair; returns {name: summary}."""
+        registry = self._registry()
         results: Dict[str, MethodSummary] = {}
         for spec_index, spec in enumerate(methods):
             records: List[RunRecord] = []
@@ -141,13 +157,34 @@ class ExperimentRunner:
                 supervision = (
                     train if method.requires_supervision and train else None
                 )
-                result = method.align(pair, supervision=supervision, rng=rng)
+                with registry.timed(f"runner.method.{spec.name}.wall") as wall:
+                    result = method.align(pair, supervision=supervision, rng=rng)
                 # Metrics on held-out anchors only: supervised methods must
                 # not be credited for anchors they received as input.
                 report = evaluate_alignment(result.scores, test)
                 records.append(
-                    RunRecord(spec.name, report, result.elapsed_seconds)
+                    RunRecord(spec.name, report, wall.elapsed)
                 )
+                registry.increment("runner.runs")
+                registry.observe(f"runner.method.{spec.name}.map", report.map)
+                registry.observe(
+                    f"runner.method.{spec.name}.success_at_1",
+                    report.success_at_1,
+                )
+                run_entry = {
+                    "pair": pair.name,
+                    "method": spec.name,
+                    "repeat": repeat,
+                    "supervised": supervision is not None,
+                    "wall_seconds": wall.elapsed,
+                    "map": report.map,
+                    "auc": report.auc,
+                    "success_at_1": report.success_at_1,
+                    "success_at_10": report.success_at_10,
+                    "test_anchors": report.num_anchors,
+                }
+                self._manifest_runs.append(run_entry)
+                registry.emit("runner.run", run_entry)
                 if verbose:
                     print(f"  {spec.name} run {repeat}: {report}")
             results[spec.name] = MethodSummary.from_records(spec.name, records)
@@ -164,3 +201,29 @@ class ExperimentRunner:
             name: self.run_pair(pair, methods, verbose=verbose)
             for name, pair in pairs.items()
         }
+
+    # ------------------------------------------------------------------
+    def run_manifest(self) -> Dict:
+        """Machine-readable record of every run executed by this runner.
+
+        The manifest pairs with the BENCH metrics export: ``config``
+        identifies the protocol, ``runs`` holds one entry per
+        (pair, method, repeat) with wall time and held-out metrics.
+        """
+        return {
+            "schema": RUN_MANIFEST_SCHEMA,
+            "config": {
+                "supervision_ratio": self.supervision_ratio,
+                "repeats": self.repeats,
+                "seed": self.seed,
+            },
+            "runs": list(self._manifest_runs),
+        }
+
+    def save_run_manifest(self, path: str) -> Dict:
+        """Write :meth:`run_manifest` as JSON; returns the manifest."""
+        manifest = self.run_manifest()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return manifest

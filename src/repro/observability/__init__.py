@@ -1,0 +1,43 @@
+"""Lightweight observability: metrics registry, timers, and BENCH export.
+
+The instrumentation substrate behind the training/refinement/eval hot
+paths.  See :mod:`repro.observability.registry` for the metric kinds and
+the process-wide default registry, and :mod:`repro.observability.export`
+for the ``BENCH_*.json`` artifact schema.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    TimerStat,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .export import (
+    BENCH_SCHEMA,
+    bench_payload,
+    validate_bench_payload,
+    write_bench_json,
+    load_bench_json,
+    iter_metric_lines,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Timer",
+    "TimerStat",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "BENCH_SCHEMA",
+    "bench_payload",
+    "validate_bench_payload",
+    "write_bench_json",
+    "load_bench_json",
+    "iter_metric_lines",
+]

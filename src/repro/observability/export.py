@@ -1,0 +1,128 @@
+"""BENCH_*.json export: schema, validation, read/write helpers.
+
+The benchmark artifact format every perf PR appends to.  A payload looks
+like::
+
+    {
+      "schema": "repro.bench/v1",
+      "run": {"command": "align", "pair": "ba-noisy-copy", "seed": 0, ...},
+      "metrics": {
+        "trainer.epoch_time": {"kind": "timer", "count": 50, "total": 1.9,
+                               "last": 0.04, "mean": 0.038, "min": ..., "max": ...},
+        "refine.stable_nodes": {"kind": "gauge", "count": 6, "last": 61, ...},
+        "runner.runs": {"kind": "counter", "value": 4}
+      }
+    }
+
+``run`` is free-form run context (command line, dataset, seed, method —
+anything that identifies the workload); ``metrics`` is a
+:meth:`~repro.observability.MetricsRegistry.snapshot`.  Validation is
+hand-rolled (zero-dependency) and intentionally strict: unknown kinds,
+missing stats fields, or non-numeric values fail loudly so the perf
+trajectory never accumulates malformed artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, Optional
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_payload",
+    "validate_bench_payload",
+    "write_bench_json",
+    "load_bench_json",
+    "iter_metric_lines",
+]
+
+#: Schema identifier embedded in (and required of) every BENCH_*.json.
+BENCH_SCHEMA = "repro.bench/v1"
+
+_REQUIRED_FIELDS = {
+    "counter": ("value",),
+    "gauge": ("count", "last", "mean", "min", "max"),
+    "timer": ("count", "last", "mean", "min", "max", "total"),
+}
+
+
+def bench_payload(
+    registry: MetricsRegistry,
+    run: Optional[Dict[str, Any]] = None,
+    prefix: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build a schema-conformant payload from a registry snapshot."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "run": dict(run) if run else {},
+        "metrics": registry.snapshot(prefix),
+    }
+
+
+def validate_bench_payload(payload: Any) -> Dict[str, Any]:
+    """Check ``payload`` against the BENCH schema; returns it unchanged.
+
+    Raises ``ValueError`` naming the first offending field.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"payload must be a dict, got {type(payload).__name__}")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"schema must be {BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    run = payload.get("run")
+    if not isinstance(run, dict) or any(not isinstance(k, str) for k in run):
+        raise ValueError("run must be a dict with string keys")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError("metrics must be a dict")
+    for name, stats in metrics.items():
+        if not isinstance(name, str) or not name or any(
+            not segment for segment in name.split(".")
+        ):
+            raise ValueError(f"invalid metric name {name!r}")
+        if not isinstance(stats, dict):
+            raise ValueError(f"metric {name!r}: stats must be a dict")
+        kind = stats.get("kind")
+        if kind not in _REQUIRED_FIELDS:
+            raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+        for field in _REQUIRED_FIELDS[kind]:
+            if field not in stats:
+                raise ValueError(f"metric {name!r}: missing field {field!r}")
+            value = stats[field]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"metric {name!r}: field {field!r} must be numeric, "
+                    f"got {value!r}"
+                )
+    return payload
+
+
+def write_bench_json(
+    path: str,
+    registry: MetricsRegistry,
+    run: Optional[Dict[str, Any]] = None,
+    prefix: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Validate and write a BENCH payload; returns the payload written."""
+    payload = validate_bench_payload(bench_payload(registry, run, prefix))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def load_bench_json(path: str) -> Dict[str, Any]:
+    """Read and validate a BENCH_*.json written by :func:`write_bench_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_bench_payload(json.load(handle))
+
+
+def iter_metric_lines(
+    registry: MetricsRegistry, prefix: Optional[str] = None
+) -> Iterator[str]:
+    """One JSON object per metric per line (log-shipping friendly)."""
+    for name, stats in registry.snapshot(prefix).items():
+        yield json.dumps({"name": name, **stats}, sort_keys=True)

@@ -1,0 +1,282 @@
+"""Process-wide metrics substrate: counters, gauges, timers, event hooks.
+
+Zero-dependency (stdlib only) instrumentation used by the training,
+refinement, streaming, and evaluation hot paths.  Metric names are
+hierarchical dotted strings (``trainer.epoch_time``, ``refine.stable_nodes``,
+``runner.method.GAlign.wall``) so exports group naturally by subsystem.
+
+Three metric kinds:
+
+* :class:`Counter` — monotonic event count (epochs run, rows streamed).
+* :class:`Gauge` — last observed value plus running min/max/mean over all
+  observations (loss components, stable-node counts).
+* :class:`TimerStat` — accumulated seconds with count/min/max/mean
+  (per-epoch, per-iteration, per-block wall time).
+
+A :class:`MetricsRegistry` owns the metrics and the callback hooks; the
+module-level default registry (:func:`get_registry`) is what instrumented
+code falls back to when no registry is passed explicitly, so a whole run can
+be captured without threading a handle through every call site.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "TimerStat",
+    "Timer",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+
+def _validate_name(name: str) -> str:
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"metric name must be a non-empty string, got {name!r}")
+    if any(not segment for segment in name.split(".")):
+        raise ValueError(f"metric name has an empty segment: {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount`` (>= 0) and return the new value."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: amount must be >= 0, got {amount}")
+        self.value += amount
+        return self.value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last observed value with running statistics over every observation."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "count", "last", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.last = 0.0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.last = value
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "last": self.last,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+class TimerStat(Gauge):
+    """Accumulated wall-clock seconds; observations come from :class:`Timer`."""
+
+    kind = "timer"
+
+    __slots__ = ()
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ValueError(f"timer {self.name}: negative duration {seconds}")
+        self.set(seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        snapshot = super().snapshot()
+        snapshot["total"] = self.total
+        return snapshot
+
+
+class Timer:
+    """Context manager measuring wall time with ``time.perf_counter``.
+
+    Usable standalone (``with Timer() as t: ...; t.elapsed``) or with a
+    callback receiving the elapsed seconds on exit — the mechanism behind
+    :meth:`MetricsRegistry.timed`.  Timing stops even when the body raises,
+    so failed epochs/iterations still show up in the stats.
+    """
+
+    __slots__ = ("elapsed", "_callback", "_started")
+
+    def __init__(self, callback: Optional[Callable[[float], None]] = None) -> None:
+        self.elapsed = 0.0
+        self._callback = callback
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._started
+        if self._callback is not None:
+            self._callback(self.elapsed)
+
+
+class MetricsRegistry:
+    """Named metrics plus event hooks for one process (or one run).
+
+    Metric accessors are create-on-first-use; asking for an existing name
+    with a different kind raises ``TypeError`` (names are global, a clash is
+    a bug).  Hooks registered with :meth:`add_hook` receive every
+    :meth:`emit` as ``hook(event, payload)`` — the per-epoch/per-iteration
+    callback channel used by trainers and the refiner.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        self._hooks: List[Callable[[str, Dict[str, Any]], None]] = []
+
+    # -- metric accessors ----------------------------------------------
+    def _metric(self, name: str, factory) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(_validate_name(name))
+            self._metrics[name] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {factory.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._metric(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._metrics.get(name)
+        if isinstance(metric, TimerStat):
+            raise TypeError(f"metric {name!r} is a timer, not a gauge")
+        return self._metric(name, Gauge)
+
+    def timer(self, name: str) -> TimerStat:
+        return self._metric(name, TimerStat)
+
+    # -- recording shortcuts -------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> int:
+        return self.counter(name).increment(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def record_time(self, name: str, seconds: float) -> None:
+        self.timer(name).observe(seconds)
+
+    def timed(self, name: str) -> Timer:
+        """``with registry.timed("trainer.epoch_time"): ...``"""
+        return Timer(self.timer(name).observe)
+
+    # -- hooks ----------------------------------------------------------
+    def add_hook(self, hook: Callable[[str, Dict[str, Any]], None]) -> None:
+        """Register ``hook(event, payload)`` for every :meth:`emit`."""
+        if not callable(hook):
+            raise TypeError(f"hook must be callable, got {hook!r}")
+        self._hooks.append(hook)
+
+    def remove_hook(self, hook: Callable[[str, Dict[str, Any]], None]) -> None:
+        self._hooks.remove(hook)
+
+    def emit(self, event: str, payload: Optional[Dict[str, Any]] = None) -> None:
+        """Fan an event out to every hook (no-op without hooks)."""
+        if not self._hooks:
+            return
+        _validate_name(event)
+        payload = payload if payload is not None else {}
+        for hook in list(self._hooks):
+            hook(event, payload)
+
+    # -- introspection / export ----------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def names(self, prefix: Optional[str] = None) -> List[str]:
+        """Sorted metric names, optionally restricted to a dotted prefix."""
+        names = sorted(self._metrics)
+        if prefix is None:
+            return names
+        dotted = prefix + "."
+        return [n for n in names if n == prefix or n.startswith(dotted)]
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, Dict[str, Any]]:
+        """``{name: {"kind": ..., ...stats}}`` — the export payload."""
+        return {
+            name: self._metrics[name].snapshot() for name in self.names(prefix)
+        }
+
+    def reset(self) -> None:
+        """Drop all metrics (hooks survive)."""
+        self._metrics.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide default registry
+# ----------------------------------------------------------------------
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry instrumented code falls back to."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _default_registry
+    if not isinstance(registry, MetricsRegistry):
+        raise TypeError(f"expected a MetricsRegistry, got {type(registry)!r}")
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope the process-wide registry to a block (CLI runs, tests)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -75,6 +75,16 @@ class TestTrainer:
         for wa, wb in zip(model_a.state_dict(), model_b.state_dict()):
             np.testing.assert_array_equal(wa, wb)
 
+    def test_empty_network_list_raises_clear_error(self, rng):
+        # Regression: _optimize with zero graphs used to fall through to
+        # ``total.backward()`` with total=None and die with AttributeError.
+        from repro.core import MultiOrderGCN
+
+        trainer = GAlignTrainer(config(), rng)
+        model = MultiOrderGCN(6, config(), rng)
+        with pytest.raises(ValueError, match="no networks to train on"):
+            trainer._optimize([], model)
+
     def test_gamma_one_ignores_adaptivity_in_total(self, pair, rng):
         # gamma=1: adaptivity still computed (logged) but zero-weighted.
         _, log = GAlignTrainer(config(gamma=1.0, epochs=3), rng).train(pair)

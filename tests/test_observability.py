@@ -1,0 +1,316 @@
+"""Tests for the observability subsystem: registry, timers, hooks, export,
+and the instrumentation threaded through trainer/refiner/streaming/runner."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GAlign,
+    GAlignConfig,
+    GAlignTrainer,
+    SampledGAlignTrainer,
+    StreamingAligner,
+)
+from repro.eval import ExperimentRunner, MethodSpec, format_metrics_table
+from repro.graphs import generators, noisy_copy_pair
+from repro.observability import (
+    BENCH_SCHEMA,
+    MetricsRegistry,
+    Timer,
+    bench_payload,
+    get_registry,
+    iter_metric_lines,
+    load_bench_json,
+    set_registry,
+    use_registry,
+    validate_bench_payload,
+    write_bench_json,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture(scope="module")
+def tiny_pair():
+    rng = np.random.default_rng(11)
+    graph = generators.barabasi_albert(30, 2, rng, feature_dim=6,
+                                       feature_kind="degree")
+    return noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+
+
+def tiny_config(**kwargs):
+    defaults = dict(epochs=3, embedding_dim=8, refinement_iterations=2,
+                    num_augmentations=1, seed=0)
+    defaults.update(kwargs)
+    return GAlignConfig(**defaults)
+
+
+class TestCounter:
+    def test_increments(self, registry):
+        assert registry.increment("a.b") == 1
+        assert registry.increment("a.b", 4) == 5
+        assert registry.counter("a.b").value == 5
+
+    def test_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.increment("a.b", -1)
+
+    def test_snapshot(self, registry):
+        registry.increment("a.b", 2)
+        assert registry.snapshot()["a.b"] == {"kind": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_running_stats(self, registry):
+        for value in (3.0, 1.0, 2.0):
+            registry.observe("g", value)
+        gauge = registry.gauge("g")
+        assert gauge.last == 2.0
+        assert gauge.minimum == 1.0
+        assert gauge.maximum == 3.0
+        assert gauge.mean == pytest.approx(2.0)
+        assert gauge.count == 3
+
+    def test_empty_snapshot_is_zeroed(self, registry):
+        snapshot = registry.gauge("g").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] == 0.0 and snapshot["max"] == 0.0
+
+
+class TestTimer:
+    def test_standalone_timer_measures(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.elapsed > 0.0
+
+    def test_timed_records_into_registry(self, registry):
+        with registry.timed("t"):
+            pass
+        stat = registry.timer("t")
+        assert stat.count == 1
+        assert stat.total >= 0.0
+
+    def test_records_even_when_body_raises(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.timed("t"):
+                raise RuntimeError("boom")
+        assert registry.timer("t").count == 1
+
+    def test_negative_duration_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.timer("t").observe(-1.0)
+
+
+class TestRegistry:
+    def test_kind_clash_raises(self, registry):
+        registry.increment("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        registry.observe("g", 1.0)
+        with pytest.raises(TypeError):
+            registry.timer("g")
+        registry.record_time("t", 0.1)
+        with pytest.raises(TypeError):
+            registry.gauge("t")
+
+    def test_invalid_names_rejected(self, registry):
+        for bad in ("", "a..b", ".a", "a."):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+    def test_names_prefix_filter(self, registry):
+        for name in ("trainer.epochs", "trainer.loss.total", "refine.quality"):
+            registry.observe(name, 1.0)
+        registry.increment("trainer.epochs2")
+        assert registry.names("trainer") == [
+            "trainer.epochs", "trainer.epochs2", "trainer.loss.total"
+        ]
+        # prefix match is per dotted segment, not per substring
+        assert "trainer.epochs2" not in registry.names("trainer.epochs")
+
+    def test_contains_and_reset(self, registry):
+        registry.increment("a")
+        assert "a" in registry and len(registry) == 1
+        registry.reset()
+        assert "a" not in registry and len(registry) == 0
+
+    def test_hooks_receive_events(self, registry):
+        seen = []
+        hook = lambda event, payload: seen.append((event, payload))
+        registry.add_hook(hook)
+        registry.emit("trainer.epoch", {"epoch": 0})
+        registry.remove_hook(hook)
+        registry.emit("trainer.epoch", {"epoch": 1})
+        assert seen == [("trainer.epoch", {"epoch": 0})]
+
+    def test_global_registry_swap(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_use_registry_restores_on_exit(self):
+        before = get_registry()
+        with use_registry(MetricsRegistry()) as scoped:
+            assert get_registry() is scoped
+        assert get_registry() is before
+
+
+class TestBenchExport:
+    def test_payload_validates(self, registry):
+        registry.increment("a.b")
+        registry.observe("c", 1.5)
+        registry.record_time("d", 0.2)
+        payload = bench_payload(registry, run={"seed": 0})
+        assert validate_bench_payload(payload) is payload
+        assert payload["schema"] == BENCH_SCHEMA
+
+    @pytest.mark.parametrize("mutate", [
+        lambda p: p.update(schema="nope"),
+        lambda p: p.update(run=[1, 2]),
+        lambda p: p.update(metrics="not-a-dict"),
+        lambda p: p["metrics"].update({"bad..name": {"kind": "counter", "value": 1}}),
+        lambda p: p["metrics"].update({"m": {"kind": "histogram"}}),
+        lambda p: p["metrics"].update({"m": {"kind": "counter"}}),
+        lambda p: p["metrics"].update({"m": {"kind": "counter", "value": "x"}}),
+        lambda p: p["metrics"].update({"m": {"kind": "counter", "value": True}}),
+    ])
+    def test_invalid_payload_rejected(self, registry, mutate):
+        registry.increment("ok")
+        payload = bench_payload(registry)
+        mutate(payload)
+        with pytest.raises(ValueError):
+            validate_bench_payload(payload)
+
+    def test_write_load_roundtrip(self, registry, tmp_path):
+        registry.record_time("trainer.epoch_time", 0.5)
+        path = str(tmp_path / "BENCH_roundtrip.json")
+        written = write_bench_json(path, registry, run={"command": "test"})
+        loaded = load_bench_json(path)
+        assert loaded == written
+        assert loaded["metrics"]["trainer.epoch_time"]["total"] == 0.5
+
+    def test_metric_lines_are_json(self, registry):
+        registry.increment("a")
+        registry.observe("b", 2.0)
+        lines = list(iter_metric_lines(registry))
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert {entry["name"] for entry in parsed} == {"a", "b"}
+
+
+class TestInstrumentedComponents:
+    def test_trainer_records_epoch_metrics(self, tiny_pair):
+        registry = MetricsRegistry()
+        config = tiny_config()
+        trainer = GAlignTrainer(config, np.random.default_rng(0),
+                                registry=registry)
+        _, log = trainer.train(tiny_pair)
+        assert registry.counter("trainer.epochs").value == config.epochs
+        assert registry.timer("trainer.epoch_time").count == config.epochs
+        assert registry.timer("trainer.forward_time").count == config.epochs
+        assert registry.timer("trainer.backward_time").count == config.epochs
+        assert registry.timer("trainer.step_time").count == config.epochs
+        # the log is a view over the registry: same trajectory both ways
+        assert registry.gauge("trainer.loss.total").last == log.total[-1]
+        assert registry.gauge("trainer.loss.total").count == len(log.total)
+
+    def test_trainer_epoch_hook_fires(self, tiny_pair):
+        registry = MetricsRegistry()
+        epochs = []
+        registry.add_hook(
+            lambda event, payload: epochs.append(payload["epoch"])
+            if event == "trainer.epoch" else None
+        )
+        config = tiny_config()
+        GAlignTrainer(config, np.random.default_rng(0),
+                      registry=registry).train(tiny_pair)
+        assert epochs == list(range(config.epochs))
+
+    def test_sampled_trainer_records_metrics(self, tiny_pair):
+        registry = MetricsRegistry()
+        config = tiny_config()
+        trainer = SampledGAlignTrainer(config, np.random.default_rng(0),
+                                       batch_size=8, registry=registry)
+        trainer.train(tiny_pair)
+        assert registry.counter("trainer.epochs").value == config.epochs
+        assert registry.gauge("trainer.batch_nodes").last == 8
+
+    def test_refiner_records_iteration_metrics(self, tiny_pair):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            GAlign(tiny_config()).align(tiny_pair)
+        iterations = registry.counter("refine.iterations").value
+        assert iterations >= 1
+        assert registry.gauge("refine.quality").count == iterations
+        assert registry.gauge("refine.stable_nodes").count == iterations
+        assert registry.gauge("refine.influence.source_max").last >= 1.0
+
+    def test_streaming_records_block_metrics(self, tiny_pair):
+        registry = MetricsRegistry()
+        config = tiny_config()
+        model, _ = GAlignTrainer(config, np.random.default_rng(0),
+                                 registry=registry).train(tiny_pair)
+        aligner = StreamingAligner(model, config, block_size=8,
+                                   registry=registry)
+        aligner.evaluate(tiny_pair)
+        assert registry.counter("streaming.rows").value == \
+            tiny_pair.source.num_nodes
+        assert registry.counter("streaming.blocks").value == \
+            -(-tiny_pair.source.num_nodes // 8)
+        assert registry.timer("streaming.block_time").count == \
+            registry.counter("streaming.blocks").value
+
+    def test_runner_records_wall_time_and_manifest(self, tiny_pair):
+        registry = MetricsRegistry()
+        runner = ExperimentRunner(supervision_ratio=0.0, repeats=2, seed=0,
+                                  registry=registry)
+        specs = [MethodSpec("GAlign", lambda: GAlign(tiny_config()))]
+        with use_registry(registry):
+            results = runner.run_pair(tiny_pair, specs)
+        wall = registry.timer("runner.method.GAlign.wall")
+        assert wall.count == 2
+        assert results["GAlign"].time_seconds == pytest.approx(wall.mean)
+        assert registry.counter("runner.runs").value == 2
+
+        manifest = runner.run_manifest()
+        assert manifest["schema"] == "repro.run/v1"
+        assert manifest["config"]["repeats"] == 2
+        assert len(manifest["runs"]) == 2
+        entry = manifest["runs"][0]
+        assert entry["method"] == "GAlign"
+        assert entry["pair"] == tiny_pair.name
+        assert 0.0 <= entry["map"] <= 1.0
+        assert entry["wall_seconds"] > 0.0
+
+    def test_runner_manifest_saves_as_json(self, tiny_pair, tmp_path):
+        registry = MetricsRegistry()
+        runner = ExperimentRunner(supervision_ratio=0.0, registry=registry)
+        specs = [MethodSpec("GAlign", lambda: GAlign(tiny_config()))]
+        with use_registry(registry):
+            runner.run_pair(tiny_pair, specs)
+        path = str(tmp_path / "manifest.json")
+        manifest = runner.save_run_manifest(path)
+        with open(path) as handle:
+            assert json.load(handle) == manifest
+
+
+class TestMetricsTable:
+    def test_renders_registry_and_snapshot(self, registry):
+        registry.increment("runner.runs", 3)
+        registry.record_time("trainer.epoch_time", 0.25)
+        text = format_metrics_table(registry, title="Metrics")
+        assert "Metrics" in text
+        assert "runner.runs" in text and "trainer.epoch_time" in text
+        # same rows from a plain snapshot dict, filtered by prefix
+        filtered = format_metrics_table(registry.snapshot(), prefix="trainer")
+        assert "trainer.epoch_time" in filtered
+        assert "runner.runs" not in filtered
