@@ -12,6 +12,8 @@ Networks* (Huynh Thanh Trung et al.), built from scratch in Python:
 * :mod:`repro.analysis` — t-SNE / PCA / embedding diagnostics.
 * :mod:`repro.eval` — experiment runner and paper-style reporting.
 * :mod:`repro.observability` — metrics registry, timers, BENCH export.
+* :mod:`repro.resilience` — input validation, NaN/divergence recovery,
+  fault injection, resumable-training support.
 
 Quickstart::
 
@@ -30,6 +32,7 @@ Quickstart::
 from .base import AlignmentMethod, AlignmentResult
 from .core import GAlign, GAlignConfig
 from .observability import MetricsRegistry, get_registry, use_registry
+from .resilience import GraphValidationError, TrainingDivergedError
 
 __version__ = "1.0.0"
 
@@ -41,5 +44,7 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "use_registry",
+    "GraphValidationError",
+    "TrainingDivergedError",
     "__version__",
 ]

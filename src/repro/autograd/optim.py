@@ -34,6 +34,14 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Copy of the optimizer's internal state (checkpointing/rollback)."""
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        raise NotImplementedError
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -68,6 +76,28 @@ class SGD(Optimizer):
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             param.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": [
+                None if v is None else v.copy() for v in self._velocity
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        velocity = state["velocity"]
+        if len(velocity) != len(self.params):
+            raise ValueError(
+                f"state has {len(velocity)} velocity buffers for "
+                f"{len(self.params)} parameters"
+            )
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        self._velocity = [None if v is None else v.copy() for v in velocity]
 
 
 class Adam(Optimizer):
@@ -112,6 +142,42 @@ class Adam(Optimizer):
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["m"]) != len(self.params) or len(state["v"]) != len(
+            self.params
+        ):
+            raise ValueError(
+                f"state has {len(state['m'])}/{len(state['v'])} moment "
+                f"buffers for {len(self.params)} parameters"
+            )
+        for name, buffers in (("m", state["m"]), ("v", state["v"])):
+            for param, buffer in zip(self.params, buffers):
+                if buffer.shape != param.data.shape:
+                    raise ValueError(
+                        f"optimizer {name} buffer shape {buffer.shape} does "
+                        f"not match parameter shape {param.data.shape}"
+                    )
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step_count = int(state["step_count"])
+        self._m = [m.copy() for m in state["m"]]
+        self._v = [v.copy() for v in state["v"]]
 
 
 class AdamW(Adam):

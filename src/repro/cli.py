@@ -27,6 +27,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -44,7 +45,7 @@ from .baselines import (
     REGAL,
     IsoRank,
 )
-from .core import GAlign, GAlignConfig
+from .core import GAlign, GAlignConfig, load_model, save_model
 from .graphs import (
     douban_like,
     flickr_myspace_like,
@@ -56,6 +57,7 @@ from .graphs import (
 from .graphs.io import load_alignment_pair, save_alignment_pair, save_groundtruth
 from .metrics import evaluate_alignment, top1_matching
 from .observability import MetricsRegistry, use_registry, write_bench_json
+from .resilience import validate_pair
 
 __all__ = ["main", "build_parser"]
 
@@ -99,8 +101,39 @@ def _build_method(args: argparse.Namespace) -> AlignmentMethod:
 
 def _cmd_align(args: argparse.Namespace) -> int:
     pair = load_alignment_pair(args.pair)
+    # Fail fast on malformed inputs (NaN attributes, empty graphs, ...)
+    # with an actionable GraphValidationError before any method runs.
+    validate_pair(pair)
     rng = np.random.default_rng(args.seed)
     method = _build_method(args)
+
+    wants_checkpointing = args.save_model or args.load_model or args.resume
+    if wants_checkpointing and not isinstance(method, GAlign):
+        raise SystemExit(
+            "--save-model/--load-model/--resume only apply to the galign "
+            f"method, not {args.method!r}"
+        )
+    if args.load_model and args.resume:
+        raise SystemExit(
+            "--load-model (skip training) and --resume (continue training) "
+            "are mutually exclusive"
+        )
+    if args.load_model:
+        # The checkpoint is self-describing: its stored config (layer
+        # count, dims, refinement settings) replaces the CLI model flags.
+        model, stored_config = load_model(args.load_model)
+        method = GAlign(stored_config, pretrained_model=model)
+        print(f"model    : loaded from {args.load_model}")
+    if args.resume:
+        resume_path = (
+            args.resume if args.resume.endswith(".npz")
+            else args.resume + ".npz"
+        )
+        method.checkpoint_path = resume_path
+        method.checkpoint_every = args.checkpoint_every
+        if os.path.exists(resume_path):
+            method.resume_from = resume_path
+            print(f"resume   : continuing from {resume_path}")
 
     supervision: Optional[Dict[int, int]] = None
     if method.requires_supervision and pair.groundtruth and args.supervision > 0:
@@ -112,6 +145,9 @@ def _cmd_align(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     with use_registry(registry):
         result = method.align(pair, supervision=supervision, rng=rng)
+    if args.save_model:
+        save_model(method.model, args.save_model)
+        print(f"model    : saved to {args.save_model}")
     print(f"method   : {method.name}")
     print(f"pair     : {pair}")
     print(f"time     : {result.elapsed_seconds:.2f}s")
@@ -165,6 +201,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .eval.experiments import all_method_specs
 
     pair = load_alignment_pair(args.pair)
+    validate_pair(pair)
     if not pair.groundtruth:
         raise SystemExit("compare needs ground truth (groundtruth.txt)")
     registry = MetricsRegistry()
@@ -173,6 +210,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         seed=args.seed,
         registry=registry,
+        continue_on_error=args.keep_going,
     )
     with use_registry(registry):
         results = runner.run_pair(pair, all_method_specs())
@@ -219,6 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--out", help="write predicted anchors to this file")
     align.add_argument("--metrics-out",
                        help="write run metrics as a BENCH_*.json artifact")
+    align.add_argument("--save-model",
+                       help="write the trained model to this .npz checkpoint "
+                            "(galign only)")
+    align.add_argument("--load-model",
+                       help="skip training and align with this .npz model "
+                            "checkpoint (galign only)")
+    align.add_argument("--resume",
+                       help="v2 training-checkpoint path: training writes "
+                            "checkpoints here and, if the file exists, "
+                            "resumes from it (kill-safe; galign only)")
+    align.add_argument("--checkpoint-every", type=int, default=1,
+                       help="epochs between --resume checkpoint writes")
     align.set_defaults(handler=_cmd_align)
 
     generate = commands.add_parser("generate", help="synthesize a pair")
@@ -246,6 +296,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--metrics-out",
                         help="write run metrics + manifest as BENCH_*.json")
+    compare.add_argument("--keep-going", action="store_true",
+                         help="record failing methods and continue the "
+                              "roster instead of aborting the sweep")
     compare.set_defaults(handler=_cmd_compare)
     return parser
 

@@ -26,7 +26,14 @@ from .instantiation import (
     soft_assignment,
 )
 from .sampling import sampled_consistency_loss, SampledGAlignTrainer
-from .checkpoint import save_model, load_model
+from .checkpoint import (
+    save_model,
+    load_model,
+    save_training_checkpoint,
+    load_training_checkpoint,
+    TrainingCheckpoint,
+)
+from .training_loop import run_resilient_training
 from .streaming import (
     iter_score_blocks,
     streaming_top_k,
@@ -68,4 +75,8 @@ __all__ = [
     "SampledGAlignTrainer",
     "save_model",
     "load_model",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "TrainingCheckpoint",
+    "run_resilient_training",
 ]

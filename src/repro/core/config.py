@@ -75,6 +75,16 @@ class GAlignConfig:
     #: Uniform negative pairs per batch node (sampled trainer only).
     sample_negatives: int = 5
 
+    # --- resilience (repro.resilience extension) ---
+    #: Rollback/LR-halving budget for NaN/Inf/divergence recovery; beyond
+    #: it training raises :class:`~repro.resilience.TrainingDivergedError`.
+    max_recoveries: int = 3
+    #: A loss above ``divergence_factor`` × best-seen counts as a spike.
+    divergence_factor: float = 10.0
+    #: Healthy epochs before spike detection arms (early training moves
+    #: the loss by large factors legitimately).
+    divergence_warmup: int = 5
+
     def __post_init__(self) -> None:
         if self.num_layers < 1:
             raise ValueError(f"num_layers must be >= 1, got {self.num_layers}")
@@ -90,6 +100,18 @@ class GAlignConfig:
             raise ValueError(f"unsupported activation {self.activation!r}")
         if self.trainer not in ("dense", "sampled"):
             raise ValueError(f"unsupported trainer {self.trainer!r}")
+        if self.max_recoveries < 0:
+            raise ValueError(
+                f"max_recoveries must be >= 0, got {self.max_recoveries}"
+            )
+        if self.divergence_factor <= 1.0:
+            raise ValueError(
+                f"divergence_factor must exceed 1, got {self.divergence_factor}"
+            )
+        if self.divergence_warmup < 0:
+            raise ValueError(
+                f"divergence_warmup must be >= 0, got {self.divergence_warmup}"
+            )
         if self.layer_weights is not None:
             weights = list(self.layer_weights)
             if len(weights) != self.num_layers + 1:

@@ -47,8 +47,24 @@ class GAlign(AlignmentMethod):
     requires_supervision = False
     uses_attributes = True
 
-    def __init__(self, config: Optional[GAlignConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[GAlignConfig] = None,
+        pretrained_model=None,
+    ) -> None:
         self.config = config if config is not None else GAlignConfig()
+        #: A pre-trained :class:`MultiOrderGCN` (e.g. from
+        #: :func:`~repro.core.checkpoint.load_model`); when set,
+        #: :meth:`align` skips training and goes straight to alignment.
+        self.pretrained_model = pretrained_model
+        #: When set, training writes v2 checkpoints here every
+        #: ``checkpoint_every`` epochs (kill-safe resumability).
+        self.checkpoint_path: Optional[str] = None
+        self.checkpoint_every: int = 1
+        #: When set, training resumes from this v2 checkpoint.
+        self.resume_from: Optional[str] = None
+        #: Optional fault-injection harness threaded into the trainer.
+        self.fault_injector = None
         #: Populated after :meth:`align`: training and refinement diagnostics.
         self.training_log = None
         self.refinement_log = None
@@ -67,7 +83,17 @@ class GAlign(AlignmentMethod):
         if config.seed is not None:
             rng = np.random.default_rng(config.seed)
 
-        if config.trainer == "sampled":
+        if self.pretrained_model is not None:
+            if self.pretrained_model.input_dim != pair.source.num_features:
+                raise ValueError(
+                    f"pretrained model expects input_dim="
+                    f"{self.pretrained_model.input_dim}, the pair has "
+                    f"{pair.source.num_features} attributes"
+                )
+            self.model = self.pretrained_model
+            self.target_model = self.pretrained_model
+            self.training_log = None
+        elif config.trainer == "sampled":
             from .sampling import SampledGAlignTrainer
 
             if not config.share_weights:
@@ -79,17 +105,40 @@ class GAlign(AlignmentMethod):
                 config, rng,
                 batch_size=config.sample_batch_size,
                 num_negatives=config.sample_negatives,
+                fault_injector=self.fault_injector,
             )
-        else:
-            trainer = GAlignTrainer(config, rng)
-        if config.share_weights:
-            self.model, self.training_log = trainer.train(pair)
+            self.model, self.training_log = trainer.train(
+                pair,
+                checkpoint_path=self.checkpoint_path,
+                checkpoint_every=self.checkpoint_every,
+                resume_from=self.resume_from,
+            )
             self.target_model = self.model
         else:
-            # Weight-sharing ablation: embed each side with its own model,
-            # which leaves the two embedding spaces unreconciled.
-            self.model, self.training_log = trainer.train_single(pair.source)
-            self.target_model, _ = trainer.train_single(pair.target)
+            trainer = GAlignTrainer(
+                config, rng, fault_injector=self.fault_injector
+            )
+            if config.share_weights:
+                self.model, self.training_log = trainer.train(
+                    pair,
+                    checkpoint_path=self.checkpoint_path,
+                    checkpoint_every=self.checkpoint_every,
+                    resume_from=self.resume_from,
+                )
+                self.target_model = self.model
+            else:
+                if self.checkpoint_path or self.resume_from:
+                    raise ValueError(
+                        "training checkpoints cover one shared-weight "
+                        "model; they are unsupported with "
+                        "share_weights=False"
+                    )
+                # Weight-sharing ablation: embed each side with its own
+                # model, which leaves the two embedding spaces unreconciled.
+                self.model, self.training_log = trainer.train_single(
+                    pair.source
+                )
+                self.target_model, _ = trainer.train_single(pair.target)
 
         if config.use_refinement:
             refiner = AlignmentRefiner(config)

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..graphs import AlignmentPair, weighted_propagation_matrix
 from ..observability import MetricsRegistry, get_registry
+from ..resilience import validate_pair
 from .alignment import (
     aggregate_alignment,
     alignment_quality,
@@ -166,9 +167,18 @@ class AlignmentRefiner:
 
         ``target_model`` defaults to ``source_model`` (weight sharing); the
         weight-sharing ablation passes a separately trained model.
+
+        Refinement degrades gracefully under numerical failure: when an
+        iteration's influence-weighted re-embedding produces non-finite
+        scores (influence factors grow like β^iterations and can
+        overflow), the loop stops and the best finite iteration — the
+        pre-refinement embeddings in the worst case — is returned
+        instead of propagating NaN/Inf downstream.  Such fallbacks are
+        counted in ``resilience.refine_fallbacks``.
         """
         config = self.config
         registry = self.registry if self.registry is not None else get_registry()
+        validate_pair(pair, registry=registry)
         if target_model is None:
             target_model = source_model
         layer_weights = config.resolved_layer_weights()
@@ -181,7 +191,7 @@ class AlignmentRefiner:
         best_scores = None
         best_quality = float("-inf")
 
-        for _ in range(max(1, config.refinement_iterations)):
+        for iteration in range(max(1, config.refinement_iterations)):
             with registry.timed("refine.iteration_time"):
                 prop_source = weighted_propagation_matrix(
                     pair.source, influence_source
@@ -195,6 +205,19 @@ class AlignmentRefiner:
                     source_embeddings, target_embeddings
                 )
                 scores = aggregate_alignment(matrices, layer_weights)
+                if not np.all(np.isfinite(scores)):
+                    # Influence-weighted propagation went numerically bad;
+                    # keep the best finite iteration (iteration 0 == the
+                    # pre-refinement embeddings) rather than propagate.
+                    registry.increment("resilience.refine_fallbacks")
+                    registry.emit(
+                        "resilience.refine_fallback",
+                        {
+                            "iteration": iteration,
+                            "best_quality": best_quality,
+                        },
+                    )
+                    break
                 quality = alignment_quality(scores)
 
                 sources, targets = find_stable_nodes(
@@ -219,6 +242,16 @@ class AlignmentRefiner:
             apply_influence_gain(influence_source, sources, config.influence_gain)
             apply_influence_gain(influence_target, targets, config.influence_gain)
 
+        if best_scores is None:
+            # Even iteration 0 (influence factors all 1, i.e. the plain
+            # pre-refinement embeddings) was non-finite: the model itself
+            # is broken and there is nothing sane to fall back to.
+            raise ValueError(
+                "refinement produced non-finite scores on the first "
+                "iteration; the trained model's embeddings are numerically "
+                "broken — retrain (see resilience.* metrics) or validate "
+                "the input graphs"
+            )
         registry.observe("refine.influence.source_max", influence_source.max())
         registry.observe("refine.influence.target_max", influence_target.max())
         registry.observe("refine.influence.source_mean", influence_source.mean())

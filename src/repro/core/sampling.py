@@ -22,14 +22,16 @@ from typing import List
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd import Adam, Tensor, clip_grad_norm
+from ..autograd import Adam, Tensor
 from ..graphs import AlignmentPair, propagation_matrix
 from ..observability import MetricsRegistry, get_registry
+from ..resilience import FaultInjector, validate_pair
 from .augment import GraphAugmenter
 from .config import GAlignConfig
 from .losses import adaptivity_loss, combined_loss
 from .model import MultiOrderGCN
 from .trainer import TrainingLog
+from .training_loop import run_resilient_training
 
 __all__ = ["sampled_consistency_loss", "SampledGAlignTrainer"]
 
@@ -101,6 +103,7 @@ class SampledGAlignTrainer:
         batch_size: int = 256,
         num_negatives: int = 5,
         registry: MetricsRegistry | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -111,6 +114,7 @@ class SampledGAlignTrainer:
         #: Metrics sink; ``None`` falls back to the process registry at
         #: train time (so ``use_registry`` scopes apply).
         self.registry = registry
+        self.fault_injector = fault_injector
         self.batch_size = batch_size
         self.num_negatives = num_negatives
         self.augmenter = GraphAugmenter(
@@ -119,13 +123,24 @@ class SampledGAlignTrainer:
             num_views=config.num_augmentations if config.use_augmentation else 0,
         )
 
-    def train(self, pair: AlignmentPair) -> tuple:
-        """Train a shared-weight model on the pair; returns (model, log)."""
-        if pair.source.num_features != pair.target.num_features:
-            raise ValueError(
-                "source and target must share the attribute space "
-                f"({pair.source.num_features} != {pair.target.num_features})"
-            )
+    def train(
+        self,
+        pair: AlignmentPair,
+        *,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        resume_from: str | None = None,
+    ) -> tuple:
+        """Train a shared-weight model on the pair; returns (model, log).
+
+        Supports the same resilience surface as the dense trainer:
+        rollback recovery on numerical failures, fault injection, and
+        v2 checkpoint save/resume.  The checkpoint captures the RNG
+        state, so a resumed run draws the same node batches and negative
+        pairs an uninterrupted run would.
+        """
+        registry = self.registry if self.registry is not None else get_registry()
+        validate_pair(pair, registry=registry)
         config = self.config
         model = MultiOrderGCN(pair.source.num_features, config, self.rng)
         optimizer = Adam(model.parameters(), lr=config.learning_rate,
@@ -139,61 +154,64 @@ class SampledGAlignTrainer:
             for graph_views in views
         ]
 
-        registry = self.registry if self.registry is not None else get_registry()
-        log = TrainingLog(registry=registry)
-        for _ in range(config.epochs):
-            with registry.timed("trainer.epoch_time"):
-                optimizer.zero_grad()
-                total = None
-                consistency_value = 0.0
-                adaptivity_value = 0.0
-                with registry.timed("trainer.forward_time"):
-                    for graph, propagation, graph_views, graph_view_props in zip(
-                        networks, propagations, views, view_propagations
-                    ):
-                        batch = self.rng.choice(
-                            graph.num_nodes,
-                            size=min(self.batch_size, graph.num_nodes),
-                            replace=False,
-                        )
-                        registry.observe("trainer.batch_nodes", len(batch))
-                        embeddings = model.forward(graph, propagation)
-                        j_consistency = sampled_consistency_loss(
-                            propagation, embeddings, batch, self.num_negatives,
-                            self.rng,
-                        )
-                        consistency_value += float(j_consistency.data)
+        def compute_losses(_epoch: int) -> tuple:
+            total = None
+            consistency_value = 0.0
+            adaptivity_value = 0.0
+            with registry.timed("trainer.forward_time"):
+                for graph, propagation, graph_views, graph_view_props in zip(
+                    networks, propagations, views, view_propagations
+                ):
+                    batch = self.rng.choice(
+                        graph.num_nodes,
+                        size=min(self.batch_size, graph.num_nodes),
+                        replace=False,
+                    )
+                    registry.observe("trainer.batch_nodes", len(batch))
+                    embeddings = model.forward(graph, propagation)
+                    j_consistency = sampled_consistency_loss(
+                        propagation, embeddings, batch, self.num_negatives,
+                        self.rng,
+                    )
+                    consistency_value += float(j_consistency.data)
 
-                        j_adaptivity = None
-                        if graph_views:
-                            for view, view_prop in zip(
-                                graph_views, graph_view_props
-                            ):
-                                view_embeddings = model.forward(
-                                    view.graph, view_prop
-                                )
-                                term = adaptivity_loss(
-                                    embeddings, view_embeddings,
-                                    view.correspondence,
-                                    threshold=config.adaptivity_threshold,
-                                )
-                                j_adaptivity = (
-                                    term
-                                    if j_adaptivity is None
-                                    else j_adaptivity + term
-                                )
-                            adaptivity_value += float(j_adaptivity.data)
+                    j_adaptivity = None
+                    if graph_views:
+                        for view, view_prop in zip(
+                            graph_views, graph_view_props
+                        ):
+                            view_embeddings = model.forward(
+                                view.graph, view_prop
+                            )
+                            term = adaptivity_loss(
+                                embeddings, view_embeddings,
+                                view.correspondence,
+                                threshold=config.adaptivity_threshold,
+                            )
+                            j_adaptivity = (
+                                term
+                                if j_adaptivity is None
+                                else j_adaptivity + term
+                            )
+                        adaptivity_value += float(j_adaptivity.data)
 
-                        loss = combined_loss(
-                            j_consistency, j_adaptivity, config.gamma
-                        )
-                        total = loss if total is None else total + loss
+                    loss = combined_loss(
+                        j_consistency, j_adaptivity, config.gamma
+                    )
+                    total = loss if total is None else total + loss
+            return total, consistency_value, adaptivity_value
 
-                with registry.timed("trainer.backward_time"):
-                    total.backward()
-                    clip_grad_norm(model.parameters(), max_norm=5.0)
-                with registry.timed("trainer.step_time"):
-                    optimizer.step()
-            registry.increment("trainer.epochs")
-            log.record(float(total.data), consistency_value, adaptivity_value)
+        log = run_resilient_training(
+            model=model,
+            optimizer=optimizer,
+            config=config,
+            registry=registry,
+            log=TrainingLog(registry=registry),
+            compute_losses=compute_losses,
+            rng=self.rng,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+            fault_injector=self.fault_injector,
+        )
         return model, log

@@ -28,6 +28,7 @@ import numpy as np
 from ..graphs import AlignmentPair
 from ..metrics import EvaluationReport
 from ..observability import MetricsRegistry, get_registry
+from ..resilience import validate_pair
 from .config import GAlignConfig
 from .model import MultiOrderGCN
 
@@ -53,6 +54,10 @@ def iter_score_blocks(
     ``Σ_l θ(l) · H_s(l)[rows] @ H_t(l)ᵀ``.  Block build time and row
     throughput land in the ``streaming.*`` metrics of ``registry`` (the
     process registry when unset); consumer time is not charged.
+
+    Non-finite entries in a block are sanitized to ``-inf`` (counted in
+    ``resilience.streaming_sanitized_blocks``) so downstream top-k and
+    ranking consumers degrade gracefully instead of emitting NaN.
     """
     if block_size < 1:
         raise ValueError(f"block_size must be >= 1, got {block_size}")
@@ -72,6 +77,20 @@ def iter_score_blocks(
         ):
             partial = weight * (h_source[rows.start : rows.stop] @ h_target.T)
             block = partial if block is None else block + partial
+        finite = np.isfinite(block)
+        if not finite.all():
+            # Graceful degradation: NaN/Inf scores (broken embeddings, an
+            # overflowed layer) become -inf so they can never win top-k or
+            # outrank a true anchor, instead of poisoning every consumer.
+            block = np.where(finite, block, -np.inf)
+            registry.increment("resilience.streaming_sanitized_blocks")
+            registry.emit(
+                "resilience.streaming_sanitized",
+                {
+                    "rows": [rows.start, rows.stop],
+                    "bad_entries": int(np.count_nonzero(~finite)),
+                },
+            )
         registry.record_time("streaming.block_time", time.perf_counter() - started)
         registry.increment("streaming.blocks")
         registry.increment("streaming.rows", len(rows))
@@ -239,6 +258,7 @@ class StreamingAligner:
         self, pair: AlignmentPair, k: int = 1
     ) -> Dict[int, List[Tuple[int, float]]]:
         """{source: [(target, score), ...]} with the k best targets each."""
+        validate_pair(pair, registry=self._registry())
         source_embeddings, target_embeddings = self._embeddings(pair)
         targets, scores = streaming_top_k(
             source_embeddings,
@@ -255,6 +275,7 @@ class StreamingAligner:
 
     def evaluate(self, pair: AlignmentPair) -> EvaluationReport:
         """Streamed evaluation against the pair's ground truth."""
+        validate_pair(pair, registry=self._registry())
         source_embeddings, target_embeddings = self._embeddings(pair)
         return streaming_evaluate(
             source_embeddings,

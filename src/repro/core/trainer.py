@@ -13,13 +13,15 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..autograd import Adam, clip_grad_norm
+from ..autograd import Adam
 from ..graphs import AlignmentPair, AttributedGraph, propagation_matrix
 from ..observability import MetricsRegistry, get_registry
+from ..resilience import FaultInjector, validate_graph, validate_pair
 from .augment import AugmentedView, GraphAugmenter
 from .config import GAlignConfig
 from .losses import adaptivity_loss, combined_loss, consistency_loss
 from .model import MultiOrderGCN
+from .training_loop import run_resilient_training
 
 __all__ = ["GAlignTrainer", "TrainingLog"]
 
@@ -65,51 +67,97 @@ class TrainingLog:
 
 
 class GAlignTrainer:
-    """Train a weight-shared multi-order GCN on an alignment pair (Alg 1)."""
+    """Train a weight-shared multi-order GCN on an alignment pair (Alg 1).
+
+    Training is resilient by default: NaN/Inf losses or gradients and
+    loss-spike divergence roll the run back to the last healthy snapshot
+    with a halved learning rate (see :mod:`repro.resilience.recovery`),
+    and ``checkpoint_path``/``resume_from`` give kill-safe resumability
+    through v2 training checkpoints.  ``fault_injector`` wires the
+    deterministic fault harness into the epoch loop for tests.
+    """
 
     def __init__(
         self,
         config: GAlignConfig,
         rng: np.random.Generator,
         registry: Optional[MetricsRegistry] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.config = config
         self.rng = rng
         #: Metrics sink; ``None`` falls back to the process registry at
         #: train time (so ``use_registry`` scopes apply).
         self.registry = registry
+        self.fault_injector = fault_injector
         self.augmenter = GraphAugmenter(
             structure_noise=config.augment_structure_noise,
             attribute_noise=config.augment_attribute_noise,
             num_views=config.num_augmentations if config.use_augmentation else 0,
         )
 
-    def train(self, pair: AlignmentPair) -> tuple:
+    def train(
+        self,
+        pair: AlignmentPair,
+        *,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[str] = None,
+    ) -> tuple:
         """Run Alg 1 on the pair's two networks and return ``(model, log)``.
 
         The returned model's weights are shared by source, target, and all
         augmented views — the mechanism that keeps every embedding in one
         space (§V-D).  The weight-sharing ablation instead calls
         :meth:`train_single` once per network.
+
+        ``checkpoint_path`` writes a v2 training checkpoint every
+        ``checkpoint_every`` epochs; ``resume_from`` restores one and
+        continues — the deterministic prefix (model init, augmented
+        views) replays from the same seed, so the resumed run's final
+        weights equal an uninterrupted run's.
         """
-        if pair.source.num_features != pair.target.num_features:
-            raise ValueError(
-                "source and target must share the attribute space "
-                f"({pair.source.num_features} != {pair.target.num_features})"
-            )
+        registry = self.registry if self.registry is not None else get_registry()
+        validate_pair(pair, registry=registry)
         model = MultiOrderGCN(pair.source.num_features, self.config, self.rng)
-        log = self._optimize([pair.source, pair.target], model)
+        log = self._optimize(
+            [pair.source, pair.target],
+            model,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+        )
         return model, log
 
-    def train_single(self, graph: AttributedGraph) -> tuple:
+    def train_single(
+        self,
+        graph: AttributedGraph,
+        *,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[str] = None,
+    ) -> tuple:
         """Train on one network only (used by the weight-sharing ablation)."""
+        registry = self.registry if self.registry is not None else get_registry()
+        validate_graph(graph, registry=registry)
         model = MultiOrderGCN(graph.num_features, self.config, self.rng)
-        log = self._optimize([graph], model)
+        log = self._optimize(
+            [graph],
+            model,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+        )
         return model, log
 
     # ------------------------------------------------------------------
     def _optimize(
-        self, networks: List[AttributedGraph], model: MultiOrderGCN
+        self,
+        networks: List[AttributedGraph],
+        model: MultiOrderGCN,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[str] = None,
     ) -> TrainingLog:
         if not networks:
             raise ValueError("no networks to train on")
@@ -131,52 +179,55 @@ class GAlignTrainer:
             for graph_views in views
         ]
 
-        log = TrainingLog(registry=registry)
-        for _ in range(config.epochs):
-            with registry.timed("trainer.epoch_time"):
-                optimizer.zero_grad()
-                total = None
-                consistency_value = 0.0
-                adaptivity_value = 0.0
-                with registry.timed("trainer.forward_time"):
-                    for graph, propagation, graph_views, graph_view_props in zip(
-                        networks, propagations, views, view_propagations
-                    ):
-                        embeddings = model.forward(graph, propagation)
-                        j_consistency = consistency_loss(propagation, embeddings)
-                        consistency_value += float(j_consistency.data)
+        def compute_losses(_epoch: int) -> tuple:
+            total = None
+            consistency_value = 0.0
+            adaptivity_value = 0.0
+            with registry.timed("trainer.forward_time"):
+                for graph, propagation, graph_views, graph_view_props in zip(
+                    networks, propagations, views, view_propagations
+                ):
+                    embeddings = model.forward(graph, propagation)
+                    j_consistency = consistency_loss(propagation, embeddings)
+                    consistency_value += float(j_consistency.data)
 
-                        j_adaptivity = None
-                        if graph_views:
-                            for view, view_prop in zip(
-                                graph_views, graph_view_props
-                            ):
-                                view_embeddings = model.forward(
-                                    view.graph, view_prop
-                                )
-                                term = adaptivity_loss(
-                                    embeddings,
-                                    view_embeddings,
-                                    view.correspondence,
-                                    threshold=config.adaptivity_threshold,
-                                )
-                                j_adaptivity = (
-                                    term
-                                    if j_adaptivity is None
-                                    else j_adaptivity + term
-                                )
-                            adaptivity_value += float(j_adaptivity.data)
+                    j_adaptivity = None
+                    if graph_views:
+                        for view, view_prop in zip(
+                            graph_views, graph_view_props
+                        ):
+                            view_embeddings = model.forward(
+                                view.graph, view_prop
+                            )
+                            term = adaptivity_loss(
+                                embeddings,
+                                view_embeddings,
+                                view.correspondence,
+                                threshold=config.adaptivity_threshold,
+                            )
+                            j_adaptivity = (
+                                term
+                                if j_adaptivity is None
+                                else j_adaptivity + term
+                            )
+                        adaptivity_value += float(j_adaptivity.data)
 
-                        loss = combined_loss(
-                            j_consistency, j_adaptivity, config.gamma
-                        )
-                        total = loss if total is None else total + loss
+                    loss = combined_loss(
+                        j_consistency, j_adaptivity, config.gamma
+                    )
+                    total = loss if total is None else total + loss
+            return total, consistency_value, adaptivity_value
 
-                with registry.timed("trainer.backward_time"):
-                    total.backward()
-                    clip_grad_norm(model.parameters(), max_norm=5.0)
-                with registry.timed("trainer.step_time"):
-                    optimizer.step()
-            registry.increment("trainer.epochs")
-            log.record(float(total.data), consistency_value, adaptivity_value)
-        return log
+        return run_resilient_training(
+            model=model,
+            optimizer=optimizer,
+            config=config,
+            registry=registry,
+            log=TrainingLog(registry=registry),
+            compute_losses=compute_losses,
+            rng=self.rng,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+            fault_injector=self.fault_injector,
+        )

@@ -1,0 +1,165 @@
+"""Shared resilient epoch loop for the dense and sampled trainers.
+
+Both :class:`~repro.core.trainer.GAlignTrainer` and
+:class:`~repro.core.sampling.SampledGAlignTrainer` run the same outer
+loop: zero grads, compute the Alg 1 loss, backward, clip, step, log.
+They differ only in *how* the loss is computed, so that part arrives
+here as a ``compute_losses(epoch)`` callable and everything around it —
+numerical-health guards, rollback recovery, fault-injection hooks, and
+v2 checkpoint save/resume — lives in one place.
+
+Resume semantics (the property the kill/resume tests pin down): a
+trainer first replays its deterministic prefix (model init, augmented
+views) from the run's seed, then this loop overwrites model weights,
+optimizer state, and RNG state from the checkpoint and continues at
+``epoch + 1``.  An interrupted-and-resumed run therefore takes exactly
+the same floating-point steps as an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, clip_grad_norm
+from ..observability import MetricsRegistry
+from ..resilience import FaultInjector, RecoveryManager
+from .checkpoint import load_training_checkpoint, save_training_checkpoint
+from .config import GAlignConfig
+from .model import MultiOrderGCN
+
+__all__ = ["run_resilient_training"]
+
+#: ``compute_losses(epoch)`` → (total loss tensor, consistency, adaptivity).
+LossFn = Callable[[int], Tuple[Tensor, float, float]]
+
+
+def _resume(
+    resume_from: str,
+    model: MultiOrderGCN,
+    optimizer,
+    rng: Optional[np.random.Generator],
+    log,
+    registry: MetricsRegistry,
+) -> int:
+    """Restore a v2 checkpoint into the live objects; return start epoch."""
+    checkpoint = load_training_checkpoint(resume_from)
+    if checkpoint.input_dim != model.input_dim:
+        raise ValueError(
+            f"checkpoint {resume_from!r} was trained on input_dim="
+            f"{checkpoint.input_dim}, this run uses {model.input_dim}"
+        )
+    if checkpoint.config.num_layers != model.config.num_layers or (
+        checkpoint.config.embedding_dim != model.config.embedding_dim
+    ):
+        raise ValueError(
+            f"checkpoint {resume_from!r} architecture "
+            f"(layers={checkpoint.config.num_layers}, "
+            f"dim={checkpoint.config.embedding_dim}) does not match the "
+            f"configured model (layers={model.config.num_layers}, "
+            f"dim={model.config.embedding_dim})"
+        )
+    model.load_state_dict(checkpoint.weights)
+    optimizer.load_state_dict(checkpoint.optimizer_state)
+    if rng is not None and checkpoint.rng_state is not None:
+        rng.bit_generator.state = checkpoint.rng_state
+    # Restore the loss trajectory directly (no re-emission: the restored
+    # epochs were already observed by the run that saved them).
+    log.total.extend(checkpoint.log_history.get("total", []))
+    log.consistency.extend(checkpoint.log_history.get("consistency", []))
+    log.adaptivity.extend(checkpoint.log_history.get("adaptivity", []))
+    registry.increment("resilience.resumes")
+    registry.emit(
+        "resilience.resume",
+        {"path": resume_from, "epoch": checkpoint.epoch},
+    )
+    return checkpoint.epoch + 1
+
+
+def run_resilient_training(
+    *,
+    model: MultiOrderGCN,
+    optimizer,
+    config: GAlignConfig,
+    registry: MetricsRegistry,
+    log,
+    compute_losses: LossFn,
+    rng: Optional[np.random.Generator] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 1,
+    resume_from: Optional[str] = None,
+    fault_injector: Optional[FaultInjector] = None,
+):
+    """Run the guarded epoch loop; returns ``log`` (mutated in place).
+
+    Per epoch: optional fault hooks fire, the loss is computed and
+    backpropagated, and the health check runs *before* the optimizer
+    step so a non-finite loss/gradient or a loss spike never touches the
+    weights — instead the :class:`RecoveryManager` rolls back to the
+    last healthy snapshot, halves the learning rate, and the epoch is
+    retried under the ``config.max_recoveries`` budget
+    (:class:`~repro.resilience.TrainingDivergedError` beyond it).
+
+    With ``checkpoint_path`` set, a v2 training checkpoint is written
+    after every ``checkpoint_every``-th completed epoch (atomically, so
+    kills during the save cannot corrupt the previous one).
+    """
+    if checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    start_epoch = 0
+    if resume_from is not None:
+        start_epoch = _resume(
+            resume_from, model, optimizer, rng, log, registry
+        )
+
+    recovery = RecoveryManager(
+        model,
+        optimizer,
+        max_recoveries=config.max_recoveries,
+        divergence_factor=config.divergence_factor,
+        divergence_warmup=config.divergence_warmup,
+        registry=registry,
+    )
+    recovery.commit()  # initial snapshot: first-epoch failures can roll back
+
+    epoch = start_epoch
+    while epoch < config.epochs:
+        with registry.timed("trainer.epoch_time"):
+            if fault_injector is not None:
+                fault_injector.at_step(epoch)
+            optimizer.zero_grad()
+            total, consistency_value, adaptivity_value = compute_losses(epoch)
+            with registry.timed("trainer.backward_time"):
+                total.backward()
+                if fault_injector is not None:
+                    fault_injector.corrupt_gradients(
+                        epoch, model.parameters()
+                    )
+                clip_grad_norm(model.parameters(), max_norm=5.0)
+            loss_value = float(total.data)
+            reason = recovery.check(loss_value, model.parameters())
+            if reason is not None:
+                recovery.recover(reason, epoch)
+                continue  # retry this epoch from the restored snapshot
+            with registry.timed("trainer.step_time"):
+                optimizer.step()
+            recovery.commit(loss_value)
+        registry.increment("trainer.epochs")
+        log.record(loss_value, consistency_value, adaptivity_value)
+        epoch += 1
+        if checkpoint_path is not None and (
+            epoch % checkpoint_every == 0 or epoch == config.epochs
+        ):
+            save_training_checkpoint(
+                checkpoint_path,
+                model,
+                optimizer,
+                epoch - 1,
+                rng=rng,
+                log=log,
+                registry=registry,
+            )
+    return log

@@ -105,6 +105,12 @@ class ExperimentRunner:
         Metrics sink for per-run wall time (``runner.method.<name>.wall``)
         and quality gauges; ``None`` falls back to the process registry at
         run time.  Every run also lands in :meth:`run_manifest`.
+    continue_on_error:
+        When True, a method run that raises is recorded as a failure
+        (``resilience.method_failures`` counter, manifest entry with the
+        error string) and the sweep continues with the remaining
+        methods — run-level fault tolerance for long multi-dataset
+        sweeps.  When False (default) the exception propagates.
     """
 
     def __init__(
@@ -113,6 +119,7 @@ class ExperimentRunner:
         repeats: int = 1,
         seed: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        continue_on_error: bool = False,
     ) -> None:
         if not 0.0 <= supervision_ratio <= 1.0:
             raise ValueError(
@@ -124,6 +131,7 @@ class ExperimentRunner:
         self.repeats = repeats
         self.seed = seed
         self.registry = registry
+        self.continue_on_error = continue_on_error
         self._manifest_runs: List[Dict] = []
 
     def _registry(self) -> MetricsRegistry:
@@ -157,11 +165,31 @@ class ExperimentRunner:
                 supervision = (
                     train if method.requires_supervision and train else None
                 )
-                with registry.timed(f"runner.method.{spec.name}.wall") as wall:
-                    result = method.align(pair, supervision=supervision, rng=rng)
-                # Metrics on held-out anchors only: supervised methods must
-                # not be credited for anchors they received as input.
-                report = evaluate_alignment(result.scores, test)
+                try:
+                    with registry.timed(
+                        f"runner.method.{spec.name}.wall"
+                    ) as wall:
+                        result = method.align(
+                            pair, supervision=supervision, rng=rng
+                        )
+                    # Metrics on held-out anchors only: supervised methods
+                    # must not be credited for anchors they got as input.
+                    report = evaluate_alignment(result.scores, test)
+                except Exception as error:
+                    if not self.continue_on_error:
+                        raise
+                    registry.increment("resilience.method_failures")
+                    failure_entry = {
+                        "pair": pair.name,
+                        "method": spec.name,
+                        "repeat": repeat,
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                    self._manifest_runs.append(failure_entry)
+                    registry.emit("resilience.method_failure", failure_entry)
+                    if verbose:
+                        print(f"  {spec.name} run {repeat}: FAILED ({error})")
+                    continue
                 records.append(
                     RunRecord(spec.name, report, wall.elapsed)
                 )
@@ -187,7 +215,13 @@ class ExperimentRunner:
                 registry.emit("runner.run", run_entry)
                 if verbose:
                     print(f"  {spec.name} run {repeat}: {report}")
-            results[spec.name] = MethodSummary.from_records(spec.name, records)
+            # continue_on_error with zero successful repeats: the method
+            # is absent from the summary table; its failures are in the
+            # manifest and the resilience.* metrics.
+            if records:
+                results[spec.name] = MethodSummary.from_records(
+                    spec.name, records
+                )
         return results
 
     def run_many(
@@ -216,6 +250,7 @@ class ExperimentRunner:
                 "supervision_ratio": self.supervision_ratio,
                 "repeats": self.repeats,
                 "seed": self.seed,
+                "continue_on_error": self.continue_on_error,
             },
             "runs": list(self._manifest_runs),
         }

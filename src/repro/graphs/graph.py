@@ -14,6 +14,8 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from ..resilience.errors import GraphValidationError
+
 __all__ = ["AttributedGraph"]
 
 
@@ -42,7 +44,9 @@ class AttributedGraph:
     ) -> None:
         adj = sp.csr_matrix(adjacency, dtype=np.float64)
         if adj.shape[0] != adj.shape[1]:
-            raise ValueError(f"adjacency must be square, got {adj.shape}")
+            raise GraphValidationError(
+                f"adjacency must be square, got {adj.shape}"
+            )
         adj.setdiag(0.0)
         adj.eliminate_zeros()
         # Symmetrize: edge present if present in either direction.
@@ -55,7 +59,7 @@ class AttributedGraph:
             features = np.ones((n, 1))
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 2 or features.shape[0] != n:
-            raise ValueError(
+            raise GraphValidationError(
                 f"features must be (n={n}, m) 2-D, got shape {features.shape}"
             )
         self._features = features

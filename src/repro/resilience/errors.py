@@ -1,0 +1,57 @@
+"""Exception taxonomy for the resilience subsystem.
+
+These are deliberately dependency-free so that low-level modules (e.g.
+:mod:`repro.graphs.graph`) can raise them without importing the rest of
+the package.
+
+* :class:`GraphValidationError` subclasses ``ValueError`` so call sites
+  that already guard against malformed inputs with ``except ValueError``
+  keep working unchanged.
+* :class:`SimulatedKill` subclasses ``BaseException`` (like
+  ``KeyboardInterrupt``) so ordinary ``except Exception`` recovery code
+  cannot swallow a simulated process death — exactly the property a kill
+  test needs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GraphValidationError",
+    "TrainingDivergedError",
+    "InjectedFault",
+    "SimulatedKill",
+]
+
+
+class GraphValidationError(ValueError):
+    """A graph or alignment pair fails structural/numerical validation.
+
+    Raised by :func:`repro.resilience.validation.validate_graph` and
+    friends with an actionable message naming the offending input.
+    """
+
+
+class TrainingDivergedError(RuntimeError):
+    """Training stayed numerically unhealthy after the retry budget.
+
+    Carries the trajectory of recovery attempts so callers (and BENCH
+    exports) can see what was tried before giving up.
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        #: Number of rollback/LR-halving recoveries attempted before failing.
+        self.attempts = attempts
+
+
+class InjectedFault(RuntimeError):
+    """A deterministic exception raised by the fault-injection harness."""
+
+
+class SimulatedKill(BaseException):
+    """A simulated process kill (SIGKILL stand-in) from the fault harness.
+
+    Derives from ``BaseException`` so recovery code that catches
+    ``Exception`` cannot accidentally survive it — a real kill is not
+    catchable either.
+    """

@@ -1,0 +1,142 @@
+"""Deterministic fault injection for exercising recovery paths in tests.
+
+A :class:`FaultInjector` carries a plan of :class:`Fault` entries — each a
+``(kind, step)`` pair — and is handed to a trainer.  At the configured
+training step the injector fires the fault *exactly once*:
+
+* ``"nan_gradient"`` — overwrite part of the first parameter gradient
+  with NaN after the backward pass (exercises rollback + LR halving).
+* ``"exception"``    — raise :class:`InjectedFault` at the start of the
+  step (exercises caller-side error handling).
+* ``"kill"``         — raise :class:`SimulatedKill` at the start of the
+  step (exercises checkpoint/resume; not catchable as ``Exception``).
+
+Plans can be written inline (``FaultInjector([Fault("kill", 7)])``) or
+parsed from a compact spec string (``FaultInjector.parse("nan_gradient@3,
+kill@7")``) for CLI / environment wiring.  Every firing increments the
+``resilience.faults_injected`` counter and emits a ``resilience.fault``
+event, so BENCH exports record which faults a run survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..observability import MetricsRegistry, get_registry
+from .errors import InjectedFault, SimulatedKill
+
+__all__ = ["Fault", "FaultInjector", "FAULT_KINDS"]
+
+FAULT_KINDS = ("nan_gradient", "exception", "kill")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned fault: ``kind`` fires at training step ``step``."""
+
+    kind: str
+    step: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (choose from {FAULT_KINDS})"
+            )
+        if self.step < 0:
+            raise ValueError(f"fault step must be >= 0, got {self.step}")
+
+
+class FaultInjector:
+    """Fires a deterministic plan of faults into a training loop.
+
+    Trainers call :meth:`at_step` at the top of every step (raising
+    kinds fire here) and :meth:`corrupt_gradients` right after the
+    backward pass (``nan_gradient`` fires here).  Each fault fires once;
+    a retried step does not re-fire it — which is what lets a NaN-grad
+    recovery test converge after the rollback.
+    """
+
+    def __init__(
+        self,
+        faults: Iterable[Fault] = (),
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._pending: List[Fault] = []
+        for fault in faults:
+            if not isinstance(fault, Fault):
+                fault = Fault(*fault)
+            self._pending.append(fault)
+        self.registry = registry
+        #: Faults that have already fired, in firing order.
+        self.fired: List[Fault] = []
+
+    @classmethod
+    def parse(
+        cls, spec: str, registry: Optional[MetricsRegistry] = None
+    ) -> "FaultInjector":
+        """Build from a spec like ``"nan_gradient@3,kill@7"``."""
+        faults = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, step = part.partition("@")
+            if not step:
+                raise ValueError(
+                    f"fault spec entry {part!r} must look like kind@step"
+                )
+            faults.append(Fault(kind.strip(), int(step)))
+        return cls(faults, registry=registry)
+
+    # ------------------------------------------------------------------
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def _fire(self, fault: Fault) -> None:
+        self._pending.remove(fault)
+        self.fired.append(fault)
+        registry = self._registry()
+        registry.increment("resilience.faults_injected")
+        registry.emit(
+            "resilience.fault", {"kind": fault.kind, "step": fault.step}
+        )
+
+    def pending(self) -> List[Fault]:
+        """Faults that have not fired yet."""
+        return list(self._pending)
+
+    # -- trainer hooks --------------------------------------------------
+    def at_step(self, step: int) -> None:
+        """Fire raising faults scheduled for ``step`` (top of the step)."""
+        for fault in list(self._pending):
+            if fault.step != step or fault.kind == "nan_gradient":
+                continue
+            self._fire(fault)
+            if fault.kind == "kill":
+                raise SimulatedKill(f"simulated kill at step {step}")
+            raise InjectedFault(f"injected exception at step {step}")
+
+    def corrupt_gradients(self, step: int, params: Sequence) -> bool:
+        """Fire a ``nan_gradient`` fault scheduled for ``step``, if any.
+
+        Overwrites the first entry of the first non-empty gradient with
+        NaN; returns whether an injection happened.
+        """
+        for fault in list(self._pending):
+            if fault.step != step or fault.kind != "nan_gradient":
+                continue
+            for param in params:
+                grad = getattr(param, "grad", None)
+                if grad is None or grad.size == 0:
+                    continue
+                grad.reshape(-1)[0] = np.nan
+                self._fire(fault)
+                return True
+            raise InjectedFault(
+                f"nan_gradient fault at step {step} found no gradients to "
+                "corrupt — call corrupt_gradients after backward()"
+            )
+        return False

@@ -1,0 +1,163 @@
+"""Numerical-health guards and rollback recovery for training loops.
+
+The adaptive training of Alg 1 is an unconstrained optimization over a
+shared GCN: a too-large step, a pathological augmented view, or a noisy
+input can push the loss to NaN/Inf or into a divergence spiral.  The
+:class:`RecoveryManager` watches every step for three failure signatures —
+non-finite loss, non-finite gradients, and loss-spike divergence — and
+recovers by rolling the model and optimizer back to the last healthy
+snapshot with a halved learning rate, under a bounded retry budget.
+
+Every action is observable: detections land in ``resilience.nonfinite_*``
+/ ``resilience.loss_spikes`` counters, each recovery increments
+``resilience.recoveries`` and emits a ``resilience.recovery`` event, and
+budget exhaustion raises :class:`TrainingDivergedError` with the attempt
+count attached.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..observability import MetricsRegistry, get_registry
+from .errors import TrainingDivergedError
+
+__all__ = ["RecoveryManager"]
+
+
+class RecoveryManager:
+    """Health checks + snapshot/rollback for one training run.
+
+    Parameters
+    ----------
+    model:
+        Anything with ``state_dict()`` / ``load_state_dict()`` (the
+        :class:`~repro.core.model.MultiOrderGCN` protocol).
+    optimizer:
+        Anything with ``state_dict()`` / ``load_state_dict()`` and an
+        ``lr`` attribute (the :mod:`repro.autograd.optim` protocol).
+    max_recoveries:
+        Total rollback budget for the run; exceeding it raises
+        :class:`TrainingDivergedError`.
+    divergence_factor:
+        A loss above ``divergence_factor × best-seen-loss`` counts as a
+        spike (checked only after ``divergence_warmup`` healthy steps).
+    divergence_warmup:
+        Healthy steps required before spike detection arms — early
+        training legitimately moves the loss by large factors.
+    """
+
+    def __init__(
+        self,
+        model,
+        optimizer,
+        *,
+        max_recoveries: int = 3,
+        divergence_factor: float = 10.0,
+        divergence_warmup: int = 5,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_recoveries < 0:
+            raise ValueError(
+                f"max_recoveries must be >= 0, got {max_recoveries}"
+            )
+        if divergence_factor <= 1.0:
+            raise ValueError(
+                f"divergence_factor must exceed 1, got {divergence_factor}"
+            )
+        self.model = model
+        self.optimizer = optimizer
+        self.max_recoveries = max_recoveries
+        self.divergence_factor = divergence_factor
+        self.divergence_warmup = divergence_warmup
+        self.registry = registry
+        self.recoveries = 0
+        self._snapshot = None
+        self._best_loss = float("inf")
+        self._healthy_steps = 0
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    # ------------------------------------------------------------------
+    def check(self, loss_value: float, params: Sequence) -> Optional[str]:
+        """Return a failure reason for this step, or ``None`` when healthy.
+
+        Call after the backward pass and *before* ``optimizer.step()`` so
+        a poisoned gradient never reaches the weights.
+        """
+        registry = self._registry()
+        if not np.isfinite(loss_value):
+            registry.increment("resilience.nonfinite_loss")
+            return "nonfinite_loss"
+        for param in params:
+            grad = getattr(param, "grad", None)
+            if grad is not None and not np.all(np.isfinite(grad)):
+                registry.increment("resilience.nonfinite_gradients")
+                return "nonfinite_gradients"
+        if (
+            self._healthy_steps >= self.divergence_warmup
+            and loss_value
+            > self.divergence_factor * max(self._best_loss, 1e-12)
+        ):
+            registry.increment("resilience.loss_spikes")
+            return "loss_spike"
+        return None
+
+    def commit(self, loss_value: Optional[float] = None) -> None:
+        """Snapshot the current (healthy) model + optimizer state.
+
+        Call once before the first step (initial snapshot) and after
+        every healthy ``optimizer.step()``.
+        """
+        self._snapshot = (
+            self.model.state_dict(),
+            self.optimizer.state_dict(),
+        )
+        if loss_value is not None:
+            self._healthy_steps += 1
+            if loss_value < self._best_loss:
+                self._best_loss = loss_value
+
+    def recover(self, reason: str, step: int) -> None:
+        """Roll back to the last snapshot and halve the learning rate.
+
+        Raises :class:`TrainingDivergedError` once the retry budget is
+        spent.  The learning-rate halving survives the rollback (and
+        compounds across consecutive recoveries): the snapshot's stored
+        rate is overridden with the halved one.
+        """
+        self.recoveries += 1
+        registry = self._registry()
+        if self.recoveries > self.max_recoveries:
+            raise TrainingDivergedError(
+                f"training diverged at step {step} ({reason}) and stayed "
+                f"unhealthy after {self.max_recoveries} rollback/LR-halving "
+                "recoveries; lower the learning rate or inspect the inputs",
+                attempts=self.recoveries - 1,
+            )
+        halved_lr = self.optimizer.lr * 0.5
+        if self._snapshot is not None:
+            weights, optimizer_state = self._snapshot
+            self.model.load_state_dict(weights)
+            self.optimizer.load_state_dict(optimizer_state)
+        self.optimizer.lr = halved_lr
+        if reason == "loss_spike":
+            # Rolling back cannot change the loss the current weights
+            # produce; accept it as the new baseline and let the halved
+            # step size do the stabilizing.
+            self._best_loss = float("inf")
+            self._healthy_steps = 0
+        registry.increment("resilience.recoveries")
+        registry.observe("resilience.learning_rate", halved_lr)
+        registry.emit(
+            "resilience.recovery",
+            {
+                "step": step,
+                "reason": reason,
+                "learning_rate": halved_lr,
+                "attempt": self.recoveries,
+            },
+        )

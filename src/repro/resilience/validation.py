@@ -1,0 +1,100 @@
+"""Structured input validation for trainer/refiner/CLI entry points.
+
+The GCN forward pass happily propagates NaN/Inf attributes into every
+embedding, which then poisons alignment scores *silently* — the run
+completes and emits garbage metrics.  These validators turn malformed
+inputs into a loud :class:`~repro.resilience.errors.GraphValidationError`
+with a message that names the input and what to do about it.
+
+The functions duck-type their arguments (anything with ``num_nodes``,
+``adjacency``, ``features`` works) so this module stays import-light and
+can be used from any layer without dependency cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..observability import MetricsRegistry, get_registry
+from .errors import GraphValidationError
+
+__all__ = ["validate_graph", "validate_pair"]
+
+
+def _fail(
+    message: str, registry: Optional[MetricsRegistry]
+) -> None:
+    registry = registry if registry is not None else get_registry()
+    registry.increment("resilience.validation_failures")
+    registry.emit("resilience.validation_failure", {"error": message})
+    raise GraphValidationError(message)
+
+
+def validate_graph(
+    graph,
+    name: str = "graph",
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Validate one attributed graph; raise :class:`GraphValidationError`.
+
+    Checks, in order: non-empty node set, square adjacency, finite
+    adjacency weights, 2-D attribute matrix with one row per node, and
+    finite attribute values.  ``name`` labels the graph ("source",
+    "target", ...) in error messages.
+    """
+    n = int(graph.num_nodes)
+    if n == 0:
+        _fail(
+            f"{name} graph has no nodes; alignment needs at least one node "
+            "per network — check the edge-list/attribute files you loaded",
+            registry,
+        )
+    adjacency = graph.adjacency
+    if adjacency.shape[0] != adjacency.shape[1]:
+        _fail(
+            f"{name} graph adjacency must be square, got shape "
+            f"{adjacency.shape}",
+            registry,
+        )
+    data = adjacency.data if hasattr(adjacency, "data") else np.asarray(adjacency)
+    if not np.all(np.isfinite(data)):
+        bad = int(np.count_nonzero(~np.isfinite(data)))
+        _fail(
+            f"{name} graph adjacency contains {bad} non-finite entries; "
+            "edge weights must be finite numbers",
+            registry,
+        )
+    features = np.asarray(graph.features)
+    if features.ndim != 2 or features.shape[0] != n:
+        _fail(
+            f"{name} graph attribute matrix must be (n={n}, m) 2-D, got "
+            f"shape {features.shape}",
+            registry,
+        )
+    finite = np.isfinite(features)
+    if not finite.all():
+        bad_rows = np.flatnonzero(~finite.all(axis=1))
+        _fail(
+            f"{name} graph attribute matrix contains "
+            f"{int(np.count_nonzero(~finite))} non-finite values across "
+            f"{len(bad_rows)} nodes (first offending node: "
+            f"{int(bad_rows[0])}); clean or impute attributes before "
+            "aligning",
+            registry,
+        )
+
+
+def validate_pair(
+    pair, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """Validate an alignment pair: both graphs plus a shared attribute space."""
+    validate_graph(pair.source, name="source", registry=registry)
+    validate_graph(pair.target, name="target", registry=registry)
+    if pair.source.num_features != pair.target.num_features:
+        _fail(
+            "source and target must share the attribute space "
+            f"({pair.source.num_features} != {pair.target.num_features})",
+            registry,
+        )

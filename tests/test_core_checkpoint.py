@@ -7,6 +7,7 @@ from repro.core import (
     GAlignConfig,
     GAlignTrainer,
     load_model,
+    load_training_checkpoint,
     save_model,
 )
 from repro.graphs import generators, noisy_copy_pair
@@ -66,3 +67,47 @@ class TestCheckpointRoundtrip:
         np.savez(path, **arrays)
         with pytest.raises(ValueError):
             load_model(path)
+
+
+class TestCorruptArchives:
+    """Damaged checkpoints fail with a ValueError naming the file,
+    never a bare KeyError from np.load."""
+
+    def _arrays(self, trained, tmp_path):
+        _, model, _ = trained
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        with np.load(path) as archive:
+            return path, {name: archive[name] for name in archive.files}
+
+    def test_truncated_weights_rejected(self, trained, tmp_path):
+        # The config declares num_layers weight arrays; drop the last one
+        # (an interrupted non-atomic copy) and the mismatch must be loud.
+        path, arrays = self._arrays(trained, tmp_path)
+        last = max(n for n in arrays if n.startswith("weight_"))
+        del arrays[last]
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="truncated or corrupt") as err:
+            load_model(path)
+        assert path in str(err.value)
+
+    def test_extra_weight_rejected(self, trained, tmp_path):
+        path, arrays = self._arrays(trained, tmp_path)
+        arrays["weight_99"] = arrays["weight_0"]
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_model(path)
+
+    def test_missing_header_rejected(self, trained, tmp_path):
+        path, arrays = self._arrays(trained, tmp_path)
+        del arrays["header"]
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="no header record"):
+            load_model(path)
+
+    def test_v1_rejected_by_training_loader(self, trained, tmp_path):
+        _, model, _ = trained
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        with pytest.raises(ValueError, match="load_model"):
+            load_training_checkpoint(path)

@@ -1,0 +1,108 @@
+"""Static checks: no silent exception swallowing in the library.
+
+A resilience layer is only trustworthy if failures it does not explicitly
+handle keep propagating.  This test walks every module under ``src/repro``
+and rejects the two patterns that silently eat errors:
+
+* a bare ``except:`` clause (catches SystemExit/KeyboardInterrupt too);
+* ``except Exception:`` (or ``except BaseException:``) whose body is only
+  ``pass``/``...`` — caught, then dropped on the floor.
+
+Handlers that re-raise, log, count, or fall back are fine; the lint only
+flags handlers that do nothing at all.
+"""
+
+import ast
+import pathlib
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler_type):
+    return (
+        isinstance(handler_type, ast.Name)
+        and handler_type.id in _BROAD_NAMES
+    )
+
+
+def _body_is_noop(body):
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in body
+    )
+
+
+def _violations(path, label=None):
+    label = label if label is not None else str(path)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            found.append(f"{label}:{node.lineno}: bare 'except:' clause")
+        elif _is_broad(node.type) and _body_is_noop(node.body):
+            found.append(
+                f"{label}:{node.lineno}: 'except {node.type.id}:' with an "
+                "empty body silently swallows errors"
+            )
+    return found
+
+
+def test_source_tree_exists():
+    assert SRC_ROOT.is_dir(), f"expected library sources at {SRC_ROOT}"
+    assert list(SRC_ROOT.rglob("*.py")), "no python modules found to lint"
+
+
+def test_no_silent_exception_swallowing():
+    violations = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        violations.extend(
+            _violations(path, label=str(path.relative_to(SRC_ROOT.parent)))
+        )
+    assert not violations, (
+        "silent exception handling in src/repro "
+        "(re-raise, count in the metrics registry, or fall back "
+        "explicitly):\n" + "\n".join(violations)
+    )
+
+
+def test_lint_catches_bare_except(tmp_path):
+    sample = tmp_path / "bad.py"
+    sample.write_text("try:\n    x = 1\nexcept:\n    pass\n")
+    assert any("bare 'except:'" in v for v in _violations(sample))
+
+
+def test_lint_catches_swallowed_exception(tmp_path):
+    sample = tmp_path / "bad.py"
+    sample.write_text("try:\n    x = 1\nexcept Exception:\n    pass\n")
+    assert any("silently swallows" in v for v in _violations(sample))
+
+
+def test_lint_catches_swallowed_ellipsis_body(tmp_path):
+    sample = tmp_path / "bad.py"
+    sample.write_text("try:\n    x = 1\nexcept BaseException:\n    ...\n")
+    assert any("silently swallows" in v for v in _violations(sample))
+
+
+def test_lint_allows_handled_exception(tmp_path):
+    sample = tmp_path / "ok.py"
+    sample.write_text(
+        "try:\n    x = 1\nexcept Exception as error:\n    raise "
+        "RuntimeError('context') from error\n"
+    )
+    assert not _violations(sample)
+
+
+def test_lint_allows_narrow_empty_handler(tmp_path):
+    # Narrow catches (e.g. a best-effort os.remove) may legitimately pass.
+    sample = tmp_path / "ok.py"
+    sample.write_text("try:\n    x = 1\nexcept KeyError:\n    pass\n")
+    assert not _violations(sample)
