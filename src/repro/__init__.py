@@ -14,6 +14,9 @@ Networks* (Huynh Thanh Trung et al.), built from scratch in Python:
 * :mod:`repro.observability` — metrics registry, timers, BENCH export.
 * :mod:`repro.resilience` — input validation, NaN/divergence recovery,
   fault injection, resumable-training support.
+* :mod:`repro.serving` — online query serving: memory-mapped alignment
+  artifacts, a pruned exact top-k index, a microbatched/cached query
+  engine, and a stdlib JSON HTTP API.
 
 Quickstart::
 

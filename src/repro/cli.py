@@ -14,6 +14,15 @@ Subcommands
 ``compare``
     Run the full method roster (GAlign + the five paper baselines) on a
     saved pair and print a Table III-style comparison.
+``export-artifact``
+    Train (or load) a GAlign model on a saved pair and freeze its
+    multi-order embeddings into a ``repro.artifact/v1`` serving artifact.
+``serve``
+    Serve an artifact over the JSON HTTP API (``/healthz``, ``/stats``,
+    ``/query``) until interrupted.
+``query``
+    Answer alignment queries from an artifact in-process, or against a
+    running ``serve`` instance via ``--url``.
 
 Examples
 --------
@@ -22,6 +31,9 @@ Examples
     python -m repro.cli generate --dataset douban --scale 0.05 --out /tmp/pair
     python -m repro.cli align --pair /tmp/pair --method galign --epochs 40
     python -m repro.cli stats --pair /tmp/pair
+    python -m repro.cli export-artifact --pair /tmp/pair --out /tmp/artifact
+    python -m repro.cli serve --artifact /tmp/artifact --port 8080
+    python -m repro.cli query --artifact /tmp/artifact --source 3 --k 5
 """
 
 from __future__ import annotations
@@ -222,6 +234,126 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export_artifact(args: argparse.Namespace) -> int:
+    from .core import GAlignTrainer
+    from .serving import export_artifact, load_artifact
+
+    pair = load_alignment_pair(args.pair)
+    validate_pair(pair)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        if args.load_model:
+            model, config = load_model(args.load_model)
+            print(f"model    : loaded from {args.load_model}")
+        else:
+            config = GAlignConfig(
+                epochs=args.epochs,
+                embedding_dim=args.dim,
+                num_layers=args.layers,
+                seed=args.seed,
+            )
+            trainer = GAlignTrainer(
+                config, np.random.default_rng(args.seed)
+            )
+            model, _ = trainer.train(pair)
+            print(f"model    : trained for {args.epochs} epochs")
+        export_artifact(
+            args.out,
+            model.embed(pair.source),
+            model.embed(pair.target),
+            config.resolved_layer_weights(),
+            config=config,
+            pair_name=pair.name,
+            registry=registry,
+        )
+    # Re-load (memory-mapped) so the export is validated before we report
+    # success — a serve that fails later would be a worse failure mode.
+    artifact = load_artifact(args.out, registry=registry)
+    print(f"artifact : {args.out}")
+    print(f"schema   : {artifact.manifest['schema']}")
+    print(f"finger   : {artifact.fingerprint}")
+    print(f"layers   : {artifact.num_layers} "
+          f"(weights {artifact.layer_weights})")
+    print(f"nodes    : {artifact.n_source} source, "
+          f"{artifact.n_target} target")
+    if args.metrics_out:
+        run = {"command": "export-artifact", "pair": pair.name,
+               "artifact": args.out, "fingerprint": artifact.fingerprint}
+        write_bench_json(args.metrics_out, registry, run=run)
+        print(f"bench    : written to {args.metrics_out}")
+    return 0
+
+
+def _build_engine(args: argparse.Namespace, registry: MetricsRegistry):
+    from .serving import AlignmentIndex, QueryEngine, load_artifact
+
+    artifact = load_artifact(args.artifact, registry=registry)
+    index = AlignmentIndex.from_artifact(
+        artifact,
+        target_block_size=args.block_size,
+        prune=not args.no_prune,
+        registry=registry,
+    )
+    return artifact, QueryEngine(
+        index,
+        fingerprint=artifact.fingerprint,
+        batch_size=args.batch_size,
+        max_delay_ms=args.max_delay_ms,
+        cache_size=args.cache_size,
+        registry=registry,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from .serving import AlignmentServer
+
+    registry = MetricsRegistry()
+    artifact, engine = _build_engine(args, registry)
+    server = AlignmentServer(
+        engine, host=args.host, port=args.port, registry=registry
+    )
+    with use_registry(registry):
+        server.start()
+        print(f"artifact : {args.artifact} ({artifact.fingerprint})")
+        print(f"serving  : {server.url}")
+        print("routes   : /healthz /stats /query  (Ctrl-C to stop)")
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("\nshutting down ...")
+        finally:
+            server.shutdown()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    if bool(args.artifact) == bool(args.url):
+        raise SystemExit(
+            "query needs exactly one of --artifact (in-process) or "
+            "--url (remote serve instance)"
+        )
+    queries = [(source, args.k) for source in args.source]
+    if args.url:
+        from .serving import HTTPClient
+
+        payloads = HTTPClient(args.url).query_many(queries)
+    else:
+        from .serving import InProcessClient
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            _, engine = _build_engine(args, registry)
+            with engine:
+                payloads = InProcessClient(engine).query_many(queries)
+    for payload in payloads:
+        print(json.dumps(payload, sort_keys=True))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     pair = load_alignment_pair(args.pair)
     summary = pair_statistics(pair)
@@ -300,6 +432,63 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record failing methods and continue the "
                               "roster instead of aborting the sweep")
     compare.set_defaults(handler=_cmd_compare)
+
+    def add_engine_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--block-size", type=int, default=512,
+                            help="targets scored per index block "
+                                 "(pruning granularity)")
+        command.add_argument("--no-prune", action="store_true",
+                            help="disable norm-based candidate pruning "
+                                 "(always score every target block)")
+        command.add_argument("--batch-size", type=int, default=32,
+                            help="max queries coalesced into one matmul")
+        command.add_argument("--max-delay-ms", type=float, default=2.0,
+                            help="longest a query waits for batch-mates")
+        command.add_argument("--cache-size", type=int, default=4096,
+                            help="LRU result-cache entries (0 disables)")
+
+    export = commands.add_parser(
+        "export-artifact",
+        help="freeze a trained model's embeddings into a serving artifact",
+    )
+    export.add_argument("--pair", required=True, help="pair directory")
+    export.add_argument("--out", required=True, help="artifact directory")
+    export.add_argument("--epochs", type=int, default=50)
+    export.add_argument("--dim", type=int, default=64)
+    export.add_argument("--layers", type=int, default=2)
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--load-model",
+                        help="export from this .npz model checkpoint "
+                             "instead of training")
+    export.add_argument("--metrics-out",
+                        help="write run metrics as a BENCH_*.json artifact")
+    export.set_defaults(handler=_cmd_export_artifact)
+
+    serve = commands.add_parser(
+        "serve", help="serve an artifact over the JSON HTTP API"
+    )
+    serve.add_argument("--artifact", required=True,
+                       help="artifact directory from export-artifact")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8571,
+                       help="listen port (0 = ephemeral)")
+    add_engine_options(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = commands.add_parser(
+        "query", help="answer alignment queries from an artifact or server"
+    )
+    query.add_argument("--artifact",
+                       help="artifact directory (answer in-process)")
+    query.add_argument("--url",
+                       help="base URL of a running serve instance "
+                            "(e.g. http://127.0.0.1:8571)")
+    query.add_argument("--source", type=int, action="append", required=True,
+                       help="source node id (repeatable)")
+    query.add_argument("--k", type=int, default=1,
+                       help="number of aligned targets per query")
+    add_engine_options(query)
+    query.set_defaults(handler=_cmd_query)
     return parser
 
 

@@ -112,6 +112,17 @@ def streaming_top_k(
     (targets, scores):
         ``targets[v]`` are v's k best target nodes (descending score) and
         ``scores[v]`` the matching alignment scores.
+
+    Notes
+    -----
+    Returned scores may be ``-inf``: :func:`iter_score_blocks` sanitizes
+    non-finite entries (NaN/Inf from broken embeddings) to ``-inf``, and
+    when *every* entry of a row was sanitized there is no finite winner
+    to fall back on — the row's "top" targets all carry ``-inf`` and the
+    target ids are meaningless.  Consumers must treat such rows as
+    unalignable instead of trusting the ids; the serving layer's
+    :class:`~repro.serving.QueryEngine` surfaces them as
+    ``aligned: false`` with the ``-inf`` entries dropped.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")

@@ -15,8 +15,35 @@ from scipy.optimize import linear_sum_assignment
 __all__ = ["top1_matching", "greedy_bipartite_matching", "hungarian_matching"]
 
 
+def _validate_scores(scores: np.ndarray, caller: str) -> np.ndarray:
+    """Reject degenerate score matrices with an actionable ``ValueError``.
+
+    An empty or zero-column matrix used to surface as an opaque numpy
+    ``argmax``/``argsort`` or scipy LAP failure; name the offending
+    dimension instead.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 2:
+        raise ValueError(
+            f"{caller} needs a 2-D (source x target) score matrix, got "
+            f"shape {scores.shape}"
+        )
+    if scores.shape[0] == 0:
+        raise ValueError(
+            f"{caller}: score matrix has 0 source rows (shape "
+            f"{scores.shape}); there are no nodes to match"
+        )
+    if scores.shape[1] == 0:
+        raise ValueError(
+            f"{caller}: score matrix has 0 target columns (shape "
+            f"{scores.shape}); there are no candidate targets"
+        )
+    return scores
+
+
 def top1_matching(scores: np.ndarray) -> Dict[int, int]:
     """Per-row argmax (the paper's instantiation rule; not injective)."""
+    scores = _validate_scores(scores, "top1_matching")
     return {int(v): int(t) for v, t in enumerate(scores.argmax(axis=1))}
 
 
@@ -26,6 +53,7 @@ def greedy_bipartite_matching(scores: np.ndarray) -> Dict[int, int]:
     O((n·m) log(n·m)) via one sort of all score entries; a standard strong
     heuristic when the Hungarian algorithm is too slow.
     """
+    scores = _validate_scores(scores, "greedy_bipartite_matching")
     n, m = scores.shape
     order = np.argsort(scores, axis=None)[::-1]
     used_sources = np.zeros(n, dtype=bool)
@@ -46,5 +74,6 @@ def greedy_bipartite_matching(scores: np.ndarray) -> Dict[int, int]:
 
 def hungarian_matching(scores: np.ndarray) -> Dict[int, int]:
     """Optimal injective matching maximizing the total score (scipy LAP)."""
+    scores = _validate_scores(scores, "hungarian_matching")
     rows, cols = linear_sum_assignment(-scores)
     return {int(r): int(c) for r, c in zip(rows, cols)}

@@ -20,6 +20,7 @@ exports record how eventful a run was.  See "Resilience & recovery" in
 """
 
 from .errors import (
+    ArtifactValidationError,
     GraphValidationError,
     InjectedFault,
     SimulatedKill,
@@ -31,6 +32,7 @@ from .validation import validate_graph, validate_pair
 
 __all__ = [
     "GraphValidationError",
+    "ArtifactValidationError",
     "TrainingDivergedError",
     "InjectedFault",
     "SimulatedKill",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 __all__ = [
     "GraphValidationError",
+    "ArtifactValidationError",
     "TrainingDivergedError",
     "InjectedFault",
     "SimulatedKill",
@@ -28,6 +29,16 @@ class GraphValidationError(ValueError):
 
     Raised by :func:`repro.resilience.validation.validate_graph` and
     friends with an actionable message naming the offending input.
+    """
+
+
+class ArtifactValidationError(ValueError):
+    """A serialized alignment artifact fails schema/shape/content checks.
+
+    Raised by :func:`repro.serving.load_artifact` (and the export-side
+    input validation) with a message naming the artifact path and the
+    offending field, instead of letting ``np.load``/``KeyError`` failures
+    surface from deep inside numpy.
     """
 
 

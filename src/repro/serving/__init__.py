@@ -1,0 +1,54 @@
+"""Online alignment query serving (the train-once / query-many regime).
+
+Everything GAlign computes offline collapses into a small set of arrays —
+per-layer source/target embeddings plus the layer weights θ(l) — and
+every alignment question is answerable per-query from them (§VI-C).
+This package turns a trained model + pair into a long-lived service:
+
+* :mod:`~repro.serving.artifact` — **AlignmentArtifact**
+  (``repro.artifact/v1``): versioned, immutable, memory-mapped embedding
+  exports with strict load-time validation.
+* :mod:`~repro.serving.index` — **AlignmentIndex**: exact top-k with
+  Cauchy-Schwarz norm-based candidate pruning; bit-identical with
+  pruning on or off, cross-checkable against
+  :func:`repro.core.streaming.streaming_top_k`.
+* :mod:`~repro.serving.engine` — **QueryEngine**: microbatched scoring,
+  a lock-striped LRU result cache, ``aligned: false`` surfacing for
+  sanitized rows, and ``serving.*`` metrics.
+* :mod:`~repro.serving.server` — **AlignmentServer**: stdlib-only JSON
+  HTTP API (``/healthz``, ``/stats``, ``/query``) with graceful
+  shutdown and an error→status taxonomy.
+* :mod:`~repro.serving.client` — in-process and HTTP clients speaking
+  the same payload dialect.
+
+CLI: ``repro export-artifact``, ``repro serve``, ``repro query``.
+"""
+
+from .artifact import (
+    ARTIFACT_SCHEMA,
+    AlignmentArtifact,
+    config_fingerprint,
+    export_artifact,
+    load_artifact,
+)
+from .client import HTTPClient, InProcessClient, ServingClientError
+from .engine import QueryEngine, QueryResult, StripedLRUCache
+from .index import AlignmentIndex
+from .server import AlignmentServer, status_for_error
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "AlignmentArtifact",
+    "export_artifact",
+    "load_artifact",
+    "config_fingerprint",
+    "AlignmentIndex",
+    "QueryEngine",
+    "QueryResult",
+    "StripedLRUCache",
+    "AlignmentServer",
+    "status_for_error",
+    "InProcessClient",
+    "HTTPClient",
+    "ServingClientError",
+]

@@ -1,0 +1,407 @@
+"""Versioned, immutable alignment artifacts (``repro.artifact/v1``).
+
+GAlign's entire output is a pair of multi-order embedding sets plus the
+layer weights θ(l) (Eq 11-12); everything needed to answer "who does node
+v align to?" is computable per-query from those arrays (§VI-C).  An
+**AlignmentArtifact** freezes exactly that state on disk so a model can be
+trained once offline and served for arbitrarily many queries:
+
+* one directory per artifact,
+* a ``manifest.json`` describing schema, shapes, dtypes, per-array
+  content hashes, layer weights, the training config, dataset stats, and
+  a short **fingerprint** that keys serving caches,
+* one ``.npy`` file per embedding matrix.
+
+Arrays are stored as individual ``.npy`` files — *not* a single ``.npz``
+— because ``np.load(mmap_mode="r")`` silently ignores ``mmap_mode`` for
+zipped archives; per-array files are the only stdlib-numpy layout that
+actually memory-maps, which is what lets a server process keep many
+artifacts "loaded" while paging in only the rows queries touch.
+
+Loading validates the artifact through the :mod:`repro.resilience` error
+taxonomy: schema/shape/index/non-finite problems raise
+:class:`~repro.resilience.ArtifactValidationError` with a message naming
+the path and the offending field, never a deep numpy failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..observability import MetricsRegistry, get_registry
+from ..resilience import ArtifactValidationError
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "MANIFEST_NAME",
+    "AlignmentArtifact",
+    "export_artifact",
+    "load_artifact",
+    "config_fingerprint",
+]
+
+#: Schema identifier embedded in (and required of) every manifest.
+ARTIFACT_SCHEMA = "repro.artifact/v1"
+MANIFEST_NAME = "manifest.json"
+
+_SIDES = ("source", "target")
+
+
+def _fail(message: str, registry: Optional[MetricsRegistry]) -> None:
+    registry = registry if registry is not None else get_registry()
+    registry.increment("resilience.artifact_validation_failures")
+    registry.emit("resilience.artifact_validation_failure", {"error": message})
+    raise ArtifactValidationError(message)
+
+
+def _array_digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def config_fingerprint(
+    config_fields: Optional[Dict[str, Any]],
+    layer_weights: Sequence[float],
+    shapes: Dict[str, Sequence[int]],
+    digests: Dict[str, str],
+) -> str:
+    """Short content fingerprint identifying an artifact for cache keys.
+
+    Hashes the config, layer weights, array shapes, *and* array content
+    digests, so two artifacts trained with the same config on different
+    data (or re-trained with a different seed) never collide in a serving
+    cache.
+    """
+    payload = json.dumps(
+        {
+            "schema": ARTIFACT_SCHEMA,
+            "config": config_fields,
+            "layer_weights": [float(w) for w in layer_weights],
+            "shapes": {k: list(v) for k, v in sorted(shapes.items())},
+            "digests": dict(sorted(digests.items())),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _validate_embeddings(
+    name: str,
+    embeddings: Sequence[np.ndarray],
+    registry: Optional[MetricsRegistry],
+) -> List[np.ndarray]:
+    if not embeddings:
+        _fail(f"{name} embeddings are empty; need at least one layer", registry)
+    arrays = [np.asarray(h) for h in embeddings]
+    rows = arrays[0].shape[0] if arrays[0].ndim == 2 else -1
+    for layer, array in enumerate(arrays):
+        if array.ndim != 2:
+            _fail(
+                f"{name} layer {layer} embedding must be 2-D, got shape "
+                f"{array.shape}",
+                registry,
+            )
+        if array.shape[0] != rows:
+            _fail(
+                f"{name} layer {layer} embedding has {array.shape[0]} rows, "
+                f"layer 0 has {rows}; every layer must embed the same nodes",
+                registry,
+            )
+        if not np.isfinite(array).all():
+            bad = int(np.count_nonzero(~np.isfinite(array)))
+            _fail(
+                f"{name} layer {layer} embedding contains {bad} non-finite "
+                "values; refusing to export a poisoned artifact",
+                registry,
+            )
+    return arrays
+
+
+def export_artifact(
+    path: str,
+    source_embeddings: Sequence[np.ndarray],
+    target_embeddings: Sequence[np.ndarray],
+    layer_weights: Sequence[float],
+    config=None,
+    pair_name: str = "pair",
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """Write an ``repro.artifact/v1`` directory; returns its path.
+
+    ``config`` may be a :class:`~repro.core.GAlignConfig` (stored as a
+    dict for provenance) or ``None``.  Arrays are written first and the
+    manifest last, so a half-written directory is recognizably incomplete
+    (no manifest) rather than silently wrong.
+    """
+    registry = registry if registry is not None else get_registry()
+    source = _validate_embeddings("source", source_embeddings, registry)
+    target = _validate_embeddings("target", target_embeddings, registry)
+    if len(source) != len(target):
+        _fail(
+            f"layer count mismatch: source has {len(source)} layers, "
+            f"target has {len(target)}",
+            registry,
+        )
+    weights = [float(w) for w in layer_weights]
+    if len(weights) != len(source):
+        _fail(
+            f"layer_weights has {len(weights)} entries for {len(source)} "
+            "embedding layers",
+            registry,
+        )
+
+    if config is not None and not isinstance(config, dict):
+        from dataclasses import asdict
+
+        config = asdict(config)
+
+    os.makedirs(path, exist_ok=True)
+    arrays: Dict[str, np.ndarray] = {}
+    for side, layers in (("source", source), ("target", target)):
+        for index, array in enumerate(layers):
+            arrays[f"{side}_layer_{index}"] = array
+
+    entries: Dict[str, Dict[str, Any]] = {}
+    digests: Dict[str, str] = {}
+    shapes: Dict[str, Sequence[int]] = {}
+    for name, array in arrays.items():
+        file_name = f"{name}.npy"
+        np.save(os.path.join(path, file_name), array)
+        digests[name] = _array_digest(array)
+        shapes[name] = array.shape
+        entries[name] = {
+            "file": file_name,
+            "shape": list(array.shape),
+            "dtype": str(array.dtype),
+            "sha256": digests[name],
+        }
+
+    fingerprint = config_fingerprint(config, weights, shapes, digests)
+    manifest = {
+        "schema": ARTIFACT_SCHEMA,
+        "fingerprint": fingerprint,
+        "layer_weights": weights,
+        "num_layers": len(source),
+        "arrays": entries,
+        "config": config,
+        "stats": {
+            "pair": pair_name,
+            "n_source": int(source[0].shape[0]),
+            "n_target": int(target[0].shape[0]),
+            "dims": [int(h.shape[1]) for h in source],
+        },
+    }
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    tmp_path = manifest_path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, manifest_path)
+    registry.increment("serving.artifact.exports")
+    registry.emit(
+        "serving.artifact.exported",
+        {"path": path, "fingerprint": fingerprint},
+    )
+    return path
+
+
+@dataclass
+class AlignmentArtifact:
+    """A loaded (usually memory-mapped) ``repro.artifact/v1`` directory."""
+
+    path: str
+    manifest: Dict[str, Any]
+    source_embeddings: List[np.ndarray]
+    target_embeddings: List[np.ndarray]
+    layer_weights: List[float] = field(default_factory=list)
+
+    @property
+    def fingerprint(self) -> str:
+        return self.manifest["fingerprint"]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.source_embeddings)
+
+    @property
+    def n_source(self) -> int:
+        return int(self.source_embeddings[0].shape[0])
+
+    @property
+    def n_target(self) -> int:
+        return int(self.target_embeddings[0].shape[0])
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        return dict(self.manifest.get("stats", {}))
+
+    def __repr__(self) -> str:
+        return (
+            f"AlignmentArtifact(path={self.path!r}, "
+            f"fingerprint={self.fingerprint!r}, layers={self.num_layers}, "
+            f"n_source={self.n_source}, n_target={self.n_target})"
+        )
+
+
+def _load_manifest(path: str, registry: Optional[MetricsRegistry]) -> Dict:
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    if not os.path.isdir(path):
+        _fail(
+            f"artifact path {path!r} is not a directory; artifacts are "
+            "exported as a directory of manifest.json + .npy files",
+            registry,
+        )
+    if not os.path.exists(manifest_path):
+        _fail(
+            f"artifact {path!r} has no {MANIFEST_NAME}; the export was "
+            "interrupted or the path is wrong",
+            registry,
+        )
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except json.JSONDecodeError as error:
+        _fail(
+            f"artifact manifest {manifest_path!r} is not valid JSON: {error}",
+            registry,
+        )
+    if manifest.get("schema") != ARTIFACT_SCHEMA:
+        _fail(
+            f"artifact {path!r} declares schema "
+            f"{manifest.get('schema')!r}, expected {ARTIFACT_SCHEMA!r}",
+            registry,
+        )
+    for key in ("fingerprint", "layer_weights", "num_layers", "arrays"):
+        if key not in manifest:
+            _fail(f"artifact {path!r} manifest is missing {key!r}", registry)
+    return manifest
+
+
+def _load_array(
+    path: str,
+    name: str,
+    entry: Dict[str, Any],
+    mmap: bool,
+    registry: Optional[MetricsRegistry],
+) -> np.ndarray:
+    file_path = os.path.join(path, entry.get("file", f"{name}.npy"))
+    if not os.path.exists(file_path):
+        _fail(
+            f"artifact {path!r}: array {name!r} file {file_path!r} is "
+            "missing; the artifact is incomplete",
+            registry,
+        )
+    try:
+        array = np.load(file_path, mmap_mode="r" if mmap else None)
+    except (ValueError, OSError) as error:
+        _fail(
+            f"artifact {path!r}: array {name!r} failed to load from "
+            f"{file_path!r}: {error}",
+            registry,
+        )
+    expected_shape = tuple(entry.get("shape", ()))
+    if tuple(array.shape) != expected_shape:
+        _fail(
+            f"artifact {path!r}: array {name!r} has shape "
+            f"{tuple(array.shape)} on disk but the manifest declares "
+            f"{expected_shape}; the file was truncated or swapped",
+            registry,
+        )
+    return array
+
+
+def load_artifact(
+    path: str,
+    mmap: bool = True,
+    check_finite: bool = True,
+    check_hashes: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+) -> AlignmentArtifact:
+    """Load an artifact directory back, memory-mapped by default.
+
+    Validation order: manifest schema → declared array inventory (every
+    ``{source,target}_layer_i`` for ``i < num_layers`` must exist) →
+    per-array file/shape checks → layer-weight count → optional full
+    non-finite scan (``check_finite``) and content-hash verification
+    (``check_hashes``; off by default because it reads every page of a
+    memory-mapped artifact).  Every failure raises
+    :class:`~repro.resilience.ArtifactValidationError` naming the path
+    and field.
+    """
+    registry = registry if registry is not None else get_registry()
+    manifest = _load_manifest(path, registry)
+    num_layers = manifest["num_layers"]
+    if not isinstance(num_layers, int) or num_layers < 1:
+        _fail(
+            f"artifact {path!r}: num_layers must be a positive int, got "
+            f"{num_layers!r}",
+            registry,
+        )
+    entries = manifest["arrays"]
+    sides: Dict[str, List[np.ndarray]] = {side: [] for side in _SIDES}
+    for side in _SIDES:
+        for index in range(num_layers):
+            name = f"{side}_layer_{index}"
+            if name not in entries:
+                _fail(
+                    f"artifact {path!r}: manifest declares {num_layers} "
+                    f"layers but has no entry for array {name!r}",
+                    registry,
+                )
+            sides[side].append(
+                _load_array(path, name, entries[name], mmap, registry)
+            )
+    for side in _SIDES:
+        rows = sides[side][0].shape[0]
+        for index, array in enumerate(sides[side]):
+            if array.ndim != 2 or array.shape[0] != rows:
+                _fail(
+                    f"artifact {path!r}: {side} layer {index} has shape "
+                    f"{array.shape}, expected 2-D with {rows} rows like "
+                    "layer 0",
+                    registry,
+                )
+    weights = [float(w) for w in manifest["layer_weights"]]
+    if len(weights) != num_layers:
+        _fail(
+            f"artifact {path!r}: {len(weights)} layer_weights for "
+            f"{num_layers} layers",
+            registry,
+        )
+    if check_finite:
+        for side in _SIDES:
+            for index, array in enumerate(sides[side]):
+                if not np.isfinite(array).all():
+                    bad = int(np.count_nonzero(~np.isfinite(array)))
+                    _fail(
+                        f"artifact {path!r}: {side} layer {index} contains "
+                        f"{bad} non-finite values; the artifact is corrupt "
+                        "or was exported from a diverged model",
+                        registry,
+                    )
+    if check_hashes:
+        for side in _SIDES:
+            for index, array in enumerate(sides[side]):
+                name = f"{side}_layer_{index}"
+                declared = entries[name].get("sha256")
+                actual = _array_digest(np.asarray(array))
+                if declared != actual:
+                    _fail(
+                        f"artifact {path!r}: array {name!r} content hash "
+                        f"{actual} does not match the manifest ({declared}); "
+                        "the artifact was modified after export",
+                        registry,
+                    )
+    registry.increment("serving.artifact.loads")
+    return AlignmentArtifact(
+        path=path,
+        manifest=manifest,
+        source_embeddings=sides["source"],
+        target_embeddings=sides["target"],
+        layer_weights=weights,
+    )

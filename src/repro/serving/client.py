@@ -1,0 +1,130 @@
+"""Clients for the serving API: in-process and HTTP.
+
+Both clients speak the same payload dialect (the
+:meth:`~repro.serving.engine.QueryResult.payload` dict), so tests and
+examples can swap transports without touching assertions:
+
+* :class:`InProcessClient` wraps a :class:`QueryEngine` directly — zero
+  serialization, the fastest path for embedding the service in another
+  Python process.
+* :class:`HTTPClient` talks to an :class:`AlignmentServer` over
+  ``urllib`` (stdlib only).  Server-side errors arrive as
+  :class:`ServingClientError` carrying the HTTP status and the server's
+  actionable message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .engine import QueryEngine
+
+__all__ = ["ServingClientError", "InProcessClient", "HTTPClient"]
+
+
+class ServingClientError(RuntimeError):
+    """An HTTP request to the serving API failed.
+
+    ``status`` is the HTTP status code (0 for transport-level failures);
+    ``payload`` the decoded error body when the server sent one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class InProcessClient:
+    """The serving API surface over an engine in the same process."""
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+
+    def healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "fingerprint": self.engine.fingerprint,
+            "n_source": self.engine.index.n_source,
+            "n_target": self.engine.index.n_target,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        return self.engine.stats()
+
+    def query(self, source: int, k: int = 1) -> Dict[str, Any]:
+        return self.engine.query(source, k).payload()
+
+    def query_many(
+        self, queries: Sequence[Tuple[int, int]]
+    ) -> List[Dict[str, Any]]:
+        return [
+            result.payload() for result in self.engine.query_many(queries)
+        ]
+
+
+class HTTPClient:
+    """Thin stdlib HTTP client for :class:`AlignmentServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = {"error": raw.decode("utf-8", "replace")}
+            raise ServingClientError(
+                f"{path} failed with HTTP {error.code}: "
+                f"{payload.get('error', 'unknown error')}",
+                status=error.code,
+                payload=payload,
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServingClientError(
+                f"could not reach {url}: {error.reason}"
+            ) from error
+
+    # -- API -----------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("/stats")
+
+    def query(self, source: int, k: int = 1) -> Dict[str, Any]:
+        return self._request(f"/query?source={int(source)}&k={int(k)}")
+
+    def query_many(
+        self, queries: Sequence[Tuple[int, int]]
+    ) -> List[Dict[str, Any]]:
+        body = {
+            "queries": [
+                {"source": int(source), "k": int(k)} for source, k in queries
+            ]
+        }
+        return self._request("/query", body=body)["results"]

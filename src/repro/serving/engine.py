@@ -1,0 +1,453 @@
+"""Microbatched query engine with a lock-striped LRU result cache.
+
+The serving hot loop: callers (HTTP handler threads, in-process clients)
+submit ``(source, k)`` queries; a single scorer thread coalesces up to
+``batch_size`` pending queries — or whatever arrived within
+``max_delay_ms`` — and answers them with **one** batched
+:meth:`~repro.serving.index.AlignmentIndex.top_k` call.  Batching costs
+the first query at most ``max_delay_ms`` of latency and buys every
+concurrent query the GEMM efficiency of a multi-row matmul.
+
+Batched answers are exact: the index's canonical ordering (descending
+score, ascending target id) makes every top-k a prefix of the batch's
+top-``max(k)``, and its per-block scoring kernel is batch-size
+invariant, so an answer never depends on which queries it shared a batch
+with.
+
+Results are cached in a bounded LRU keyed by
+``(artifact fingerprint, source, k)``.  The cache is **lock-striped**:
+keys hash to one of ``cache_stripes`` independently-locked LRU segments,
+so concurrent readers on different stripes never contend on a single
+global lock.
+
+Rows whose every score was sanitized to ``-inf`` (broken embeddings —
+see :func:`~repro.core.streaming.streaming_top_k`) are surfaced as
+``aligned=False`` with the non-finite entries dropped, never as a bogus
+"best" target.
+
+Everything is observable under ``serving.*`` in the metrics registry:
+query counters and latency timers, batch-size gauges, cache
+hits/misses/evictions, and unaligned-row counts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..observability import MetricsRegistry, get_registry
+from .index import AlignmentIndex
+
+__all__ = ["QueryResult", "StripedLRUCache", "QueryEngine"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered alignment query.
+
+    ``targets``/``scores`` hold at most ``k`` entries in canonical order;
+    entries whose score was sanitized to ``-inf`` are dropped, and
+    ``aligned`` is ``False`` when nothing finite remained.
+    """
+
+    source: int
+    k: int
+    targets: Tuple[int, ...]
+    scores: Tuple[float, ...]
+    aligned: bool
+    cached: bool
+    latency_s: float
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-ready dict (the HTTP response body for this query)."""
+        return {
+            "source": self.source,
+            "k": self.k,
+            "targets": list(self.targets),
+            "scores": list(self.scores),
+            "aligned": self.aligned,
+            "cached": self.cached,
+            "latency_ms": self.latency_s * 1e3,
+        }
+
+
+class StripedLRUCache:
+    """A bounded LRU cache split into independently-locked stripes.
+
+    Each key hashes to one stripe (an ``OrderedDict`` + ``Lock``); the
+    per-stripe capacity is ``ceil(capacity / stripes)``, so total
+    capacity is within one stripe of the requested bound while lookups
+    on different stripes proceed fully in parallel.  ``capacity=0``
+    disables caching.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        stripes: int = 8,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if stripes < 1:
+            raise ValueError(f"stripes must be >= 1, got {stripes}")
+        self.capacity = int(capacity)
+        stripes = min(stripes, capacity) if capacity else 1
+        self._per_stripe = -(-capacity // stripes) if capacity else 0
+        self._stripes = [
+            (threading.Lock(), OrderedDict()) for _ in range(stripes)
+        ]
+        self.registry = registry
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def _stripe(self, key) -> Tuple[threading.Lock, OrderedDict]:
+        return self._stripes[hash(key) % len(self._stripes)]
+
+    def get(self, key):
+        """Cached value or ``None``; counts ``serving.cache.{hits,misses}``."""
+        if not self.capacity:
+            return None
+        lock, entries = self._stripe(key)
+        with lock:
+            value = entries.get(key)
+            if value is not None:
+                entries.move_to_end(key)
+        registry = self._registry()
+        if value is None:
+            registry.increment("serving.cache.misses")
+        else:
+            registry.increment("serving.cache.hits")
+        return value
+
+    def put(self, key, value) -> None:
+        if not self.capacity:
+            return
+        lock, entries = self._stripe(key)
+        evicted = 0
+        with lock:
+            entries[key] = value
+            entries.move_to_end(key)
+            while len(entries) > self._per_stripe:
+                entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self._registry().increment("serving.cache.evictions", evicted)
+
+    def __len__(self) -> int:
+        return sum(len(entries) for _, entries in self._stripes)
+
+    def clear(self) -> None:
+        for lock, entries in self._stripes:
+            with lock:
+                entries.clear()
+
+
+class _Pending:
+    """One enqueued query waiting for the scorer thread."""
+
+    __slots__ = ("source", "k", "event", "value", "error", "enqueued")
+
+    def __init__(self, source: int, k: int) -> None:
+        self.source = source
+        self.k = k
+        self.event = threading.Event()
+        self.value: Optional[Tuple] = None
+        self.error: Optional[BaseException] = None
+        self.enqueued = time.monotonic()
+
+
+class QueryEngine:
+    """Thread-safe, microbatched, cached top-k alignment queries.
+
+    Usable as a context manager; :meth:`close` drains the scorer thread
+    and fails any still-pending queries loudly.
+    """
+
+    def __init__(
+        self,
+        index: AlignmentIndex,
+        fingerprint: str = "",
+        batch_size: int = 32,
+        max_delay_ms: float = 2.0,
+        cache_size: int = 4096,
+        cache_stripes: int = 8,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        self.index = index
+        self.fingerprint = fingerprint
+        self.batch_size = int(batch_size)
+        self.max_delay_s = float(max_delay_ms) / 1e3
+        self.registry = registry
+        self.cache = StripedLRUCache(
+            cache_size, stripes=cache_stripes, registry=registry
+        )
+        self._cond = threading.Condition()
+        self._pending: deque = deque()
+        self._worker: Optional[threading.Thread] = None
+        self._closed = False
+
+    @classmethod
+    def from_artifact(cls, artifact, **kwargs) -> "QueryEngine":
+        """Engine over a fresh index for ``artifact`` (fingerprint wired)."""
+        index_kwargs = {
+            key: kwargs.pop(key)
+            for key in ("target_block_size", "prune")
+            if key in kwargs
+        }
+        index_kwargs["registry"] = kwargs.get("registry")
+        index = AlignmentIndex.from_artifact(artifact, **index_kwargs)
+        kwargs.setdefault("fingerprint", artifact.fingerprint)
+        return cls(index, **kwargs)
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryEngine":
+        """Start the scorer thread (idempotent; queries auto-start it)."""
+        with self._cond:
+            self._ensure_worker_locked()
+        return self
+
+    def _ensure_worker_locked(self) -> None:
+        if self._closed:
+            raise RuntimeError("QueryEngine is closed")
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="repro-serving-scorer",
+                daemon=True,
+            )
+            self._worker.start()
+
+    def close(self) -> None:
+        """Stop the scorer; pending queries fail with ``RuntimeError``."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            while self._pending:
+                item = self._pending.popleft()
+                item.error = RuntimeError(
+                    "QueryEngine closed while the query was pending"
+                )
+                item.event.set()
+            self._cond.notify_all()
+            worker = self._worker
+        if worker is not None:
+            worker.join(timeout=5.0)
+
+    def __enter__(self) -> "QueryEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _validate(self, source, k) -> Tuple[int, int]:
+        if self._closed:
+            # Checked before the cache too: a closed engine must not keep
+            # half-working (hits succeed, misses hang-then-fail).
+            raise RuntimeError("QueryEngine is closed")
+        source = int(source)
+        k = int(k)
+        if not 0 <= source < self.index.n_source:
+            raise IndexError(
+                f"source node {source} out of range "
+                f"[0, {self.index.n_source})"
+            )
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return source, min(k, self.index.n_target)
+
+    def _finish(
+        self, source: int, k: int, value: Tuple, cached: bool, started: float
+    ) -> QueryResult:
+        registry = self._registry()
+        latency = time.perf_counter() - started
+        registry.increment("serving.queries")
+        registry.record_time("serving.query_latency", latency)
+        if cached:
+            registry.record_time("serving.query_latency_cached", latency)
+        else:
+            registry.record_time("serving.query_latency_uncached", latency)
+        targets, scores, aligned = value
+        if not aligned:
+            registry.increment("serving.unaligned")
+        return QueryResult(
+            source=source, k=k, targets=targets, scores=scores,
+            aligned=aligned, cached=cached, latency_s=latency,
+        )
+
+    def query(self, source: int, k: int = 1) -> QueryResult:
+        """Answer one query, going through the cache and the microbatcher."""
+        started = time.perf_counter()
+        source, k = self._validate(source, k)
+        key = (self.fingerprint, source, k)
+        value = self.cache.get(key)
+        if value is not None:
+            return self._finish(source, k, value, True, started)
+        item = _Pending(source, k)
+        with self._cond:
+            self._ensure_worker_locked()
+            self._pending.append(item)
+            self._cond.notify_all()
+        item.event.wait()
+        if item.error is not None:
+            raise item.error
+        self.cache.put(key, item.value)
+        return self._finish(source, k, item.value, False, started)
+
+    def query_many(
+        self, queries: Sequence[Tuple[int, int]]
+    ) -> List[QueryResult]:
+        """Answer a caller-assembled batch directly (no coalescing delay).
+
+        ``queries`` is a sequence of ``(source, k)`` pairs; cache hits are
+        served immediately and the misses scored in ``batch_size`` chunks.
+        """
+        started = time.perf_counter()
+        normalized = [self._validate(source, k) for source, k in queries]
+        results: List[Optional[QueryResult]] = [None] * len(normalized)
+        misses: List[Tuple[int, int, int]] = []
+        for position, (source, k) in enumerate(normalized):
+            value = self.cache.get((self.fingerprint, source, k))
+            if value is not None:
+                results[position] = self._finish(
+                    source, k, value, True, started
+                )
+            else:
+                misses.append((position, source, k))
+        for chunk_start in range(0, len(misses), self.batch_size):
+            chunk = misses[chunk_start:chunk_start + self.batch_size]
+            values = self._score_batch([(s, k) for _, s, k in chunk])
+            for (position, source, k), value in zip(chunk, values):
+                self.cache.put((self.fingerprint, source, k), value)
+                results[position] = self._finish(
+                    source, k, value, False, started
+                )
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _score_batch(
+        self, batch: Sequence[Tuple[int, int]]
+    ) -> List[Tuple]:
+        """Score ``(source, k)`` pairs as one index call; returns values.
+
+        A value is the cacheable ``(targets, scores, aligned)`` triple.
+        Each query's answer is the first ``k`` canonical entries of the
+        batch-wide top-``max(k)``, which equals its standalone answer.
+        """
+        registry = self._registry()
+        k_max = max(k for _, k in batch)
+        sources = np.array([source for source, _ in batch], dtype=np.int64)
+        targets, scores = self.index.top_k(sources, k_max)
+        registry.increment("serving.batches")
+        registry.observe("serving.batch.size", len(batch))
+        values: List[Tuple] = []
+        for row, (_, k) in enumerate(batch):
+            row_targets = targets[row, :k]
+            row_scores = scores[row, :k]
+            finite = np.isfinite(row_scores)
+            values.append(
+                (
+                    tuple(int(t) for t in row_targets[finite]),
+                    tuple(float(s) for s in row_scores[finite]),
+                    bool(finite.any()),
+                )
+            )
+        return values
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if self._closed:
+                    return
+                # Coalescing window: wait for a full batch, but never
+                # longer than max_delay past the oldest query's arrival.
+                deadline = self._pending[0].enqueued + self.max_delay_s
+                while (
+                    len(self._pending) < self.batch_size
+                    and not self._closed
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                if self._closed:
+                    return
+                batch = [
+                    self._pending.popleft()
+                    for _ in range(min(self.batch_size, len(self._pending)))
+                ]
+            if not batch:
+                continue
+            try:
+                values = self._score_batch(
+                    [(item.source, item.k) for item in batch]
+                )
+                for item, value in zip(batch, values):
+                    item.value = value
+            except Exception as error:
+                # Deliver the failure to every waiting caller (each
+                # re-raises); the engine itself stays alive.
+                self._registry().increment("serving.errors")
+                for item in batch:
+                    item.error = error
+            finally:
+                for item in batch:
+                    item.event.set()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Operational snapshot (the ``/stats`` payload core)."""
+        registry = self._registry()
+        snapshot = registry.snapshot("serving")
+
+        def counter(name: str) -> int:
+            stats = snapshot.get(name)
+            return int(stats["value"]) if stats else 0
+
+        hits = counter("serving.cache.hits")
+        misses = counter("serving.cache.misses")
+        lookups = hits + misses
+        latency = snapshot.get("serving.query_latency", {})
+        return {
+            "fingerprint": self.fingerprint,
+            "n_source": self.index.n_source,
+            "n_target": self.index.n_target,
+            "queries": counter("serving.queries"),
+            "batches": counter("serving.batches"),
+            "cache": {
+                "size": len(self.cache),
+                "capacity": self.cache.capacity,
+                "hits": hits,
+                "misses": misses,
+                "evictions": counter("serving.cache.evictions"),
+                "hit_rate": hits / lookups if lookups else 0.0,
+            },
+            "unaligned": counter("serving.unaligned"),
+            "latency_ms": {
+                "mean": latency.get("mean", 0.0) * 1e3,
+                "max": latency.get("max", 0.0) * 1e3,
+                "count": latency.get("count", 0),
+            },
+        }

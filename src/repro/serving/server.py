@@ -1,0 +1,252 @@
+"""Stdlib-only JSON HTTP API over a :class:`QueryEngine`.
+
+Routes
+------
+``GET /healthz``
+    Liveness + artifact identity: ``{"status": "ok", "fingerprint": ...}``.
+``GET /stats``
+    Engine operational snapshot plus the ``serving.*`` metrics.
+``GET /query?source=<id>&k=<k>``
+    One alignment query.
+``POST /query``
+    Batch: ``{"queries": [{"source": 3, "k": 5}, ...]}`` →
+    ``{"results": [...]}``; the whole batch goes through
+    :meth:`QueryEngine.query_many` (one matmul per ``batch_size`` chunk).
+
+Error taxonomy → HTTP status
+----------------------------
+Malformed requests (missing/non-integer params, bad JSON, invalid ``k``)
+map to **400**; unknown paths and out-of-range source ids to **404**; a
+closed engine to **503**; anything unexpected to **500**.  Every error
+body is ``{"error": <message>, "type": <exception class>}`` so clients
+can surface the library's actionable messages unchanged.
+
+The server is a ``ThreadingHTTPServer`` (one handler thread per
+connection — exactly the concurrent-caller shape the engine's
+microbatcher coalesces) wrapped in :class:`AlignmentServer` for
+graceful startup/shutdown and context-manager use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..observability import MetricsRegistry, get_registry
+from ..resilience import ArtifactValidationError
+from .engine import QueryEngine
+
+__all__ = ["AlignmentServer", "status_for_error"]
+
+
+def status_for_error(error: BaseException) -> int:
+    """Map a library exception to its HTTP status code."""
+    if isinstance(error, (ArtifactValidationError, ValueError)):
+        return 400
+    if isinstance(error, (IndexError, KeyError)):
+        return 404
+    if isinstance(error, RuntimeError):
+        return 503
+    return 500
+
+
+class _BadRequest(ValueError):
+    """A malformed HTTP request (missing/unparseable parameter or body)."""
+
+
+class _UnknownRoute(KeyError):
+    """No handler for the requested path."""
+
+    def __str__(self) -> str:  # KeyError repr-quotes its message
+        return self.args[0] if self.args else ""
+
+
+def _parse_int(params: Dict, name: str, default: Optional[int]) -> int:
+    values = params.get(name)
+    if not values:
+        if default is None:
+            raise _BadRequest(f"missing required query parameter {name!r}")
+        return default
+    try:
+        return int(values[0])
+    except ValueError:
+        raise _BadRequest(
+            f"query parameter {name!r} must be an integer, got {values[0]!r}"
+        ) from None
+
+
+class _ServingHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serving/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def engine(self) -> QueryEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.server.registry  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        # Route access logs to registry hooks instead of stderr noise.
+        self.registry.emit(
+            "serving.http.log", {"message": format % args}
+        )
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, handler) -> None:
+        self.registry.increment("serving.http.requests")
+        try:
+            status, payload = handler()
+        except Exception as error:
+            status = status_for_error(error)
+            payload = {"error": str(error), "type": type(error).__name__}
+            self.registry.increment("serving.http.errors")
+            self.registry.emit(
+                "serving.http.error",
+                {"status": status, "error": str(error)},
+            )
+        self._send(status, payload)
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch(self._handle_post)
+
+    def _handle_get(self) -> Tuple[int, Dict[str, Any]]:
+        url = urlsplit(self.path)
+        if url.path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "fingerprint": self.engine.fingerprint,
+                "n_source": self.engine.index.n_source,
+                "n_target": self.engine.index.n_target,
+            }
+        if url.path == "/stats":
+            return 200, {
+                "engine": self.engine.stats(),
+                "metrics": self.registry.snapshot("serving"),
+            }
+        if url.path == "/query":
+            params = parse_qs(url.query)
+            source = _parse_int(params, "source", None)
+            k = _parse_int(params, "k", 1)
+            return 200, self.engine.query(source, k).payload()
+        raise _UnknownRoute(
+            f"unknown path {url.path!r}; routes: /healthz, /stats, /query"
+        )
+
+    def _handle_post(self) -> Tuple[int, Dict[str, Any]]:
+        url = urlsplit(self.path)
+        if url.path != "/query":
+            raise _UnknownRoute(
+                f"unknown POST path {url.path!r}; only /query accepts POST"
+            )
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise _BadRequest(f"request body is not valid JSON: {error}")
+        queries = body.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise _BadRequest(
+                'POST /query needs {"queries": [{"source": ..., "k": ...}]}'
+            )
+        pairs = []
+        for position, entry in enumerate(queries):
+            if not isinstance(entry, dict) or "source" not in entry:
+                raise _BadRequest(
+                    f"queries[{position}] must be an object with a "
+                    '"source" field'
+                )
+            pairs.append((entry["source"], entry.get("k", 1)))
+        results = self.engine.query_many(pairs)
+        return 200, {"results": [result.payload() for result in results]}
+
+
+class AlignmentServer:
+    """A :class:`ThreadingHTTPServer` serving one engine, gracefully.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`).  :meth:`shutdown` stops accepting, joins the serve
+    thread, closes the listening socket, and closes the engine — safe to
+    call twice.  Context-manager use starts on enter and shuts down on
+    exit.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.requested_port = port
+        self.registry = registry if registry is not None else get_registry()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AlignmentServer":
+        if self._httpd is not None:
+            return self
+        self.engine.start()
+        httpd = ThreadingHTTPServer(
+            (self.host, self.requested_port), _ServingHandler
+        )
+        httpd.daemon_threads = True
+        httpd.engine = self.engine  # type: ignore[attr-defined]
+        httpd.registry = self.registry  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serving-http",
+            daemon=True,
+        )
+        self._thread.start()
+        self.registry.emit(
+            "serving.http.started", {"host": self.host, "port": self.port}
+        )
+        return self
+
+    def shutdown(self) -> None:
+        httpd, thread = self._httpd, self._thread
+        self._httpd, self._thread = None, None
+        if httpd is not None:
+            httpd.shutdown()
+            if thread is not None:
+                thread.join(timeout=5.0)
+            httpd.server_close()
+        self.engine.close()
+
+    def __enter__(self) -> "AlignmentServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

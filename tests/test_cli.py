@@ -124,3 +124,61 @@ class TestCompare:
         open(os.path.join(directory, "groundtruth.txt"), "w").close()
         with pytest.raises(SystemExit):
             main(["compare", "--pair", directory])
+
+
+class TestServing:
+    @pytest.fixture
+    def artifact_dir(self, pair_dir, tmp_path, capsys):
+        out = str(tmp_path / "artifact")
+        code = main(["export-artifact", "--pair", pair_dir, "--out", out,
+                     "--epochs", "5", "--dim", "8", "--seed", "3"])
+        assert code == 0
+        capsys.readouterr()
+        return out
+
+    def test_export_prints_summary(self, pair_dir, tmp_path, capsys):
+        out = str(tmp_path / "artifact")
+        bench = str(tmp_path / "BENCH_export.json")
+        code = main(["export-artifact", "--pair", pair_dir, "--out", out,
+                     "--epochs", "5", "--dim", "8", "--metrics-out", bench])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "repro.artifact/v1" in output
+        assert "40 source" in output
+        from repro.observability import load_bench_json
+        assert load_bench_json(bench)["run"]["command"] == "export-artifact"
+
+    def test_export_from_checkpoint(self, pair_dir, tmp_path, capsys):
+        model_path = str(tmp_path / "model.npz")
+        assert main(["align", "--pair", pair_dir, "--epochs", "5",
+                     "--dim", "8", "--save-model", model_path]) == 0
+        out = str(tmp_path / "artifact")
+        assert main(["export-artifact", "--pair", pair_dir, "--out", out,
+                     "--load-model", model_path]) == 0
+        assert "loaded from" in capsys.readouterr().out
+
+    def test_query_in_process(self, artifact_dir, capsys):
+        import json as json_module
+
+        code = main(["query", "--artifact", artifact_dir,
+                     "--source", "0", "--source", "7", "--k", "3"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        payloads = [json_module.loads(line) for line in lines]
+        assert [p["source"] for p in payloads] == [0, 7]
+        assert all(len(p["targets"]) == 3 for p in payloads)
+        assert all(p["aligned"] for p in payloads)
+
+    def test_query_needs_exactly_one_transport(self, artifact_dir):
+        with pytest.raises(SystemExit):
+            main(["query", "--artifact", artifact_dir,
+                  "--url", "http://127.0.0.1:1", "--source", "0"])
+        with pytest.raises(SystemExit):
+            main(["query", "--source", "0"])
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--artifact", "/x"])
+        assert args.port == 8571
+        assert args.block_size == 512
+        assert not args.no_prune

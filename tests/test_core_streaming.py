@@ -165,3 +165,32 @@ class TestStreamingStableNodes:
 
         with pytest.raises(ValueError):
             streaming_find_stable_nodes([], [], [], threshold=0.5)
+
+
+class TestSanitizedRows:
+    """Documented -inf contract: a fully-sanitized row has -inf scores and
+    meaningless target ids (consumers must treat it as unalignable)."""
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_fully_sanitized_row_returns_neg_inf(self, trained):
+        _, _, _, source, target, weights = trained
+        poisoned = [layer.copy() for layer in source]
+        poisoned[0][4] = np.nan
+        targets, scores = streaming_top_k(poisoned, target, weights, k=3,
+                                          block_size=16)
+        assert np.all(np.isneginf(scores[4]))
+        healthy = np.delete(np.arange(scores.shape[0]), 4)
+        assert np.isfinite(scores[healthy]).all()
+        # ids for the poisoned row are within range but carry no meaning
+        assert np.all((0 <= targets[4]) & (targets[4] < target[0].shape[0]))
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_partially_sanitized_row_keeps_finite_winners(self, trained):
+        _, _, _, source, target, weights = trained
+        poisoned = [layer.copy() for layer in target]
+        poisoned[0][7] = np.inf
+        targets, scores = streaming_top_k(source, poisoned, weights, k=1,
+                                          block_size=16)
+        # the poisoned target is -inf for everyone, so it can never win
+        assert 7 not in targets
+        assert np.isfinite(scores).all()

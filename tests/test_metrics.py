@@ -165,3 +165,33 @@ class TestMatching:
         greedy_total = sum(scores[s, t] for s, t in greedy_bipartite_matching(scores).items())
         optimal_total = sum(scores[s, t] for s, t in hungarian_matching(scores).items())
         assert optimal_total >= greedy_total - 1e-12
+
+
+class TestMatchingValidation:
+    """Degenerate score matrices raise a ValueError naming the dimension."""
+
+    MATCHERS = [top1_matching, greedy_bipartite_matching, hungarian_matching]
+
+    @pytest.mark.parametrize("matcher", MATCHERS)
+    def test_zero_source_rows(self, matcher):
+        with pytest.raises(ValueError, match="0 source rows"):
+            matcher(np.empty((0, 5)))
+
+    @pytest.mark.parametrize("matcher", MATCHERS)
+    def test_zero_target_columns(self, matcher):
+        with pytest.raises(ValueError, match="0 target columns"):
+            matcher(np.empty((5, 0)))
+
+    @pytest.mark.parametrize("matcher", MATCHERS)
+    def test_non_2d(self, matcher):
+        with pytest.raises(ValueError, match="2-D"):
+            matcher(np.zeros(5))
+
+    @pytest.mark.parametrize("matcher", MATCHERS)
+    def test_message_names_the_caller(self, matcher):
+        with pytest.raises(ValueError, match=matcher.__name__):
+            matcher(np.empty((0, 0)))
+
+    @pytest.mark.parametrize("matcher", MATCHERS)
+    def test_single_cell_still_works(self, matcher):
+        assert matcher(np.array([[1.0]])) == {0: 0}

@@ -1,0 +1,228 @@
+"""Tests for the versioned, memory-mapped alignment artifact format."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.resilience import ArtifactValidationError
+from repro.serving import (
+    ARTIFACT_SCHEMA,
+    config_fingerprint,
+    export_artifact,
+    load_artifact,
+)
+
+
+def make_embeddings(rng, n_source=25, n_target=31, dims=(8, 4)):
+    source = [rng.standard_normal((n_source, d)) for d in dims]
+    target = [rng.standard_normal((n_target, d)) for d in dims]
+    weights = [0.6, 0.4]
+    return source, target, weights
+
+
+@pytest.fixture
+def exported(tmp_path, rng):
+    source, target, weights = make_embeddings(rng)
+    path = str(tmp_path / "artifact")
+    export_artifact(path, source, target, weights, pair_name="unit")
+    return path, source, target, weights
+
+
+class TestExport:
+    def test_roundtrip_values(self, exported):
+        path, source, target, weights = exported
+        artifact = load_artifact(path)
+        assert artifact.layer_weights == weights
+        assert artifact.num_layers == 2
+        for expected, loaded in zip(source, artifact.source_embeddings):
+            np.testing.assert_array_equal(expected, loaded)
+        for expected, loaded in zip(target, artifact.target_embeddings):
+            np.testing.assert_array_equal(expected, loaded)
+
+    def test_loads_memory_mapped(self, exported):
+        path, *_ = exported
+        artifact = load_artifact(path, mmap=True)
+        assert isinstance(artifact.source_embeddings[0], np.memmap)
+        in_memory = load_artifact(path, mmap=False)
+        assert not isinstance(in_memory.source_embeddings[0], np.memmap)
+
+    def test_manifest_contents(self, exported):
+        path, source, target, _ = exported
+        with open(os.path.join(path, "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["schema"] == ARTIFACT_SCHEMA
+        assert manifest["num_layers"] == 2
+        assert manifest["stats"]["pair"] == "unit"
+        assert manifest["stats"]["n_source"] == source[0].shape[0]
+        assert manifest["stats"]["n_target"] == target[0].shape[0]
+        assert set(manifest["arrays"]) == {
+            "source_layer_0", "source_layer_1",
+            "target_layer_0", "target_layer_1",
+        }
+        for entry in manifest["arrays"].values():
+            assert len(entry["sha256"]) == 64
+
+    def test_stats_and_repr(self, exported):
+        path, source, target, _ = exported
+        artifact = load_artifact(path)
+        assert artifact.n_source == source[0].shape[0]
+        assert artifact.n_target == target[0].shape[0]
+        assert artifact.fingerprint in repr(artifact)
+
+    def test_config_stored(self, tmp_path, rng):
+        from repro.core import GAlignConfig
+
+        source, target, weights = make_embeddings(rng)
+        path = str(tmp_path / "with_config")
+        export_artifact(path, source, target, weights,
+                        config=GAlignConfig(epochs=7, embedding_dim=8))
+        artifact = load_artifact(path)
+        assert artifact.manifest["config"]["epochs"] == 7
+
+    def test_rejects_non_2d(self, tmp_path, rng):
+        source, target, weights = make_embeddings(rng)
+        source[1] = source[1].ravel()
+        with pytest.raises(ArtifactValidationError, match="2-D"):
+            export_artifact(str(tmp_path / "x"), source, target, weights)
+
+    def test_rejects_ragged_rows(self, tmp_path, rng):
+        source, target, weights = make_embeddings(rng)
+        source[1] = source[1][:-1]
+        with pytest.raises(ArtifactValidationError, match="rows"):
+            export_artifact(str(tmp_path / "x"), source, target, weights)
+
+    def test_rejects_non_finite(self, tmp_path, rng):
+        source, target, weights = make_embeddings(rng)
+        target[0][3, 1] = np.nan
+        with pytest.raises(ArtifactValidationError, match="non-finite"):
+            export_artifact(str(tmp_path / "x"), source, target, weights)
+
+    def test_rejects_weight_mismatch(self, tmp_path, rng):
+        source, target, _ = make_embeddings(rng)
+        with pytest.raises(ArtifactValidationError, match="layer_weights"):
+            export_artifact(str(tmp_path / "x"), source, target, [1.0])
+
+    def test_rejects_layer_count_mismatch(self, tmp_path, rng):
+        source, target, weights = make_embeddings(rng)
+        with pytest.raises(ArtifactValidationError, match="layer count"):
+            export_artifact(str(tmp_path / "x"), source, target[:1], weights)
+
+    def test_failures_counted(self, tmp_path, rng):
+        source, target, weights = make_embeddings(rng)
+        registry = MetricsRegistry()
+        with pytest.raises(ArtifactValidationError):
+            export_artifact(str(tmp_path / "x"), [], target, weights,
+                            registry=registry)
+        counter = registry.get("resilience.artifact_validation_failures")
+        assert counter is not None and counter.value == 1
+
+
+class TestFingerprint:
+    def test_sensitive_to_content(self, tmp_path, rng):
+        source, target, weights = make_embeddings(rng)
+        a = str(tmp_path / "a")
+        b = str(tmp_path / "b")
+        export_artifact(a, source, target, weights)
+        target[0] = target[0] + 1e-9
+        export_artifact(b, source, target, weights)
+        assert load_artifact(a).fingerprint != load_artifact(b).fingerprint
+
+    def test_sensitive_to_weights(self, tmp_path, rng):
+        source, target, weights = make_embeddings(rng)
+        a = str(tmp_path / "a")
+        b = str(tmp_path / "b")
+        export_artifact(a, source, target, weights)
+        export_artifact(b, source, target, weights[::-1])
+        assert load_artifact(a).fingerprint != load_artifact(b).fingerprint
+
+    def test_deterministic(self):
+        kwargs = dict(
+            config_fields={"epochs": 3},
+            layer_weights=[0.5, 0.5],
+            shapes={"source_layer_0": (2, 3)},
+            digests={"source_layer_0": "ab"},
+        )
+        assert config_fingerprint(**kwargs) == config_fingerprint(**kwargs)
+        assert len(config_fingerprint(**kwargs)) == 16
+
+
+class TestLoadValidation:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ArtifactValidationError, match="not a directory"):
+            load_artifact(str(tmp_path / "nope"))
+
+    def test_missing_manifest(self, tmp_path):
+        path = tmp_path / "empty"
+        path.mkdir()
+        with pytest.raises(ArtifactValidationError, match="manifest.json"):
+            load_artifact(str(path))
+
+    def test_invalid_json(self, exported):
+        path, *_ = exported
+        with open(os.path.join(path, "manifest.json"), "w") as handle:
+            handle.write("{ not json")
+        with pytest.raises(ArtifactValidationError, match="not valid JSON"):
+            load_artifact(path)
+
+    def test_wrong_schema(self, exported):
+        path, *_ = exported
+        self._edit_manifest(path, schema="repro.artifact/v999")
+        with pytest.raises(ArtifactValidationError, match="schema"):
+            load_artifact(path)
+
+    def test_missing_array_file(self, exported):
+        path, *_ = exported
+        os.remove(os.path.join(path, "target_layer_1.npy"))
+        with pytest.raises(ArtifactValidationError, match="missing"):
+            load_artifact(path)
+
+    def test_shape_tamper_detected(self, exported):
+        path, *_ = exported
+        np.save(os.path.join(path, "source_layer_0.npy"), np.zeros((2, 2)))
+        with pytest.raises(ArtifactValidationError, match="truncated or swapped"):
+            load_artifact(path)
+
+    def test_weight_count_tamper_detected(self, exported):
+        path, *_ = exported
+        self._edit_manifest(path, layer_weights=[1.0])
+        with pytest.raises(ArtifactValidationError, match="layer_weights"):
+            load_artifact(path)
+
+    def test_non_finite_scan(self, exported):
+        path, source, *_ = exported
+        poisoned = source[0].copy()
+        poisoned[0, 0] = np.inf
+        np.save(os.path.join(path, "source_layer_0.npy"), poisoned)
+        with pytest.raises(ArtifactValidationError, match="non-finite"):
+            load_artifact(path, check_finite=True)
+        # the scan is optional; shape still matches so this load succeeds
+        load_artifact(path, check_finite=False)
+
+    def test_hash_check_detects_modification(self, exported):
+        path, source, *_ = exported
+        np.save(os.path.join(path, "source_layer_0.npy"),
+                source[0] + 1.0)
+        load_artifact(path, check_hashes=False)
+        with pytest.raises(ArtifactValidationError, match="content hash"):
+            load_artifact(path, check_hashes=True)
+
+    def test_hash_check_passes_untouched(self, exported):
+        path, *_ = exported
+        load_artifact(path, check_hashes=True)
+
+    def test_error_is_a_value_error(self, tmp_path):
+        # status_for_error and generic callers rely on the subclassing.
+        with pytest.raises(ValueError):
+            load_artifact(str(tmp_path / "nope"))
+
+    @staticmethod
+    def _edit_manifest(path, **updates):
+        manifest_path = os.path.join(path, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest.update(updates)
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)

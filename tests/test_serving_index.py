@@ -1,0 +1,265 @@
+"""Tests for the pruned exact top-k AlignmentIndex.
+
+The load-bearing property (the serving layer's correctness contract):
+for a fixed index, **pruned top-k is bit-identical to dense top-k** —
+targets AND scores — for every seed, block size, and k, including exact
+score ties and k == n_target.  Batch composition must not matter either.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import streaming_top_k
+from repro.observability import MetricsRegistry
+from repro.serving import AlignmentIndex, export_artifact, load_artifact
+
+WEIGHTS = [0.7, 0.3]
+
+
+def make_embeddings(seed, n_source=40, n_target=157, dims=(12, 6)):
+    rng = np.random.default_rng(seed)
+    source = [rng.standard_normal((n_source, d)) for d in dims]
+    target = [rng.standard_normal((n_target, d)) for d in dims]
+    return source, target
+
+
+def tied_embeddings(seed, n_source=20, n_unique=23, copies=3, dims=(6, 4)):
+    """Targets with exact duplicate rows → exact score ties everywhere."""
+    rng = np.random.default_rng(seed)
+    source = [rng.standard_normal((n_source, d)) for d in dims]
+    unique = [rng.standard_normal((n_unique, d)) for d in dims]
+    target = [np.tile(u, (copies, 1)) for u in unique]
+    return source, target
+
+
+def canonical_reference(index, k):
+    """Dense argsort answer from the index's own full score rows."""
+    rows = index.score_rows(np.arange(index.n_source))
+    ids = np.arange(index.n_target)
+    targets = np.empty((rows.shape[0], k), dtype=np.int64)
+    scores = np.empty((rows.shape[0], k))
+    for row in range(rows.shape[0]):
+        order = np.lexsort((ids, -rows[row]))[:k]
+        targets[row] = order
+        scores[row] = rows[row, order]
+    return targets, scores
+
+
+class TestPrunedEqualsDense:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("block_size", [16, 37, 64, 157, 500])
+    def test_bit_identical_across_block_sizes(self, seed, block_size):
+        source, target = make_embeddings(seed)
+        index = AlignmentIndex(source, target, WEIGHTS,
+                               target_block_size=block_size)
+        batch = np.arange(index.n_source)
+        for k in (1, 3, 10, index.n_target):
+            pruned_t, pruned_s = index.top_k(batch, k=k, prune=True)
+            dense_t, dense_s = index.top_k(batch, k=k, prune=False)
+            np.testing.assert_array_equal(pruned_t, dense_t)
+            np.testing.assert_array_equal(pruned_s, dense_s)
+            ref_t, ref_s = canonical_reference(index, k)
+            np.testing.assert_array_equal(pruned_t, ref_t)
+            np.testing.assert_array_equal(pruned_s, ref_s)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    @pytest.mark.parametrize("block_size", [5, 23, 69])
+    def test_bit_identical_with_exact_ties(self, seed, block_size):
+        source, target = tied_embeddings(seed)
+        index = AlignmentIndex(source, target, WEIGHTS,
+                               target_block_size=block_size)
+        batch = np.arange(index.n_source)
+        for k in (1, 2, 7, index.n_target):
+            pruned_t, pruned_s = index.top_k(batch, k=k, prune=True)
+            ref_t, ref_s = canonical_reference(index, k)
+            np.testing.assert_array_equal(pruned_t, ref_t)
+            np.testing.assert_array_equal(pruned_s, ref_s)
+
+    def test_canonical_tie_order_is_ascending_id(self):
+        source, target = tied_embeddings(11, copies=3)
+        index = AlignmentIndex(source, target, WEIGHTS, target_block_size=10)
+        n_unique = target[0].shape[0] // 3
+        targets, scores = index.top_k(np.arange(index.n_source), k=3)
+        # Each target row is duplicated 3x, so the top-3 of every source
+        # is one duplicate class: equal scores, ids ascending.
+        for row in range(targets.shape[0]):
+            assert scores[row, 0] == scores[row, 1] == scores[row, 2]
+            assert set(np.diff(np.sort(targets[row]))) == {n_unique}
+            assert list(targets[row]) == sorted(targets[row])
+
+    def test_topk_is_prefix_of_topk_plus_one(self):
+        source, target = tied_embeddings(7)
+        index = AlignmentIndex(source, target, WEIGHTS, target_block_size=8)
+        batch = np.arange(index.n_source)
+        previous_t, previous_s = index.top_k(batch, k=1)
+        for k in range(2, 9):
+            targets, scores = index.top_k(batch, k=k)
+            np.testing.assert_array_equal(targets[:, :k - 1], previous_t)
+            np.testing.assert_array_equal(scores[:, :k - 1], previous_s)
+            previous_t, previous_s = targets, scores
+
+    def test_k_clamped_to_n_target(self):
+        source, target = make_embeddings(0, n_target=9)
+        index = AlignmentIndex(source, target, WEIGHTS, target_block_size=4)
+        targets, _ = index.top_k([0, 1], k=10_000)
+        assert targets.shape == (2, 9)
+        assert sorted(targets[0]) == list(range(9))
+
+
+class TestBatchInvariance:
+    def test_single_equals_batch_row(self):
+        source, target = make_embeddings(5)
+        index = AlignmentIndex(source, target, WEIGHTS, target_block_size=50)
+        batch_t, batch_s = index.top_k(np.arange(index.n_source), k=4)
+        for node in (0, 7, 39):
+            single_t, single_s = index.top_k(node, k=4)
+            np.testing.assert_array_equal(single_t[0], batch_t[node])
+            np.testing.assert_array_equal(single_s[0], batch_s[node])
+
+    def test_answer_independent_of_batch_composition(self):
+        source, target = make_embeddings(6)
+        index = AlignmentIndex(source, target, WEIGHTS, target_block_size=64)
+        full_t, full_s = index.top_k(np.arange(index.n_source), k=3)
+        for batch in ([4, 9], [9, 0, 17, 33, 4], list(range(10, 30))):
+            got_t, got_s = index.top_k(batch, k=3)
+            np.testing.assert_array_equal(got_t, full_t[batch])
+            np.testing.assert_array_equal(got_s, full_s[batch])
+
+
+class TestPruning:
+    def test_pruning_actually_skips_blocks(self):
+        # One block of huge-norm targets dominates every top-1: after it
+        # is scored, every other block's bound falls below the kth best.
+        rng = np.random.default_rng(8)
+        source = [rng.standard_normal((30, 10))]
+        target = [rng.standard_normal((400, 10))]
+        target[0][:40] *= 100.0
+        registry = MetricsRegistry()
+        index = AlignmentIndex(source, target, [1.0], target_block_size=40,
+                               registry=registry)
+        pruned_t, pruned_s = index.top_k(np.arange(30), k=1, prune=True)
+        assert registry.get("serving.index.blocks_pruned").value > 0
+        dense_t, dense_s = index.top_k(np.arange(30), k=1, prune=False)
+        np.testing.assert_array_equal(pruned_t, dense_t)
+        np.testing.assert_array_equal(pruned_s, dense_s)
+
+    def test_metrics_recorded(self):
+        source, target = make_embeddings(2)
+        registry = MetricsRegistry()
+        index = AlignmentIndex(source, target, WEIGHTS,
+                               target_block_size=32, registry=registry)
+        index.top_k([0, 1, 2], k=2)
+        names = registry.names("serving.index")
+        assert "serving.index.queries" in names
+        assert "serving.index.blocks_scored" in names
+        assert "serving.index.query_time" in names
+        assert registry.get("serving.index.queries").value == 3
+
+
+class TestStreamingParity:
+    def test_verify_against_streaming(self):
+        source, target = make_embeddings(9)
+        index = AlignmentIndex(source, target, WEIGHTS, target_block_size=41)
+        assert index.verify_against_streaming(k=5)
+        assert index.verify_against_streaming(k=1, block_size=13)
+
+    def test_full_width_index_is_bitwise_streaming(self):
+        # With a single full-width block the index runs the exact same
+        # GEMM as the streaming path → scores match bit for bit.
+        source, target = make_embeddings(10)
+        index = AlignmentIndex(source, target, WEIGHTS,
+                               target_block_size=target[0].shape[0])
+        assert index.verify_against_streaming(k=5, rtol=0.0, atol=0.0)
+        expected_t, expected_s = streaming_top_k(source, target, WEIGHTS, k=5)
+        got_t, got_s = index.top_k(np.arange(index.n_source), k=5)
+        np.testing.assert_array_equal(expected_s, got_s)
+        np.testing.assert_array_equal(expected_t, got_t)
+
+    def test_verify_raises_on_real_divergence(self):
+        source, target = make_embeddings(12)
+        index = AlignmentIndex(source, target, WEIGHTS, target_block_size=50)
+        original = index._score_block
+        index._score_block = (
+            lambda queries, start, stop, registry:
+            original(queries, start, stop, registry) + 1e-3
+        )
+        with pytest.raises(RuntimeError, match="diverge"):
+            index.verify_against_streaming(k=2)
+
+
+class TestSanitization:
+    def test_nan_source_row_becomes_all_neg_inf(self):
+        source, target = make_embeddings(1, n_source=10)
+        source[0][3] = np.nan
+        registry = MetricsRegistry()
+        index = AlignmentIndex(source, target, WEIGHTS,
+                               target_block_size=64, registry=registry)
+        _, scores = index.top_k(np.arange(10), k=2)
+        assert np.all(np.isneginf(scores[3]))
+        assert np.isfinite(scores[[0, 1, 2, 4]]).all()
+        assert registry.get("serving.index.sanitized_blocks").value > 0
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_nan_target_row_never_wins(self):
+        source, target = make_embeddings(2)
+        target[0][5] = np.inf
+        index = AlignmentIndex(source, target, WEIGHTS, target_block_size=64)
+        targets, scores = index.top_k(np.arange(index.n_source), k=1)
+        assert 5 not in targets
+        assert np.isfinite(scores).all()
+
+
+class TestArtifactBacked:
+    def test_mmap_index_matches_in_memory(self, tmp_path):
+        source, target = make_embeddings(3)
+        path = str(tmp_path / "artifact")
+        export_artifact(path, source, target, WEIGHTS)
+        artifact = load_artifact(path, mmap=True)
+        mmap_index = AlignmentIndex.from_artifact(artifact,
+                                                  target_block_size=48)
+        memory_index = AlignmentIndex(source, target, WEIGHTS,
+                                      target_block_size=48)
+        batch = np.arange(mmap_index.n_source)
+        mmap_t, mmap_s = mmap_index.top_k(batch, k=4)
+        mem_t, mem_s = memory_index.top_k(batch, k=4)
+        np.testing.assert_array_equal(mmap_t, mem_t)
+        np.testing.assert_array_equal(mmap_s, mem_s)
+
+
+class TestValidation:
+    def test_rejects_empty_layers(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            AlignmentIndex([], [], [])
+
+    def test_rejects_layer_count_mismatch(self):
+        source, target = make_embeddings(0)
+        with pytest.raises(ValueError, match="layer count"):
+            AlignmentIndex(source, target[:1], WEIGHTS)
+
+    def test_rejects_weight_mismatch(self):
+        source, target = make_embeddings(0)
+        with pytest.raises(ValueError, match="layer_weights"):
+            AlignmentIndex(source, target, [1.0])
+
+    def test_rejects_bad_block_size(self):
+        source, target = make_embeddings(0)
+        with pytest.raises(ValueError, match="target_block_size"):
+            AlignmentIndex(source, target, WEIGHTS, target_block_size=0)
+
+    def test_rejects_ragged_layers(self):
+        source, target = make_embeddings(0)
+        target[1] = target[1][:-2]
+        with pytest.raises(ValueError, match="rows"):
+            AlignmentIndex(source, target, WEIGHTS)
+
+    def test_rejects_bad_queries(self):
+        source, target = make_embeddings(0)
+        index = AlignmentIndex(source, target, WEIGHTS)
+        with pytest.raises(ValueError, match="non-empty"):
+            index.top_k([])
+        with pytest.raises(ValueError, match="non-empty"):
+            index.top_k([[0, 1]])
+        with pytest.raises(IndexError, match="out of range"):
+            index.top_k([0, 99])
+        with pytest.raises(ValueError, match="k must be"):
+            index.top_k([0], k=0)

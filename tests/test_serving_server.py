@@ -1,0 +1,250 @@
+"""End-to-end serving tests: trained pair → artifact → HTTP server.
+
+The acceptance path: export an artifact from a trained small pair, start
+the server in-process, answer hundreds of queries concurrently from
+several threads with zero errors, and require the answers — pruned,
+cached, microbatched, over HTTP — to be bit-identical to the offline
+:func:`repro.core.streaming.streaming_top_k` reference.
+
+The served index uses a single full-width target block, which shares the
+exact GEMM shape with the streaming path, so score equality is checked
+bitwise (see the :mod:`repro.serving.index` docstring for why narrower
+blocks may drift by a few ULPs).
+"""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import GAlignConfig, GAlignTrainer
+from repro.core.streaming import streaming_top_k
+from repro.graphs import generators, noisy_copy_pair
+from repro.observability import MetricsRegistry
+from repro.resilience import ArtifactValidationError
+from repro.serving import (
+    AlignmentServer,
+    HTTPClient,
+    InProcessClient,
+    QueryEngine,
+    ServingClientError,
+    export_artifact,
+    load_artifact,
+    status_for_error,
+)
+
+QUERY_K = 3
+
+
+@pytest.fixture(scope="module")
+def trained_artifact(tmp_path_factory):
+    rng = np.random.default_rng(20)
+    graph = generators.barabasi_albert(60, 2, rng, feature_dim=8,
+                                       feature_kind="degree")
+    pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+    config = GAlignConfig(epochs=12, embedding_dim=16)
+    model, _ = GAlignTrainer(config, rng).train(pair)
+    source = model.embed(pair.source)
+    target = model.embed(pair.target)
+    weights = config.resolved_layer_weights()
+    path = str(tmp_path_factory.mktemp("artifact") / "trained")
+    export_artifact(path, source, target, weights, config=config,
+                    pair_name="ba60")
+    expected = streaming_top_k(source, target, weights, k=QUERY_K)
+    return path, expected
+
+
+@pytest.fixture(scope="module")
+def server(trained_artifact):
+    path, _ = trained_artifact
+    registry = MetricsRegistry()
+    artifact = load_artifact(path, mmap=True, registry=registry)
+    engine = QueryEngine.from_artifact(
+        artifact,
+        target_block_size=artifact.n_target,  # full width → bitwise streaming
+        batch_size=16,
+        max_delay_ms=1.0,
+        cache_size=1024,
+        registry=registry,
+    )
+    with AlignmentServer(engine, registry=registry) as server:
+        yield server, registry, artifact
+
+
+class TestEndToEnd:
+    def test_concurrent_queries_bit_identical_to_streaming(self, server,
+                                                           trained_artifact):
+        server_obj, registry, artifact = server
+        _, (expected_targets, expected_scores) = trained_artifact
+        n_source = artifact.n_source
+        threads, per_thread = 4, 140  # 560 queries total, repeats included
+        payloads = [[] for _ in range(threads)]
+        errors = []
+
+        def worker(position):
+            client = HTTPClient(server_obj.url)
+            try:
+                for i in range(per_thread):
+                    source = (position * 17 + i) % n_source
+                    payloads[position].append(client.query(source, k=QUERY_K))
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        workers = [threading.Thread(target=worker, args=(i,))
+                   for i in range(threads)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+
+        assert not errors
+        answered = [p for thread in payloads for p in thread]
+        assert len(answered) == threads * per_thread
+        for payload in answered:
+            source = payload["source"]
+            assert payload["aligned"]
+            assert payload["targets"] == [int(t) for t in
+                                          expected_targets[source]]
+            assert payload["scores"] == [float(s) for s in
+                                         expected_scores[source]]
+        # repeats must have come from the cache, and the latency/hit-rate
+        # metrics must be live in the registry
+        assert any(payload["cached"] for payload in answered)
+        stats = server_obj.engine.stats()
+        assert stats["cache"]["hit_rate"] > 0.0
+        names = registry.names("serving")
+        assert "serving.query_latency" in names
+        assert "serving.query_latency_cached" in names
+        assert "serving.cache.hits" in names
+
+    def test_batch_post_matches_streaming(self, server, trained_artifact):
+        server_obj, _, artifact = server
+        _, (expected_targets, expected_scores) = trained_artifact
+        client = HTTPClient(server_obj.url)
+        sources = list(range(0, artifact.n_source, 7))
+        results = client.query_many([(source, QUERY_K) for source in sources])
+        assert len(results) == len(sources)
+        for source, payload in zip(sources, results):
+            assert payload["targets"] == [int(t) for t in
+                                          expected_targets[source]]
+            assert payload["scores"] == [float(s) for s in
+                                         expected_scores[source]]
+
+    def test_in_process_client_same_answers(self, server):
+        server_obj, _, _ = server
+        local = InProcessClient(server_obj.engine)
+        remote = HTTPClient(server_obj.url)
+        local_payload = local.query(5, k=QUERY_K)
+        remote_payload = remote.query(5, k=QUERY_K)
+        assert local_payload["targets"] == remote_payload["targets"]
+        assert local_payload["scores"] == remote_payload["scores"]
+        assert local.healthz()["fingerprint"] == \
+            remote.healthz()["fingerprint"]
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        server_obj, _, artifact = server
+        payload = HTTPClient(server_obj.url).healthz()
+        assert payload["status"] == "ok"
+        assert payload["fingerprint"] == artifact.fingerprint
+        assert payload["n_source"] == artifact.n_source
+        assert payload["n_target"] == artifact.n_target
+
+    def test_stats(self, server):
+        server_obj, _, _ = server
+        HTTPClient(server_obj.url).query(0)
+        payload = HTTPClient(server_obj.url).stats()
+        assert payload["engine"]["queries"] >= 1
+        assert "serving.queries" in payload["metrics"]
+
+    def test_query_defaults_k_to_one(self, server):
+        server_obj, _, _ = server
+        with urllib.request.urlopen(
+            f"{server_obj.url}/query?source=1", timeout=10
+        ) as response:
+            payload = json.loads(response.read())
+        assert payload["k"] == 1
+        assert len(payload["targets"]) == 1
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize("path,status", [
+        ("/query", 400),                 # missing source
+        ("/query?source=abc", 400),      # non-integer source
+        ("/query?source=1&k=0", 400),    # invalid k
+        ("/query?source=99999", 404),    # out-of-range source
+        ("/nope", 404),                  # unknown route
+    ])
+    def test_get_errors(self, server, path, status):
+        server_obj, _, _ = server
+        with pytest.raises(ServingClientError) as excinfo:
+            HTTPClient(server_obj.url)._request(path)
+        assert excinfo.value.status == status
+        assert excinfo.value.payload["error"]
+        assert excinfo.value.payload["type"]
+
+    def test_post_bad_json(self, server):
+        server_obj, _, _ = server
+        request = urllib.request.Request(
+            f"{server_obj.url}/query", data=b"{ not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_post_missing_queries(self, server):
+        server_obj, _, _ = server
+        with pytest.raises(ServingClientError) as excinfo:
+            HTTPClient(server_obj.url)._request("/query", body={"nope": 1})
+        assert excinfo.value.status == 400
+
+    def test_post_unknown_route(self, server):
+        server_obj, _, _ = server
+        with pytest.raises(ServingClientError) as excinfo:
+            HTTPClient(server_obj.url)._request("/healthz", body={"x": 1})
+        assert excinfo.value.status == 404
+
+    def test_status_mapping(self):
+        assert status_for_error(ArtifactValidationError("x")) == 400
+        assert status_for_error(ValueError("x")) == 400
+        assert status_for_error(IndexError("x")) == 404
+        assert status_for_error(KeyError("x")) == 404
+        assert status_for_error(RuntimeError("x")) == 503
+        assert status_for_error(OSError("x")) == 500
+
+    def test_errors_counted(self, server):
+        server_obj, registry, _ = server
+        before = registry.get("serving.http.errors")
+        before = before.value if before is not None else 0
+        with pytest.raises(ServingClientError):
+            HTTPClient(server_obj.url)._request("/nope")
+        assert registry.get("serving.http.errors").value == before + 1
+
+
+class TestShutdown:
+    def test_graceful_shutdown_closes_engine(self, trained_artifact):
+        path, _ = trained_artifact
+        registry = MetricsRegistry()
+        artifact = load_artifact(path, registry=registry)
+        engine = QueryEngine.from_artifact(artifact, registry=registry)
+        server = AlignmentServer(engine, registry=registry).start()
+        url = server.url
+        assert HTTPClient(url).healthz()["status"] == "ok"
+        server.shutdown()
+        server.shutdown()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.query(0)
+        with pytest.raises(ServingClientError, match="could not reach"):
+            HTTPClient(url, timeout=2.0).healthz()
+
+    def test_port_property_requires_start(self, trained_artifact):
+        path, _ = trained_artifact
+        engine = QueryEngine.from_artifact(load_artifact(path))
+        server = AlignmentServer(engine)
+        with pytest.raises(RuntimeError, match="not started"):
+            server.port
+        engine.close()
