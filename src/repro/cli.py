@@ -23,6 +23,10 @@ Subcommands
 ``query``
     Answer alignment queries from an artifact in-process, or against a
     running ``serve`` instance via ``--url``.
+``profile``
+    Run a self-contained synthetic train → refine → query workload under
+    the span tracer and per-op autograd profiler; emits a Chrome trace
+    (``--trace-out``), a span-tree flame summary, and the per-op table.
 
 Examples
 --------
@@ -68,7 +72,17 @@ from .graphs import (
 )
 from .graphs.io import load_alignment_pair, save_alignment_pair, save_groundtruth
 from .metrics import evaluate_alignment, top1_matching
-from .observability import MetricsRegistry, use_registry, write_bench_json
+from .observability import (
+    MetricsRegistry,
+    OpProfiler,
+    Tracer,
+    export_chrome_trace,
+    format_op_table,
+    format_span_tree,
+    use_registry,
+    use_tracer,
+    write_bench_json,
+)
 from .resilience import validate_pair
 
 __all__ = ["main", "build_parser"]
@@ -153,9 +167,11 @@ def _cmd_align(args: argparse.Namespace) -> int:
 
     # A fresh registry per invocation: every instrumented component below
     # (trainer, refiner, streaming) resolves the process registry at call
-    # time, so the export contains exactly this run.
+    # time, so the export contains exactly this run.  The tracer stays a
+    # no-op unless --trace-out asks for spans.
     registry = MetricsRegistry()
-    with use_registry(registry):
+    tracer = Tracer(enabled=bool(args.trace_out))
+    with use_registry(registry), use_tracer(tracer):
         result = method.align(pair, supervision=supervision, rng=rng)
     if args.save_model:
         save_model(method.model, args.save_model)
@@ -180,6 +196,10 @@ def _cmd_align(args: argparse.Namespace) -> int:
         }
         write_bench_json(args.metrics_out, registry, run=run)
         print(f"bench    : written to {args.metrics_out}")
+    if args.trace_out:
+        payload = export_chrome_trace(args.trace_out, tracer)
+        print(f"trace    : written to {args.trace_out} "
+              f"({len(payload['traceEvents'])} events)")
     return 0
 
 
@@ -310,21 +330,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serving import AlignmentServer
 
     registry = MetricsRegistry()
+    tracer = Tracer(enabled=bool(args.trace_out))
     artifact, engine = _build_engine(args, registry)
     server = AlignmentServer(
         engine, host=args.host, port=args.port, registry=registry
     )
-    with use_registry(registry):
+    with use_registry(registry), use_tracer(tracer):
         server.start()
         print(f"artifact : {args.artifact} ({artifact.fingerprint})")
         print(f"serving  : {server.url}")
-        print("routes   : /healthz /stats /query  (Ctrl-C to stop)")
+        print("routes   : /healthz /stats /metrics /query  (Ctrl-C to stop)")
         try:
             threading.Event().wait()
         except KeyboardInterrupt:
             print("\nshutting down ...")
         finally:
             server.shutdown()
+    if args.metrics_out:
+        run = {
+            "command": "serve",
+            "artifact": args.artifact,
+            "fingerprint": artifact.fingerprint,
+        }
+        write_bench_json(args.metrics_out, registry, run=run)
+        print(f"bench    : written to {args.metrics_out}")
+    if args.trace_out:
+        payload = export_chrome_trace(args.trace_out, tracer)
+        print(f"trace    : written to {args.trace_out} "
+              f"({len(payload['traceEvents'])} events)")
     return 0
 
 
@@ -335,6 +368,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise SystemExit(
             "query needs exactly one of --artifact (in-process) or "
             "--url (remote serve instance)"
+        )
+    if args.metrics_out and args.url:
+        raise SystemExit(
+            "--metrics-out needs --artifact (in-process queries); a remote "
+            "serve instance exposes its metrics at GET /metrics instead"
         )
     queries = [(source, args.k) for source in args.source]
     if args.url:
@@ -351,6 +389,97 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 payloads = InProcessClient(engine).query_many(queries)
     for payload in payloads:
         print(json.dumps(payload, sort_keys=True))
+    if args.metrics_out:
+        run = {
+            "command": "query",
+            "artifact": args.artifact,
+            "queries": len(queries),
+            "k": args.k,
+        }
+        write_bench_json(args.metrics_out, registry, run=run)
+        print(f"bench: written to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a self-contained train → refine → query workload.
+
+    Generates a synthetic pair (no files needed), runs GAlign training
+    under the per-op autograd profiler, refines, answers a burst of
+    serving queries, then emits the Chrome trace, the span tree, and the
+    per-op table.  The op-table coverage line reports how much of the
+    traced forward+backward wall time the profiled ops account for.
+    """
+    from .core import AlignmentRefiner, GAlignTrainer
+    from .serving import AlignmentIndex, QueryEngine
+
+    rng = np.random.default_rng(args.seed)
+    graph = generators.barabasi_albert(
+        args.nodes, m=3, rng=rng, feature_dim=args.features,
+        feature_kind="degree",
+    )
+    pair = noisy_copy_pair(
+        graph, rng, structure_noise_ratio=0.05, name="profile-ba"
+    )
+    config = GAlignConfig(
+        epochs=args.epochs,
+        embedding_dim=args.dim,
+        num_layers=args.layers,
+        refinement_iterations=args.refinement_iterations,
+        seed=args.seed,
+    )
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    profiler = OpProfiler(tracer=tracer)
+    with use_registry(registry), use_tracer(tracer):
+        # The profiler wraps training only: refinement and serving run
+        # un-patched, so op-table coverage is measured against exactly
+        # the forward/backward spans the ops were recorded under.
+        with tracer.span("profile.train", epochs=config.epochs), \
+                profiler.enabled():
+            trainer = GAlignTrainer(config, np.random.default_rng(args.seed))
+            model, _ = trainer.train(pair)
+        with tracer.span(
+            "profile.refine", iterations=config.refinement_iterations
+        ):
+            refiner = AlignmentRefiner(config, registry=registry)
+            refiner.refine(pair, model)
+        with tracer.span("profile.query", queries=args.queries):
+            index = AlignmentIndex(
+                model.embed(pair.source),
+                model.embed(pair.target),
+                config.resolved_layer_weights(),
+                registry=registry,
+            )
+            with QueryEngine(
+                index, fingerprint="profile", registry=registry
+            ) as engine:
+                for source in range(min(args.queries, pair.source.num_nodes)):
+                    engine.query(source, k=args.k)
+    print(format_span_tree(tracer, title="span tree"))
+    print()
+    print(format_op_table(profiler, title="per-op profile", limit=args.top))
+    print()
+    payload = export_chrome_trace(args.trace_out, tracer)
+    print(f"trace    : written to {args.trace_out} "
+          f"({len(payload['traceEvents'])} events)")
+    traced = sum(
+        span.duration for span in tracer.spans()
+        if span.name in ("trainer.forward", "trainer.backward")
+    )
+    if traced:
+        print(f"coverage : per-op table accounts for "
+              f"{profiler.total_time() / traced:.1%} of traced "
+              f"forward+backward time")
+    if args.metrics_out:
+        run = {
+            "command": "profile",
+            "nodes": args.nodes,
+            "epochs": args.epochs,
+            "seed": args.seed,
+        }
+        write_bench_json(args.metrics_out, registry, run=run)
+        print(f"bench    : written to {args.metrics_out}")
     return 0
 
 
@@ -389,6 +518,9 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--out", help="write predicted anchors to this file")
     align.add_argument("--metrics-out",
                        help="write run metrics as a BENCH_*.json artifact")
+    align.add_argument("--trace-out",
+                       help="write a Chrome trace (chrome://tracing / "
+                            "Perfetto) of the run's spans to this file")
     align.add_argument("--save-model",
                        help="write the trained model to this .npz checkpoint "
                             "(galign only)")
@@ -472,6 +604,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8571,
                        help="listen port (0 = ephemeral)")
+    serve.add_argument("--metrics-out",
+                       help="write the registry as BENCH_*.json at shutdown")
+    serve.add_argument("--trace-out",
+                       help="write serving spans as a Chrome trace at "
+                            "shutdown")
     add_engine_options(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -487,8 +624,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="source node id (repeatable)")
     query.add_argument("--k", type=int, default=1,
                        help="number of aligned targets per query")
+    query.add_argument("--metrics-out",
+                       help="write query-side metrics as BENCH_*.json "
+                            "(in-process --artifact mode only)")
     add_engine_options(query)
     query.set_defaults(handler=_cmd_query)
+
+    profile = commands.add_parser(
+        "profile",
+        help="profile a synthetic train/refine/query workload "
+             "(Chrome trace + per-op table)",
+    )
+    # Defaults are sized so per-op compute dominates Python glue and the
+    # op table covers well over 80% of forward+backward span time.
+    profile.add_argument("--nodes", type=int, default=300,
+                         help="synthetic network size")
+    profile.add_argument("--features", type=int, default=64)
+    profile.add_argument("--epochs", type=int, default=6)
+    profile.add_argument("--dim", type=int, default=64)
+    profile.add_argument("--layers", type=int, default=2)
+    profile.add_argument("--refinement-iterations", type=int, default=3)
+    profile.add_argument("--queries", type=int, default=32,
+                         help="serving queries to answer after refinement")
+    profile.add_argument("--k", type=int, default=5)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--top", type=int, default=0,
+                         help="show only the N busiest ops (0 = all)")
+    profile.add_argument("--trace-out", default="trace.json",
+                         help="Chrome trace output path")
+    profile.add_argument("--metrics-out",
+                         help="write run metrics as a BENCH_*.json artifact")
+    profile.set_defaults(handler=_cmd_profile)
     return parser
 
 

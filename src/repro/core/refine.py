@@ -16,7 +16,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from ..graphs import AlignmentPair, weighted_propagation_matrix
-from ..observability import MetricsRegistry, get_registry
+from ..observability import MetricsRegistry, get_registry, get_tracer
 from ..resilience import validate_pair
 from .alignment import (
     aggregate_alignment,
@@ -190,21 +190,29 @@ class AlignmentRefiner:
         log = RefinementLog(registry=registry)
         best_scores = None
         best_quality = float("-inf")
+        tracer = get_tracer()
 
         for iteration in range(max(1, config.refinement_iterations)):
-            with registry.timed("refine.iteration_time"):
-                prop_source = weighted_propagation_matrix(
-                    pair.source, influence_source
-                )
-                prop_target = weighted_propagation_matrix(
-                    pair.target, influence_target
-                )
-                source_embeddings = source_model.embed(pair.source, prop_source)
-                target_embeddings = target_model.embed(pair.target, prop_target)
-                matrices = layerwise_alignment_matrices(
-                    source_embeddings, target_embeddings
-                )
-                scores = aggregate_alignment(matrices, layer_weights)
+            with tracer.span("refine.iteration", iteration=iteration), \
+                    registry.timed("refine.iteration_time") as iteration_timer:
+                with tracer.span("refine.embed"):
+                    prop_source = weighted_propagation_matrix(
+                        pair.source, influence_source
+                    )
+                    prop_target = weighted_propagation_matrix(
+                        pair.target, influence_target
+                    )
+                    source_embeddings = source_model.embed(
+                        pair.source, prop_source
+                    )
+                    target_embeddings = target_model.embed(
+                        pair.target, prop_target
+                    )
+                with tracer.span("refine.align"):
+                    matrices = layerwise_alignment_matrices(
+                        source_embeddings, target_embeddings
+                    )
+                    scores = aggregate_alignment(matrices, layer_weights)
                 if not np.all(np.isfinite(scores)):
                     # Influence-weighted propagation went numerically bad;
                     # keep the best finite iteration (iteration 0 == the
@@ -224,6 +232,9 @@ class AlignmentRefiner:
                     matrices, config.stability_threshold, reference_scores=scores
                 )
             registry.increment("refine.iterations")
+            registry.record_histogram(
+                "refine.iteration_time_hist", iteration_timer.elapsed
+            )
             log.record_iteration(quality, len(sources), len(np.unique(targets)))
 
             if quality > best_quality:

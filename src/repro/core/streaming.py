@@ -27,7 +27,7 @@ import numpy as np
 
 from ..graphs import AlignmentPair
 from ..metrics import EvaluationReport
-from ..observability import MetricsRegistry, get_registry
+from ..observability import MetricsRegistry, get_registry, get_tracer
 from ..resilience import validate_pair
 from .config import GAlignConfig
 from .model import MultiOrderGCN
@@ -91,9 +91,16 @@ def iter_score_blocks(
                     "bad_entries": int(np.count_nonzero(~finite)),
                 },
             )
-        registry.record_time("streaming.block_time", time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        registry.record_time("streaming.block_time", elapsed)
         registry.increment("streaming.blocks")
         registry.increment("streaming.rows", len(rows))
+        # Only block-build time is charged to the trace (as to the timer):
+        # a generator span would bill the consumer's work to this frame.
+        get_tracer().add_event(
+            "streaming.block", started, elapsed,
+            rows=[rows.start, rows.stop],
+        )
         yield rows, block
 
 
@@ -131,17 +138,18 @@ def streaming_top_k(
     k = min(k, n_target)
     all_targets = np.empty((n_source, k), dtype=np.int64)
     all_scores = np.empty((n_source, k))
-    for rows, block in iter_score_blocks(
-        source_embeddings, target_embeddings, layer_weights, block_size,
-        registry=registry,
-    ):
-        # argpartition then sort the k winners per row.
-        top = np.argpartition(block, -k, axis=1)[:, -k:]
-        row_index = np.arange(block.shape[0])[:, None]
-        order = np.argsort(block[row_index, top], axis=1)[:, ::-1]
-        sorted_top = top[row_index, order]
-        all_targets[rows.start : rows.stop] = sorted_top
-        all_scores[rows.start : rows.stop] = block[row_index, sorted_top]
+    with get_tracer().span("streaming.top_k", k=k, n_source=n_source):
+        for rows, block in iter_score_blocks(
+            source_embeddings, target_embeddings, layer_weights, block_size,
+            registry=registry,
+        ):
+            # argpartition then sort the k winners per row.
+            top = np.argpartition(block, -k, axis=1)[:, -k:]
+            row_index = np.arange(block.shape[0])[:, None]
+            order = np.argsort(block[row_index, top], axis=1)[:, ::-1]
+            sorted_top = top[row_index, order]
+            all_targets[rows.start : rows.stop] = sorted_top
+            all_scores[rows.start : rows.stop] = block[row_index, sorted_top]
     return all_targets, all_scores
 
 

@@ -23,7 +23,7 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from ..autograd import Tensor, clip_grad_norm
-from ..observability import MetricsRegistry
+from ..observability import MetricsRegistry, get_tracer
 from ..resilience import FaultInjector, RecoveryManager
 from .checkpoint import load_training_checkpoint, save_training_checkpoint
 from .config import GAlignConfig
@@ -125,28 +125,40 @@ def run_resilient_training(
     )
     recovery.commit()  # initial snapshot: first-epoch failures can roll back
 
+    tracer = get_tracer()
     epoch = start_epoch
     while epoch < config.epochs:
-        with registry.timed("trainer.epoch_time"):
+        with tracer.span("trainer.epoch", epoch=epoch), \
+                registry.timed("trainer.epoch_time") as epoch_timer:
             if fault_injector is not None:
                 fault_injector.at_step(epoch)
             optimizer.zero_grad()
-            total, consistency_value, adaptivity_value = compute_losses(epoch)
+            with tracer.span("trainer.forward"):
+                total, consistency_value, adaptivity_value = compute_losses(
+                    epoch
+                )
             with registry.timed("trainer.backward_time"):
-                total.backward()
+                with tracer.span("trainer.backward"):
+                    total.backward()
                 if fault_injector is not None:
                     fault_injector.corrupt_gradients(
                         epoch, model.parameters()
                     )
-                clip_grad_norm(model.parameters(), max_norm=5.0)
+                with tracer.span("trainer.clip_grad"):
+                    clip_grad_norm(model.parameters(), max_norm=5.0)
             loss_value = float(total.data)
             reason = recovery.check(loss_value, model.parameters())
             if reason is not None:
                 recovery.recover(reason, epoch)
                 continue  # retry this epoch from the restored snapshot
-            with registry.timed("trainer.step_time"):
+            with tracer.span("trainer.step"), registry.timed(
+                "trainer.step_time"
+            ):
                 optimizer.step()
             recovery.commit(loss_value)
+        registry.record_histogram(
+            "trainer.epoch_time_hist", epoch_timer.elapsed
+        )
         registry.increment("trainer.epochs")
         log.record(loss_value, consistency_value, adaptivity_value)
         epoch += 1

@@ -83,7 +83,9 @@ def format_metrics_table(
 
     One row per metric: counters show their value under ``total``; gauges
     and timers show observation count plus last/mean/min/max (timers in
-    seconds).
+    seconds); histograms add p50/p90/p99.  Stats that are ``None`` (an
+    empty gauge's min/max, an empty histogram's quantiles) render as
+    ``-``, never as a fake zero.
     """
     if isinstance(metrics, MetricsRegistry):
         snapshot = metrics.snapshot(prefix)
@@ -94,22 +96,31 @@ def format_metrics_table(
             for name, stats in sorted(metrics.items())
             if dotted is None or name == prefix or name.startswith(dotted)
         }
-    headers = ["Metric", "Kind", "Count", "Total", "Last", "Mean", "Min", "Max"]
+    headers = ["Metric", "Kind", "Count", "Total", "Last", "Mean", "Min",
+               "Max", "P50", "P90", "P99"]
+
+    def cell(stats: Mapping, field: str):
+        value = stats.get(field)
+        return "-" if value is None else value
+
     rows = []
     for name, stats in snapshot.items():
         if stats["kind"] == "counter":
             rows.append([name, "counter", stats["value"], stats["value"],
-                         "-", "-", "-", "-"])
+                         "-", "-", "-", "-", "-", "-", "-"])
         else:
             rows.append([
                 name,
                 stats["kind"],
                 stats["count"],
-                stats.get("total", "-"),
-                stats["last"],
-                stats["mean"],
-                stats["min"],
-                stats["max"],
+                cell(stats, "total"),
+                cell(stats, "last"),
+                cell(stats, "mean"),
+                cell(stats, "min"),
+                cell(stats, "max"),
+                cell(stats, "p50"),
+                cell(stats, "p90"),
+                cell(stats, "p99"),
             ])
     return format_table(headers, rows, title=title)
 

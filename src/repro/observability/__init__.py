@@ -1,14 +1,18 @@
-"""Lightweight observability: metrics registry, timers, and BENCH export.
+"""Lightweight observability: metrics, span tracing, and op profiling.
 
-The instrumentation substrate behind the training/refinement/eval hot
-paths.  See :mod:`repro.observability.registry` for the metric kinds and
-the process-wide default registry, and :mod:`repro.observability.export`
-for the ``BENCH_*.json`` artifact schema.
+The instrumentation substrate behind the training/refinement/serving hot
+paths.  See :mod:`repro.observability.registry` for the metric kinds
+(counters, gauges, timers, histograms) and the process-wide default
+registry, :mod:`repro.observability.export` for the ``BENCH_*.json``
+artifact schema, :mod:`repro.observability.trace` for span tracing with
+Chrome-trace export, and :mod:`repro.observability.profiler` for the
+per-op autograd profiler.
 """
 
 from .registry import (
     Counter,
     Gauge,
+    Histogram,
     MetricsRegistry,
     Timer,
     TimerStat,
@@ -24,10 +28,23 @@ from .export import (
     load_bench_json,
     iter_metric_lines,
 )
+from .trace import (
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+    format_span_tree,
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+from .profiler import OpProfiler, OpStat, format_op_table
 
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "Timer",
     "TimerStat",
@@ -40,4 +57,16 @@ __all__ = [
     "write_bench_json",
     "load_bench_json",
     "iter_metric_lines",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "format_span_tree",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "OpProfiler",
+    "OpStat",
+    "format_op_table",
 ]

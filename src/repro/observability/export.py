@@ -45,7 +45,12 @@ _REQUIRED_FIELDS = {
     "counter": ("value",),
     "gauge": ("count", "last", "mean", "min", "max"),
     "timer": ("count", "last", "mean", "min", "max", "total"),
+    "histogram": ("count", "total", "mean", "min", "max", "p50", "p90", "p99"),
 }
+
+#: Fields that are ``null`` when a metric has no observations — an empty
+#: gauge's min/max must never export as a fake observation of zero.
+_NULLABLE_FIELDS = frozenset({"min", "max", "p50", "p90", "p99"})
 
 
 def bench_payload(
@@ -92,6 +97,8 @@ def validate_bench_payload(payload: Any) -> Dict[str, Any]:
             if field not in stats:
                 raise ValueError(f"metric {name!r}: missing field {field!r}")
             value = stats[field]
+            if value is None and field in _NULLABLE_FIELDS:
+                continue
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 raise ValueError(
                     f"metric {name!r}: field {field!r} must be numeric, "

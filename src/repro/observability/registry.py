@@ -5,13 +5,21 @@ refinement, streaming, and evaluation hot paths.  Metric names are
 hierarchical dotted strings (``trainer.epoch_time``, ``refine.stable_nodes``,
 ``runner.method.GAlign.wall``) so exports group naturally by subsystem.
 
-Three metric kinds:
+Four metric kinds:
 
 * :class:`Counter` — monotonic event count (epochs run, rows streamed).
 * :class:`Gauge` — last observed value plus running min/max/mean over all
   observations (loss components, stable-node counts).
 * :class:`TimerStat` — accumulated seconds with count/min/max/mean
   (per-epoch, per-iteration, per-block wall time).
+* :class:`Histogram` — fixed log-spaced buckets with p50/p90/p99 quantile
+  estimates (serving query latency, batch sizes, per-epoch times) — the
+  distribution view a mean-only :class:`TimerStat` cannot give.
+
+All metrics are thread-safe: serving increments counters from
+``ThreadingHTTPServer`` handler threads and the microbatcher thread
+concurrently, so every mutation happens under a per-metric lock (and
+metric creation under a registry lock) — no lost updates.
 
 A :class:`MetricsRegistry` owns the metrics and the callback hooks; the
 module-level default registry (:func:`get_registry`) is what instrumented
@@ -21,6 +29,8 @@ be captured without threading a handle through every call site.
 
 from __future__ import annotations
 
+import math
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
@@ -29,6 +39,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "TimerStat",
+    "Histogram",
     "Timer",
     "MetricsRegistry",
     "get_registry",
@@ -50,18 +61,20 @@ class Counter:
 
     kind = "counter"
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def increment(self, amount: int = 1) -> int:
         """Add ``amount`` (>= 0) and return the new value."""
         if amount < 0:
             raise ValueError(f"counter {self.name}: amount must be >= 0, got {amount}")
-        self.value += amount
-        return self.value
+        with self._lock:
+            self.value += amount
+            return self.value
 
     def snapshot(self) -> Dict[str, Any]:
         return {"kind": self.kind, "value": self.value}
@@ -72,7 +85,7 @@ class Gauge:
 
     kind = "gauge"
 
-    __slots__ = ("name", "count", "last", "total", "minimum", "maximum")
+    __slots__ = ("name", "count", "last", "total", "minimum", "maximum", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -81,30 +94,35 @@ class Gauge:
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.last = value
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.count += 1
+            self.last = value
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def snapshot(self) -> Dict[str, Any]:
-        return {
-            "kind": self.kind,
-            "count": self.count,
-            "last": self.last,
-            "mean": self.mean,
-            "min": self.minimum if self.count else 0.0,
-            "max": self.maximum if self.count else 0.0,
-        }
+        with self._lock:
+            # min/max are None (JSON null) when nothing was observed: an
+            # export must never be misread as a real observation of zero.
+            return {
+                "kind": self.kind,
+                "count": self.count,
+                "last": self.last,
+                "mean": self.mean,
+                "min": self.minimum if self.count else None,
+                "max": self.maximum if self.count else None,
+            }
 
 
 class TimerStat(Gauge):
@@ -123,6 +141,147 @@ class TimerStat(Gauge):
         snapshot = super().snapshot()
         snapshot["total"] = self.total
         return snapshot
+
+
+class Histogram:
+    """Fixed log-spaced buckets with interpolated quantile estimates.
+
+    The latency-distribution metric kind: a mean-only :class:`TimerStat`
+    hides tail latency entirely, so serving query latency, batch sizes,
+    and per-epoch times land here instead.  The bucket layout is fixed at
+    construction — ``buckets_per_decade`` log-spaced buckets per decade
+    from ``lower`` to ``upper`` (defaults cover 1 µs to ~1000 s, wide
+    enough for both sub-millisecond cache hits and hour-scale epochs) —
+    so merging snapshots across processes stays well-defined.
+
+    Quantiles are estimated by walking the cumulative bucket counts and
+    interpolating geometrically inside the winning bucket; the estimate
+    is clamped to the observed ``[min, max]``, so p50/p99 are exact for
+    single-observation histograms and within one bucket's relative width
+    (~58% at 5 buckets/decade) otherwise.
+    """
+
+    kind = "histogram"
+
+    __slots__ = (
+        "name", "count", "total", "minimum", "maximum",
+        "lower", "upper", "buckets_per_decade", "bucket_counts", "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        lower: float = 1e-6,
+        upper: float = 1e3,
+        buckets_per_decade: int = 5,
+    ) -> None:
+        if not 0.0 < lower < upper:
+            raise ValueError(
+                f"histogram {name}: need 0 < lower < upper, "
+                f"got ({lower}, {upper})"
+            )
+        if buckets_per_decade < 1:
+            raise ValueError(
+                f"histogram {name}: buckets_per_decade must be >= 1, "
+                f"got {buckets_per_decade}"
+            )
+        self.name = name
+        self.lower = float(lower)
+        self.upper = float(upper)
+        self.buckets_per_decade = int(buckets_per_decade)
+        decades = math.log10(self.upper / self.lower)
+        # One underflow bucket (< lower), the log-spaced body, and one
+        # overflow bucket (>= upper).
+        body = max(1, math.ceil(decades * self.buckets_per_decade))
+        self.bucket_counts = [0] * (body + 2)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._lock = threading.Lock()
+
+    def _bucket_index(self, value: float) -> int:
+        if value < self.lower:
+            return 0
+        if value >= self.upper:
+            return len(self.bucket_counts) - 1
+        offset = math.log10(value / self.lower) * self.buckets_per_decade
+        return min(1 + int(offset), len(self.bucket_counts) - 2)
+
+    def _edges(self, index: int) -> tuple:
+        """(low, high) value bounds of bucket ``index``."""
+        if index == 0:
+            return (0.0, self.lower)
+        if index == len(self.bucket_counts) - 1:
+            return (self.upper, float("inf"))
+        step = 10.0 ** (1.0 / self.buckets_per_decade)
+        low = self.lower * step ** (index - 1)
+        return (low, low * step)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ValueError(
+                f"histogram {self.name}: observations must be finite and "
+                f">= 0, got {value}"
+            )
+        index = self._bucket_index(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.bucket_counts[index] += 1
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated value at quantile ``q`` in [0, 1]; None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> Optional[float]:
+        if not self.count:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                low, high = self._edges(index)
+                fraction = (rank - cumulative) / bucket_count
+                fraction = min(max(fraction, 0.0), 1.0)
+                low = max(low, self.minimum if self.minimum > 0 else 0.0)
+                high = min(high, self.maximum)
+                if low <= 0.0 or not math.isfinite(high):
+                    estimate = low + fraction * (min(high, self.maximum) - low)
+                else:
+                    estimate = low * (high / low) ** fraction
+                return min(max(estimate, self.minimum), self.maximum)
+            cumulative += bucket_count
+        return self.maximum
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            empty = not self.count
+            return {
+                "kind": self.kind,
+                "count": self.count,
+                "total": self.total,
+                "mean": self.mean,
+                "min": None if empty else self.minimum,
+                "max": None if empty else self.maximum,
+                "p50": self._quantile_locked(0.5),
+                "p90": self._quantile_locked(0.9),
+                "p99": self._quantile_locked(0.99),
+            }
 
 
 class Timer:
@@ -164,18 +323,22 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, Any] = {}
         self._hooks: List[Callable[[str, Dict[str, Any]], None]] = []
+        # Guards metric creation and the hook list; individual metric
+        # mutations use the per-metric locks.
+        self._lock = threading.RLock()
 
     # -- metric accessors ----------------------------------------------
     def _metric(self, name: str, factory) -> Any:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = factory(_validate_name(name))
-            self._metrics[name] = metric
-        elif not isinstance(metric, factory):
-            raise TypeError(
-                f"metric {name!r} is a {metric.kind}, not a {factory.kind}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory(_validate_name(name))
+                self._metrics[name] = metric
+            elif not isinstance(metric, factory):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a {factory.kind}"
+                )
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._metric(name, Counter)
@@ -189,6 +352,9 @@ class MetricsRegistry:
     def timer(self, name: str) -> TimerStat:
         return self._metric(name, TimerStat)
 
+    def histogram(self, name: str) -> Histogram:
+        return self._metric(name, Histogram)
+
     # -- recording shortcuts -------------------------------------------
     def increment(self, name: str, amount: int = 1) -> int:
         return self.counter(name).increment(amount)
@@ -199,6 +365,9 @@ class MetricsRegistry:
     def record_time(self, name: str, seconds: float) -> None:
         self.timer(name).observe(seconds)
 
+    def record_histogram(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
     def timed(self, name: str) -> Timer:
         """``with registry.timed("trainer.epoch_time"): ...``"""
         return Timer(self.timer(name).observe)
@@ -208,10 +377,12 @@ class MetricsRegistry:
         """Register ``hook(event, payload)`` for every :meth:`emit`."""
         if not callable(hook):
             raise TypeError(f"hook must be callable, got {hook!r}")
-        self._hooks.append(hook)
+        with self._lock:
+            self._hooks.append(hook)
 
     def remove_hook(self, hook: Callable[[str, Dict[str, Any]], None]) -> None:
-        self._hooks.remove(hook)
+        with self._lock:
+            self._hooks.remove(hook)
 
     def emit(self, event: str, payload: Optional[Dict[str, Any]] = None) -> None:
         """Fan an event out to every hook (no-op without hooks)."""
@@ -234,7 +405,8 @@ class MetricsRegistry:
 
     def names(self, prefix: Optional[str] = None) -> List[str]:
         """Sorted metric names, optionally restricted to a dotted prefix."""
-        names = sorted(self._metrics)
+        with self._lock:
+            names = sorted(self._metrics)
         if prefix is None:
             return names
         dotted = prefix + "."
@@ -248,7 +420,8 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop all metrics (hooks survive)."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
 
 # ----------------------------------------------------------------------

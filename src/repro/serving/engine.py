@@ -40,10 +40,15 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..observability import MetricsRegistry, get_registry
+from ..observability import MetricsRegistry, get_registry, get_tracer
 from .index import AlignmentIndex
 
 __all__ = ["QueryResult", "StripedLRUCache", "QueryEngine"]
+
+
+def _ms_or_none(seconds: Optional[float]) -> Optional[float]:
+    """Seconds → milliseconds, passing through the empty-histogram None."""
+    return None if seconds is None else seconds * 1e3
 
 
 @dataclass(frozen=True)
@@ -281,6 +286,7 @@ class QueryEngine:
         latency = time.perf_counter() - started
         registry.increment("serving.queries")
         registry.record_time("serving.query_latency", latency)
+        registry.record_histogram("serving.query_latency_hist", latency)
         if cached:
             registry.record_time("serving.query_latency_cached", latency)
         else:
@@ -357,9 +363,13 @@ class QueryEngine:
         registry = self._registry()
         k_max = max(k for _, k in batch)
         sources = np.array([source for source, _ in batch], dtype=np.int64)
-        targets, scores = self.index.top_k(sources, k_max)
+        with get_tracer().span(
+            "serving.score_batch", size=len(batch), k=k_max
+        ):
+            targets, scores = self.index.top_k(sources, k_max)
         registry.increment("serving.batches")
         registry.observe("serving.batch.size", len(batch))
+        registry.record_histogram("serving.batch.size_hist", len(batch))
         values: List[Tuple] = []
         for row, (_, k) in enumerate(batch):
             row_targets = targets[row, :k]
@@ -430,6 +440,7 @@ class QueryEngine:
         misses = counter("serving.cache.misses")
         lookups = hits + misses
         latency = snapshot.get("serving.query_latency", {})
+        latency_hist = snapshot.get("serving.query_latency_hist", {})
         return {
             "fingerprint": self.fingerprint,
             "n_source": self.index.n_source,
@@ -449,5 +460,7 @@ class QueryEngine:
                 "mean": latency.get("mean", 0.0) * 1e3,
                 "max": latency.get("max", 0.0) * 1e3,
                 "count": latency.get("count", 0),
+                "p50": _ms_or_none(latency_hist.get("p50")),
+                "p99": _ms_or_none(latency_hist.get("p99")),
             },
         }

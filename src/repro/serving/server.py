@@ -6,6 +6,11 @@ Routes
     Liveness + artifact identity: ``{"status": "ok", "fingerprint": ...}``.
 ``GET /stats``
     Engine operational snapshot plus the ``serving.*`` metrics.
+``GET /metrics``
+    The full metrics registry as a ``repro.bench/v1`` payload — every
+    counter, gauge, timer, and histogram (with p50/p90/p99), not just
+    the ``serving.*`` prefix.  Scrape-friendly: what ``--metrics-out``
+    writes at shutdown, available live.
 ``GET /query?source=<id>&k=<k>``
     One alignment query.
 ``POST /query``
@@ -35,7 +40,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from ..observability import MetricsRegistry, get_registry
+from ..observability import MetricsRegistry, bench_payload, get_registry
 from ..resilience import ArtifactValidationError
 from .engine import QueryEngine
 
@@ -140,13 +145,22 @@ class _ServingHandler(BaseHTTPRequestHandler):
                 "engine": self.engine.stats(),
                 "metrics": self.registry.snapshot("serving"),
             }
+        if url.path == "/metrics":
+            return 200, bench_payload(
+                self.registry,
+                run={
+                    "endpoint": "/metrics",
+                    "fingerprint": self.engine.fingerprint,
+                },
+            )
         if url.path == "/query":
             params = parse_qs(url.query)
             source = _parse_int(params, "source", None)
             k = _parse_int(params, "k", 1)
             return 200, self.engine.query(source, k).payload()
         raise _UnknownRoute(
-            f"unknown path {url.path!r}; routes: /healthz, /stats, /query"
+            f"unknown path {url.path!r}; routes: /healthz, /stats, "
+            f"/metrics, /query"
         )
 
     def _handle_post(self) -> Tuple[int, Dict[str, Any]]:

@@ -182,3 +182,94 @@ class TestServing:
         assert args.port == 8571
         assert args.block_size == 512
         assert not args.no_prune
+        assert args.metrics_out is None and args.trace_out is None
+
+    def test_query_metrics_out(self, artifact_dir, tmp_path, capsys):
+        from repro.observability import load_bench_json
+
+        bench = str(tmp_path / "BENCH_query.json")
+        code = main(["query", "--artifact", artifact_dir,
+                     "--source", "0", "--source", "1", "--k", "2",
+                     "--metrics-out", bench])
+        assert code == 0
+        # stdout stays pure JSON lines (the bench note goes to stderr)
+        import json as json_module
+        for line in capsys.readouterr().out.strip().splitlines():
+            json_module.loads(line)
+        payload = load_bench_json(bench)
+        assert payload["run"]["command"] == "query"
+        assert payload["metrics"]["serving.queries"]["value"] == 2
+        hist = payload["metrics"]["serving.query_latency_hist"]
+        assert hist["kind"] == "histogram" and hist["count"] == 2
+
+    def test_query_metrics_out_needs_in_process(self, artifact_dir, tmp_path):
+        with pytest.raises(SystemExit, match="--metrics-out"):
+            main(["query", "--url", "http://127.0.0.1:1", "--source", "0",
+                  "--metrics-out", str(tmp_path / "b.json")])
+
+
+class TestTraceOut:
+    def test_align_trace_out(self, pair_dir, tmp_path, capsys):
+        import json as json_module
+
+        from repro.observability import validate_chrome_trace
+
+        trace = str(tmp_path / "trace.json")
+        code = main(["align", "--pair", pair_dir, "--epochs", "4",
+                     "--dim", "8", "--refinement-iterations", "2",
+                     "--trace-out", trace])
+        assert code == 0
+        assert "trace" in capsys.readouterr().out
+        with open(trace) as handle:
+            payload = json_module.load(handle)
+        validate_chrome_trace(payload)
+        names = [event["name"] for event in payload["traceEvents"]]
+        assert names.count("trainer.epoch") == 4
+        assert names.count("refine.iteration") >= 1
+
+    def test_align_without_trace_out_writes_nothing(self, pair_dir,
+                                                    tmp_path, capsys):
+        code = main(["align", "--pair", pair_dir, "--epochs", "3",
+                     "--dim", "8", "--refinement-iterations", "1"])
+        assert code == 0
+        assert "trace" not in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_emits_trace_table_and_bench(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.observability import (
+            load_bench_json,
+            validate_chrome_trace,
+        )
+
+        trace = str(tmp_path / "trace.json")
+        bench = str(tmp_path / "BENCH_profile.json")
+        code = main(["profile", "--nodes", "40", "--features", "8",
+                     "--epochs", "3", "--dim", "8",
+                     "--refinement-iterations", "2", "--queries", "4",
+                     "--trace-out", trace, "--metrics-out", bench])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "span tree" in output
+        assert "per-op profile" in output
+        assert "coverage" in output
+        with open(trace) as handle:
+            payload = json_module.load(handle)
+        validate_chrome_trace(payload)
+        names = [event["name"] for event in payload["traceEvents"]]
+        # every epoch, every refinement iteration, and the hot ops
+        assert names.count("trainer.epoch") == 3
+        assert names.count("refine.iteration") == 2
+        assert "op.matmul" in names and "op.spmm" in names
+        assert "op.spmm.backward" in names
+        assert "serving.score_batch" in names
+        metrics = load_bench_json(bench)["metrics"]
+        assert metrics["trainer.epoch_time_hist"]["count"] == 3
+        assert metrics["serving.query_latency_hist"]["count"] == 4
+
+    def test_profile_parser_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.trace_out == "trace.json"
+        assert args.nodes == 300 and args.dim == 64

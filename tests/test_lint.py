@@ -1,5 +1,7 @@
-"""Static checks: no silent exception swallowing in the library.
+"""Static checks over the library source tree.
 
+Exception hygiene
+-----------------
 A resilience layer is only trustworthy if failures it does not explicitly
 handle keep propagating.  This test walks every module under ``src/repro``
 and rejects the two patterns that silently eat errors:
@@ -10,6 +12,16 @@ and rejects the two patterns that silently eat errors:
 
 Handlers that re-raise, log, count, or fall back are fine; the lint only
 flags handlers that do nothing at all.
+
+Timing hygiene
+--------------
+Durations in the library must come from ``time.perf_counter()`` (or
+``time.monotonic()`` for deadlines): ``time.time()`` jumps under NTP
+adjustments, which corrupts timers, histograms, and trace spans.  The
+lint bans ``time.time()`` calls and ``from time import time`` imports
+under ``src/repro``.  True wall-clock timestamps (run manifests, file
+metadata) are allowed when the line carries an explicit
+``# wall-clock: <reason>`` comment.
 """
 
 import ast
@@ -52,6 +64,46 @@ def _violations(path, label=None):
             found.append(
                 f"{label}:{node.lineno}: 'except {node.type.id}:' with an "
                 "empty body silently swallows errors"
+            )
+    return found
+
+
+#: Comment marker that exempts a line needing a genuine wall-clock
+#: timestamp (manifest fields, not durations).
+_WALL_CLOCK_MARKER = "# wall-clock:"
+
+
+def _wall_clock_violations(path, label=None):
+    label = label if label is not None else str(path)
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    found = []
+
+    def allowed(lineno):
+        return _WALL_CLOCK_MARKER in lines[lineno - 1]
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            names = [alias.name for alias in node.names]
+            if "time" in names and not allowed(node.lineno):
+                found.append(
+                    f"{label}:{node.lineno}: 'from time import time' — "
+                    "import the module and use time.perf_counter()"
+                )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "time"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "time"
+            and not allowed(node.lineno)
+        ):
+            found.append(
+                f"{label}:{node.lineno}: time.time() is wall-clock and "
+                "jumps under NTP; use time.perf_counter() for durations "
+                f"(or annotate the line with '{_WALL_CLOCK_MARKER} <reason>' "
+                "for a real timestamp)"
             )
     return found
 
@@ -106,3 +158,50 @@ def test_lint_allows_narrow_empty_handler(tmp_path):
     sample = tmp_path / "ok.py"
     sample.write_text("try:\n    x = 1\nexcept KeyError:\n    pass\n")
     assert not _violations(sample)
+
+
+def test_no_wall_clock_timing():
+    violations = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        violations.extend(
+            _wall_clock_violations(
+                path, label=str(path.relative_to(SRC_ROOT.parent))
+            )
+        )
+    assert not violations, (
+        "wall-clock timing in src/repro (use time.perf_counter(), or "
+        f"annotate genuine timestamps with '{_WALL_CLOCK_MARKER} <reason>'):"
+        "\n" + "\n".join(violations)
+    )
+
+
+def test_wall_clock_lint_catches_call(tmp_path):
+    sample = tmp_path / "bad.py"
+    sample.write_text("import time\nstart = time.time()\n")
+    assert any("time.time()" in v for v in _wall_clock_violations(sample))
+
+
+def test_wall_clock_lint_catches_from_import(tmp_path):
+    sample = tmp_path / "bad.py"
+    sample.write_text("from time import time\n")
+    assert any(
+        "from time import time" in v for v in _wall_clock_violations(sample)
+    )
+
+
+def test_wall_clock_lint_allows_annotated_timestamp(tmp_path):
+    sample = tmp_path / "ok.py"
+    sample.write_text(
+        "import time\n"
+        "stamp = time.time()  # wall-clock: manifest created_at field\n"
+    )
+    assert not _wall_clock_violations(sample)
+
+
+def test_wall_clock_lint_allows_monotonic_clocks(tmp_path):
+    sample = tmp_path / "ok.py"
+    sample.write_text(
+        "import time\n"
+        "a = time.perf_counter()\nb = time.monotonic()\n"
+    )
+    assert not _wall_clock_violations(sample)

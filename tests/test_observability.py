@@ -76,10 +76,153 @@ class TestGauge:
         assert gauge.mean == pytest.approx(2.0)
         assert gauge.count == 3
 
-    def test_empty_snapshot_is_zeroed(self, registry):
+    def test_empty_snapshot_has_null_extrema(self, registry):
+        # An empty gauge must never export min/max that read like a real
+        # observation of zero.
         snapshot = registry.gauge("g").snapshot()
         assert snapshot["count"] == 0
-        assert snapshot["min"] == 0.0 and snapshot["max"] == 0.0
+        assert snapshot["min"] is None and snapshot["max"] is None
+        assert validate_bench_payload(bench_payload(registry))
+
+    def test_extrema_appear_after_first_observation(self, registry):
+        registry.observe("g", 4.0)
+        snapshot = registry.gauge("g").snapshot()
+        assert snapshot["min"] == 4.0 and snapshot["max"] == 4.0
+
+
+class TestHistogram:
+    def test_single_observation_quantiles_are_exact(self, registry):
+        registry.record_histogram("h", 0.125)
+        hist = registry.histogram("h")
+        assert hist.count == 1
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(0.125)
+
+    def test_quantiles_track_the_distribution(self, registry):
+        hist = registry.histogram("h")
+        for value in np.linspace(0.001, 1.0, 1000):
+            hist.observe(float(value))
+        snapshot = hist.snapshot()
+        # Estimates are bucketed, so allow one bucket's relative width.
+        assert snapshot["p50"] == pytest.approx(0.5, rel=0.6)
+        assert snapshot["p90"] == pytest.approx(0.9, rel=0.6)
+        assert snapshot["p50"] < snapshot["p90"] <= snapshot["p99"]
+        assert snapshot["min"] == pytest.approx(0.001)
+        assert snapshot["max"] == pytest.approx(1.0)
+        assert snapshot["p99"] <= snapshot["max"]
+
+    def test_quantiles_clamped_to_observed_range(self, registry):
+        hist = registry.histogram("h")
+        hist.observe(3.0)
+        hist.observe(3.5)
+        assert 3.0 <= hist.quantile(0.5) <= 3.5
+        assert hist.quantile(1.0) == 3.5
+
+    def test_out_of_range_values_land_in_edge_buckets(self, registry):
+        hist = registry.histogram("h")
+        hist.observe(0.0)        # underflow bucket (< lower bound)
+        hist.observe(5e4)        # overflow bucket (>= upper bound)
+        assert hist.count == 2
+        assert hist.bucket_counts[0] == 1
+        assert hist.bucket_counts[-1] == 1
+        snapshot = hist.snapshot()
+        assert snapshot["min"] == 0.0 and snapshot["max"] == 5e4
+
+    def test_rejects_negative_and_non_finite(self, registry):
+        hist = registry.histogram("h")
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                hist.observe(bad)
+
+    def test_empty_snapshot_is_all_null(self, registry):
+        snapshot = registry.histogram("h").snapshot()
+        assert snapshot["count"] == 0
+        for field in ("min", "max", "p50", "p90", "p99"):
+            assert snapshot[field] is None
+        assert validate_bench_payload(bench_payload(registry))
+
+    def test_invalid_quantile_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h").quantile(1.5)
+
+    def test_kind_clash_raises(self, registry):
+        registry.record_histogram("h", 1.0)
+        with pytest.raises(TypeError):
+            registry.counter("h")
+        registry.increment("c")
+        with pytest.raises(TypeError):
+            registry.histogram("c")
+
+    def test_histogram_exports_in_bench_payload(self, registry, tmp_path):
+        registry.record_histogram("serving.query_latency_hist", 0.002)
+        path = str(tmp_path / "BENCH_hist.json")
+        write_bench_json(path, registry)
+        loaded = load_bench_json(path)
+        stats = loaded["metrics"]["serving.query_latency_hist"]
+        assert stats["kind"] == "histogram"
+        assert stats["p50"] == pytest.approx(0.002)
+
+
+class TestThreadSafety:
+    def test_counter_hammer_loses_no_updates(self, registry):
+        import threading
+
+        threads, increments = 8, 2000
+        counter = registry.counter("hammer")
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(increments):
+                counter.increment()
+
+        workers = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert counter.value == threads * increments
+
+    def test_gauge_and_histogram_hammer(self, registry):
+        import threading
+
+        threads, observations = 6, 1000
+        barrier = threading.Barrier(threads)
+
+        def worker(offset):
+            barrier.wait()
+            for i in range(observations):
+                registry.observe("hammer.gauge", offset + i)
+                registry.record_histogram("hammer.hist", 1e-3 * (i + 1))
+
+        workers = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert registry.gauge("hammer.gauge").count == threads * observations
+        hist = registry.histogram("hammer.hist")
+        assert hist.count == threads * observations
+        assert sum(hist.bucket_counts) == hist.count
+
+    def test_concurrent_metric_creation_is_single_instance(self, registry):
+        import threading
+
+        created = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            created.append(registry.counter("race"))
+
+        workers = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert all(metric is created[0] for metric in created)
 
 
 class TestTimer:
@@ -198,6 +341,34 @@ class TestBenchExport:
         assert loaded == written
         assert loaded["metrics"]["trainer.epoch_time"]["total"] == 0.5
 
+    def test_empty_registry_exports_and_loads(self, registry, tmp_path):
+        path = str(tmp_path / "BENCH_empty.json")
+        written = write_bench_json(path, registry)
+        assert written["metrics"] == {}
+        assert load_bench_json(path) == written
+
+    def test_invalid_name_rejected_at_load(self, registry, tmp_path):
+        # A payload edited on disk to carry a malformed metric name must
+        # fail on re-load, not round-trip silently.
+        registry.increment("ok")
+        path = str(tmp_path / "BENCH_tampered.json")
+        payload = write_bench_json(path, registry)
+        payload["metrics"]["bad..name"] = payload["metrics"].pop("ok")
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError, match="invalid metric name"):
+            load_bench_json(path)
+
+    def test_reexport_is_byte_identical(self, registry, tmp_path):
+        registry.increment("a.b", 3)
+        registry.record_time("t", 0.25)
+        registry.record_histogram("h", 0.01)
+        first = tmp_path / "BENCH_a.json"
+        second = tmp_path / "BENCH_b.json"
+        write_bench_json(str(first), registry, run={"seed": 1})
+        write_bench_json(str(second), registry, run={"seed": 1})
+        assert first.read_bytes() == second.read_bytes()
+
     def test_metric_lines_are_json(self, registry):
         registry.increment("a")
         registry.observe("b", 2.0)
@@ -219,6 +390,8 @@ class TestInstrumentedComponents:
         assert registry.timer("trainer.forward_time").count == config.epochs
         assert registry.timer("trainer.backward_time").count == config.epochs
         assert registry.timer("trainer.step_time").count == config.epochs
+        assert registry.histogram("trainer.epoch_time_hist").count == \
+            config.epochs
         # the log is a view over the registry: same trajectory both ways
         assert registry.gauge("trainer.loss.total").last == log.total[-1]
         assert registry.gauge("trainer.loss.total").count == len(log.total)
@@ -250,6 +423,8 @@ class TestInstrumentedComponents:
             GAlign(tiny_config()).align(tiny_pair)
         iterations = registry.counter("refine.iterations").value
         assert iterations >= 1
+        assert registry.histogram("refine.iteration_time_hist").count == \
+            iterations
         assert registry.gauge("refine.quality").count == iterations
         assert registry.gauge("refine.stable_nodes").count == iterations
         assert registry.gauge("refine.influence.source_max").last >= 1.0
@@ -314,3 +489,12 @@ class TestMetricsTable:
         filtered = format_metrics_table(registry.snapshot(), prefix="trainer")
         assert "trainer.epoch_time" in filtered
         assert "runner.runs" not in filtered
+
+    def test_renders_histograms_and_null_stats(self, registry):
+        registry.record_histogram("serving.latency_hist", 0.004)
+        registry.gauge("empty.gauge")  # no observations: min/max are None
+        text = format_metrics_table(registry)
+        assert "P50" in text and "P99" in text
+        assert "histogram" in text
+        # None stats render as placeholders, never as a fake number
+        assert "None" not in text

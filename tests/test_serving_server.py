@@ -160,6 +160,26 @@ class TestRoutes:
         assert payload["engine"]["queries"] >= 1
         assert "serving.queries" in payload["metrics"]
 
+    def test_metrics_endpoint_is_valid_bench_payload(self, server):
+        from repro.observability import validate_bench_payload
+
+        server_obj, _, artifact = server
+        client = HTTPClient(server_obj.url)
+        client.query(0, k=QUERY_K)
+        client.query(1, k=QUERY_K)
+        with urllib.request.urlopen(
+            f"{server_obj.url}/metrics", timeout=10
+        ) as response:
+            payload = json.loads(response.read())
+        validate_bench_payload(payload)
+        assert payload["run"]["fingerprint"] == artifact.fingerprint
+        hist = payload["metrics"]["serving.query_latency_hist"]
+        assert hist["kind"] == "histogram"
+        assert hist["count"] >= 2
+        assert hist["p50"] is not None and hist["p99"] is not None
+        assert hist["p50"] <= hist["p99"]
+        assert payload["metrics"]["serving.batch.size_hist"]["count"] >= 1
+
     def test_query_defaults_k_to_one(self, server):
         server_obj, _, _ = server
         with urllib.request.urlopen(

@@ -1,0 +1,226 @@
+"""Tests for span tracing: recording, the process-default tracer, the
+flame summary, and Chrome trace-event export/validation."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.observability import (
+    Tracer,
+    chrome_trace_events,
+    export_chrome_trace,
+    format_span_tree,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+    validate_chrome_trace,
+)
+
+
+class TestSpanRecording:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", epoch=3):
+            time.sleep(0.001)
+        (span,) = tracer.spans()
+        assert span.name == "work"
+        assert span.duration >= 0.001
+        assert span.attrs == {"epoch": 3}
+        assert span.parent_id is None
+        assert span.thread_id == threading.get_ident()
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        inner_a, inner_b, outer = tracer.spans()
+        assert outer.name == "outer"
+        assert inner_a.parent_id == outer.span_id
+        assert inner_b.parent_id == outer.span_id
+        assert inner_a.span_id != inner_b.span_id
+
+    def test_span_closes_when_body_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert len(tracer) == 1
+        # the stack unwound: a new span is a root again
+        with tracer.span("after"):
+            pass
+        assert tracer.spans()[-1].parent_id is None
+
+    def test_add_event_parents_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            now = time.perf_counter()
+            tracer.add_event("op.matmul", now, 0.001, flops=240)
+        event, outer = tracer.spans()
+        assert event.name == "op.matmul"
+        assert event.parent_id == outer.span_id
+        assert event.attrs["flops"] == 240
+
+    def test_spans_merge_across_threads(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)  # all threads alive at once, so
+        # thread idents cannot be reused between workers
+
+        def worker():
+            barrier.wait()
+            with tracer.span("thread-work"):
+                pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = tracer.spans()
+        assert len(spans) == 4
+        assert len({span.thread_id for span in spans}) == 4
+        # nesting stacks are thread-local: none parented under another
+        assert all(span.parent_id is None for span in spans)
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a", big=1)
+        second = tracer.span("b")
+        assert first is second  # one shared null object, no allocation
+        with first:
+            pass
+        tracer.add_event("op.x", 0.0, 1.0)
+        assert len(tracer) == 0
+
+    def test_process_default_tracer_is_disabled(self):
+        assert get_tracer().enabled is False
+
+
+class TestDefaultTracer:
+    def test_set_tracer_swaps_and_returns_previous(self):
+        fresh = Tracer()
+        previous = set_tracer(fresh)
+        try:
+            assert get_tracer() is fresh
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_set_tracer_rejects_non_tracer(self):
+        with pytest.raises(TypeError):
+            set_tracer(object())
+
+    def test_use_tracer_restores_on_exit(self):
+        before = get_tracer()
+        with use_tracer(Tracer()) as scoped:
+            assert get_tracer() is scoped
+            with get_tracer().span("seen"):
+                pass
+        assert get_tracer() is before
+        assert [span.name for span in scoped.spans()] == ["seen"]
+
+
+class TestFormatSpanTree:
+    def test_tree_aggregates_by_path(self):
+        tracer = Tracer()
+        for epoch in range(3):
+            with tracer.span("epoch", epoch=epoch):
+                with tracer.span("forward"):
+                    pass
+        text = format_span_tree(tracer, title="flame")
+        assert "flame" in text
+        lines = text.splitlines()
+        epoch_line = next(line for line in lines if "epoch" in line)
+        forward_line = next(line for line in lines if "forward" in line)
+        assert epoch_line.split()[1] == "3"  # 3 calls aggregated
+        assert forward_line.split()[1] == "3"
+        assert forward_line.startswith("  ")  # indented under its parent
+
+    def test_empty_tracer_renders_placeholder(self):
+        assert "(no spans recorded)" in format_span_tree(Tracer())
+
+    def test_accepts_raw_span_list(self):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        assert "only" in format_span_tree(tracer.spans())
+
+
+class TestChromeExport:
+    def test_events_are_complete_and_normalized(self):
+        tracer = Tracer()
+        with tracer.span("outer", size=7):
+            with tracer.span("inner"):
+                pass
+        events = chrome_trace_events(tracer)
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+        # sorted by start time: outer opened first
+        assert events[0]["name"] == "outer"
+        assert events[0]["args"] == {"size": 7}
+
+    def test_non_json_attrs_are_stringified(self):
+        tracer = Tracer()
+        with tracer.span("s", shape=(3, 4), obj=object()):
+            pass
+        (event,) = chrome_trace_events(tracer)
+        assert event["args"]["shape"] == [3, 4]
+        assert isinstance(event["args"]["obj"], str)
+        json.dumps(event)  # must serialize cleanly
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("run"):
+            pass
+        path = str(tmp_path / "trace.json")
+        payload = export_chrome_trace(path, tracer)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded == payload
+        assert validate_chrome_trace(loaded) is loaded
+        assert loaded["displayTimeUnit"] == "ms"
+
+    @pytest.mark.parametrize("mutate", [
+        lambda p: p.pop("traceEvents"),
+        lambda p: p["traceEvents"].append("not-an-object"),
+        lambda p: p["traceEvents"].append(
+            {"name": "x", "ph": "B", "ts": 0, "dur": 0, "pid": 1, "tid": 1}),
+        lambda p: p["traceEvents"].append(
+            {"name": "", "ph": "X", "ts": 0, "dur": 0, "pid": 1, "tid": 1}),
+        lambda p: p["traceEvents"].append(
+            {"name": "x", "ph": "X", "ts": -5, "dur": 0, "pid": 1, "tid": 1}),
+        lambda p: p["traceEvents"].append(
+            {"name": "x", "ph": "X", "ts": 0, "dur": True, "pid": 1,
+             "tid": 1}),
+        lambda p: p["traceEvents"].append(
+            {"name": "x", "ph": "X", "ts": 0, "dur": 0, "pid": "p",
+             "tid": 1}),
+    ])
+    def test_invalid_trace_rejected(self, mutate):
+        tracer = Tracer()
+        with tracer.span("ok"):
+            pass
+        payload = {
+            "traceEvents": chrome_trace_events(tracer),
+            "displayTimeUnit": "ms",
+        }
+        mutate(payload)
+        with pytest.raises(ValueError):
+            validate_chrome_trace(payload)
