@@ -1,0 +1,146 @@
+"""Throughput benchmarks for the process-pool scheduler (repro.parallel).
+
+Two workloads, each run serially (``workers=0``) and through a 4-worker
+pool, asserting
+
+* the parallel answer is **bit-identical** to the serial one, and
+* wall-clock speedup is at least 1.8x with 4 workers:
+
+1. **grid search** — independent GAlign trainings per candidate config,
+   the coarsest-grained fan-out in the repo (one task ~ one training);
+2. **streaming top-k** — fine-grained score-block tasks over
+   shared-memory embeddings, the scheduling-overhead stress case.
+
+The speedup assertions need real cores: on machines with fewer than 4
+CPUs the pool merely timeshares, so the tests skip themselves (the
+equality half is covered for every machine by
+tests/test_parallel_equality.py).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import GAlignConfig
+from repro.core.streaming import streaming_top_k
+from repro.eval import grid_search
+from repro.graphs import generators, noisy_copy_pair
+from repro.observability import MetricsRegistry
+
+from conftest import BASE_SEED, print_section
+
+N_SOURCE = 3000
+N_TARGET = 3000
+DIMS = 64
+LAYERS = 3
+WEIGHTS = [0.5, 1.0, 1.5]
+BLOCK_SIZE = 64
+TOP_K = 5
+WORKERS = 4
+MIN_SPEEDUP = 1.8
+
+
+def make_embeddings():
+    rng = np.random.default_rng(BASE_SEED)
+    source = [rng.standard_normal((N_SOURCE, DIMS)) for _ in range(LAYERS)]
+    target = [rng.standard_normal((N_TARGET, DIMS)) for _ in range(LAYERS)]
+    return source, target
+
+
+def timed_top_k(source, target, workers):
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    targets, scores = streaming_top_k(
+        source, target, WEIGHTS, k=TOP_K, block_size=BLOCK_SIZE,
+        registry=registry, workers=workers,
+    )
+    elapsed = time.perf_counter() - started
+    return targets, scores, elapsed, registry
+
+
+needs_cores = pytest.mark.skipif(
+    (os.cpu_count() or 1) < WORKERS,
+    reason=f"speedup needs >= {WORKERS} CPUs, have {os.cpu_count()}",
+)
+
+TUNE_CONFIG = GAlignConfig(
+    epochs=25, embedding_dim=32, refinement_iterations=2, seed=0
+)
+TUNE_GRID = {"num_layers": [1, 2], "gamma": [0.5, 0.65, 0.8, 0.95]}
+
+
+@needs_cores
+def test_parallel_grid_search_speedup():
+    rng = np.random.default_rng(BASE_SEED)
+    graph = generators.barabasi_albert(
+        220, 2, rng, feature_dim=16, feature_kind="degree"
+    )
+    pair = noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+
+    timings = {}
+    rankings = {}
+    for workers in (0, WORKERS):
+        started = time.perf_counter()
+        results = grid_search(
+            pair, TUNE_GRID, base_config=TUNE_CONFIG, seed=0,
+            workers=workers,
+        )
+        timings[workers] = time.perf_counter() - started
+        rankings[workers] = [
+            (r.overrides, r.metric_value, tuple(sorted(r.report.items())))
+            for r in results
+        ]
+
+    assert rankings[WORKERS] == rankings[0], (
+        "parallel grid search diverged from serial"
+    )
+    speedup = timings[0] / timings[WORKERS]
+
+    print_section("Parallel grid search")
+    print(f"candidates          : {len(rankings[0])} GAlign trainings")
+    print(f"serial              : {timings[0]:.2f}s")
+    print(f"{WORKERS} workers           : {timings[WORKERS]:.2f}s")
+    print(f"speedup             : {speedup:.2f}x (floor {MIN_SPEEDUP}x)")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"4-worker grid-search speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP}x floor (serial {timings[0]:.2f}s, parallel "
+        f"{timings[WORKERS]:.2f}s)"
+    )
+
+
+@needs_cores
+def test_parallel_top_k_speedup():
+    source, target = make_embeddings()
+    # Warm-up pass so allocator/BLAS effects do not bias the serial time.
+    timed_top_k(source, target, workers=0)
+
+    serial_targets, serial_scores, serial_s, _ = timed_top_k(
+        source, target, workers=0
+    )
+    par_targets, par_scores, parallel_s, registry = timed_top_k(
+        source, target, workers=WORKERS
+    )
+
+    np.testing.assert_array_equal(par_targets, serial_targets)
+    np.testing.assert_array_equal(par_scores, serial_scores)
+
+    speedup = serial_s / parallel_s
+    utilization = registry.gauge("parallel.worker_utilization").last
+
+    print_section("Parallel streaming top-k")
+    print(f"rows x targets      : {N_SOURCE} x {N_TARGET}, "
+          f"{LAYERS} layers, block {BLOCK_SIZE}")
+    print(f"serial              : {serial_s:.2f}s")
+    print(f"{WORKERS} workers           : {parallel_s:.2f}s")
+    print(f"speedup             : {speedup:.2f}x (floor {MIN_SPEEDUP}x)")
+    print(f"worker utilization  : {utilization:.2f}")
+    print(f"shm published       : "
+          f"{registry.counter('parallel.shm_bytes').value / 1e6:.1f} MB")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"4-worker speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+        f"(serial {serial_s:.2f}s, parallel {parallel_s:.2f}s)"
+    )

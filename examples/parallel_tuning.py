@@ -1,0 +1,79 @@
+"""Parallel execution quickstart: hyper-parameter search over a process pool.
+
+Demonstrates the three promises of ``repro.parallel``:
+
+1. **speed** — a grid search fans its candidates out over worker
+   processes; the validation pair travels through POSIX shared memory,
+   not per-task pickles,
+2. **bit-identity** — the parallel ranking (values, order, reports) is
+   asserted equal to the serial one; the worker count is a scheduling
+   knob, never a modelling input,
+3. **observability** — per-worker metrics merge back into the parent
+   registry, alongside the pool's own ``parallel.*`` counters.
+
+The same fan-out backs ``repro compare --workers N``, ``repro tune
+--workers N``, and the streaming scorer; setting ``REPRO_WORKERS=N``
+turns it on everywhere at once.
+
+Run:  python examples/parallel_tuning.py
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import GAlignConfig
+from repro.eval import format_metrics_table, grid_search
+from repro.graphs import generators, noisy_copy_pair
+from repro.observability import MetricsRegistry, use_registry
+
+
+def make_validation_pair():
+    rng = np.random.default_rng(7)
+    graph = generators.barabasi_albert(
+        80, m=2, rng=rng, feature_dim=8, feature_kind="degree"
+    )
+    return noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+
+
+def search(pair, grid, base, workers):
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    with use_registry(registry):
+        results = grid_search(
+            pair, grid, base_config=base, seed=0, workers=workers
+        )
+    return results, time.perf_counter() - started, registry
+
+
+def main() -> None:
+    pair = make_validation_pair()
+    base = GAlignConfig(epochs=12, embedding_dim=16, refinement_iterations=2)
+    grid = {"num_layers": [1, 2], "gamma": [0.5, 0.8]}
+
+    workers = min(4, os.cpu_count() or 1)
+    serial, serial_s, _ = search(pair, grid, base, workers=0)
+    parallel, parallel_s, registry = search(pair, grid, base, workers=workers)
+
+    print(f"grid of {len(serial)} candidates")
+    print(f"serial      : {serial_s:.1f}s")
+    print(f"{workers} worker(s) : {parallel_s:.1f}s")
+
+    # The contract, not a coincidence: same values, same order.
+    assert [(r.overrides, r.metric_value) for r in parallel] == [
+        (r.overrides, r.metric_value) for r in serial
+    ], "parallel ranking diverged from serial"
+    print("parallel ranking is bit-identical to serial\n")
+
+    print("top 3 configurations (Success@1):")
+    for result in parallel[:3]:
+        print(f"  {result}")
+
+    print()
+    print(format_metrics_table(registry, prefix="parallel",
+                               title="Pool metrics"))
+
+
+if __name__ == "__main__":
+    main()

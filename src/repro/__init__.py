@@ -17,6 +17,10 @@ Networks* (Huynh Thanh Trung et al.), built from scratch in Python:
 * :mod:`repro.serving` — online query serving: memory-mapped alignment
   artifacts, a pruned exact top-k index, a microbatched/cached query
   engine, and a stdlib JSON HTTP API.
+* :mod:`repro.parallel` — process-pool scheduler with shared-memory
+  array passing; hyper-parameter search, experiment sweeps, and
+  streamed scoring fan out over workers while staying bit-identical
+  to serial execution (``REPRO_WORKERS`` / ``--workers``).
 
 Quickstart::
 

@@ -44,7 +44,8 @@ def spmm(sparse_matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     out_data = csr @ dense.data
 
     def backward(grad: np.ndarray) -> None:
-        dense._accumulate(csr.T @ grad)
+        if dense.requires_grad:
+            dense._accumulate(csr.T @ grad)
 
     return Tensor._make(np.asarray(out_data), (dense,), backward)
 
@@ -119,7 +120,8 @@ def threshold_mask(values: Tensor, threshold: float) -> Tensor:
     out_data = np.where(keep, values.data, 0.0)
 
     def backward(grad: np.ndarray) -> None:
-        values._accumulate(grad * keep)
+        if values.requires_grad:
+            values._accumulate(grad * keep)
 
     return Tensor._make(out_data, (values,), backward)
 
@@ -131,6 +133,8 @@ def softmax(logits: Tensor, axis: int = -1) -> Tensor:
     out_data = exp / exp.sum(axis=axis, keepdims=True)
 
     def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
         inner = (grad * out_data).sum(axis=axis, keepdims=True)
         logits._accumulate(out_data * (grad - inner))
 
@@ -145,6 +149,8 @@ def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
     probs = np.exp(out_data)
 
     def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
         inner = grad.sum(axis=axis, keepdims=True)
         logits._accumulate(grad - probs * inner)
 

@@ -13,7 +13,13 @@ Subcommands
     Print statistics of a saved pair (the Table II view of a dataset).
 ``compare``
     Run the full method roster (GAlign + the five paper baselines) on a
-    saved pair and print a Table III-style comparison.
+    saved pair and print a Table III-style comparison.  ``--workers N``
+    fans the (method, repeat) grid out over a process pool with results
+    identical to the serial run.
+``tune``
+    Grid-search GAlign hyper-parameters on a saved pair
+    (``--grid field=v1,v2,...``, repeatable) and print the ranked
+    configurations; ``--workers N`` evaluates candidates in parallel.
 ``export-artifact``
     Train (or load) a GAlign model on a saved pair and freeze its
     multi-order embeddings into a ``repro.artifact/v1`` serving artifact.
@@ -243,6 +249,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
         registry=registry,
         continue_on_error=args.keep_going,
+        workers=args.workers,
     )
     with use_registry(registry):
         results = runner.run_pair(pair, all_method_specs())
@@ -251,6 +258,88 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         run = {"command": "compare", **runner.run_manifest()}
         write_bench_json(args.metrics_out, registry, run=run)
         print(f"bench: written to {args.metrics_out}")
+    return 0
+
+
+def _parse_grid(specs: List[str]) -> Dict[str, List]:
+    """Parse repeated ``--grid field=v1,v2,...`` options into a param grid."""
+    import dataclasses
+
+    valid = sorted(f.name for f in dataclasses.fields(GAlignConfig))
+    grid: Dict[str, List] = {}
+
+    def parse_value(token: str):
+        for cast in (int, float):
+            try:
+                return cast(token)
+            except ValueError:
+                continue
+        return token
+
+    for spec in specs:
+        name, _, values = spec.partition("=")
+        name = name.strip()
+        if not values:
+            raise SystemExit(
+                f"--grid {spec!r}: expected field=v1,v2,... "
+            )
+        if name not in valid:
+            raise SystemExit(
+                f"--grid {spec!r}: {name!r} is not a GAlignConfig field "
+                f"(choose from {', '.join(valid)})"
+            )
+        if name in grid:
+            raise SystemExit(f"--grid {spec!r}: {name!r} given twice")
+        grid[name] = [parse_value(token.strip())
+                      for token in values.split(",") if token.strip()]
+        if not grid[name]:
+            raise SystemExit(f"--grid {spec!r}: no values")
+    return grid
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .eval import grid_search
+
+    pair = load_alignment_pair(args.pair)
+    validate_pair(pair)
+    if not pair.groundtruth:
+        raise SystemExit("tune needs ground truth (groundtruth.txt)")
+    param_grid = _parse_grid(args.grid)
+    base_config = GAlignConfig(
+        epochs=args.epochs,
+        embedding_dim=args.dim,
+        num_layers=args.layers,
+        seed=args.seed,
+    )
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        results = grid_search(
+            pair,
+            param_grid,
+            base_config=base_config,
+            metric=args.metric,
+            seed=args.seed,
+            workers=args.workers,
+        )
+    shown = results[: args.top] if args.top else results
+    print(f"pair     : {pair}")
+    print(f"grid     : {sum(1 for _ in results)} candidates, "
+          f"metric {args.metric}")
+    for position, result in enumerate(shown, start=1):
+        print(f"  #{position}  {result}")
+    if args.metrics_out:
+        best = results[0]
+        run = {
+            "command": "tune",
+            "pair": pair.name,
+            "metric": args.metric,
+            "grid": {name: list(values)
+                     for name, values in param_grid.items()},
+            "best_overrides": best.overrides,
+            "best_value": best.metric_value,
+        }
+        write_bench_json(args.metrics_out, registry, run=run)
+        print(f"bench    : written to {args.metrics_out}")
     return 0
 
 
@@ -563,7 +652,37 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--keep-going", action="store_true",
                          help="record failing methods and continue the "
                               "roster instead of aborting the sweep")
+    compare.add_argument("--workers", type=int, default=None,
+                         help="process-pool width for the (method, repeat) "
+                              "fan-out; 0 = serial, default reads "
+                              "REPRO_WORKERS (results are identical)")
     compare.set_defaults(handler=_cmd_compare)
+
+    tune = commands.add_parser(
+        "tune", help="grid-search GAlign hyper-parameters on a saved pair"
+    )
+    tune.add_argument("--pair", required=True, help="pair directory")
+    tune.add_argument("--grid", action="append", required=True,
+                      help="field=v1,v2,... candidate values for one "
+                           "GAlignConfig field (repeatable; the search "
+                           "covers the Cartesian product)")
+    tune.add_argument("--metric", default="Success@1",
+                      help="ranking metric: Success@1 | Success@10 | "
+                           "MAP | AUC")
+    tune.add_argument("--epochs", type=int, default=50,
+                      help="base config epochs (overridden by --grid)")
+    tune.add_argument("--dim", type=int, default=64)
+    tune.add_argument("--layers", type=int, default=2)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--top", type=int, default=0,
+                      help="show only the N best configurations (0 = all)")
+    tune.add_argument("--workers", type=int, default=None,
+                      help="process-pool width for candidate evaluation; "
+                           "0 = serial, default reads REPRO_WORKERS "
+                           "(results are identical)")
+    tune.add_argument("--metrics-out",
+                      help="write run metrics + best config as BENCH_*.json")
+    tune.set_defaults(handler=_cmd_tune)
 
     def add_engine_options(command: argparse.ArgumentParser) -> None:
         command.add_argument("--block-size", type=int, default=512,

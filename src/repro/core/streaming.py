@@ -28,6 +28,14 @@ import numpy as np
 from ..graphs import AlignmentPair
 from ..metrics import EvaluationReport
 from ..observability import MetricsRegistry, get_registry, get_tracer
+from ..parallel import (
+    AttachedArrays,
+    SharedArrayStore,
+    WorkerPool,
+    load_embeddings,
+    publish_embeddings,
+    resolve_workers,
+)
 from ..resilience import validate_pair
 from .config import GAlignConfig
 from .model import MultiOrderGCN
@@ -39,6 +47,91 @@ __all__ = [
     "streaming_find_stable_nodes",
     "StreamingAligner",
 ]
+
+
+def _sanitize_block(
+    block: np.ndarray,
+    start: int,
+    stop: int,
+    registry: MetricsRegistry,
+    layer: Optional[int] = None,
+) -> np.ndarray:
+    """Replace non-finite score entries with ``-inf``, counting the event.
+
+    Graceful degradation: NaN/Inf scores (broken embeddings, an
+    overflowed layer) become ``-inf`` so they can never win top-k or
+    outrank a true anchor, instead of poisoning every consumer.  The
+    single sanitization path for aggregated blocks
+    (:func:`iter_score_blocks`), parallel block workers, and the
+    per-layer blocks of :func:`streaming_find_stable_nodes`.
+    """
+    finite = np.isfinite(block)
+    if finite.all():
+        return block
+    block = np.where(finite, block, -np.inf)
+    registry.increment("resilience.streaming_sanitized_blocks")
+    payload = {
+        "rows": [start, stop],
+        "bad_entries": int(np.count_nonzero(~finite)),
+    }
+    if layer is not None:
+        payload["layer"] = layer
+    registry.emit("resilience.streaming_sanitized", payload)
+    return block
+
+
+def _build_block(
+    source_embeddings: Sequence[np.ndarray],
+    target_embeddings: Sequence[np.ndarray],
+    layer_weights: Sequence[float],
+    start: int,
+    stop: int,
+    registry: MetricsRegistry,
+) -> np.ndarray:
+    """``Σ_l θ(l) · H_s(l)[start:stop] @ H_t(l)ᵀ``, sanitized and timed.
+
+    The one definition of "a score block", shared by the serial iterator
+    and the parallel block workers — which is what makes parallel
+    streaming bit-identical to serial streaming.
+    """
+    started = time.perf_counter()
+    block = None
+    for h_source, h_target, weight in zip(
+        source_embeddings, target_embeddings, layer_weights
+    ):
+        partial = weight * (h_source[start:stop] @ h_target.T)
+        block = partial if block is None else block + partial
+    block = _sanitize_block(block, start, stop, registry)
+    elapsed = time.perf_counter() - started
+    registry.record_time("streaming.block_time", elapsed)
+    registry.increment("streaming.blocks")
+    registry.increment("streaming.rows", stop - start)
+    # Only block-build time is charged to the trace (as to the timer):
+    # a generator span would bill the consumer's work to this frame.
+    get_tracer().add_event(
+        "streaming.block", started, elapsed, rows=[start, stop]
+    )
+    return block
+
+
+def _block_ranges(n_source: int, block_size: int) -> List[Tuple[int, int]]:
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    return [
+        (start, min(start + block_size, n_source))
+        for start in range(0, n_source, block_size)
+    ]
+
+
+def _check_layers(
+    source_embeddings: Sequence[np.ndarray],
+    target_embeddings: Sequence[np.ndarray],
+    layer_weights: Sequence[float],
+) -> None:
+    if len(source_embeddings) != len(target_embeddings):
+        raise ValueError("layer count mismatch between source and target")
+    if len(source_embeddings) != len(layer_weights):
+        raise ValueError("layer_weights must match the number of layers")
 
 
 def iter_score_blocks(
@@ -59,49 +152,55 @@ def iter_score_blocks(
     ``resilience.streaming_sanitized_blocks``) so downstream top-k and
     ranking consumers degrade gracefully instead of emitting NaN.
     """
-    if block_size < 1:
-        raise ValueError(f"block_size must be >= 1, got {block_size}")
-    if len(source_embeddings) != len(target_embeddings):
-        raise ValueError("layer count mismatch between source and target")
-    if len(source_embeddings) != len(layer_weights):
-        raise ValueError("layer_weights must match the number of layers")
+    ranges = _block_ranges(source_embeddings[0].shape[0], block_size)
+    _check_layers(source_embeddings, target_embeddings, layer_weights)
     if registry is None:
         registry = get_registry()
-    n_source = source_embeddings[0].shape[0]
-    for start in range(0, n_source, block_size):
-        started = time.perf_counter()
-        rows = range(start, min(start + block_size, n_source))
-        block = None
-        for h_source, h_target, weight in zip(
-            source_embeddings, target_embeddings, layer_weights
-        ):
-            partial = weight * (h_source[rows.start : rows.stop] @ h_target.T)
-            block = partial if block is None else block + partial
-        finite = np.isfinite(block)
-        if not finite.all():
-            # Graceful degradation: NaN/Inf scores (broken embeddings, an
-            # overflowed layer) become -inf so they can never win top-k or
-            # outrank a true anchor, instead of poisoning every consumer.
-            block = np.where(finite, block, -np.inf)
-            registry.increment("resilience.streaming_sanitized_blocks")
-            registry.emit(
-                "resilience.streaming_sanitized",
-                {
-                    "rows": [rows.start, rows.stop],
-                    "bad_entries": int(np.count_nonzero(~finite)),
-                },
-            )
-        elapsed = time.perf_counter() - started
-        registry.record_time("streaming.block_time", elapsed)
-        registry.increment("streaming.blocks")
-        registry.increment("streaming.rows", len(rows))
-        # Only block-build time is charged to the trace (as to the timer):
-        # a generator span would bill the consumer's work to this frame.
-        get_tracer().add_event(
-            "streaming.block", started, elapsed,
-            rows=[rows.start, rows.stop],
+    for start, stop in ranges:
+        yield range(start, stop), _build_block(
+            source_embeddings, target_embeddings, layer_weights,
+            start, stop, registry,
         )
-        yield rows, block
+
+
+def _block_top_k(block: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row top-k (targets, scores) of one block, descending score."""
+    # argpartition then sort the k winners per row.
+    top = np.argpartition(block, -k, axis=1)[:, -k:]
+    row_index = np.arange(block.shape[0])[:, None]
+    order = np.argsort(block[row_index, top], axis=1)[:, ::-1]
+    sorted_top = top[row_index, order]
+    return sorted_top, block[row_index, sorted_top]
+
+
+def _top_k_block_task(
+    manifest: Dict,
+    num_layers: int,
+    layer_weights: Tuple[float, ...],
+    start: int,
+    stop: int,
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pool task: score one row block from shm embeddings, return its top-k."""
+    with AttachedArrays(manifest) as arrays:
+        block = _build_block(
+            load_embeddings(arrays, "src", num_layers),
+            load_embeddings(arrays, "tgt", num_layers),
+            layer_weights,
+            start, stop,
+            get_registry(),
+        )
+        targets, scores = _block_top_k(block, k)
+        return np.ascontiguousarray(targets), np.ascontiguousarray(scores)
+
+
+def _publish_layers(
+    store: SharedArrayStore,
+    source_embeddings: Sequence[np.ndarray],
+    target_embeddings: Sequence[np.ndarray],
+) -> None:
+    publish_embeddings(store, "src", source_embeddings)
+    publish_embeddings(store, "tgt", target_embeddings)
 
 
 def streaming_top_k(
@@ -111,6 +210,7 @@ def streaming_top_k(
     k: int = 1,
     block_size: int = 256,
     registry: Optional[MetricsRegistry] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-source top-k targets and their scores, streamed by row blocks.
 
@@ -130,27 +230,84 @@ def streaming_top_k(
     unalignable instead of trusting the ids; the serving layer's
     :class:`~repro.serving.QueryEngine` surfaces them as
     ``aligned: false`` with the ``-inf`` entries dropped.
+
+    ``workers >= 1`` scores blocks in a process pool (embeddings travel
+    through shared memory); results are bit-identical to ``workers=0``.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    _check_layers(source_embeddings, target_embeddings, layer_weights)
     n_source = source_embeddings[0].shape[0]
     n_target = target_embeddings[0].shape[0]
     k = min(k, n_target)
+    ranges = _block_ranges(n_source, block_size)
+    if registry is None:
+        registry = get_registry()
+    workers = resolve_workers(workers)
+    weights = tuple(float(w) for w in layer_weights)
     all_targets = np.empty((n_source, k), dtype=np.int64)
     all_scores = np.empty((n_source, k))
     with get_tracer().span("streaming.top_k", k=k, n_source=n_source):
-        for rows, block in iter_score_blocks(
-            source_embeddings, target_embeddings, layer_weights, block_size,
-            registry=registry,
-        ):
-            # argpartition then sort the k winners per row.
-            top = np.argpartition(block, -k, axis=1)[:, -k:]
-            row_index = np.arange(block.shape[0])[:, None]
-            order = np.argsort(block[row_index, top], axis=1)[:, ::-1]
-            sorted_top = top[row_index, order]
-            all_targets[rows.start : rows.stop] = sorted_top
-            all_scores[rows.start : rows.stop] = block[row_index, sorted_top]
+        if workers:
+            with SharedArrayStore(registry=registry) as store:
+                _publish_layers(store, source_embeddings, target_embeddings)
+                manifest = store.manifest()
+                pool = WorkerPool(workers, registry=registry)
+                blocks = pool.map(
+                    _top_k_block_task,
+                    [
+                        (manifest, len(weights), weights, start, stop, k)
+                        for start, stop in ranges
+                    ],
+                    labels=[f"top_k[{start}:{stop}]" for start, stop in ranges],
+                )
+            for (start, stop), (targets, scores) in zip(ranges, blocks):
+                all_targets[start:stop] = targets
+                all_scores[start:stop] = scores
+        else:
+            for start, stop in ranges:
+                block = _build_block(
+                    source_embeddings, target_embeddings, weights,
+                    start, stop, registry,
+                )
+                targets, scores = _block_top_k(block, k)
+                all_targets[start:stop] = targets
+                all_scores[start:stop] = scores
     return all_targets, all_scores
+
+
+def _block_ranks(
+    block: np.ndarray, start: int, anchors: Sequence[Tuple[int, int]]
+) -> List[int]:
+    """Pessimistic ranks of the given (source, target) anchors in a block."""
+    ranks: List[int] = []
+    for source, target in anchors:
+        row = block[source - start]
+        true_score = row[target]
+        above = int(np.count_nonzero(row > true_score))
+        tied = int(np.count_nonzero(row == true_score)) - 1
+        ranks.append(above + tied + 1)
+    return ranks
+
+
+def _evaluate_block_task(
+    manifest: Dict,
+    num_layers: int,
+    layer_weights: Tuple[float, ...],
+    start: int,
+    stop: int,
+    anchors: Tuple[Tuple[int, int], ...],
+) -> List[int]:
+    """Pool task: ranks of one block's groundtruth anchors, from shm."""
+    with AttachedArrays(manifest) as arrays:
+        block = _build_block(
+            load_embeddings(arrays, "src", num_layers),
+            load_embeddings(arrays, "tgt", num_layers),
+            layer_weights,
+            start, stop,
+            get_registry(),
+        )
+        return _block_ranks(block, start, anchors)
 
 
 def streaming_evaluate(
@@ -160,28 +317,77 @@ def streaming_evaluate(
     groundtruth: Dict[int, int],
     block_size: int = 256,
     registry: Optional[MetricsRegistry] = None,
+    workers: Optional[int] = None,
 ) -> EvaluationReport:
     """Success@{1,10} / MAP / AUC computed without materializing S.
 
     Ranks are derived per streamed block with the same pessimistic
-    tie-breaking as :func:`repro.metrics.anchor_ranks`.
+    tie-breaking as :func:`repro.metrics.anchor_ranks`.  ``workers >= 1``
+    scores blocks in a process pool; the report is bit-identical to
+    ``workers=0``.
+
+    Raises
+    ------
+    ValueError
+        If ``groundtruth`` is empty, or none of its source ids fall in
+        ``[0, n_source)`` — evaluating zero anchors would silently yield
+        NaN metrics, which always means the groundtruth belongs to a
+        different (or transposed) pair.
     """
     if not groundtruth:
         raise ValueError("groundtruth is empty")
+    _check_layers(source_embeddings, target_embeddings, layer_weights)
+    n_source = source_embeddings[0].shape[0]
     n_target = target_embeddings[0].shape[0]
-    ranks: List[int] = []
-    for rows, block in iter_score_blocks(
-        source_embeddings, target_embeddings, layer_weights, block_size,
-        registry=registry,
-    ):
-        for source in rows:
-            if source not in groundtruth:
-                continue
-            row = block[source - rows.start]
-            true_score = row[groundtruth[source]]
-            above = int(np.count_nonzero(row > true_score))
-            tied = int(np.count_nonzero(row == true_score)) - 1
-            ranks.append(above + tied + 1)
+    if not any(0 <= source < n_source for source in groundtruth):
+        keys = sorted(groundtruth)
+        raise ValueError(
+            f"no groundtruth source id falls in [0, {n_source}): got "
+            f"{len(keys)} anchors with source ids in "
+            f"[{keys[0]}, {keys[-1]}] — the groundtruth does not match "
+            "the source embeddings (wrong pair, or source/target swapped)"
+        )
+    ranges = _block_ranges(n_source, block_size)
+    anchors_per_block = [
+        tuple(
+            (source, groundtruth[source])
+            for source in range(start, stop)
+            if source in groundtruth
+        )
+        for start, stop in ranges
+    ]
+    if registry is None:
+        registry = get_registry()
+    workers = resolve_workers(workers)
+    weights = tuple(float(w) for w in layer_weights)
+    if workers:
+        with SharedArrayStore(registry=registry) as store:
+            _publish_layers(store, source_embeddings, target_embeddings)
+            manifest = store.manifest()
+            pool = WorkerPool(workers, registry=registry)
+            rank_lists = pool.map(
+                _evaluate_block_task,
+                [
+                    (manifest, len(weights), weights, start, stop, anchors)
+                    for (start, stop), anchors in zip(
+                        ranges, anchors_per_block
+                    )
+                ],
+                labels=[f"eval[{start}:{stop}]" for start, stop in ranges],
+            )
+    else:
+        rank_lists = [
+            _block_ranks(
+                _build_block(
+                    source_embeddings, target_embeddings, weights,
+                    start, stop, registry,
+                ),
+                start,
+                anchors,
+            )
+            for (start, stop), anchors in zip(ranges, anchors_per_block)
+        ]
+    ranks = [rank for block_ranks in rank_lists for rank in block_ranks]
     rank_array = np.asarray(ranks)
     negatives = max(1, n_target - 1)
     return EvaluationReport(
@@ -212,6 +418,13 @@ def streaming_find_stable_nodes(
 
     Semantics match :func:`repro.core.refine.find_stable_nodes` with a
     ``reference_scores`` aggregate (verified in tests).
+
+    Per-layer score blocks go through the same non-finite sanitization as
+    :func:`iter_score_blocks`: NaN/Inf entries become ``-inf`` (counted in
+    ``resilience.streaming_sanitized_blocks`` with the layer index in the
+    emitted event), so a poisoned embedding demotes the affected nodes to
+    "not stable" *visibly* instead of silently dropping them through NaN
+    comparisons.
     """
     if not source_embeddings:
         raise ValueError("need at least one layer of embeddings")
@@ -220,12 +433,16 @@ def streaming_find_stable_nodes(
     stable_sources: List[int] = []
     stable_targets: List[int] = []
     n_source = source_embeddings[0].shape[0]
-    for start in range(0, n_source, block_size):
+    for start, stop in _block_ranges(n_source, block_size):
         started = time.perf_counter()
-        stop = min(start + block_size, n_source)
         layer_blocks = [
-            h_source[start:stop] @ h_target.T
-            for h_source, h_target in zip(source_embeddings, target_embeddings)
+            _sanitize_block(
+                h_source[start:stop] @ h_target.T,
+                start, stop, registry, layer=layer,
+            )
+            for layer, (h_source, h_target) in enumerate(
+                zip(source_embeddings, target_embeddings)
+            )
         ]
         aggregate = None
         for block, weight in zip(layer_blocks, layer_weights):
@@ -241,9 +458,13 @@ def streaming_find_stable_nodes(
         for local in np.flatnonzero(confident & consistent):
             stable_sources.append(start + int(local))
             stable_targets.append(int(candidates[local]))
-        registry.record_time("streaming.block_time", time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        registry.record_time("streaming.block_time", elapsed)
         registry.increment("streaming.blocks")
         registry.increment("streaming.rows", stop - start)
+        get_tracer().add_event(
+            "streaming.stable_block", started, elapsed, rows=[start, stop]
+        )
     return np.asarray(stable_sources, dtype=np.int64), np.asarray(
         stable_targets, dtype=np.int64
     )

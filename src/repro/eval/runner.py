@@ -2,6 +2,15 @@
 
 Drives every reproduction experiment (Tables III-V, Figs 3-8).  The paper
 averages 50 runs; ``repeats`` scales that to the local time budget.
+
+Every (pair, method, repeat) cell is an independent task, so the runner
+fans the whole sweep out over a :class:`~repro.parallel.WorkerPool` when
+``workers >= 1``.  Method factories are often lambdas (unpicklable), so
+tasks travel as plain ``(pair, spec, repeat)`` indices and the heavy
+objects reach forked workers through the pool's context channel.  Seeds
+are derived per task exactly as the serial loops derive them and results
+are consumed in submission order, so summaries, manifest, and metrics are
+bit-identical for every worker count.
 """
 
 from __future__ import annotations
@@ -9,7 +18,7 @@ from __future__ import annotations
 import json
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,6 +26,7 @@ from ..base import AlignmentMethod
 from ..graphs import AlignmentPair
 from ..metrics import EvaluationReport, evaluate_alignment
 from ..observability import MetricsRegistry, get_registry
+from ..parallel import TaskFailure, WorkerPool, get_task_context, in_worker
 
 __all__ = ["MethodSpec", "RunRecord", "MethodSummary", "ExperimentRunner"]
 
@@ -89,6 +99,19 @@ class MethodSummary:
         }
 
 
+def _runner_task(pair_index: int, spec_index: int, repeat: int) -> Dict:
+    """Pool task: one (pair, method, repeat) cell.
+
+    Only indices are pickled; the runner, pairs, and method specs arrive
+    through the pool's fork-inherited context channel (MethodSpec
+    factories are commonly lambdas and cannot cross a pickle boundary).
+    """
+    runner, pairs, methods = get_task_context()
+    return runner._execute_run(
+        pairs[pair_index], methods[spec_index], spec_index, repeat
+    )
+
+
 class ExperimentRunner:
     """Run a roster of methods on alignment pairs with repeats.
 
@@ -111,6 +134,10 @@ class ExperimentRunner:
         error string) and the sweep continues with the remaining
         methods — run-level fault tolerance for long multi-dataset
         sweeps.  When False (default) the exception propagates.
+    workers:
+        Process-pool width for the (pair, method, repeat) fan-out;
+        0 = inline serial, ``None`` reads ``REPRO_WORKERS``.  Results
+        are bit-identical for every value.
     """
 
     def __init__(
@@ -120,6 +147,7 @@ class ExperimentRunner:
         seed: int = 0,
         registry: Optional[MetricsRegistry] = None,
         continue_on_error: bool = False,
+        workers: Optional[int] = None,
     ) -> None:
         if not 0.0 <= supervision_ratio <= 1.0:
             raise ValueError(
@@ -132,10 +160,147 @@ class ExperimentRunner:
         self.seed = seed
         self.registry = registry
         self.continue_on_error = continue_on_error
+        self.workers = workers
         self._manifest_runs: List[Dict] = []
 
     def _registry(self) -> MetricsRegistry:
         return self.registry if self.registry is not None else get_registry()
+
+    # ------------------------------------------------------------------
+    def _execute_run(
+        self,
+        pair: AlignmentPair,
+        spec: MethodSpec,
+        spec_index: int,
+        repeat: int,
+    ) -> Dict:
+        """One (pair, method, repeat) cell: build, align, evaluate.
+
+        Runs in the parent (inline) or in a pool worker; either way the
+        seeds depend only on (seed, spec_index, repeat), which is what
+        makes parallel sweeps bit-identical to serial ones.  Exceptions
+        propagate to the pool, which maps them onto ``continue_on_error``.
+        """
+        # Workers must record into the pool-installed process registry so
+        # their samples travel back and merge; the parent records straight
+        # into the runner's own sink.
+        registry = get_registry() if in_worker() else self._registry()
+        rng = np.random.default_rng(self.seed + 1000 * spec_index + repeat)
+        # One split per repeat (seeded independently of the method
+        # index so every method sees the same train/test anchors).
+        split_rng = np.random.default_rng(self.seed + repeat)
+        if self.supervision_ratio > 0.0:
+            train, test = pair.split_groundtruth(
+                self.supervision_ratio, split_rng
+            )
+        else:
+            train, test = {}, pair.groundtruth
+        method = spec.build()
+        supervision = train if method.requires_supervision and train else None
+        with registry.timed(f"runner.method.{spec.name}.wall") as wall:
+            result = method.align(pair, supervision=supervision, rng=rng)
+        # Metrics on held-out anchors only: supervised methods must not
+        # be credited for anchors they got as input.
+        report = evaluate_alignment(result.scores, test)
+        return {
+            "report": report,
+            "wall": wall.elapsed,
+            "supervised": supervision is not None,
+        }
+
+    def _run_sweep(
+        self,
+        pairs: Sequence[Tuple[str, AlignmentPair]],
+        methods: Sequence[MethodSpec],
+        verbose: bool,
+    ) -> Dict[str, Dict[str, MethodSummary]]:
+        """Shared sweep body behind :meth:`run_pair` / :meth:`run_many`.
+
+        Submission order mirrors the serial nesting (pair → method →
+        repeat) and outcomes are consumed in that same order, so manifest
+        entries, emitted events, and summaries do not depend on the
+        worker count.
+        """
+        registry = self._registry()
+        methods = list(methods)
+        tasks = [
+            (pair_index, spec_index, repeat)
+            for pair_index in range(len(pairs))
+            for spec_index in range(len(methods))
+            for repeat in range(self.repeats)
+        ]
+        labels = [
+            f"{pairs[pair_index][0]}/{methods[spec_index].name}/r{repeat}"
+            for pair_index, spec_index, repeat in tasks
+        ]
+        pool = WorkerPool(
+            self.workers,
+            context=(self, [pair for _, pair in pairs], methods),
+            registry=registry,
+        )
+        outcomes = pool.map(
+            _runner_task,
+            tasks,
+            return_exceptions=self.continue_on_error,
+            labels=labels,
+        )
+        records: Dict[Tuple[int, int], List[RunRecord]] = {}
+        for (pair_index, spec_index, repeat), outcome in zip(tasks, outcomes):
+            pair = pairs[pair_index][1]
+            spec = methods[spec_index]
+            if isinstance(outcome, TaskFailure):
+                error = outcome.error
+                registry.increment("resilience.method_failures")
+                failure_entry = {
+                    "pair": pair.name,
+                    "method": spec.name,
+                    "repeat": repeat,
+                    "error": f"{type(error).__name__}: {error}",
+                }
+                self._manifest_runs.append(failure_entry)
+                registry.emit("resilience.method_failure", failure_entry)
+                if verbose:
+                    print(f"  {spec.name} run {repeat}: FAILED ({error})")
+                continue
+            report = outcome["report"]
+            records.setdefault((pair_index, spec_index), []).append(
+                RunRecord(spec.name, report, outcome["wall"])
+            )
+            registry.increment("runner.runs")
+            registry.observe(f"runner.method.{spec.name}.map", report.map)
+            registry.observe(
+                f"runner.method.{spec.name}.success_at_1",
+                report.success_at_1,
+            )
+            run_entry = {
+                "pair": pair.name,
+                "method": spec.name,
+                "repeat": repeat,
+                "supervised": outcome["supervised"],
+                "wall_seconds": outcome["wall"],
+                "map": report.map,
+                "auc": report.auc,
+                "success_at_1": report.success_at_1,
+                "success_at_10": report.success_at_10,
+                "test_anchors": report.num_anchors,
+            }
+            self._manifest_runs.append(run_entry)
+            registry.emit("runner.run", run_entry)
+            if verbose:
+                print(f"  {spec.name} run {repeat}: {report}")
+        # continue_on_error with zero successful repeats: the method is
+        # absent from the summary table; its failures are in the manifest
+        # and the resilience.* metrics.
+        return {
+            key: {
+                spec.name: MethodSummary.from_records(
+                    spec.name, records[(pair_index, spec_index)]
+                )
+                for spec_index, spec in enumerate(methods)
+                if records.get((pair_index, spec_index))
+            }
+            for pair_index, (key, _) in enumerate(pairs)
+        }
 
     def run_pair(
         self,
@@ -144,85 +309,9 @@ class ExperimentRunner:
         verbose: bool = False,
     ) -> Dict[str, MethodSummary]:
         """Evaluate every method on one pair; returns {name: summary}."""
-        registry = self._registry()
-        results: Dict[str, MethodSummary] = {}
-        for spec_index, spec in enumerate(methods):
-            records: List[RunRecord] = []
-            for repeat in range(self.repeats):
-                rng = np.random.default_rng(
-                    self.seed + 1000 * spec_index + repeat
-                )
-                # One split per repeat (seeded independently of the method
-                # index so every method sees the same train/test anchors).
-                split_rng = np.random.default_rng(self.seed + repeat)
-                if self.supervision_ratio > 0.0:
-                    train, test = pair.split_groundtruth(
-                        self.supervision_ratio, split_rng
-                    )
-                else:
-                    train, test = {}, pair.groundtruth
-                method = spec.build()
-                supervision = (
-                    train if method.requires_supervision and train else None
-                )
-                try:
-                    with registry.timed(
-                        f"runner.method.{spec.name}.wall"
-                    ) as wall:
-                        result = method.align(
-                            pair, supervision=supervision, rng=rng
-                        )
-                    # Metrics on held-out anchors only: supervised methods
-                    # must not be credited for anchors they got as input.
-                    report = evaluate_alignment(result.scores, test)
-                except Exception as error:
-                    if not self.continue_on_error:
-                        raise
-                    registry.increment("resilience.method_failures")
-                    failure_entry = {
-                        "pair": pair.name,
-                        "method": spec.name,
-                        "repeat": repeat,
-                        "error": f"{type(error).__name__}: {error}",
-                    }
-                    self._manifest_runs.append(failure_entry)
-                    registry.emit("resilience.method_failure", failure_entry)
-                    if verbose:
-                        print(f"  {spec.name} run {repeat}: FAILED ({error})")
-                    continue
-                records.append(
-                    RunRecord(spec.name, report, wall.elapsed)
-                )
-                registry.increment("runner.runs")
-                registry.observe(f"runner.method.{spec.name}.map", report.map)
-                registry.observe(
-                    f"runner.method.{spec.name}.success_at_1",
-                    report.success_at_1,
-                )
-                run_entry = {
-                    "pair": pair.name,
-                    "method": spec.name,
-                    "repeat": repeat,
-                    "supervised": supervision is not None,
-                    "wall_seconds": wall.elapsed,
-                    "map": report.map,
-                    "auc": report.auc,
-                    "success_at_1": report.success_at_1,
-                    "success_at_10": report.success_at_10,
-                    "test_anchors": report.num_anchors,
-                }
-                self._manifest_runs.append(run_entry)
-                registry.emit("runner.run", run_entry)
-                if verbose:
-                    print(f"  {spec.name} run {repeat}: {report}")
-            # continue_on_error with zero successful repeats: the method
-            # is absent from the summary table; its failures are in the
-            # manifest and the resilience.* metrics.
-            if records:
-                results[spec.name] = MethodSummary.from_records(
-                    spec.name, records
-                )
-        return results
+        return self._run_sweep([(pair.name, pair)], methods, verbose)[
+            pair.name
+        ]
 
     def run_many(
         self,
@@ -231,10 +320,7 @@ class ExperimentRunner:
         verbose: bool = False,
     ) -> Dict[str, Dict[str, MethodSummary]]:
         """Evaluate methods on several named pairs: {pair: {method: summary}}."""
-        return {
-            name: self.run_pair(pair, methods, verbose=verbose)
-            for name, pair in pairs.items()
-        }
+        return self._run_sweep(list(pairs.items()), methods, verbose)
 
     # ------------------------------------------------------------------
     def run_manifest(self) -> Dict:

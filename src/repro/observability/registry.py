@@ -79,6 +79,14 @@ class Counter:
     def snapshot(self) -> Dict[str, Any]:
         return {"kind": self.kind, "value": self.value}
 
+    def state(self) -> Dict[str, Any]:
+        """Mergeable serialized state (see :meth:`MetricsRegistry.dump_state`)."""
+        return self.snapshot()
+
+    def merge(self, state: Dict[str, Any]) -> None:
+        """Fold another counter's :meth:`state` into this one."""
+        self.increment(int(state["value"]))
+
 
 class Gauge:
     """Last observed value with running statistics over every observation."""
@@ -123,6 +131,37 @@ class Gauge:
                 "min": self.minimum if self.count else None,
                 "max": self.maximum if self.count else None,
             }
+
+    def state(self) -> Dict[str, Any]:
+        """Mergeable serialized state; raw totals, not derived stats."""
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "count": self.count,
+                "last": self.last,
+                "total": self.total,
+                "min": self.minimum if self.count else None,
+                "max": self.maximum if self.count else None,
+            }
+
+    def merge(self, state: Dict[str, Any]) -> None:
+        """Fold another gauge's :meth:`state` into this one.
+
+        Counts and totals add; min/max extend; ``last`` takes the merged
+        state's last observation (merging in submission order keeps the
+        result identical to the serial execution).
+        """
+        count = int(state["count"])
+        if not count:
+            return
+        with self._lock:
+            self.count += count
+            self.total += float(state["total"])
+            self.last = float(state["last"])
+            if state["min"] is not None and state["min"] < self.minimum:
+                self.minimum = float(state["min"])
+            if state["max"] is not None and state["max"] > self.maximum:
+                self.maximum = float(state["max"])
 
 
 class TimerStat(Gauge):
@@ -283,6 +322,50 @@ class Histogram:
                 "p99": self._quantile_locked(0.99),
             }
 
+    def state(self) -> Dict[str, Any]:
+        """Mergeable serialized state including the raw bucket counts.
+
+        The fixed bucket layout is what makes cross-process histogram
+        merging exact: two histograms with the same ``(lower, upper,
+        buckets_per_decade)`` merge by elementwise bucket addition.
+        """
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "count": self.count,
+                "total": self.total,
+                "min": self.minimum if self.count else None,
+                "max": self.maximum if self.count else None,
+                "lower": self.lower,
+                "upper": self.upper,
+                "buckets_per_decade": self.buckets_per_decade,
+                "bucket_counts": list(self.bucket_counts),
+            }
+
+    def merge(self, state: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one (exact)."""
+        layout = (
+            state["lower"], state["upper"], state["buckets_per_decade"],
+        )
+        if layout != (self.lower, self.upper, self.buckets_per_decade):
+            raise ValueError(
+                f"histogram {self.name}: cannot merge mismatched bucket "
+                f"layout {layout} into "
+                f"({self.lower}, {self.upper}, {self.buckets_per_decade})"
+            )
+        count = int(state["count"])
+        if not count:
+            return
+        with self._lock:
+            self.count += count
+            self.total += float(state["total"])
+            for index, bucket_count in enumerate(state["bucket_counts"]):
+                self.bucket_counts[index] += int(bucket_count)
+            if state["min"] is not None and state["min"] < self.minimum:
+                self.minimum = float(state["min"])
+            if state["max"] is not None and state["max"] > self.maximum:
+                self.maximum = float(state["max"])
+
 
 class Timer:
     """Context manager measuring wall time with ``time.perf_counter``.
@@ -352,8 +435,19 @@ class MetricsRegistry:
     def timer(self, name: str) -> TimerStat:
         return self._metric(name, TimerStat)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._metric(name, Histogram)
+    def histogram(self, name: str, **layout) -> Histogram:
+        """Create-or-get a histogram; ``layout`` kwargs (``lower``,
+        ``upper``, ``buckets_per_decade``) only apply on first creation."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(_validate_name(name), **layout)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a histogram"
+                )
+            return metric
 
     # -- recording shortcuts -------------------------------------------
     def increment(self, name: str, amount: int = 1) -> int:
@@ -422,6 +516,49 @@ class MetricsRegistry:
         """Drop all metrics (hooks survive)."""
         with self._lock:
             self._metrics.clear()
+
+    # -- cross-process state transfer ----------------------------------
+    def dump_state(self) -> Dict[str, Dict[str, Any]]:
+        """Serialize every metric into a mergeable, picklable state dict.
+
+        The counterpart of :meth:`merge_state`: parallel workers record
+        into a fresh registry, ship ``dump_state()`` back with their task
+        result, and the parent folds it in — so ``parallel.*``, training
+        and streaming metrics survive the process boundary.  Unlike
+        :meth:`snapshot` this includes raw internals (gauge totals,
+        histogram bucket counts), which is what makes merging exact.
+        """
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.state() for name, metric in metrics}
+
+    def merge_state(self, state: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a :meth:`dump_state` payload into this registry.
+
+        Counters add, gauge/timer counts and totals add (min/max extend,
+        ``last`` takes the merged state's), histograms add bucketwise.
+        Merging worker states in task-submission order reproduces the
+        metric values of the equivalent serial run.
+        """
+        for name, metric_state in state.items():
+            kind = metric_state.get("kind")
+            if kind == Counter.kind:
+                self.counter(name).merge(metric_state)
+            elif kind == Gauge.kind:
+                self.gauge(name).merge(metric_state)
+            elif kind == TimerStat.kind:
+                self.timer(name).merge(metric_state)
+            elif kind == Histogram.kind:
+                self.histogram(
+                    name,
+                    lower=metric_state["lower"],
+                    upper=metric_state["upper"],
+                    buckets_per_decade=metric_state["buckets_per_decade"],
+                ).merge(metric_state)
+            else:
+                raise ValueError(
+                    f"metric {name!r}: unknown kind {kind!r} in state dump"
+                )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,55 @@
+"""Parallel execution layer: the repo's single concurrency primitive.
+
+Every embarrassingly-parallel workload — grid/random hyper-parameter
+search, :class:`~repro.eval.ExperimentRunner` sweeps, the ``compare``
+CLI roster, and streamed score-block computation — schedules its work
+through :class:`WorkerPool` here instead of touching
+``multiprocessing`` directly (enforced by ``tests/test_lint.py``).
+
+Two pieces:
+
+* :mod:`~repro.parallel.pool` — the process-pool scheduler
+  (``workers=0`` → deterministic inline fallback, crash retry budget
+  surfaced as :class:`~repro.resilience.WorkerCrashError`, worker
+  metrics merged back into the parent registry).
+* :mod:`~repro.parallel.shm` — shared-memory numpy array passing, so
+  embeddings and adjacency data are published once and re-attached
+  zero-copy in workers rather than pickled per task.
+
+Parallel runs are bit-identical to serial runs by construction: per-task
+RNG seeding mirrors the serial loops exactly, results are reassembled in
+submission order, and merges use canonical stable sorts.  See
+"Parallel execution" in ``docs/architecture.md``.
+"""
+
+from .pool import (
+    WORKERS_ENV_VAR,
+    TaskFailure,
+    WorkerPool,
+    get_task_context,
+    in_worker,
+    resolve_workers,
+)
+from .shm import (
+    AttachedArrays,
+    SharedArrayStore,
+    load_embeddings,
+    load_pair,
+    publish_embeddings,
+    publish_pair,
+)
+
+__all__ = [
+    "WorkerPool",
+    "TaskFailure",
+    "resolve_workers",
+    "get_task_context",
+    "in_worker",
+    "WORKERS_ENV_VAR",
+    "SharedArrayStore",
+    "AttachedArrays",
+    "publish_pair",
+    "load_pair",
+    "publish_embeddings",
+    "load_embeddings",
+]

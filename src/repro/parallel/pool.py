@@ -1,0 +1,402 @@
+"""Process-pool work scheduler with a deterministic inline fallback.
+
+:class:`WorkerPool` is the single concurrency primitive of the repo:
+every embarrassingly-parallel fan-out site (hyper-parameter search,
+experiment sweeps, streamed score blocks) expresses its work as a list
+of picklable task argument tuples plus a module-level task function,
+and the pool runs them either
+
+* **inline** (``workers=0``, the default) — a plain serial loop in the
+  parent process, the CI-deterministic reference execution; or
+* **in a process pool** (``workers >= 1``) — a
+  ``concurrent.futures.ProcessPoolExecutor`` over the ``fork`` start
+  method, with results reassembled in submission order.
+
+Determinism contract
+--------------------
+Parallel execution is bit-identical to inline execution *by
+construction*: tasks receive explicit per-task seeds (exactly the seeds
+the serial loop would derive), share no mutable state (heavy inputs
+travel through :mod:`repro.parallel.shm` as read-only views), and the
+parent consumes results in submission order regardless of completion
+order.  Nothing about scheduling can therefore change a result.
+
+Failure semantics
+-----------------
+* An ordinary ``Exception`` raised by a task is **not** retried — it is
+  deterministic and would fail again.  It propagates to the caller (or
+  is returned as a :class:`TaskFailure` under ``return_exceptions=True``
+  for ``continue_on_error``-style consumers).
+* A worker **crash** — the pool breaking (``BrokenProcessPool``), a task
+  timeout, or a :class:`~repro.resilience.SimulatedKill` escaping a
+  worker — is retried with a fresh pool up to ``max_retries`` times,
+  then surfaced as a named
+  :class:`~repro.resilience.WorkerCrashError` listing the tasks that
+  never completed.  The pool never hangs: timeouts bound every wait.
+
+Workers record metrics into a fresh registry which travels back with
+each result and is merged into the parent registry in submission order
+(see :meth:`~repro.observability.MetricsRegistry.merge_state`), so
+counters, timers, and histograms match the serial run.  The pool itself
+contributes ``parallel.*`` metrics: task count and latency, retries,
+crashes, worker utilization, and shared-memory bytes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..observability import MetricsRegistry, get_registry, use_registry
+from ..resilience import SimulatedKill, WorkerCrashError
+
+__all__ = [
+    "WorkerPool",
+    "TaskFailure",
+    "resolve_workers",
+    "get_task_context",
+    "in_worker",
+    "WORKERS_ENV_VAR",
+]
+
+#: Environment variable giving the default worker count when a fan-out
+#: site is called with ``workers=None``.  Unset/empty → 0 (inline).
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+# Parent-side payload inherited by forked workers (never pickled): lets
+# tasks reference unpicklable objects (method factories, closures) by
+# index.  Only valid between WorkerPool.map() entry and exit.
+_task_context: Any = None
+
+
+def get_task_context() -> Any:
+    """The ``context`` object passed to the running :meth:`WorkerPool.map`.
+
+    Workers forked by the pool inherit the parent's copy-on-write memory,
+    so the context reaches them without pickling — the mechanism that
+    lets the experiment runner ship method factories (lambdas) to tasks.
+    Inline tasks see the same object directly.
+    """
+    return _task_context
+
+
+# True inside a pool worker process (set by _run_task after the fork).
+_in_worker = False
+
+
+def in_worker() -> bool:
+    """True when running inside a :class:`WorkerPool` worker process.
+
+    Fan-out sites use this to pick the right metrics sink (workers must
+    record into the pool-installed process registry so their state is
+    merged back), and :func:`resolve_workers` uses it to forbid nested
+    pools.
+    """
+    return _in_worker
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Resolve an explicit or environment-default worker count.
+
+    ``None`` reads ``REPRO_WORKERS`` (unset/empty → 0).  0 means inline
+    serial execution; platforms without the ``fork`` start method are
+    coerced to inline so results stay identical everywhere.  Inside a
+    pool worker the answer is always 0: nested process pools would fork
+    from a forked child and multiply unboundedly under ``REPRO_WORKERS``.
+    """
+    if _in_worker:
+        return 0
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers and "fork" not in multiprocessing.get_all_start_methods():
+        return 0
+    return workers
+
+
+class TaskFailure:
+    """A task's ordinary exception, returned under ``return_exceptions``.
+
+    Wraps (rather than raises) so a ``continue_on_error`` consumer can
+    record the failure for *this* task and keep the results of the rest.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+    def __repr__(self) -> str:
+        return f"TaskFailure({type(self.error).__name__}: {self.error})"
+
+
+def _run_task(fn: Callable, args: Tuple) -> Tuple[Any, dict, float, bool]:
+    """Worker-side wrapper: fresh registry, timed call, state shipped back.
+
+    Returns ``(value, registry_state, elapsed, failed)``; an ordinary
+    exception is captured as the value with ``failed=True`` so the
+    worker's metrics still reach the parent.  ``SimulatedKill`` is a
+    ``BaseException`` and escapes — the parent treats it as a crash.
+    """
+    global _in_worker
+    _in_worker = True
+    registry = MetricsRegistry()
+    failed = False
+    with use_registry(registry):
+        with registry.timed("parallel.task_time") as timer:
+            try:
+                value = fn(*args)
+            except Exception as error:
+                value = error
+                failed = True
+        registry.record_histogram("parallel.task_seconds", timer.elapsed)
+    return value, registry.dump_state(), timer.elapsed, failed
+
+
+_UNSET = object()
+
+
+class WorkerPool:
+    """Order-preserving scheduler over a process pool (or inline loop).
+
+    Parameters
+    ----------
+    workers:
+        Process count; 0 runs tasks inline in submission order, ``None``
+        reads ``REPRO_WORKERS``.
+    max_retries:
+        Crash retries per scheduling round before a
+        :class:`~repro.resilience.WorkerCrashError` is raised.
+    task_timeout:
+        Seconds a single task may run before its pool is torn down and
+        the task counts as crashed (``None`` = unbounded).
+    context:
+        Arbitrary parent-side object exposed to tasks via
+        :func:`get_task_context` (forked workers inherit it unpickled).
+    registry:
+        Metrics sink; ``None`` falls back to the process registry.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        max_retries: int = 2,
+        task_timeout: Optional[float] = None,
+        context: Any = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive, got {task_timeout}"
+            )
+        self.workers = resolve_workers(workers)
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self.context = context
+        self.registry = registry
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable,
+        tasks: Sequence[Tuple],
+        *,
+        return_exceptions: bool = False,
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[Any]:
+        """Run ``fn(*task)`` for every task; results in submission order.
+
+        ``labels`` (defaulting to task indices) name tasks in crash
+        errors and metrics events.
+        """
+        tasks = [tuple(task) for task in tasks]
+        if labels is None:
+            labels = [f"task[{index}]" for index in range(len(tasks))]
+        elif len(labels) != len(tasks):
+            raise ValueError(
+                f"got {len(labels)} labels for {len(tasks)} tasks"
+            )
+        if not tasks:
+            return []
+        global _task_context
+        previous_context = _task_context
+        _task_context = self.context
+        try:
+            if self.workers == 0:
+                return self._map_inline(fn, tasks, return_exceptions)
+            return self._map_pool(fn, tasks, list(labels), return_exceptions)
+        finally:
+            _task_context = previous_context
+
+    # ------------------------------------------------------------------
+    def _map_inline(
+        self, fn: Callable, tasks: List[Tuple], return_exceptions: bool
+    ) -> List[Any]:
+        registry = self._registry()
+        results: List[Any] = []
+        for args in tasks:
+            with registry.timed("parallel.task_time") as timer:
+                try:
+                    value = fn(*args)
+                except Exception as error:
+                    if not return_exceptions:
+                        raise
+                    value = TaskFailure(error)
+            registry.record_histogram("parallel.task_seconds", timer.elapsed)
+            registry.increment("parallel.tasks")
+            results.append(value)
+        return results
+
+    # ------------------------------------------------------------------
+    def _map_pool(
+        self,
+        fn: Callable,
+        tasks: List[Tuple],
+        labels: List[str],
+        return_exceptions: bool,
+    ) -> List[Any]:
+        registry = self._registry()
+        results: List[Any] = [_UNSET] * len(tasks)
+        states: List[Any] = [None] * len(tasks)
+        busy_seconds = 0.0
+        executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        started = time.perf_counter()
+        try:
+            rounds = 0
+            while True:
+                pending = [i for i in range(len(tasks)) if results[i] is _UNSET]
+                if not pending:
+                    break
+                if rounds > self.max_retries:
+                    self._crash_error(labels, pending, rounds)
+                if rounds:
+                    registry.increment("parallel.retries", len(pending))
+                rounds += 1
+                if executor is None:
+                    executor = self._make_executor()
+                futures = {
+                    index: executor.submit(_run_task, fn, tasks[index])
+                    for index in pending
+                }
+                crashed = False
+                for index in pending:
+                    try:
+                        value, state, elapsed, failed = futures[index].result(
+                            timeout=self.task_timeout
+                        )
+                    except concurrent.futures.TimeoutError:
+                        # The worker is stuck; the only safe move is to
+                        # tear the pool down and retry the stragglers.
+                        self._record_crash(
+                            registry, labels[index], "timeout"
+                        )
+                        executor = self._teardown(executor, kill=True)
+                        crashed = True
+                        break
+                    except BrokenProcessPool:
+                        # A worker died mid-round.  Attribution is fuzzy
+                        # (every outstanding future breaks), so all
+                        # unfinished tasks of this round are retried.
+                        self._record_crash(
+                            registry, labels[index], "broken_pool"
+                        )
+                        executor = self._teardown(executor, kill=False)
+                        crashed = True
+                        break
+                    except SimulatedKill:
+                        # The fault harness's stand-in for a worker
+                        # death: attribution is exact, the pool survives.
+                        self._record_crash(
+                            registry, labels[index], "simulated_kill"
+                        )
+                        crashed = True
+                        continue
+                    if failed:
+                        if not return_exceptions:
+                            registry.merge_state(state)
+                            raise value
+                        value = TaskFailure(value)
+                    results[index] = value
+                    states[index] = state
+                    busy_seconds += elapsed
+                if not crashed and all(
+                    result is not _UNSET for result in results
+                ):
+                    break
+        finally:
+            if executor is not None:
+                # wait=True: every future is consumed by now, so the join
+                # is immediate — and it lets the executor deregister its
+                # atexit hook instead of erroring at interpreter exit.
+                executor.shutdown(wait=True, cancel_futures=True)
+        wall = time.perf_counter() - started
+        # Merge worker registries in submission order so gauges/timers
+        # end up exactly as the serial loop would have left them.
+        for index, state in enumerate(states):
+            if state is not None:
+                registry.merge_state(state)
+            if results[index] is not _UNSET:
+                registry.increment("parallel.tasks")
+        if wall > 0:
+            registry.observe(
+                "parallel.worker_utilization",
+                busy_seconds / (self.workers * wall),
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _make_executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+
+    def _teardown(self, executor, kill: bool) -> None:
+        if kill:
+            # A timed-out worker will not drain its queue; terminate the
+            # processes so shutdown cannot block behind the stuck task.
+            for process in list(
+                getattr(executor, "_processes", {}).values()
+            ):
+                process.terminate()
+        executor.shutdown(wait=False, cancel_futures=True)
+        return None
+
+    def _record_crash(
+        self, registry: MetricsRegistry, label: str, kind: str
+    ) -> None:
+        registry.increment("parallel.worker_crashes")
+        registry.emit("parallel.worker_crash", {"task": label, "kind": kind})
+
+    def _crash_error(
+        self, labels: List[str], pending: List[int], attempts: int
+    ) -> None:
+        failed = [labels[index] for index in pending]
+        raise WorkerCrashError(
+            f"worker pool gave up after {attempts} attempts; "
+            f"{len(failed)} task(s) never completed: "
+            + ", ".join(failed[:8])
+            + ("..." if len(failed) > 8 else ""),
+            tasks=failed,
+            attempts=attempts,
+        )

@@ -1,0 +1,250 @@
+"""Shared-memory numpy array passing for parallel workers.
+
+Pickling a multi-megabyte embedding or adjacency matrix into every task
+message would erase the gains of a process pool.  Instead, the parent
+publishes each array once into a POSIX shared-memory block
+(:mod:`multiprocessing.shared_memory`) and hands workers a tiny
+*manifest* — ``{name: {shm, dtype, shape}}`` — from which the worker
+re-attaches a zero-copy read-only numpy view.
+
+Lifecycle contract
+------------------
+* The parent owns every block: :class:`SharedArrayStore` is a context
+  manager whose exit closes **and unlinks** the segments.  Workers only
+  ever ``close()`` their attachments (via :class:`AttachedArrays`), never
+  unlink.
+* Views are exposed read-only on both sides.  Workers computing on
+  shared inputs must treat them as immutable — an accidental in-place
+  write would corrupt sibling tasks, so numpy is told to refuse it.
+* Published bytes are counted in the ``parallel.shm_bytes`` counter of
+  the parent registry.
+
+Domain helpers (:func:`publish_pair` / :func:`load_pair`,
+:func:`publish_embeddings` / :func:`load_embeddings`) map the repo's two
+heavy payloads — alignment pairs (CSR adjacency + attributes +
+groundtruth) and per-layer embedding lists — onto plain array bundles.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs import AlignmentPair, AttributedGraph
+from ..observability import MetricsRegistry, get_registry
+
+__all__ = [
+    "SharedArrayStore",
+    "AttachedArrays",
+    "publish_pair",
+    "load_pair",
+    "publish_embeddings",
+    "load_embeddings",
+]
+
+
+class SharedArrayStore:
+    """Parent-side owner of named arrays published into shared memory.
+
+    Example
+    -------
+    >>> with SharedArrayStore() as store:                # doctest: +SKIP
+    ...     store.put("embeddings.0", h0)
+    ...     pool.map(task, [(store.manifest(), i) for i in ...])
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._blocks: Dict[str, shared_memory.SharedMemory] = {}
+        self._entries: Dict[str, Dict] = {}
+        self.registry = registry
+        self._closed = False
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def put(self, name: str, array: np.ndarray) -> None:
+        """Copy ``array`` into a fresh shared-memory block under ``name``."""
+        if self._closed:
+            raise RuntimeError("SharedArrayStore is closed")
+        if name in self._entries:
+            raise ValueError(f"array {name!r} already published")
+        array = np.ascontiguousarray(array)
+        block = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes)
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[...] = array
+        self._blocks[name] = block
+        self._entries[name] = {
+            "shm": block.name,
+            "dtype": str(array.dtype),
+            "shape": tuple(array.shape),
+        }
+        self._registry().increment("parallel.shm_bytes", int(array.nbytes))
+        self._registry().increment("parallel.shm_arrays")
+
+    def manifest(self) -> Dict[str, Dict]:
+        """Picklable ``{name: {shm, dtype, shape}}`` description."""
+        return {name: dict(entry) for name, entry in self._entries.items()}
+
+    def get(self, name: str) -> np.ndarray:
+        """Parent-side read-only view of a published array."""
+        entry = self._entries[name]
+        block = self._blocks[name]
+        view = np.ndarray(
+            entry["shape"], dtype=np.dtype(entry["dtype"]), buffer=block.buf
+        )
+        view.flags.writeable = False
+        return view
+
+    def close(self) -> None:
+        """Close and unlink every block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for block in self._blocks.values():
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:
+                continue  # already unlinked (e.g. by a dying tracker)
+        self._blocks.clear()
+        self._entries.clear()
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        self.close()
+
+
+class AttachedArrays:
+    """Worker-side zero-copy attachment of a :class:`SharedArrayStore` manifest.
+
+    A context manager: views are valid inside the block; exit closes the
+    attachments (never unlinks — the parent owns the segments).
+    """
+
+    def __init__(self, manifest: Dict[str, Dict]) -> None:
+        self._manifest = manifest
+        self._blocks: List[shared_memory.SharedMemory] = []
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def __enter__(self) -> "AttachedArrays":
+        for name, entry in self._manifest.items():
+            block = shared_memory.SharedMemory(name=entry["shm"])
+            view = np.ndarray(
+                tuple(entry["shape"]),
+                dtype=np.dtype(entry["dtype"]),
+                buffer=block.buf,
+            )
+            view.flags.writeable = False
+            self._blocks.append(block)
+            self._arrays[name] = view
+        return self
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def keys(self):
+        return self._arrays.keys()
+
+    def __exit__(self, *exc_info) -> None:
+        self._arrays.clear()
+        for block in self._blocks:
+            block.close()
+        self._blocks.clear()
+
+
+# ----------------------------------------------------------------------
+# Domain payloads: alignment pairs and per-layer embedding lists
+# ----------------------------------------------------------------------
+def _publish_graph(store: SharedArrayStore, prefix: str, graph) -> None:
+    adjacency = graph.adjacency.tocsr()
+    store.put(f"{prefix}.adj.data", adjacency.data)
+    store.put(f"{prefix}.adj.indices", adjacency.indices)
+    store.put(f"{prefix}.adj.indptr", adjacency.indptr)
+    store.put(f"{prefix}.features", graph.features)
+
+
+def _load_graph(arrays: AttachedArrays, prefix: str, n: int) -> AttributedGraph:
+    adjacency = sp.csr_matrix(
+        (
+            arrays[f"{prefix}.adj.data"],
+            arrays[f"{prefix}.adj.indices"],
+            arrays[f"{prefix}.adj.indptr"],
+        ),
+        shape=(n, n),
+        copy=False,
+    )
+    # The published matrix came out of a canonical CSR; declaring that
+    # stops scipy from trying to sort/dedupe in-place on read-only views.
+    adjacency.has_sorted_indices = True
+    adjacency.has_canonical_format = True
+    # Bypass __init__: the published adjacency is already symmetric,
+    # binary, and loop-free (it came out of an AttributedGraph), and
+    # __init__ would both copy it and write into the read-only buffers.
+    graph = AttributedGraph.__new__(AttributedGraph)
+    graph._adj = adjacency
+    graph._features = arrays[f"{prefix}.features"]
+    graph._labels = None
+    return graph
+
+
+def publish_pair(store: SharedArrayStore, pair: AlignmentPair) -> Dict:
+    """Publish a pair's heavy arrays; returns a picklable pair handle.
+
+    The handle carries the shm manifest plus the scalar metadata
+    (sizes, name) and the groundtruth as two int arrays, so a worker's
+    :func:`load_pair` rebuilds an equivalent ``AlignmentPair`` without
+    the adjacency/attribute matrices ever being pickled.
+    """
+    _publish_graph(store, "pair.source", pair.source)
+    _publish_graph(store, "pair.target", pair.target)
+    anchors = sorted(pair.groundtruth.items())
+    store.put(
+        "pair.gt.sources", np.asarray([a for a, _ in anchors], dtype=np.int64)
+    )
+    store.put(
+        "pair.gt.targets", np.asarray([b for _, b in anchors], dtype=np.int64)
+    )
+    return {
+        "manifest": store.manifest(),
+        "name": pair.name,
+        "n_source": pair.source.num_nodes,
+        "n_target": pair.target.num_nodes,
+    }
+
+
+def load_pair(handle: Dict, arrays: AttachedArrays) -> AlignmentPair:
+    """Rebuild the pair published by :func:`publish_pair` from shm views."""
+    source = _load_graph(arrays, "pair.source", handle["n_source"])
+    target = _load_graph(arrays, "pair.target", handle["n_target"])
+    groundtruth = {
+        int(a): int(b)
+        for a, b in zip(arrays["pair.gt.sources"], arrays["pair.gt.targets"])
+    }
+    return AlignmentPair(source, target, groundtruth, name=handle["name"])
+
+
+def publish_embeddings(
+    store: SharedArrayStore,
+    prefix: str,
+    embeddings: Sequence[np.ndarray],
+) -> None:
+    """Publish a per-layer embedding list under ``prefix.<layer>``."""
+    for layer, array in enumerate(embeddings):
+        store.put(f"{prefix}.{layer}", array)
+
+
+def load_embeddings(
+    arrays: AttachedArrays, prefix: str, num_layers: int
+) -> List[np.ndarray]:
+    """Re-attach the embedding list published by :func:`publish_embeddings`."""
+    return [arrays[f"{prefix}.{layer}"] for layer in range(num_layers)]

@@ -25,6 +25,7 @@ from .errors import (
     InjectedFault,
     SimulatedKill,
     TrainingDivergedError,
+    WorkerCrashError,
 )
 from .faults import FAULT_KINDS, Fault, FaultInjector
 from .recovery import RecoveryManager
@@ -34,6 +35,7 @@ __all__ = [
     "GraphValidationError",
     "ArtifactValidationError",
     "TrainingDivergedError",
+    "WorkerCrashError",
     "InjectedFault",
     "SimulatedKill",
     "Fault",

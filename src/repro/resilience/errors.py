@@ -19,6 +19,7 @@ __all__ = [
     "GraphValidationError",
     "ArtifactValidationError",
     "TrainingDivergedError",
+    "WorkerCrashError",
     "InjectedFault",
     "SimulatedKill",
 ]
@@ -52,6 +53,22 @@ class TrainingDivergedError(RuntimeError):
     def __init__(self, message: str, attempts: int = 0) -> None:
         super().__init__(message)
         #: Number of rollback/LR-halving recoveries attempted before failing.
+        self.attempts = attempts
+
+
+class WorkerCrashError(RuntimeError):
+    """A parallel worker died (or timed out) and the retry budget ran out.
+
+    Raised by :class:`repro.parallel.WorkerPool` after ``max_retries``
+    resubmissions of the affected task(s), naming the task labels — the
+    scheduler surfaces crashes as a diagnosable error, never a hang.
+    """
+
+    def __init__(self, message: str, tasks=(), attempts: int = 0) -> None:
+        super().__init__(message)
+        #: Labels of the tasks that never completed.
+        self.tasks = tuple(tasks)
+        #: Attempts made (first run + retries) before giving up.
         self.attempts = attempts
 
 

@@ -139,6 +139,121 @@ class TestSoftmax:
         )
 
 
+class TestBackwardGuards:
+    """Every op's backward must respect ``requires_grad`` at backward time.
+
+    Toggling a leaf's ``requires_grad`` off after the graph is built is
+    the observable difference: concat/stack always guarded, but spmm,
+    threshold_mask, softmax, and log_softmax used to accumulate into the
+    (now frozen) leaf anyway.
+    """
+
+    OPS = {
+        "spmm": lambda t: spmm(
+            sp.random(4, 4, density=0.5, random_state=1, format="csr"), t
+        ),
+        "threshold_mask": lambda t: threshold_mask(t, threshold=0.5),
+        "softmax": lambda t: softmax(t),
+        "log_softmax": lambda t: log_softmax(t),
+        "concat": lambda t: concat([t, Tensor(np.ones_like(t.data))], axis=0),
+        "stack": lambda t: stack([t, Tensor(np.ones_like(t.data))], axis=0),
+    }
+
+    @pytest.mark.parametrize("name", sorted(OPS))
+    def test_no_grad_into_frozen_leaf(self, name, rng):
+        leaf = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        out = self.OPS[name](leaf).sum()
+        leaf.requires_grad = False
+        out.backward()
+        assert leaf.grad is None
+
+    @pytest.mark.parametrize("name", sorted(OPS))
+    def test_grad_flows_when_required(self, name, rng):
+        leaf = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        self.OPS[name](leaf).sum().backward()
+        assert leaf.grad is not None and leaf.grad.shape == leaf.data.shape
+
+
+class TestGradcheckCoverage:
+    """Every op exported by ``repro.autograd.ops`` passes gradcheck.
+
+    ``GRADCHECKS`` must cover ``ops.__all__`` exactly, so adding an op
+    without a finite-difference check fails this suite.
+    """
+
+    GRADCHECKS = {
+        "spmm": lambda rng: gradcheck(
+            lambda d: spmm(
+                sp.random(5, 5, density=0.5, random_state=2, format="csr"), d
+            ),
+            [Tensor(rng.normal(size=(5, 2)), requires_grad=True)],
+        ),
+        "concat": lambda rng: gradcheck(
+            lambda x, y: concat([x, y], axis=1),
+            [
+                Tensor(rng.normal(size=(2, 3)), requires_grad=True),
+                Tensor(rng.normal(size=(2, 2)), requires_grad=True),
+            ],
+        ),
+        "stack": lambda rng: gradcheck(
+            lambda x, y: stack([x, y], axis=0),
+            [
+                Tensor(rng.normal(size=(2, 2)), requires_grad=True),
+                Tensor(rng.normal(size=(2, 2)), requires_grad=True),
+            ],
+        ),
+        "row_norms": lambda rng: gradcheck(
+            row_norms,
+            [Tensor(rng.uniform(0.5, 2.0, size=(4, 3)), requires_grad=True)],
+        ),
+        "frobenius_norm": lambda rng: gradcheck(
+            frobenius_norm,
+            [Tensor(rng.uniform(0.5, 2.0, size=(3, 3)), requires_grad=True)],
+        ),
+        "normalize_rows": lambda rng: gradcheck(
+            normalize_rows,
+            [Tensor(rng.uniform(0.5, 2.0, size=(3, 4)), requires_grad=True)],
+            atol=1e-4,
+        ),
+        # Entries away from the threshold: the kink at exactly `threshold`
+        # is non-differentiable, which finite differences would straddle.
+        "threshold_mask": lambda rng: gradcheck(
+            lambda v: threshold_mask(v, threshold=0.5),
+            [
+                Tensor(
+                    np.where(
+                        rng.random((3, 4)) < 0.5,
+                        rng.uniform(0.0, 0.4, size=(3, 4)),
+                        rng.uniform(0.6, 1.0, size=(3, 4)),
+                    ),
+                    requires_grad=True,
+                )
+            ],
+        ),
+        "softmax": lambda rng: gradcheck(
+            softmax, [Tensor(rng.normal(size=(3, 4)), requires_grad=True)]
+        ),
+        "log_softmax": lambda rng: gradcheck(
+            log_softmax, [Tensor(rng.normal(size=(3, 4)), requires_grad=True)]
+        ),
+        # dropout_mask returns a constant array; differentiability means
+        # gradients flow unchanged through multiplication by the mask.
+        "dropout_mask": lambda rng: gradcheck(
+            lambda t: t * dropout_mask((3, 4), 0.4, np.random.default_rng(7)),
+            [Tensor(rng.normal(size=(3, 4)), requires_grad=True)],
+        ),
+    }
+
+    def test_covers_every_exported_op(self):
+        from repro.autograd import ops
+
+        assert set(self.GRADCHECKS) == set(ops.__all__)
+
+    @pytest.mark.parametrize("name", sorted(GRADCHECKS))
+    def test_gradcheck(self, name, rng):
+        assert self.GRADCHECKS[name](rng)
+
+
 class TestDropoutMask:
     def test_zero_rate_all_ones(self, rng):
         np.testing.assert_array_equal(dropout_mask((5, 5), 0.0, rng), np.ones((5, 5)))

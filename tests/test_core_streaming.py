@@ -194,3 +194,101 @@ class TestSanitizedRows:
         # the poisoned target is -inf for everyone, so it can never win
         assert 7 not in targets
         assert np.isfinite(scores).all()
+
+
+class TestEvaluateGroundtruthMismatch:
+    """Regression: groundtruth whose source ids all miss [0, n_source)
+    used to stream every block, collect zero ranks, and return a report
+    of silent NaN metrics (``np.mean([])``)."""
+
+    def _embeddings(self, n=10, d=4):
+        rng = np.random.default_rng(3)
+        return ([rng.standard_normal((n, d))],
+                [rng.standard_normal((n, d))])
+
+    def test_disjoint_groundtruth_raises(self):
+        source, target = self._embeddings()
+        with pytest.raises(ValueError, match=r"\[0, 10\)"):
+            streaming_evaluate(source, target, [1.0],
+                               {100: 0, 205: 1}, block_size=4)
+
+    def test_error_names_the_id_range(self):
+        source, target = self._embeddings()
+        with pytest.raises(ValueError, match=r"\[100, 205\]"):
+            streaming_evaluate(source, target, [1.0],
+                               {100: 0, 205: 1}, block_size=4)
+
+    def test_never_returns_nan_metrics(self):
+        source, target = self._embeddings()
+        try:
+            report = streaming_evaluate(source, target, [1.0], {42: 0})
+        except ValueError:
+            return
+        assert np.isfinite(report.map)  # pre-fix: NaN
+
+    def test_partially_valid_groundtruth_still_evaluates(self):
+        source, target = self._embeddings()
+        report = streaming_evaluate(source, target, [1.0],
+                                    {2: 2, 100: 0}, block_size=4)
+        assert report.num_anchors == 1
+        assert np.isfinite(report.map)
+
+
+class TestStableNodesSanitization:
+    """Regression: streaming_find_stable_nodes used to let NaN scores
+    silently drop nodes (NaN comparisons are False) with no counter, no
+    event, and no -inf sanitization."""
+
+    def _setup(self):
+        # Near-identity embeddings: every node is its own confident match.
+        n, d = 12, 12
+        base = np.eye(n, d)
+        return [base.copy(), base.copy()], [base.copy(), base.copy()]
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_nan_counted_in_sanitized_blocks(self):
+        from repro.core import streaming_find_stable_nodes
+        from repro.observability import MetricsRegistry
+
+        source, target = self._setup()
+        source[0][3] = np.nan
+        registry = MetricsRegistry()
+        events = []
+        registry.add_hook(lambda name, payload: events.append((name, payload)))
+        streaming_find_stable_nodes(source, target, [0.5, 0.5],
+                                    threshold=0.4, block_size=5,
+                                    registry=registry)
+        assert registry.counter(
+            "resilience.streaming_sanitized_blocks"
+        ).value >= 1
+        sanitized = [p for name, p in events
+                     if name == "resilience.streaming_sanitized"]
+        assert sanitized and sanitized[0]["layer"] == 0
+        assert sanitized[0]["bad_entries"] > 0
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_healthy_nodes_unaffected_by_poisoned_row(self):
+        from repro.core import streaming_find_stable_nodes
+        from repro.observability import MetricsRegistry
+
+        source, target = self._setup()
+        clean_sources, _ = streaming_find_stable_nodes(
+            source, target, [0.5, 0.5], threshold=0.4, block_size=5)
+        source[0][3] = np.nan
+        poisoned_sources, _ = streaming_find_stable_nodes(
+            source, target, [0.5, 0.5], threshold=0.4, block_size=5,
+            registry=MetricsRegistry())
+        # only the poisoned node may disappear; everyone else survives
+        assert set(poisoned_sources) >= set(clean_sources) - {3}
+
+    def test_healthy_run_counts_nothing(self):
+        from repro.core import streaming_find_stable_nodes
+        from repro.observability import MetricsRegistry
+
+        source, target = self._setup()
+        registry = MetricsRegistry()
+        streaming_find_stable_nodes(source, target, [0.5, 0.5],
+                                    threshold=0.4, registry=registry)
+        assert registry.counter(
+            "resilience.streaming_sanitized_blocks"
+        ).value == 0

@@ -75,15 +75,18 @@ class TestRunner:
         assert summary.repeats == 2
 
     def test_supervision_delivered_only_to_supervised(self, simple_pair):
+        # The probe records what it received on a class attribute — an
+        # in-process side channel, so pin workers=0 (a pool worker's
+        # mutation would never reach this process).
         SupervisedProbe.received = None
-        runner = ExperimentRunner(supervision_ratio=0.2, repeats=1)
+        runner = ExperimentRunner(supervision_ratio=0.2, repeats=1, workers=0)
         runner.run_pair(simple_pair, [MethodSpec("Probe", SupervisedProbe)])
         assert SupervisedProbe.received is not None
         assert len(SupervisedProbe.received) == round(0.2 * simple_pair.num_anchors)
 
     def test_zero_supervision_ratio(self, simple_pair):
         SupervisedProbe.received = "sentinel"
-        runner = ExperimentRunner(supervision_ratio=0.0, repeats=1)
+        runner = ExperimentRunner(supervision_ratio=0.0, repeats=1, workers=0)
         runner.run_pair(simple_pair, [MethodSpec("Probe", SupervisedProbe)])
         assert SupervisedProbe.received is None
 

@@ -87,3 +87,29 @@ class TestRandomSearch:
                 pair, {"gamma": lambda rng: 0.8}, num_samples=0,
                 base_config=FAST,
             )
+
+
+class TestDeterministicRanking:
+    """Regression: ties on the target metric used to keep evaluation
+    order, so the ranking depended on grid enumeration instead of being
+    a pure function of the candidate set."""
+
+    def test_ties_broken_by_canonical_overrides_key(self, pair):
+        # max_recoveries never triggers on a healthy deterministic run,
+        # so all three candidates score identically — a guaranteed tie.
+        results = grid_search(
+            pair, {"max_recoveries": [3, 1, 2]}, base_config=FAST
+        )
+        assert len({r.metric_value for r in results}) == 1
+        assert [r.overrides["max_recoveries"] for r in results] == [1, 2, 3]
+
+    def test_random_search_ties_ranked_canonically(self, pair):
+        draws = iter([5, 3, 4])
+        results = random_search(
+            pair,
+            {"max_recoveries": lambda rng: next(draws)},
+            num_samples=3,
+            base_config=FAST,
+        )
+        assert len({r.metric_value for r in results}) == 1
+        assert [r.overrides["max_recoveries"] for r in results] == [3, 4, 5]

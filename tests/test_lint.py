@@ -22,6 +22,15 @@ lint bans ``time.time()`` calls and ``from time import time`` imports
 under ``src/repro``.  True wall-clock timestamps (run manifests, file
 metadata) are allowed when the line carries an explicit
 ``# wall-clock: <reason>`` comment.
+
+Concurrency hygiene
+-------------------
+``repro.parallel`` is the repo's single concurrency primitive: its pool
+guarantees deterministic results, crash retries, and metric merging.  Ad
+hoc ``multiprocessing.Pool``/``Process``, raw ``os.fork()``, or direct
+``ProcessPoolExecutor`` use anywhere else under ``src/repro`` would
+bypass all three guarantees, so the lint bans them outside
+``src/repro/parallel``.
 """
 
 import ast
@@ -108,6 +117,57 @@ def _wall_clock_violations(path, label=None):
     return found
 
 
+#: Constructs that must only appear inside repro.parallel.
+_POOL_NAMES = {"Pool", "Process", "ProcessPoolExecutor"}
+_POOL_MODULES = {
+    "multiprocessing",
+    "multiprocessing.pool",
+    "concurrent.futures",
+    "concurrent.futures.process",
+}
+
+
+def _concurrency_violations(path, label=None):
+    label = label if label is not None else str(path)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module in _POOL_MODULES:
+                for alias in node.names:
+                    if alias.name in _POOL_NAMES:
+                        found.append(
+                            f"{label}:{node.lineno}: 'from {node.module} "
+                            f"import {alias.name}' — schedule work through "
+                            "repro.parallel.WorkerPool instead"
+                        )
+        elif isinstance(node, ast.Attribute):
+            if (
+                node.attr in _POOL_NAMES
+                and isinstance(node.value, ast.Name)
+                and node.value.id in ("multiprocessing", "mp")
+            ):
+                found.append(
+                    f"{label}:{node.lineno}: multiprocessing.{node.attr} — "
+                    "schedule work through repro.parallel.WorkerPool instead"
+                )
+            elif (
+                node.attr == "fork"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "os"
+            ):
+                found.append(
+                    f"{label}:{node.lineno}: raw os.fork() — worker "
+                    "processes belong to repro.parallel.WorkerPool"
+                )
+            elif node.attr == "ProcessPoolExecutor":
+                found.append(
+                    f"{label}:{node.lineno}: ProcessPoolExecutor — "
+                    "schedule work through repro.parallel.WorkerPool instead"
+                )
+    return found
+
+
 def test_source_tree_exists():
     assert SRC_ROOT.is_dir(), f"expected library sources at {SRC_ROOT}"
     assert list(SRC_ROOT.rglob("*.py")), "no python modules found to lint"
@@ -173,6 +233,55 @@ def test_no_wall_clock_timing():
         f"annotate genuine timestamps with '{_WALL_CLOCK_MARKER} <reason>'):"
         "\n" + "\n".join(violations)
     )
+
+
+def test_no_ad_hoc_concurrency():
+    parallel_pkg = SRC_ROOT / "parallel"
+    violations = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if parallel_pkg in path.parents:
+            continue
+        violations.extend(
+            _concurrency_violations(
+                path, label=str(path.relative_to(SRC_ROOT.parent))
+            )
+        )
+    assert not violations, (
+        "ad hoc concurrency in src/repro (use repro.parallel.WorkerPool — "
+        "it is the only place allowed to own worker processes):\n"
+        + "\n".join(violations)
+    )
+
+
+def test_concurrency_lint_catches_mp_pool(tmp_path):
+    sample = tmp_path / "bad.py"
+    sample.write_text("import multiprocessing\np = multiprocessing.Pool(4)\n")
+    assert any("multiprocessing.Pool" in v
+               for v in _concurrency_violations(sample))
+
+
+def test_concurrency_lint_catches_raw_fork(tmp_path):
+    sample = tmp_path / "bad.py"
+    sample.write_text("import os\npid = os.fork()\n")
+    assert any("os.fork()" in v for v in _concurrency_violations(sample))
+
+
+def test_concurrency_lint_catches_executor_import(tmp_path):
+    sample = tmp_path / "bad.py"
+    sample.write_text(
+        "from concurrent.futures import ProcessPoolExecutor\n"
+    )
+    assert any("ProcessPoolExecutor" in v
+               for v in _concurrency_violations(sample))
+
+
+def test_concurrency_lint_allows_worker_pool(tmp_path):
+    sample = tmp_path / "ok.py"
+    sample.write_text(
+        "from repro.parallel import WorkerPool\n"
+        "results = WorkerPool(2).map(len, [('a',)])\n"
+    )
+    assert not _concurrency_violations(sample)
 
 
 def test_wall_clock_lint_catches_call(tmp_path):

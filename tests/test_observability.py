@@ -498,3 +498,96 @@ class TestMetricsTable:
         assert "histogram" in text
         # None stats render as placeholders, never as a fake number
         assert "None" not in text
+
+
+class TestMetricStateMerge:
+    """Cross-process state transfer: state()/merge() and the registry
+    dump_state()/merge_state() pair used by repro.parallel workers."""
+
+    def test_counter_merge_adds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.increment("c", 3)
+        b.increment("c", 4)
+        a.counter("c").merge(b.counter("c").state())
+        assert a.counter("c").value == 7
+
+    def test_gauge_merge_matches_serial(self):
+        serial = MetricsRegistry()
+        for value in (1.0, 5.0, 2.0, 4.0):
+            serial.observe("g", value)
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.observe("g", 1.0)
+        parent.observe("g", 5.0)
+        worker.observe("g", 2.0)
+        worker.observe("g", 4.0)
+        parent.gauge("g").merge(worker.gauge("g").state())
+        assert parent.gauge("g").snapshot() == serial.gauge("g").snapshot()
+
+    def test_empty_gauge_merge_is_noop(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.observe("g", 2.5)
+        before = parent.gauge("g").snapshot()
+        parent.gauge("g").merge(worker.gauge("g").state())
+        assert parent.gauge("g").snapshot() == before
+
+    def test_timer_merge_accumulates_total(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.record_time("t", 0.5)
+        worker.record_time("t", 1.5)
+        parent.timer("t").merge(worker.timer("t").state())
+        assert parent.timer("t").count == 2
+        assert parent.timer("t").total == pytest.approx(2.0)
+        assert parent.timer("t").last == pytest.approx(1.5)
+
+    def test_histogram_merge_is_exact(self):
+        serial = MetricsRegistry()
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        samples = [0.001, 0.02, 0.3, 4.0, 0.0007]
+        for value in samples:
+            serial.record_histogram("h", value)
+        for value in samples[:2]:
+            parent.record_histogram("h", value)
+        for value in samples[2:]:
+            worker.record_histogram("h", value)
+        parent.histogram("h").merge(worker.histogram("h").state())
+        assert parent.histogram("h").snapshot() == serial.histogram("h").snapshot()
+        assert (parent.histogram("h").bucket_counts
+                == serial.histogram("h").bucket_counts)
+
+    def test_histogram_layout_mismatch_rejected(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("h", lower=1e-3, upper=1e2, buckets_per_decade=3)
+        worker.record_histogram("h", 0.5)  # default layout
+        with pytest.raises(ValueError, match="bucket layout"):
+            parent.histogram("h").merge(worker.histogram("h").state())
+
+    def test_registry_roundtrip_matches_serial(self):
+        serial = MetricsRegistry()
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        for sink in (serial, parent):
+            sink.increment("runs", 2)
+            sink.observe("quality", 0.8)
+        for sink in (serial, worker):
+            sink.increment("runs", 5)
+            sink.observe("quality", 0.6)
+            sink.record_time("wall", 0.25)
+            sink.record_histogram("latency", 0.004)
+        parent.merge_state(worker.dump_state())
+        assert parent.snapshot() == serial.snapshot()
+
+    def test_merge_state_rejects_unknown_kind(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown kind"):
+            registry.merge_state({"x": {"kind": "sparkline", "value": 1}})
+
+    def test_state_is_picklable(self):
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.increment("runs")
+        registry.record_histogram("latency", 0.01)
+        registry.record_time("wall", 0.1)
+        state = registry.dump_state()
+        restored = MetricsRegistry()
+        restored.merge_state(pickle.loads(pickle.dumps(state)))
+        assert restored.snapshot() == registry.snapshot()

@@ -1,0 +1,166 @@
+"""Property test: every parallel fan-out site is bit-identical to serial.
+
+The determinism contract of :mod:`repro.parallel` says the worker count
+is *not* an input to any computation — tasks get the same explicit seeds
+the serial loop would derive, heavy inputs travel as read-only shm
+views, and results are consumed in submission order.  These tests pin
+that contract for all four wired sites (streaming top-k, streaming
+evaluation, hyper-parameter search, experiment sweeps) across seeds and
+worker counts, comparing with exact equality — not tolerances.
+
+Worker counts 1 and 4 both timeshare fine on a single-CPU container;
+the point is scheduling interleavings, not speed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GAlign, GAlignConfig
+from repro.core.streaming import streaming_evaluate, streaming_top_k
+from repro.eval import ExperimentRunner, MethodSpec, grid_search
+from repro.graphs import generators, noisy_copy_pair
+from repro.observability import MetricsRegistry
+
+WORKER_COUNTS = [0, 1, 4]
+
+FAST = GAlignConfig(epochs=6, embedding_dim=10, refinement_iterations=1, seed=0)
+
+
+def _make_pair(seed):
+    rng = np.random.default_rng(seed)
+    graph = generators.barabasi_albert(
+        36, 2, rng, feature_dim=5, feature_kind="degree"
+    )
+    return noisy_copy_pair(graph, rng, structure_noise_ratio=0.05)
+
+
+def _make_embeddings(seed, n_source=40, n_target=38, dim=7, layers=3):
+    rng = np.random.default_rng(seed)
+    src = [rng.standard_normal((n_source, dim)) for _ in range(layers)]
+    tgt = [rng.standard_normal((n_target, dim)) for _ in range(layers)]
+    return src, tgt
+
+
+@pytest.mark.parametrize("seed", [0, 11])
+def test_streaming_top_k_matches_serial(seed):
+    src, tgt = _make_embeddings(seed)
+    weights = [0.5, 1.0, 1.5]
+    baseline = streaming_top_k(
+        src, tgt, weights, k=3, block_size=16,
+        registry=MetricsRegistry(), workers=0,
+    )
+    for workers in WORKER_COUNTS[1:]:
+        targets, scores = streaming_top_k(
+            src, tgt, weights, k=3, block_size=16,
+            registry=MetricsRegistry(), workers=workers,
+        )
+        np.testing.assert_array_equal(targets, baseline[0])
+        np.testing.assert_array_equal(scores, baseline[1])
+
+
+@pytest.mark.parametrize("seed", [0, 11])
+def test_streaming_evaluate_matches_serial(seed):
+    src, tgt = _make_embeddings(seed)
+    weights = [1.0, 1.0, 2.0]
+    groundtruth = {i: (i * 3) % 38 for i in range(0, 40, 2)}
+    reports = [
+        streaming_evaluate(
+            src, tgt, weights, groundtruth, block_size=16,
+            registry=MetricsRegistry(), workers=workers,
+        )
+        for workers in WORKER_COUNTS
+    ]
+    for report in reports[1:]:
+        assert report == reports[0]
+
+
+def test_streaming_metrics_match_serial():
+    # Not just the results: the merged worker metrics must equal the
+    # serial run's (same blocks, same rows, same sanitize counts).
+    src, tgt = _make_embeddings(3)
+    src[0][4, 2] = np.nan
+    counts = {}
+    for workers in (0, 4):
+        registry = MetricsRegistry()
+        streaming_top_k(
+            src, tgt, [1.0, 1.0, 1.0], k=2, block_size=16,
+            registry=registry, workers=workers,
+        )
+        counts[workers] = (
+            registry.counter("streaming.blocks").value,
+            registry.counter("streaming.rows").value,
+            registry.counter("resilience.streaming_sanitized_blocks").value,
+        )
+    assert counts[4] == counts[0]
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_grid_search_matches_serial(seed, monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    pair = _make_pair(21)
+    grid = {"num_layers": [1, 2], "gamma": [0.6, 0.9]}
+    rankings = []
+    for workers in WORKER_COUNTS:
+        results = grid_search(
+            pair, grid, base_config=FAST, seed=seed, workers=workers
+        )
+        rankings.append(
+            [(r.overrides, r.metric_value, tuple(sorted(r.report.items())))
+             for r in results]
+        )
+    assert rankings[1] == rankings[0]
+    assert rankings[2] == rankings[0]
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_runner_sweep_matches_serial(seed):
+    pair = _make_pair(9)
+    summaries = []
+    manifests = []
+    for workers in WORKER_COUNTS:
+        runner = ExperimentRunner(
+            supervision_ratio=0.2,
+            repeats=2,
+            seed=seed,
+            registry=MetricsRegistry(),
+            workers=workers,
+        )
+        summary = runner.run_pair(
+            pair,
+            [MethodSpec("GAlign", lambda: GAlign(FAST))],
+            verbose=False,
+        )
+        summaries.append(
+            {
+                name: (s.map, s.auc, s.success_at_1, s.success_at_10,
+                       s.map_std, s.success_at_1_std, s.repeats)
+                for name, s in summary.items()
+            }
+        )
+        manifests.append(
+            [
+                {k: v for k, v in run.items() if "seconds" not in k
+                 and "wall" not in k and "time" not in k}
+                for run in runner.run_manifest()["runs"]
+            ]
+        )
+    assert summaries[1] == summaries[0]
+    assert summaries[2] == summaries[0]
+    assert manifests[1] == manifests[0]
+    assert manifests[2] == manifests[0]
+
+
+def test_env_variable_drives_default(monkeypatch):
+    # REPRO_WORKERS is the deployment knob: setting it must change only
+    # the schedule, never the numbers.
+    src, tgt = _make_embeddings(2)
+    weights = [1.0, 2.0, 1.0]
+    baseline = streaming_top_k(
+        src, tgt, weights, k=2, block_size=16, registry=MetricsRegistry()
+    )
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    targets, scores = streaming_top_k(
+        src, tgt, weights, k=2, block_size=16, registry=MetricsRegistry()
+    )
+    np.testing.assert_array_equal(targets, baseline[0])
+    np.testing.assert_array_equal(scores, baseline[1])

@@ -1,0 +1,300 @@
+"""Unit tests for repro.parallel: WorkerPool, shared memory, crash paths.
+
+Task functions live at module level so pool workers can unpickle them by
+reference.  Everything here keeps workloads tiny — the point is the
+scheduler's semantics (ordering, retries, metric merging), not speed.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import AlignmentPair, AttributedGraph
+from repro.observability import MetricsRegistry, use_registry
+from repro.parallel import (
+    WORKERS_ENV_VAR,
+    AttachedArrays,
+    SharedArrayStore,
+    TaskFailure,
+    WorkerPool,
+    get_task_context,
+    load_embeddings,
+    load_pair,
+    publish_embeddings,
+    publish_pair,
+    resolve_workers,
+)
+from repro.resilience import Fault, FaultInjector, WorkerCrashError
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    if x == 2:
+        raise ValueError(f"boom {x}")
+    return x
+
+
+def _record_and_square(x):
+    from repro.observability import get_registry
+
+    get_registry().increment("test.worker_work", x)
+    return x * x
+
+
+def _context_lookup(index):
+    return get_task_context()[index]
+
+
+def _injected_kill(injector, x):
+    # The injector arrives freshly pickled on every (re)submission, so a
+    # planned kill re-fires on every retry — a persistent crash.
+    injector.at_step(0)
+    return x
+
+
+def _kill_once(marker, x):
+    # First attempt drops a marker and dies; the retry finds it and
+    # succeeds — a transient crash.
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        FaultInjector([Fault("kill", 0)]).at_step(0)
+    return x
+
+
+def _hard_exit(x):
+    if x == 1:
+        os._exit(3)
+    return x
+
+
+def _sleep_forever(x):
+    time.sleep(60)
+    return x
+
+
+class TestResolveWorkers:
+    def test_none_without_env_is_inline(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers(None) == 0
+
+    def test_none_reads_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        assert resolve_workers(None) == 3
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            resolve_workers(-1)
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        assert resolve_workers(0) == 0
+        assert resolve_workers(2) == 2
+
+    def test_worker_processes_never_nest(self, monkeypatch):
+        from repro.parallel import pool as pool_module
+
+        monkeypatch.setattr(pool_module, "_in_worker", True)
+        assert resolve_workers(4) == 0
+
+
+class TestWorkerPoolBasics:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_results_in_submission_order(self, workers):
+        pool = WorkerPool(workers, registry=MetricsRegistry())
+        assert pool.map(_square, [(i,) for i in range(7)]) == [
+            i * i for i in range(7)
+        ]
+
+    def test_empty_tasks(self):
+        assert WorkerPool(0, registry=MetricsRegistry()).map(_square, []) == []
+
+    def test_label_count_validated(self):
+        pool = WorkerPool(0, registry=MetricsRegistry())
+        with pytest.raises(ValueError, match="labels"):
+            pool.map(_square, [(1,)], labels=["a", "b"])
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0, max_retries=-1)
+        with pytest.raises(ValueError):
+            WorkerPool(0, task_timeout=0.0)
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_context_channel(self, workers):
+        # Unpicklable payloads (here: a lambda) reach tasks by index.
+        payload = ["alpha", "beta", lambda: "unpicklable"]
+        pool = WorkerPool(
+            workers, context=payload, registry=MetricsRegistry()
+        )
+        assert pool.map(_context_lookup, [(0,), (1,)]) == ["alpha", "beta"]
+        assert get_task_context() is None  # restored after map()
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_exception_propagates(self, workers):
+        pool = WorkerPool(workers, registry=MetricsRegistry())
+        with pytest.raises(ValueError, match="boom 2"):
+            pool.map(_boom, [(i,) for i in range(4)])
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_return_exceptions_wraps(self, workers):
+        pool = WorkerPool(workers, registry=MetricsRegistry())
+        results = pool.map(
+            _boom, [(i,) for i in range(4)], return_exceptions=True
+        )
+        assert results[0] == 0 and results[1] == 1 and results[3] == 3
+        assert isinstance(results[2], TaskFailure)
+        assert isinstance(results[2].error, ValueError)
+        assert "boom" in repr(results[2])
+
+
+class TestWorkerPoolMetrics:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_task_metrics_recorded(self, workers):
+        registry = MetricsRegistry()
+        WorkerPool(workers, registry=registry).map(
+            _square, [(i,) for i in range(5)]
+        )
+        assert registry.counter("parallel.tasks").value == 5
+        assert registry.timer("parallel.task_time").count == 5
+        assert registry.histogram("parallel.task_seconds").count == 5
+
+    def test_worker_registry_state_merged(self):
+        registry = MetricsRegistry()
+        WorkerPool(2, registry=registry).map(
+            _record_and_square, [(i,) for i in range(4)]
+        )
+        # 0+1+2+3 recorded across worker processes, merged in the parent.
+        assert registry.counter("test.worker_work").value == 6
+
+    def test_utilization_observed(self):
+        registry = MetricsRegistry()
+        WorkerPool(2, registry=registry).map(_square, [(i,) for i in range(4)])
+        utilization = registry.gauge("parallel.worker_utilization").last
+        assert utilization is not None and 0.0 <= utilization <= 1.0
+
+    def test_inline_uses_process_registry_by_default(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            WorkerPool(0).map(_square, [(1,)])
+        assert registry.counter("parallel.tasks").value == 1
+
+
+class TestCrashHandling:
+    def test_simulated_kill_retries_then_named_error(self):
+        # A persistent fault: the injector travels to workers by pickle,
+        # so a fresh worker re-fires it — the retry budget must run out
+        # and surface a *named* error, never a hang.
+        registry = MetricsRegistry()
+        injector = FaultInjector([Fault("kill", 0)])
+        pool = WorkerPool(2, max_retries=2, registry=registry)
+        with pytest.raises(WorkerCrashError) as excinfo:
+            pool.map(
+                _injected_kill,
+                [(injector, 1)],
+                labels=["faulty-task"],
+            )
+        assert "faulty-task" in str(excinfo.value)
+        assert excinfo.value.tasks == ("faulty-task",)
+        assert excinfo.value.attempts == 3  # 1 try + 2 retries
+        assert registry.counter("parallel.worker_crashes").value >= 3
+
+    def test_transient_kill_recovers(self, tmp_path):
+        # Fault fires once; the retry succeeds and results stay ordered.
+        registry = MetricsRegistry()
+        marker = str(tmp_path / "fired")
+        pool = WorkerPool(2, max_retries=2, registry=registry)
+        results = pool.map(_kill_once, [(marker, 7)])
+        assert results == [7]
+        assert registry.counter("parallel.retries").value >= 1
+
+    def test_worker_death_surfaces_broken_pool(self):
+        registry = MetricsRegistry()
+        pool = WorkerPool(2, max_retries=1, registry=registry)
+        with pytest.raises(WorkerCrashError, match="never completed"):
+            pool.map(_hard_exit, [(i,) for i in range(3)])
+
+    def test_timeout_is_a_crash_not_a_hang(self):
+        registry = MetricsRegistry()
+        pool = WorkerPool(
+            1, max_retries=0, task_timeout=0.5, registry=registry
+        )
+        started = time.perf_counter()
+        with pytest.raises(WorkerCrashError):
+            pool.map(_sleep_forever, [(1,)])
+        assert time.perf_counter() - started < 30.0
+
+
+class TestSharedMemory:
+    def test_roundtrip_and_read_only(self):
+        registry = MetricsRegistry()
+        array = np.arange(12, dtype=np.float64).reshape(3, 4)
+        with SharedArrayStore(registry=registry) as store:
+            store.put("a", array)
+            view = store.get("a")
+            np.testing.assert_array_equal(view, array)
+            with pytest.raises(ValueError):
+                view[0, 0] = 99.0
+            with AttachedArrays(store.manifest()) as attached:
+                np.testing.assert_array_equal(attached["a"], array)
+                with pytest.raises(ValueError):
+                    attached["a"][0, 0] = 99.0
+        assert registry.counter("parallel.shm_bytes").value == array.nbytes
+        assert registry.counter("parallel.shm_arrays").value == 1
+
+    def test_duplicate_name_rejected(self):
+        with SharedArrayStore(registry=MetricsRegistry()) as store:
+            store.put("a", np.ones(3))
+            with pytest.raises(ValueError, match="already published"):
+                store.put("a", np.ones(3))
+
+    def test_closed_store_rejects_put(self):
+        store = SharedArrayStore(registry=MetricsRegistry())
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.put("a", np.ones(3))
+
+    def test_pair_roundtrip(self):
+        rng = np.random.default_rng(5)
+        adj = sp.random(9, 9, density=0.3, random_state=5, format="csr")
+        adj = ((adj + adj.T) > 0).astype(float)
+        pair = AlignmentPair(
+            AttributedGraph(adj, rng.standard_normal((9, 4))),
+            AttributedGraph(adj, rng.standard_normal((9, 4))),
+            {0: 1, 2: 3},
+            name="shm-pair",
+        )
+        with SharedArrayStore(registry=MetricsRegistry()) as store:
+            handle = publish_pair(store, pair)
+            with AttachedArrays(handle["manifest"]) as arrays:
+                loaded = load_pair(handle, arrays)
+                assert loaded.name == "shm-pair"
+                assert loaded.groundtruth == pair.groundtruth
+                np.testing.assert_array_equal(
+                    loaded.source.adjacency.toarray(),
+                    pair.source.adjacency.toarray(),
+                )
+                np.testing.assert_array_equal(
+                    loaded.target.features, pair.target.features
+                )
+
+    def test_embeddings_roundtrip(self):
+        rng = np.random.default_rng(6)
+        layers = [rng.standard_normal((5, 3)) for _ in range(3)]
+        with SharedArrayStore(registry=MetricsRegistry()) as store:
+            publish_embeddings(store, "emb", layers)
+            with AttachedArrays(store.manifest()) as arrays:
+                loaded = load_embeddings(arrays, "emb", 3)
+                for original, view in zip(layers, loaded):
+                    np.testing.assert_array_equal(view, original)
