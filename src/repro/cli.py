@@ -25,7 +25,12 @@ Subcommands
     multi-order embeddings into a ``repro.artifact/v1`` serving artifact.
 ``serve``
     Serve an artifact over the JSON HTTP API (``/healthz``, ``/stats``,
-    ``/query``) until interrupted.
+    ``/query``, ``/admin/reload``) until interrupted.  ``--shards N``
+    scores scatter-gather over a worker pool (bit-identical answers);
+    ``--max-pending`` bounds in-flight queries (429 beyond it).
+``reload``
+    Hot-swap the artifact of a running ``serve`` instance with zero
+    failed in-flight queries.
 ``query``
     Answer alignment queries from an artifact in-process, or against a
     running ``serve`` instance via ``--url``.
@@ -393,10 +398,42 @@ def _cmd_export_artifact(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_engine(args: argparse.Namespace, registry: MetricsRegistry):
-    from .serving import AlignmentIndex, QueryEngine, load_artifact
+def _build_engine(
+    args: argparse.Namespace,
+    registry: MetricsRegistry,
+    path: Optional[str] = None,
+):
+    """Build ``(artifact, engine)`` for ``path`` (default ``--artifact``).
 
-    artifact = load_artifact(args.artifact, registry=registry)
+    ``--shards N`` (N >= 2, serve only) swaps the single-process
+    :class:`~repro.serving.QueryEngine` for the scatter-gather
+    :class:`~repro.serving.ShardedQueryEngine` — answers are
+    bit-identical either way.
+    """
+    from .serving import (
+        AlignmentIndex,
+        QueryEngine,
+        ShardedQueryEngine,
+        load_artifact,
+    )
+
+    artifact = load_artifact(path or args.artifact, registry=registry)
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        hedge_ms = getattr(args, "hedge_ms", 0.0)
+        engine = ShardedQueryEngine.from_artifact(
+            artifact,
+            shards=shards,
+            workers=getattr(args, "shard_workers", None),
+            hedge_after_s=hedge_ms / 1e3 if hedge_ms else None,
+            target_block_size=args.block_size,
+            prune=not args.no_prune,
+            batch_size=args.batch_size,
+            max_delay_ms=args.max_delay_ms,
+            cache_size=args.cache_size,
+            registry=registry,
+        )
+        return artifact, engine
     index = AlignmentIndex.from_artifact(
         artifact,
         target_block_size=args.block_size,
@@ -416,19 +453,37 @@ def _build_engine(args: argparse.Namespace, registry: MetricsRegistry):
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
-    from .serving import AlignmentServer
+    from .serving import AlignmentServer, FrontDoor
 
     registry = MetricsRegistry()
     tracer = Tracer(enabled=bool(args.trace_out))
     artifact, engine = _build_engine(args, registry)
+
+    def builder(path: str):
+        # POST /admin/reload rebuilds with the same CLI engine options
+        # (shards, block size, cache) over the new artifact directory.
+        _, fresh = _build_engine(args, registry, path=path)
+        return fresh
+
+    front = FrontDoor(
+        engine,
+        max_pending=args.max_pending,
+        builder=builder,
+        drain_timeout_s=args.drain_timeout,
+        registry=registry,
+    )
     server = AlignmentServer(
-        engine, host=args.host, port=args.port, registry=registry
+        front, host=args.host, port=args.port, registry=registry
     )
     with use_registry(registry), use_tracer(tracer):
         server.start()
         print(f"artifact : {args.artifact} ({artifact.fingerprint})")
         print(f"serving  : {server.url}")
-        print("routes   : /healthz /stats /metrics /query  (Ctrl-C to stop)")
+        if args.shards > 1:
+            print(f"shards   : {engine.index.num_shards} "
+                  f"(workers {engine.index._pool.workers or 'inline'})")
+        print("routes   : /healthz /stats /metrics /query /admin/reload  "
+              "(Ctrl-C to stop)")
         try:
             threading.Event().wait()
         except KeyboardInterrupt:
@@ -487,6 +542,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         }
         write_bench_json(args.metrics_out, registry, run=run)
         print(f"bench: written to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_reload(args: argparse.Namespace) -> int:
+    from .serving import HTTPClient
+
+    payload = HTTPClient(args.url).reload(args.artifact)
+    print(f"reloaded : {args.artifact}")
+    print(f"finger   : {payload.get('fingerprint')}")
     return 0
 
 
@@ -728,8 +792,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-out",
                        help="write serving spans as a Chrome trace at "
                             "shutdown")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="split the target matrix into N scatter-gather "
+                            "shards (answers are bit-identical to --shards 1)")
+    serve.add_argument("--shard-workers", type=int, default=None,
+                       help="process-pool width for shard scoring; 0 = "
+                            "inline, default reads REPRO_WORKERS")
+    serve.add_argument("--hedge-ms", type=float, default=0.0,
+                       help="duplicate a shard task still pending after "
+                            "this many ms (0 disables; needs >= 2 workers)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="in-flight query bound; excess requests get "
+                            "HTTP 429 instead of queueing unboundedly")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds a hot reload waits for in-flight "
+                            "queries on the old artifact before closing it")
     add_engine_options(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    reload_cmd = commands.add_parser(
+        "reload",
+        help="hot-swap the artifact of a running serve instance",
+    )
+    reload_cmd.add_argument("--url", required=True,
+                            help="base URL of the serve instance")
+    reload_cmd.add_argument("--artifact", required=True,
+                            help="artifact directory path on the *server's* "
+                                 "filesystem")
+    reload_cmd.set_defaults(handler=_cmd_reload)
 
     query = commands.add_parser(
         "query", help="answer alignment queries from an artifact or server"

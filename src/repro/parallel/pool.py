@@ -49,7 +49,7 @@ import multiprocessing
 import os
 import time
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..observability import MetricsRegistry, get_registry, use_registry
 from ..resilience import SimulatedKill, WorkerCrashError
@@ -211,9 +211,42 @@ class WorkerPool:
         self.task_timeout = task_timeout
         self.context = context
         self.registry = registry
+        self._executor: Optional[
+            concurrent.futures.ProcessPoolExecutor
+        ] = None
 
     def _registry(self) -> MetricsRegistry:
         return self.registry if self.registry is not None else get_registry()
+
+    # ------------------------------------------------------------------
+    # Persistent mode: long-lived serving callers (the sharded query
+    # path) issue many small map() rounds; forking a fresh pool per
+    # round would dominate the latency and discard worker-side caches
+    # (shm attachments, per-shard indexes).  start()/close() keep one
+    # executor alive across map() calls; a crash mid-round still tears
+    # it down and the next round re-forks transparently.
+    def start(self) -> "WorkerPool":
+        """Keep one executor alive across map() calls (no-op inline)."""
+        if self.workers and self._executor is None:
+            self._executor = self._make_executor()
+        return self
+
+    @property
+    def persistent(self) -> bool:
+        """True between :meth:`start` and :meth:`close` (and workers > 0)."""
+        return self._executor is not None
+
+    def close(self) -> None:
+        """Shut the persistent executor down (idempotent; no-op inline)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def map(
@@ -223,11 +256,17 @@ class WorkerPool:
         *,
         return_exceptions: bool = False,
         labels: Optional[Sequence[str]] = None,
+        hedge_after_s: Optional[float] = None,
     ) -> List[Any]:
         """Run ``fn(*task)`` for every task; results in submission order.
 
         ``labels`` (defaulting to task indices) name tasks in crash
-        errors and metrics events.
+        errors and metrics events.  ``hedge_after_s`` arms request
+        hedging: any task still unanswered that many seconds after
+        submission gets a duplicate submission, and the first replica
+        to finish wins (tasks must therefore be pure — every pool task
+        in this repo already is, by the determinism contract).  Hedging
+        needs at least two workers and is ignored inline.
         """
         tasks = [tuple(task) for task in tasks]
         if labels is None:
@@ -244,7 +283,10 @@ class WorkerPool:
         try:
             if self.workers == 0:
                 return self._map_inline(fn, tasks, return_exceptions)
-            return self._map_pool(fn, tasks, list(labels), return_exceptions)
+            return self._map_pool(
+                fn, tasks, list(labels), return_exceptions,
+                hedge_after_s=hedge_after_s,
+            )
         finally:
             _task_context = previous_context
 
@@ -268,18 +310,71 @@ class WorkerPool:
         return results
 
     # ------------------------------------------------------------------
+    def _hedge(
+        self,
+        registry: MetricsRegistry,
+        executor: concurrent.futures.ProcessPoolExecutor,
+        fn: Callable,
+        tasks: List[Tuple],
+        labels: List[str],
+        futures: Dict[int, List[concurrent.futures.Future]],
+        hedge_after_s: float,
+    ) -> None:
+        """Duplicate-submit tasks still unanswered after ``hedge_after_s``.
+
+        Tail-latency insurance against one slow worker: the straggler's
+        replica lands on a free worker and whichever replica finishes
+        first supplies the result (see :meth:`_first_result`).  Safe
+        because pool tasks are pure.
+        """
+        primaries = [replicas[0] for replicas in futures.values()]
+        concurrent.futures.wait(primaries, timeout=hedge_after_s)
+        for index, replicas in futures.items():
+            if replicas[0].done():
+                continue
+            replicas.append(executor.submit(_run_task, fn, tasks[index]))
+            registry.increment("parallel.hedges")
+            registry.emit("parallel.hedge", {"task": labels[index]})
+
+    @staticmethod
+    def _first_result(
+        replicas: List[concurrent.futures.Future],
+        timeout: Optional[float],
+    ):
+        """Result of the first finished replica (hedged tasks have two).
+
+        Prefers a replica that completed cleanly over one that raised,
+        in submission order; with no hedging this degenerates to
+        ``replicas[0].result(timeout)``.
+        """
+        done, _ = concurrent.futures.wait(
+            replicas, timeout=timeout,
+            return_when=concurrent.futures.FIRST_COMPLETED,
+        )
+        if not done:
+            raise concurrent.futures.TimeoutError()
+        for future in replicas:
+            if future in done and future.exception() is None:
+                return future.result()
+        for future in replicas:
+            if future in done:
+                return future.result()
+        raise RuntimeError("unreachable: wait() returned an unknown future")
+
     def _map_pool(
         self,
         fn: Callable,
         tasks: List[Tuple],
         labels: List[str],
         return_exceptions: bool,
+        hedge_after_s: Optional[float] = None,
     ) -> List[Any]:
         registry = self._registry()
         results: List[Any] = [_UNSET] * len(tasks)
         states: List[Any] = [None] * len(tasks)
         busy_seconds = 0.0
-        executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        persistent = self._executor is not None
+        executor = self._executor
         started = time.perf_counter()
         try:
             rounds = 0
@@ -294,15 +389,22 @@ class WorkerPool:
                 rounds += 1
                 if executor is None:
                     executor = self._make_executor()
-                futures = {
-                    index: executor.submit(_run_task, fn, tasks[index])
+                    if persistent:
+                        self._executor = executor
+                futures: Dict[int, List[concurrent.futures.Future]] = {
+                    index: [executor.submit(_run_task, fn, tasks[index])]
                     for index in pending
                 }
+                if hedge_after_s is not None and self.workers > 1:
+                    self._hedge(
+                        registry, executor, fn, tasks, labels, futures,
+                        hedge_after_s,
+                    )
                 crashed = False
                 for index in pending:
                     try:
-                        value, state, elapsed, failed = futures[index].result(
-                            timeout=self.task_timeout
+                        value, state, elapsed, failed = self._first_result(
+                            futures[index], self.task_timeout
                         )
                     except concurrent.futures.TimeoutError:
                         # The worker is stuck; the only safe move is to
@@ -311,6 +413,8 @@ class WorkerPool:
                             registry, labels[index], "timeout"
                         )
                         executor = self._teardown(executor, kill=True)
+                        if persistent:
+                            self._executor = None
                         crashed = True
                         break
                     except BrokenProcessPool:
@@ -321,6 +425,8 @@ class WorkerPool:
                             registry, labels[index], "broken_pool"
                         )
                         executor = self._teardown(executor, kill=False)
+                        if persistent:
+                            self._executor = None
                         crashed = True
                         break
                     except SimulatedKill:
@@ -339,12 +445,17 @@ class WorkerPool:
                     results[index] = value
                     states[index] = state
                     busy_seconds += elapsed
-                if not crashed and all(
-                    result is not _UNSET for result in results
-                ):
-                    break
+                if not crashed:
+                    # Hedge losers that never started can be dropped;
+                    # ones already running finish harmlessly (pure
+                    # tasks) and free their worker.
+                    for replicas in futures.values():
+                        for future in replicas:
+                            future.cancel()
+                    if all(result is not _UNSET for result in results):
+                        break
         finally:
-            if executor is not None:
+            if not persistent and executor is not None:
                 # wait=True: every future is consumed by now, so the join
                 # is immediate — and it lets the executor deregister its
                 # atexit hook instead of erroring at interpreter exit.

@@ -121,7 +121,14 @@ class SharedArrayStore:
         self.close()
 
     def __del__(self) -> None:
-        self.close()
+        # GC can run this during interpreter shutdown, after the
+        # shared_memory module (or this instance's own attributes) were
+        # partially finalized; cleanup here is best-effort and must
+        # never raise, or every exit prints a spurious traceback.
+        try:
+            self.close()
+        except BaseException:
+            self._closed = True
 
 
 class AttachedArrays:

@@ -15,13 +15,22 @@ This package turns a trained model + pair into a long-lived service:
 * :mod:`~repro.serving.engine` — **QueryEngine**: microbatched scoring,
   a lock-striped LRU result cache, ``aligned: false`` surfacing for
   sanitized rows, and ``serving.*`` metrics.
+* :mod:`~repro.serving.sharded` — **ShardedIndex** /
+  **ShardedQueryEngine**: the target matrix split into block-aligned
+  row shards, scored scatter-gather on a
+  :class:`~repro.parallel.WorkerPool`, merged bit-identically to the
+  single-process index.
+* :mod:`~repro.serving.frontdoor` — **FrontDoor**: bounded admission
+  (429 :class:`OverloadedError` vs 503 closed/unhealthy) and hot
+  artifact swap with zero failed in-flight queries.
 * :mod:`~repro.serving.server` — **AlignmentServer**: stdlib-only JSON
-  HTTP API (``/healthz``, ``/stats``, ``/query``) with graceful
-  shutdown and an error→status taxonomy.
+  HTTP API (``/healthz``, ``/stats``, ``/query``, ``/admin/reload``)
+  with graceful shutdown and an error→status taxonomy.
 * :mod:`~repro.serving.client` — in-process and HTTP clients speaking
   the same payload dialect.
 
-CLI: ``repro export-artifact``, ``repro serve``, ``repro query``.
+CLI: ``repro export-artifact``, ``repro serve``, ``repro query``,
+``repro reload``.
 """
 
 from .artifact import (
@@ -33,8 +42,10 @@ from .artifact import (
 )
 from .client import HTTPClient, InProcessClient, ServingClientError
 from .engine import QueryEngine, QueryResult, StripedLRUCache
+from .frontdoor import FrontDoor, OverloadedError
 from .index import AlignmentIndex
 from .server import AlignmentServer, status_for_error
+from .sharded import ShardedIndex, ShardedQueryEngine, plan_shards
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -46,6 +57,11 @@ __all__ = [
     "QueryEngine",
     "QueryResult",
     "StripedLRUCache",
+    "ShardedIndex",
+    "ShardedQueryEngine",
+    "plan_shards",
+    "FrontDoor",
+    "OverloadedError",
     "AlignmentServer",
     "status_for_error",
     "InProcessClient",

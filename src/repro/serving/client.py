@@ -70,6 +70,15 @@ class InProcessClient:
             result.payload() for result in self.engine.query_many(queries)
         ]
 
+    def reload(self, artifact: str) -> Dict[str, Any]:
+        """Hot-swap the served artifact (front-door engines only)."""
+        reload = getattr(self.engine, "reload", None)
+        if reload is None:
+            raise ServingClientError(
+                "engine does not support hot reload; wrap it in a FrontDoor"
+            )
+        return {"status": "ok", "fingerprint": reload(artifact)}
+
 
 class HTTPClient:
     """Thin stdlib HTTP client for :class:`AlignmentServer`."""
@@ -128,3 +137,7 @@ class HTTPClient:
             ]
         }
         return self._request("/query", body=body)["results"]
+
+    def reload(self, artifact: str) -> Dict[str, Any]:
+        """POST /admin/reload — ``artifact`` is a path on the *server*."""
+        return self._request("/admin/reload", body={"artifact": artifact})

@@ -84,11 +84,12 @@ class QueryResult:
 class StripedLRUCache:
     """A bounded LRU cache split into independently-locked stripes.
 
-    Each key hashes to one stripe (an ``OrderedDict`` + ``Lock``); the
-    per-stripe capacity is ``ceil(capacity / stripes)``, so total
-    capacity is within one stripe of the requested bound while lookups
-    on different stripes proceed fully in parallel.  ``capacity=0``
-    disables caching.
+    Each key hashes to one stripe (an ``OrderedDict`` + ``Lock``).
+    Stripe limits partition ``capacity`` exactly — ``capacity // stripes``
+    entries per stripe, with the remainder spread one-per-stripe over the
+    first ``capacity % stripes`` stripes — so total residency never
+    exceeds the requested bound while lookups on different stripes
+    proceed fully in parallel.  ``capacity=0`` disables caching.
     """
 
     def __init__(
@@ -103,7 +104,13 @@ class StripedLRUCache:
             raise ValueError(f"stripes must be >= 1, got {stripes}")
         self.capacity = int(capacity)
         stripes = min(stripes, capacity) if capacity else 1
-        self._per_stripe = -(-capacity // stripes) if capacity else 0
+        base, extra = divmod(self.capacity, stripes)
+        # Per-stripe limits sum to exactly `capacity`: the old
+        # ceil(capacity / stripes) limit let total residency overshoot
+        # the documented bound by up to stripes - 1 entries.
+        self._limits = [
+            base + (1 if index < extra else 0) for index in range(stripes)
+        ]
         self._stripes = [
             (threading.Lock(), OrderedDict()) for _ in range(stripes)
         ]
@@ -112,14 +119,14 @@ class StripedLRUCache:
     def _registry(self) -> MetricsRegistry:
         return self.registry if self.registry is not None else get_registry()
 
-    def _stripe(self, key) -> Tuple[threading.Lock, OrderedDict]:
-        return self._stripes[hash(key) % len(self._stripes)]
+    def _stripe(self, key) -> int:
+        return hash(key) % len(self._stripes)
 
     def get(self, key):
         """Cached value or ``None``; counts ``serving.cache.{hits,misses}``."""
         if not self.capacity:
             return None
-        lock, entries = self._stripe(key)
+        lock, entries = self._stripes[self._stripe(key)]
         with lock:
             value = entries.get(key)
             if value is not None:
@@ -134,14 +141,22 @@ class StripedLRUCache:
     def put(self, key, value) -> None:
         if not self.capacity:
             return
-        lock, entries = self._stripe(key)
+        stripe = self._stripe(key)
+        lock, entries = self._stripes[stripe]
+        limit = self._limits[stripe]
         evicted = 0
         with lock:
-            entries[key] = value
-            entries.move_to_end(key)
-            while len(entries) > self._per_stripe:
-                entries.popitem(last=False)
-                evicted += 1
+            if key in entries:
+                entries[key] = value
+                entries.move_to_end(key)
+            else:
+                # Evict *before* inserting: an unlocked __len__ racing
+                # with this put must never observe the cache above its
+                # documented capacity, even transiently.
+                while len(entries) >= limit:
+                    entries.popitem(last=False)
+                    evicted += 1
+                entries[key] = value
         if evicted:
             self._registry().increment("serving.cache.evictions", evicted)
 

@@ -17,19 +17,32 @@ Routes
     Batch: ``{"queries": [{"source": 3, "k": 5}, ...]}`` →
     ``{"results": [...]}``; the whole batch goes through
     :meth:`QueryEngine.query_many` (one matmul per ``batch_size`` chunk).
+``POST /admin/reload``
+    Hot artifact swap: ``{"artifact": "<path>"}`` loads the artifact
+    directory (a path on the *server's* filesystem) in the handler
+    thread, atomically flips the engine, drains the old one, and
+    returns the new fingerprint.  Only available when the engine is a
+    :class:`~repro.serving.frontdoor.FrontDoor`.
 
 Error taxonomy → HTTP status
 ----------------------------
-Malformed requests (missing/non-integer params, bad JSON, invalid ``k``)
-map to **400**; unknown paths and out-of-range source ids to **404**; a
-closed engine to **503**; anything unexpected to **500**.  Every error
-body is ``{"error": <message>, "type": <exception class>}`` so clients
-can surface the library's actionable messages unchanged.
+Malformed requests (missing/wrong-typed params or fields, bad JSON,
+invalid ``k``) map to **400**; unknown paths and out-of-range source
+ids to **404**; admission-control rejection
+(:class:`~repro.serving.frontdoor.OverloadedError` — retry later) to
+**429**; a closed or unhealthy engine to **503**; anything unexpected
+to **500**.  Client-caused input can never produce a 500: every field
+is type-checked at this boundary before it reaches the engine.  Every
+error body is ``{"error": <message>, "type": <exception class>}`` so
+clients can surface the library's actionable messages unchanged.
 
 The server is a ``ThreadingHTTPServer`` (one handler thread per
 connection — exactly the concurrent-caller shape the engine's
 microbatcher coalesces) wrapped in :class:`AlignmentServer` for
-graceful startup/shutdown and context-manager use.
+graceful startup/shutdown and context-manager use.  A client that
+disconnects before reading its response is counted under
+``serving.http.client_disconnects`` and never crashes the handler
+thread or pollutes ``serving.http.errors``.
 """
 
 from __future__ import annotations
@@ -43,6 +56,7 @@ from urllib.parse import parse_qs, urlsplit
 from ..observability import MetricsRegistry, bench_payload, get_registry
 from ..resilience import ArtifactValidationError
 from .engine import QueryEngine
+from .frontdoor import OverloadedError
 
 __all__ = ["AlignmentServer", "status_for_error"]
 
@@ -53,6 +67,11 @@ def status_for_error(error: BaseException) -> int:
         return 400
     if isinstance(error, (IndexError, KeyError)):
         return 404
+    if isinstance(error, OverloadedError):
+        # Checked before RuntimeError: overload is retryable (429), a
+        # closed/unhealthy engine (503) is not — clients back off
+        # differently.
+        return 429
     if isinstance(error, RuntimeError):
         return 503
     return 500
@@ -83,6 +102,21 @@ def _parse_int(params: Dict, name: str, default: Optional[int]) -> int:
         ) from None
 
 
+def _require_int(value: Any, where: str) -> int:
+    """A JSON field that must be a real integer, not a look-alike.
+
+    ``bool`` is explicitly rejected — ``True`` passes ``isinstance(x,
+    int)`` in Python and would silently query source node 1 — as are
+    numeric strings and floats, which ``int()`` would silently coerce.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _BadRequest(
+            f"{where} must be an integer, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    return value
+
+
 class _ServingHandler(BaseHTTPRequestHandler):
     server_version = "repro-serving/1"
     protocol_version = "HTTP/1.1"
@@ -104,11 +138,18 @@ class _ServingHandler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up before reading its response.  That is
+            # their problem, not a server error: count it, drop the
+            # connection, and keep the handler thread healthy.
+            self.close_connection = True
+            self.registry.increment("serving.http.client_disconnects")
 
     def _dispatch(self, handler) -> None:
         self.registry.increment("serving.http.requests")
@@ -163,18 +204,45 @@ class _ServingHandler(BaseHTTPRequestHandler):
             f"/metrics, /query"
         )
 
-    def _handle_post(self) -> Tuple[int, Dict[str, Any]]:
-        url = urlsplit(self.path)
-        if url.path != "/query":
-            raise _UnknownRoute(
-                f"unknown POST path {url.path!r}; only /query accepts POST"
+    def _read_json_body(self) -> Dict[str, Any]:
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise _BadRequest(
+                "POST requires a Content-Length header with a JSON body"
             )
-        length = int(self.headers.get("Content-Length", 0))
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _BadRequest(
+                f"Content-Length must be an integer, got {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise _BadRequest(f"Content-Length must be >= 0, got {length}")
         raw = self.rfile.read(length) if length else b""
         try:
             body = json.loads(raw.decode("utf-8")) if raw else {}
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise _BadRequest(f"request body is not valid JSON: {error}")
+        if not isinstance(body, dict):
+            raise _BadRequest(
+                "request body must be a JSON object, got "
+                f"{type(body).__name__}"
+            )
+        return body
+
+    def _handle_post(self) -> Tuple[int, Dict[str, Any]]:
+        url = urlsplit(self.path)
+        if url.path == "/query":
+            return self._handle_post_query()
+        if url.path == "/admin/reload":
+            return self._handle_reload()
+        raise _UnknownRoute(
+            f"unknown POST path {url.path!r}; POST routes: /query, "
+            "/admin/reload"
+        )
+
+    def _handle_post_query(self) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_json_body()
         queries = body.get("queries")
         if not isinstance(queries, list) or not queries:
             raise _BadRequest(
@@ -187,9 +255,30 @@ class _ServingHandler(BaseHTTPRequestHandler):
                     f"queries[{position}] must be an object with a "
                     '"source" field'
                 )
-            pairs.append((entry["source"], entry.get("k", 1)))
+            source = _require_int(
+                entry["source"], f"queries[{position}].source"
+            )
+            k = _require_int(entry.get("k", 1), f"queries[{position}].k")
+            pairs.append((source, k))
         results = self.engine.query_many(pairs)
         return 200, {"results": [result.payload() for result in results]}
+
+    def _handle_reload(self) -> Tuple[int, Dict[str, Any]]:
+        reload = getattr(self.engine, "reload", None)
+        if reload is None:
+            raise _BadRequest(
+                "hot reload needs a front door; serve through "
+                "repro.serving.FrontDoor (repro serve does by default)"
+            )
+        body = self._read_json_body()
+        artifact = body.get("artifact")
+        if not isinstance(artifact, str) or not artifact:
+            raise _BadRequest(
+                'POST /admin/reload needs {"artifact": "<path on the '
+                "server's filesystem>\"}"
+            )
+        fingerprint = reload(artifact)
+        return 200, {"status": "ok", "fingerprint": fingerprint}
 
 
 class AlignmentServer:

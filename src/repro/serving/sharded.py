@@ -1,0 +1,357 @@
+"""Sharded scatter-gather top-k over :class:`~repro.parallel.WorkerPool`.
+
+The single-process :class:`~repro.serving.index.AlignmentIndex` scores
+every target block in one process.  At serving scale the target side is
+the big axis — millions of rows against a handful of query rows — and it
+partitions cleanly because GAlign's embeddings are static at query time:
+each shard owns a contiguous target row range and answers the same
+top-k question over its slice; the parent merges the per-shard answers.
+
+Bitwise invariance
+------------------
+Sharded answers are **bit-identical** to the single-process index for
+every shard count, including exact ties:
+
+* :func:`plan_shards` aligns every shard boundary to a
+  ``target_block_size`` multiple, so each shard's internal blocks *are*
+  a subset of the global index's blocks — same GEMM shapes over the
+  same rows produce the same bits, and the index's pruned ≡ dense
+  guarantee makes each shard's top-k candidates exact.
+* Every element of the global top-k lies inside its own shard's top-k
+  (k candidates per shard are always enough), so the gather merge —
+  the same canonical ``lexsort`` key the index uses (descending score,
+  ascending target id) over the pooled candidates — reproduces the
+  global answer, ties and all.
+
+Embeddings travel to shard workers exactly once, through the
+:mod:`repro.parallel.shm` zero-copy channel; workers cache their
+attachment and per-shard index in module state keyed by the publication
+token, so steady-state queries ship only ``(sources, k)`` per task.
+A swapped-in artifact gets a new token and the stale state is evicted,
+releasing the old segments.  With ``workers=0`` the same task function
+runs inline in the parent — the CI-deterministic reference execution.
+
+Metrics land under ``serving.sharded.*`` (scatter latency, shard count,
+per-query counters); the pool adds ``parallel.*`` (hedges, utilization).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..observability import MetricsRegistry, get_registry, get_tracer
+from ..parallel import AttachedArrays, SharedArrayStore, WorkerPool
+from ..parallel.shm import load_embeddings, publish_embeddings
+from .engine import QueryEngine
+from .index import AlignmentIndex
+
+__all__ = ["plan_shards", "ShardedIndex", "ShardedQueryEngine"]
+
+
+def plan_shards(
+    n_target: int, shards: int, block_size: int
+) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` target row ranges, one per shard.
+
+    Boundaries are aligned to ``block_size`` multiples — the invariance
+    keystone: a shard's internal score blocks then coincide exactly with
+    the global index's blocks, so per-block GEMMs are bit-identical on
+    both topologies.  ``shards`` is clamped to the block count (a shard
+    must own at least one block); block counts are spread as evenly as
+    the alignment allows.
+    """
+    if n_target < 1:
+        raise ValueError(f"n_target must be >= 1, got {n_target}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    num_blocks = -(-n_target // block_size)
+    shards = min(shards, num_blocks)
+    plan: List[Tuple[int, int]] = []
+    for shard in range(shards):
+        start = (shard * num_blocks) // shards * block_size
+        stop = min(((shard + 1) * num_blocks) // shards * block_size, n_target)
+        if stop > start:
+            plan.append((start, stop))
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Worker-side state: shm attachments and per-shard indexes are expensive
+# to rebuild, so workers cache them in module state keyed by the
+# publication token (forked workers each get their own copy; inline
+# execution shares the parent's).  Exactly one token is kept live: when
+# a new one arrives (artifact hot swap), stale attachments are closed so
+# the old segments' pages can actually be released.
+# ----------------------------------------------------------------------
+_WORKER_STATE: Dict[str, Dict] = {}
+_STATE_LOCK = threading.Lock()
+
+
+def _attach_state(manifest: Dict, token: str, num_layers: int) -> Dict:
+    with _STATE_LOCK:
+        state = _WORKER_STATE.get(token)
+        if state is None:
+            for stale in list(_WORKER_STATE):
+                _WORKER_STATE.pop(stale)["arrays"].__exit__(None, None, None)
+            arrays = AttachedArrays(manifest).__enter__()
+            state = {
+                "arrays": arrays,
+                "source": load_embeddings(arrays, "emb.source", num_layers),
+                "target": load_embeddings(arrays, "emb.target", num_layers),
+                "indexes": {},
+            }
+            _WORKER_STATE[token] = state
+        return state
+
+
+def _score_shard(
+    manifest: Dict,
+    token: str,
+    num_layers: int,
+    weights: Tuple[float, ...],
+    block_size: int,
+    start: int,
+    stop: int,
+    sources: List[int],
+    k: int,
+    prune: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One shard's top-k candidates for a query batch (a pool task).
+
+    Returns ``(targets, scores)`` with **global** target ids, shaped
+    ``(batch, min(k, stop - start))`` in canonical order.  Pure: safe to
+    hedge.
+    """
+    state = _attach_state(manifest, token, num_layers)
+    key = (start, stop, block_size)
+    index = state["indexes"].get(key)
+    if index is None:
+        index = AlignmentIndex(
+            state["source"],
+            [layer[start:stop] for layer in state["target"]],
+            weights,
+            target_block_size=block_size,
+        )
+        state["indexes"][key] = index
+    targets, scores = index.top_k(
+        np.asarray(sources, dtype=np.int64), k=k, prune=prune
+    )
+    return targets + start, scores
+
+
+class ShardedIndex:
+    """Scatter-gather drop-in for :class:`AlignmentIndex`.
+
+    Publishes both embedding sets into shared memory once, plans
+    block-aligned target shards, and answers :meth:`top_k` by fanning
+    the query batch out to per-shard scorer tasks on a persistent
+    :class:`~repro.parallel.WorkerPool` and k-way-merging the candidates
+    in the canonical order.  ``workers=0`` (or ``None`` with
+    ``REPRO_WORKERS`` unset) runs the same tasks inline.
+
+    ``hedge_after_s`` arms request hedging: a shard task still pending
+    that many seconds after scatter is duplicated onto a free worker
+    and the first replica wins (needs ``workers >= 2``).
+
+    Close (or use as a context manager) to release the pool and the
+    shared-memory segments.
+    """
+
+    def __init__(
+        self,
+        source_embeddings: Sequence[np.ndarray],
+        target_embeddings: Sequence[np.ndarray],
+        layer_weights: Sequence[float],
+        shards: int = 2,
+        target_block_size: int = 512,
+        prune: bool = True,
+        workers: Optional[int] = None,
+        hedge_after_s: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self._n_source = int(np.asarray(source_embeddings[0]).shape[0])
+        self._n_target = int(np.asarray(target_embeddings[0]).shape[0])
+        self.num_layers = len(source_embeddings)
+        self._weights = tuple(float(w) for w in layer_weights)
+        self.block_size = int(target_block_size)
+        self.prune = bool(prune)
+        self.hedge_after_s = hedge_after_s
+        self.registry = registry
+        self.plan = plan_shards(self._n_target, shards, self.block_size)
+        self._store = SharedArrayStore(registry=registry)
+        self._closed = False
+        try:
+            publish_embeddings(self._store, "emb.source", source_embeddings)
+            publish_embeddings(self._store, "emb.target", target_embeddings)
+        except Exception:
+            self._store.close()
+            raise
+        self._manifest = self._store.manifest()
+        # The first segment's kernel-assigned name is unique per publish:
+        # a hot-swapped artifact gets a fresh token, which is what evicts
+        # the workers' cached attachments to the old arrays.
+        self._token = self._manifest["emb.source.0"]["shm"]
+        self._labels = [
+            f"shard[{i}]:{a}-{e}" for i, (a, e) in enumerate(self.plan)
+        ]
+        self._pool = WorkerPool(workers, registry=registry).start()
+        # WorkerPool.map is not reentrant; concurrent query_many callers
+        # (HTTP handler threads) serialize their scatters here.
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_artifact(cls, artifact, **kwargs) -> "ShardedIndex":
+        """Sharded index over an :class:`AlignmentArtifact`'s embeddings."""
+        return cls(
+            artifact.source_embeddings,
+            artifact.target_embeddings,
+            artifact.layer_weights,
+            **kwargs,
+        )
+
+    # -- AlignmentIndex surface ----------------------------------------
+    @property
+    def n_source(self) -> int:
+        return self._n_source
+
+    @property
+    def n_target(self) -> int:
+        return self._n_target
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.plan)
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def top_k(
+        self,
+        sources,
+        k: int = 1,
+        prune: Optional[bool] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact batched top-k; bit-identical to the unsharded index."""
+        if self._closed:
+            raise RuntimeError("ShardedIndex is closed")
+        registry = self._registry()
+        sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        if sources.ndim != 1 or sources.size == 0:
+            raise ValueError(
+                f"sources must be a non-empty 1-D batch, got shape "
+                f"{sources.shape}"
+            )
+        out_of_range = (sources < 0) | (sources >= self.n_source)
+        if out_of_range.any():
+            bad = int(sources[out_of_range][0])
+            raise IndexError(
+                f"source node {bad} out of range [0, {self.n_source})"
+            )
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(k, self.n_target)
+        prune = self.prune if prune is None else bool(prune)
+
+        source_list = [int(s) for s in sources]
+        tasks = [
+            (
+                self._manifest, self._token, self.num_layers, self._weights,
+                self.block_size, start, stop, source_list, k, prune,
+            )
+            for start, stop in self.plan
+        ]
+        with self._lock:
+            with get_tracer().span(
+                "serving.sharded.scatter",
+                shards=len(tasks), batch=int(sources.size), k=k,
+            ):
+                shard_answers = self._pool.map(
+                    _score_shard, tasks, labels=self._labels,
+                    hedge_after_s=self.hedge_after_s,
+                )
+
+        all_targets = np.concatenate([t for t, _ in shard_answers], axis=1)
+        all_scores = np.concatenate([s for _, s in shard_answers], axis=1)
+        batch = all_targets.shape[0]
+        out_targets = np.empty((batch, k), dtype=np.int64)
+        out_scores = np.empty((batch, k))
+        for row in range(batch):
+            # The index's canonical tie order (descending score,
+            # ascending id) over the pooled candidates: the merge that
+            # makes the answer shard-count-invariant.
+            order = np.lexsort((all_targets[row], -all_scores[row]))[:k]
+            out_targets[row] = all_targets[row, order]
+            out_scores[row] = all_scores[row, order]
+
+        registry.increment("serving.sharded.queries", int(sources.size))
+        registry.increment("serving.sharded.scatters")
+        registry.observe("serving.sharded.shards", self.num_shards)
+        return out_targets, out_scores
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Release the pool and unlink the shared segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+        self._store.close()
+        # Inline execution cached attachments to our own (now unlinked)
+        # segments in this process; drop them so the views die with us.
+        with _STATE_LOCK:
+            state = _WORKER_STATE.pop(self._token, None)
+        if state is not None:
+            state["arrays"].__exit__(None, None, None)
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ShardedQueryEngine(QueryEngine):
+    """A :class:`QueryEngine` whose index is a :class:`ShardedIndex`.
+
+    Identical query semantics (microbatching, striped LRU, ``aligned``
+    surfacing) — the engine only sees ``index.top_k`` — plus ownership:
+    closing the engine closes the sharded index underneath it.
+    """
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact,
+        shards: int = 2,
+        workers: Optional[int] = None,
+        hedge_after_s: Optional[float] = None,
+        **kwargs,
+    ) -> "ShardedQueryEngine":
+        index_kwargs = {
+            key: kwargs.pop(key)
+            for key in ("target_block_size", "prune")
+            if key in kwargs
+        }
+        index = ShardedIndex.from_artifact(
+            artifact,
+            shards=shards,
+            workers=workers,
+            hedge_after_s=hedge_after_s,
+            registry=kwargs.get("registry"),
+            **index_kwargs,
+        )
+        kwargs.setdefault("fingerprint", artifact.fingerprint)
+        return cls(index, **kwargs)
+
+    def close(self) -> None:
+        super().close()
+        close = getattr(self.index, "close", None)
+        if close is not None:
+            close()

@@ -6,6 +6,26 @@ import pytest
 from repro.graphs import AttributedGraph, generators
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve the HTTP test fixtures through a ShardedQueryEngine "
+             "with this many target shards (1 = the single-process "
+             "QueryEngine; answers must be identical either way)",
+    )
+
+
+@pytest.fixture(scope="session")
+def serving_shards(request):
+    """Shard count for serving fixtures (the ``--shards`` option)."""
+    shards = request.config.getoption("--shards")
+    if shards < 1:
+        raise pytest.UsageError("--shards must be >= 1")
+    return shards
+
+
 @pytest.fixture
 def rng():
     """Deterministic RNG per test."""

@@ -298,3 +298,130 @@ class TestSharedMemory:
                 loaded = load_embeddings(arrays, "emb", 3)
                 for original, view in zip(layers, loaded):
                     np.testing.assert_array_equal(view, original)
+
+
+def _pid(_):
+    return os.getpid()
+
+
+def _sleep_return(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+class TestPersistentPool:
+    def test_persistent_executor_reuses_workers(self):
+        with WorkerPool(1, registry=MetricsRegistry()) as pool:
+            assert pool.persistent
+            first = pool.map(_pid, [(0,)])
+            second = pool.map(_pid, [(0,)])
+            # Same forked worker serves both rounds: the whole point of
+            # persistent mode (long-lived serving callers keep their
+            # worker-side caches warm).
+            assert first == second
+        assert not pool.persistent
+
+    def test_non_persistent_pool_forks_per_map(self):
+        pool = WorkerPool(1, registry=MetricsRegistry())
+        first = pool.map(_pid, [(0,)])
+        second = pool.map(_pid, [(0,)])
+        assert first != second
+
+    def test_inline_pool_start_is_noop(self):
+        with WorkerPool(0, registry=MetricsRegistry()) as pool:
+            assert not pool.persistent
+            assert pool.map(_square, [(3,)]) == [9]
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(1, registry=MetricsRegistry()).start()
+        pool.close()
+        pool.close()
+        # A closed persistent pool still works in per-map mode.
+        assert pool.map(_square, [(4,)]) == [16]
+
+    def test_crash_recovery_resets_persistent_executor(self, tmp_path):
+        marker = str(tmp_path / "crash-marker")
+        registry = MetricsRegistry()
+        with WorkerPool(1, max_retries=2, registry=registry) as pool:
+            assert pool.map(_kill_once, [(marker, 7)]) == [7]
+            # The replacement executor keeps serving after the crash.
+            assert pool.map(_square, [(5,)]) == [25]
+        assert registry.counter("parallel.worker_crashes").value >= 1
+
+
+class TestHedging:
+    def test_slow_task_is_hedged(self):
+        registry = MetricsRegistry()
+        with WorkerPool(2, registry=registry) as pool:
+            results = pool.map(
+                _sleep_return, [(0.0,), (0.4,)], hedge_after_s=0.05
+            )
+        assert results == [0.0, 0.4]
+        assert registry.counter("parallel.hedges").value >= 1
+
+    def test_fast_round_does_not_hedge(self):
+        registry = MetricsRegistry()
+        with WorkerPool(2, registry=registry) as pool:
+            results = pool.map(_square, [(2,), (3,)], hedge_after_s=30.0)
+        assert results == [4, 9]
+        counter = registry.counter("parallel.hedges")
+        assert counter.value == 0
+
+    def test_hedging_ignored_inline_and_single_worker(self):
+        inline = WorkerPool(0, registry=MetricsRegistry())
+        assert inline.map(_square, [(2,)], hedge_after_s=0.0) == [4]
+        solo = WorkerPool(1, registry=MetricsRegistry())
+        assert solo.map(_square, [(2,)], hedge_after_s=0.0) == [4]
+
+
+class _FinalizedBlocks:
+    """Stands in for store internals after interpreter teardown."""
+
+    def values(self):
+        raise AttributeError("module globals were cleared at shutdown")
+
+
+class TestStoreDestructor:
+    def test_del_after_close_is_silent(self):
+        store = SharedArrayStore(registry=MetricsRegistry())
+        store.put("a", np.ones(3))
+        store.close()
+        store.__del__()  # explicitly: must never raise
+
+    def test_del_with_finalized_internals_never_raises(self):
+        # Regression: __del__ used to call close() unguarded, so GC at
+        # interpreter shutdown — when shared_memory internals or the
+        # instance's own attributes may already be finalized — printed a
+        # spurious traceback on every exit.
+        store = SharedArrayStore(registry=MetricsRegistry())
+        store.put("a", np.ones(3))
+        real_blocks = dict(store._blocks)
+        store._blocks = _FinalizedBlocks()
+        try:
+            store.__del__()
+        finally:
+            for block in real_blocks.values():
+                block.close()
+                block.unlink()
+
+    def test_gc_at_exit_emits_no_traceback(self):
+        import subprocess
+        import sys
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        code = (
+            "import numpy as np\n"
+            "from repro.parallel import SharedArrayStore\n"
+            "store = SharedArrayStore()\n"
+            "store.put('a', np.ones(4))\n"
+            # no close(): the destructor runs during interpreter exit
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert result.returncode == 0
+        assert "Traceback" not in result.stderr

@@ -54,9 +54,45 @@ class TestStripedLRUCache:
         cache = StripedLRUCache(10, stripes=4, registry=registry)
         for i in range(100):
             cache.put(i, i)
-        # per-stripe cap is ceil(10/4)=3 → at most 12 retained entries
-        assert len(cache) <= 12
-        assert registry.get("serving.cache.evictions").value >= 88
+        assert len(cache) <= 10
+        assert registry.get("serving.cache.evictions").value >= 90
+
+    def test_capacity_never_overshoots(self, registry):
+        # Regression: the per-stripe limit used to be ceil(capacity /
+        # stripes), so capacity=9 over 8 stripes retained up to 16
+        # entries — total residency must respect the documented bound.
+        cache = StripedLRUCache(9, stripes=8, registry=registry)
+        for i in range(200):
+            cache.put(i, i)
+        assert len(cache) <= 9
+
+    def test_capacity_bound_under_concurrent_fill(self, registry):
+        cache = StripedLRUCache(9, stripes=8, registry=registry)
+        observed = []
+
+        def filler(offset):
+            for i in range(300):
+                cache.put((offset, i), i)
+                if i % 25 == 0:
+                    observed.append(len(cache))
+
+        threads = [threading.Thread(target=filler, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 9
+        assert max(observed) <= 9
+
+    def test_more_stripes_than_capacity(self, registry):
+        # Stripes are clamped to capacity, so no stripe gets a zero
+        # limit that would make every put a self-eviction *and* none
+        # exceeds the bound.
+        cache = StripedLRUCache(2, stripes=16, registry=registry)
+        for i in range(50):
+            cache.put(i, i)
+        assert 1 <= len(cache) <= 2
 
     def test_zero_capacity_disables(self, registry):
         cache = StripedLRUCache(0, registry=registry)

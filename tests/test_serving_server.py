@@ -13,7 +13,10 @@ blocks may drift by a few ULPs).
 """
 
 import json
+import socket
+import struct
 import threading
+import time
 import urllib.request
 
 import numpy as np
@@ -25,11 +28,15 @@ from repro.graphs import generators, noisy_copy_pair
 from repro.observability import MetricsRegistry
 from repro.resilience import ArtifactValidationError
 from repro.serving import (
+    AlignmentIndex,
     AlignmentServer,
     HTTPClient,
     InProcessClient,
+    OverloadedError,
     QueryEngine,
+    QueryResult,
     ServingClientError,
+    ShardedQueryEngine,
     export_artifact,
     load_artifact,
     status_for_error,
@@ -57,27 +64,45 @@ def trained_artifact(tmp_path_factory):
 
 
 @pytest.fixture(scope="module")
-def server(trained_artifact):
-    path, _ = trained_artifact
+def server(trained_artifact, serving_shards):
+    path, streaming_expected = trained_artifact
     registry = MetricsRegistry()
     artifact = load_artifact(path, mmap=True, registry=registry)
-    engine = QueryEngine.from_artifact(
-        artifact,
-        target_block_size=artifact.n_target,  # full width → bitwise streaming
-        batch_size=16,
-        max_delay_ms=1.0,
-        cache_size=1024,
-        registry=registry,
+    engine_kwargs = dict(
+        batch_size=16, max_delay_ms=1.0, cache_size=1024, registry=registry
     )
+    if serving_shards > 1:
+        # Shard boundaries must fall on block boundaries, so sharding
+        # implies narrower-than-full blocks; the reference answers come
+        # from an unsharded index over the *same* block partition, which
+        # the sharded engine must match bitwise.
+        block = -(-artifact.n_target // serving_shards)
+        engine = ShardedQueryEngine.from_artifact(
+            artifact, shards=serving_shards, workers=None,
+            target_block_size=block, **engine_kwargs,
+        )
+    else:
+        block = artifact.n_target  # full width → bitwise streaming
+        engine = QueryEngine.from_artifact(
+            artifact, target_block_size=block, **engine_kwargs,
+        )
+    reference = AlignmentIndex.from_artifact(
+        artifact, target_block_size=block, registry=MetricsRegistry()
+    )
+    expected = reference.top_k(np.arange(artifact.n_source), k=QUERY_K)
+    if serving_shards == 1:
+        # The acceptance anchor: a full-width index reproduces the
+        # offline streaming reference bit for bit.
+        assert np.array_equal(expected[0], streaming_expected[0])
+        assert np.array_equal(expected[1], streaming_expected[1])
     with AlignmentServer(engine, registry=registry) as server:
-        yield server, registry, artifact
+        yield server, registry, artifact, expected
 
 
 class TestEndToEnd:
-    def test_concurrent_queries_bit_identical_to_streaming(self, server,
-                                                           trained_artifact):
-        server_obj, registry, artifact = server
-        _, (expected_targets, expected_scores) = trained_artifact
+    def test_concurrent_queries_bit_identical_to_streaming(self, server):
+        server_obj, registry, artifact, expected = server
+        expected_targets, expected_scores = expected
         n_source = artifact.n_source
         threads, per_thread = 4, 140  # 560 queries total, repeats included
         payloads = [[] for _ in range(threads)]
@@ -119,9 +144,9 @@ class TestEndToEnd:
         assert "serving.query_latency_cached" in names
         assert "serving.cache.hits" in names
 
-    def test_batch_post_matches_streaming(self, server, trained_artifact):
-        server_obj, _, artifact = server
-        _, (expected_targets, expected_scores) = trained_artifact
+    def test_batch_post_matches_streaming(self, server):
+        server_obj, _, artifact, expected = server
+        expected_targets, expected_scores = expected
         client = HTTPClient(server_obj.url)
         sources = list(range(0, artifact.n_source, 7))
         results = client.query_many([(source, QUERY_K) for source in sources])
@@ -133,7 +158,7 @@ class TestEndToEnd:
                                          expected_scores[source]]
 
     def test_in_process_client_same_answers(self, server):
-        server_obj, _, _ = server
+        server_obj, _, _, _ = server
         local = InProcessClient(server_obj.engine)
         remote = HTTPClient(server_obj.url)
         local_payload = local.query(5, k=QUERY_K)
@@ -146,7 +171,7 @@ class TestEndToEnd:
 
 class TestRoutes:
     def test_healthz(self, server):
-        server_obj, _, artifact = server
+        server_obj, _, artifact, _ = server
         payload = HTTPClient(server_obj.url).healthz()
         assert payload["status"] == "ok"
         assert payload["fingerprint"] == artifact.fingerprint
@@ -154,7 +179,7 @@ class TestRoutes:
         assert payload["n_target"] == artifact.n_target
 
     def test_stats(self, server):
-        server_obj, _, _ = server
+        server_obj, _, _, _ = server
         HTTPClient(server_obj.url).query(0)
         payload = HTTPClient(server_obj.url).stats()
         assert payload["engine"]["queries"] >= 1
@@ -163,7 +188,7 @@ class TestRoutes:
     def test_metrics_endpoint_is_valid_bench_payload(self, server):
         from repro.observability import validate_bench_payload
 
-        server_obj, _, artifact = server
+        server_obj, _, artifact, _ = server
         client = HTTPClient(server_obj.url)
         client.query(0, k=QUERY_K)
         client.query(1, k=QUERY_K)
@@ -181,7 +206,7 @@ class TestRoutes:
         assert payload["metrics"]["serving.batch.size_hist"]["count"] >= 1
 
     def test_query_defaults_k_to_one(self, server):
-        server_obj, _, _ = server
+        server_obj, _, _, _ = server
         with urllib.request.urlopen(
             f"{server_obj.url}/query?source=1", timeout=10
         ) as response:
@@ -199,7 +224,7 @@ class TestErrorTaxonomy:
         ("/nope", 404),                  # unknown route
     ])
     def test_get_errors(self, server, path, status):
-        server_obj, _, _ = server
+        server_obj, _, _, _ = server
         with pytest.raises(ServingClientError) as excinfo:
             HTTPClient(server_obj.url)._request(path)
         assert excinfo.value.status == status
@@ -207,7 +232,7 @@ class TestErrorTaxonomy:
         assert excinfo.value.payload["type"]
 
     def test_post_bad_json(self, server):
-        server_obj, _, _ = server
+        server_obj, _, _, _ = server
         request = urllib.request.Request(
             f"{server_obj.url}/query", data=b"{ not json",
             headers={"Content-Type": "application/json"},
@@ -217,13 +242,13 @@ class TestErrorTaxonomy:
         assert excinfo.value.code == 400
 
     def test_post_missing_queries(self, server):
-        server_obj, _, _ = server
+        server_obj, _, _, _ = server
         with pytest.raises(ServingClientError) as excinfo:
             HTTPClient(server_obj.url)._request("/query", body={"nope": 1})
         assert excinfo.value.status == 400
 
     def test_post_unknown_route(self, server):
-        server_obj, _, _ = server
+        server_obj, _, _, _ = server
         with pytest.raises(ServingClientError) as excinfo:
             HTTPClient(server_obj.url)._request("/healthz", body={"x": 1})
         assert excinfo.value.status == 404
@@ -233,16 +258,149 @@ class TestErrorTaxonomy:
         assert status_for_error(ValueError("x")) == 400
         assert status_for_error(IndexError("x")) == 404
         assert status_for_error(KeyError("x")) == 404
+        # OverloadedError subclasses RuntimeError but must map to the
+        # retryable 429, not the unhealthy 503.
+        assert status_for_error(OverloadedError("x")) == 429
         assert status_for_error(RuntimeError("x")) == 503
         assert status_for_error(OSError("x")) == 500
 
     def test_errors_counted(self, server):
-        server_obj, registry, _ = server
+        server_obj, registry, _, _ = server
         before = registry.get("serving.http.errors")
         before = before.value if before is not None else 0
         with pytest.raises(ServingClientError):
             HTTPClient(server_obj.url)._request("/nope")
         assert registry.get("serving.http.errors").value == before + 1
+
+
+class TestPostValidation:
+    """POST /query field validation at the HTTP boundary.
+
+    Regression: these bodies used to reach ``engine.query_many``
+    untyped — a string source 500'd with a TypeError deep in numpy, a
+    float was silently truncated, and a JSON ``true`` (``isinstance(True,
+    int)``!) silently queried source node 1.  All must be a 400 naming
+    the offending field.
+    """
+
+    @pytest.mark.parametrize("source", ["3", 1.5, True, False, None, {}, [1]])
+    def test_wrong_typed_source_is_400(self, server, source):
+        server_obj, _, _, _ = server
+        with pytest.raises(ServingClientError) as excinfo:
+            HTTPClient(server_obj.url)._request(
+                "/query", body={"queries": [{"source": source, "k": 1}]}
+            )
+        assert excinfo.value.status == 400
+        assert "queries[0].source" in excinfo.value.payload["error"]
+
+    @pytest.mark.parametrize("k", ["2", 2.0, True, None, {}])
+    def test_wrong_typed_k_is_400(self, server, k):
+        server_obj, _, _, _ = server
+        with pytest.raises(ServingClientError) as excinfo:
+            HTTPClient(server_obj.url)._request(
+                "/query", body={"queries": [{"source": 1, "k": k}]}
+            )
+        assert excinfo.value.status == 400
+        assert "queries[0].k" in excinfo.value.payload["error"]
+
+    def test_bad_entry_position_is_named(self, server):
+        server_obj, _, _, _ = server
+        with pytest.raises(ServingClientError) as excinfo:
+            HTTPClient(server_obj.url)._request(
+                "/query",
+                body={"queries": [{"source": 1}, {"source": "oops"}]},
+            )
+        assert excinfo.value.status == 400
+        assert "queries[1].source" in excinfo.value.payload["error"]
+
+    def test_valid_ints_still_work(self, server):
+        server_obj, _, _, _ = server
+        results = HTTPClient(server_obj.url)._request(
+            "/query", body={"queries": [{"source": 2, "k": 2}]}
+        )["results"]
+        assert results[0]["source"] == 2
+
+
+class _BlockingEngine:
+    """Stub engine whose query blocks until the test says go.
+
+    Lets the disconnect test guarantee ordering: the client is gone
+    *before* the handler writes its response.  The oversized payload
+    (far beyond any socket buffer) forces the doomed write to actually
+    fail rather than vanish into the kernel buffer.
+    """
+
+    fingerprint = "blocking"
+
+    class index:  # noqa: N801 (mimics engine.index attribute access)
+        n_source = 8
+        n_target = 8
+
+    def __init__(self):
+        self.release = threading.Event()
+
+    def start(self):
+        return self
+
+    def close(self):
+        self.release.set()
+
+    def stats(self):
+        return {"fingerprint": self.fingerprint}
+
+    def query(self, source, k=1):
+        assert self.release.wait(timeout=10.0)
+        return QueryResult(
+            source=int(source), k=int(k),
+            targets=tuple(range(200_000)),
+            scores=tuple(float(i) for i in range(200_000)),
+            aligned=True, cached=False, latency_s=0.0,
+        )
+
+    def query_many(self, queries):
+        return [self.query(source, k) for source, k in queries]
+
+
+class TestClientDisconnect:
+    def test_disconnect_mid_response_is_counted_not_crashed(self):
+        registry = MetricsRegistry()
+        engine = _BlockingEngine()
+        with AlignmentServer(engine, registry=registry) as server_obj:
+            sock = socket.create_connection(
+                ("127.0.0.1", server_obj.port), timeout=5.0
+            )
+            sock.sendall(
+                b"GET /query?source=0&k=1 HTTP/1.1\r\n"
+                b"Host: test\r\n\r\n"
+            )
+            time.sleep(0.1)  # let the handler block inside query()
+            # SO_LINGER(1, 0): close sends RST, so the server's pending
+            # response write fails instead of draining into a buffer.
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+            sock.close()
+            engine.release.set()
+
+            deadline = time.monotonic() + 5.0
+            disconnects = None
+            while time.monotonic() < deadline:
+                counter = registry.get("serving.http.client_disconnects")
+                if counter is not None and counter.value >= 1:
+                    disconnects = counter.value
+                    break
+                time.sleep(0.02)
+            assert disconnects == 1, (
+                "client disconnect was not counted under "
+                "serving.http.client_disconnects"
+            )
+            # The handler thread survived and the server still serves.
+            payload = HTTPClient(server_obj.url).healthz()
+            assert payload["status"] == "ok"
+            # A hung-up client is not a server error.
+            errors = registry.get("serving.http.errors")
+            assert errors is None or errors.value == 0
 
 
 class TestShutdown:
