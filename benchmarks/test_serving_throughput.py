@@ -139,3 +139,69 @@ def test_pruning_effect_and_exactness():
     np.testing.assert_array_equal(pruned_targets, dense_targets)
     np.testing.assert_array_equal(pruned_scores, dense_scores)
     assert pruned_blocks > 0, "workload never engaged the pruning bound"
+
+
+def test_lazy_verification_overhead():
+    """``verify="lazy"`` must cost < 5% p50 vs ``verify="off"``.
+
+    The lazy verifier hashes the artifact on a background thread once;
+    steady state (measured here, after the thread finishes) is a single
+    attribute read per scored batch.  Passes are interleaved A/B/A/B and
+    the best p50 of each mode compared, so machine drift does not decide
+    the verdict.
+    """
+    import tempfile
+
+    from repro.serving import QueryEngine, export_artifact, load_artifact
+
+    print_section('verify="lazy" overhead vs verify="off"')
+    rng = np.random.default_rng(BASE_SEED)
+    source = [rng.standard_normal((N_SOURCE, d)) for d in DIMS]
+    target = [rng.standard_normal((N_TARGET, d)) for d in DIMS]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = f"{tmp}/artifact"
+        export_artifact(path, source, target, WEIGHTS, pair_name="bench")
+
+        engines = {}
+        for mode in ("off", "lazy"):
+            registry = MetricsRegistry()
+            artifact = load_artifact(path, verify=mode, registry=registry)
+            engines[mode] = QueryEngine.from_artifact(
+                artifact, target_block_size=512, batch_size=32,
+                max_delay_ms=0.0, cache_size=0, registry=registry,
+            ).start()
+        # Steady state: wait until the background hash pass is done, so
+        # the measurement sees only the per-batch attribute read.
+        engines["lazy"].verifier.ensure(timeout=60.0)
+
+        sources = np.arange(NUM_QUERIES) % N_SOURCE
+        p50 = {"off": [], "lazy": []}
+        try:
+            for mode in ("off", "lazy"):  # warmup, unmeasured
+                run_pass(engines[mode], sources[:50])
+            for round_index in range(4):
+                # Alternate which mode goes first so cache/thermal drift
+                # within a round cancels instead of biasing one side.
+                order = (
+                    ("off", "lazy") if round_index % 2 == 0
+                    else ("lazy", "off")
+                )
+                for mode in order:
+                    latencies, _ = run_pass(engines[mode], sources)
+                    p50[mode].append(percentile_ms(latencies, 50))
+        finally:
+            for engine in engines.values():
+                engine.close()
+
+    best_off = min(p50["off"])
+    best_lazy = min(p50["lazy"])
+    overhead = best_lazy / best_off - 1.0
+    print(f"p50 off          : {best_off:8.3f} ms  (runs: "
+          f"{[f'{v:.3f}' for v in p50['off']]})")
+    print(f"p50 lazy         : {best_lazy:8.3f} ms  (runs: "
+          f"{[f'{v:.3f}' for v in p50['lazy']]})")
+    print(f"overhead         : {overhead * 1e2:+.2f}%")
+    assert best_lazy <= best_off * 1.05, (
+        f'verify="lazy" p50 {best_lazy:.3f} ms is more than 5% above '
+        f'verify="off" p50 {best_off:.3f} ms'
+    )

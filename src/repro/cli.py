@@ -33,7 +33,11 @@ Subcommands
     failed in-flight queries.
 ``query``
     Answer alignment queries from an artifact in-process, or against a
-    running ``serve`` instance via ``--url``.
+    running ``serve`` instance via ``--url``; ``--timeout-ms`` puts a
+    latency budget on every request (expired work is shed, not computed).
+``verify-artifact``
+    Rehash every byte of an artifact against its manifest digests; exit
+    1 naming the corrupt file and byte offset on any damage.
 ``profile``
     Run a self-contained synthetic train → refine → query workload under
     the span tracer and per-op autograd profiler; emits a Chrome trace
@@ -417,15 +421,24 @@ def _build_engine(
         load_artifact,
     )
 
-    artifact = load_artifact(path or args.artifact, registry=registry)
+    artifact = load_artifact(
+        path or args.artifact,
+        verify=getattr(args, "verify", None),
+        registry=registry,
+    )
     shards = getattr(args, "shards", 1)
     if shards > 1:
         hedge_ms = getattr(args, "hedge_ms", 0.0)
+        breaker_kwargs = {
+            "failure_threshold": getattr(args, "breaker_threshold", 3),
+            "reset_timeout_s": getattr(args, "breaker_reset", 0.5),
+        }
         engine = ShardedQueryEngine.from_artifact(
             artifact,
             shards=shards,
             workers=getattr(args, "shard_workers", None),
             hedge_after_s=hedge_ms / 1e3 if hedge_ms else None,
+            breaker_kwargs=breaker_kwargs,
             target_block_size=args.block_size,
             prune=not args.no_prune,
             batch_size=args.batch_size,
@@ -519,10 +532,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "serve instance exposes its metrics at GET /metrics instead"
         )
     queries = [(source, args.k) for source in args.source]
+    timeout_ms = max(0, args.timeout_ms)
     if args.url:
         from .serving import HTTPClient
 
-        payloads = HTTPClient(args.url).query_many(queries)
+        payloads = HTTPClient(args.url).query_many(
+            queries, deadline_ms=timeout_ms
+        )
     else:
         from .serving import InProcessClient
 
@@ -530,7 +546,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         with use_registry(registry):
             _, engine = _build_engine(args, registry)
             with engine:
-                payloads = InProcessClient(engine).query_many(queries)
+                payloads = InProcessClient(engine).query_many(
+                    queries, deadline_ms=timeout_ms
+                )
     for payload in payloads:
         print(json.dumps(payload, sort_keys=True))
     if args.metrics_out:
@@ -551,6 +569,39 @@ def _cmd_reload(args: argparse.Namespace) -> int:
     payload = HTTPClient(args.url).reload(args.artifact)
     print(f"reloaded : {args.artifact}")
     print(f"finger   : {payload.get('fingerprint')}")
+    return 0
+
+
+def _cmd_verify_artifact(args: argparse.Namespace) -> int:
+    """Integrity-check an artifact: every byte of every array rehashed.
+
+    Exit 0 with a per-array report when the artifact is intact; exit 1
+    with the validation error (naming the corrupt file and byte offset)
+    when it is not — usable as a pre-deploy gate.
+    """
+    from .resilience import ArtifactValidationError
+    from .serving import verify_artifact
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        try:
+            report = verify_artifact(args.artifact, registry=registry)
+        except ArtifactValidationError as error:
+            print(f"artifact : {args.artifact}")
+            print("status   : CORRUPT")
+            print(f"error    : {error}")
+            return 1
+    print(f"artifact : {report['path']}")
+    print(f"finger   : {report['fingerprint']}")
+    print(f"layers   : {report['num_layers']}")
+    print(f"nodes    : {report['n_source']} source, "
+          f"{report['n_target']} target")
+    print(f"bytes    : {report['bytes']}")
+    print(f"committed: {report['committed']}")
+    for name, entry in sorted(report["arrays"].items()):
+        print(f"array    : {name} ({entry['bytes']} bytes, "
+              f"{entry['chunks']} chunk(s)) {entry['status']}")
+    print("status   : ok")
     return 0
 
 
@@ -761,6 +812,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="longest a query waits for batch-mates")
         command.add_argument("--cache-size", type=int, default=4096,
                             help="LRU result-cache entries (0 disables)")
+        command.add_argument("--verify", default=None,
+                            choices=("eager", "lazy", "off"),
+                            help="artifact integrity checking: eager "
+                                 "(hash before serving), lazy (background "
+                                 "thread; corruption fails queries once "
+                                 "found), off")
 
     export = commands.add_parser(
         "export-artifact",
@@ -807,6 +864,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        help="seconds a hot reload waits for in-flight "
                             "queries on the old artifact before closing it")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive failures that open a shard's "
+                            "circuit breaker (sharded serving only)")
+    serve.add_argument("--breaker-reset", type=float, default=0.5,
+                       help="seconds before an open shard breaker lets a "
+                            "probe through (doubles per re-trip)")
     add_engine_options(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -833,11 +896,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="source node id (repeatable)")
     query.add_argument("--k", type=int, default=1,
                        help="number of aligned targets per query")
+    query.add_argument("--timeout-ms", type=int, default=0,
+                       help="per-request latency budget; expired work is "
+                            "shed at every stage and answers HTTP 504 / "
+                            "DeadlineExceededError (0 = no deadline)")
     query.add_argument("--metrics-out",
                        help="write query-side metrics as BENCH_*.json "
                             "(in-process --artifact mode only)")
     add_engine_options(query)
     query.set_defaults(handler=_cmd_query)
+
+    verify = commands.add_parser(
+        "verify-artifact",
+        help="rehash every byte of an artifact; exit 1 naming the "
+             "corrupt file and offset if anything is damaged",
+    )
+    verify.add_argument("--artifact", required=True,
+                        help="artifact directory to check")
+    verify.set_defaults(handler=_cmd_verify_artifact)
 
     profile = commands.add_parser(
         "profile",

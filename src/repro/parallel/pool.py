@@ -257,6 +257,8 @@ class WorkerPool:
         return_exceptions: bool = False,
         labels: Optional[Sequence[str]] = None,
         hedge_after_s: Optional[float] = None,
+        timeout_s: Any = _UNSET,
+        crash_policy: str = "raise",
     ) -> List[Any]:
         """Run ``fn(*task)`` for every task; results in submission order.
 
@@ -267,7 +269,22 @@ class WorkerPool:
         to finish wins (tasks must therefore be pure — every pool task
         in this repo already is, by the determinism contract).  Hedging
         needs at least two workers and is ignored inline.
+
+        ``timeout_s`` overrides the pool's ``task_timeout`` for this
+        call only (deadline-bounded callers pass their remaining
+        budget).  ``crash_policy`` picks what happens when the crash
+        retry budget runs out: ``"raise"`` (default) raises
+        :class:`~repro.resilience.WorkerCrashError` for the whole call,
+        ``"return"`` returns a :class:`TaskFailure` wrapping that error
+        for each never-completed task while every finished task keeps
+        its result — the degraded-answer mode circuit-breaking callers
+        need.
         """
+        if crash_policy not in ("raise", "return"):
+            raise ValueError(
+                f"crash_policy must be 'raise' or 'return', got "
+                f"{crash_policy!r}"
+            )
         tasks = [tuple(task) for task in tasks]
         if labels is None:
             labels = [f"task[{index}]" for index in range(len(tasks))]
@@ -277,6 +294,9 @@ class WorkerPool:
             )
         if not tasks:
             return []
+        timeout = self.task_timeout if timeout_s is _UNSET else timeout_s
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout}")
         global _task_context
         previous_context = _task_context
         _task_context = self.context
@@ -286,6 +306,8 @@ class WorkerPool:
             return self._map_pool(
                 fn, tasks, list(labels), return_exceptions,
                 hedge_after_s=hedge_after_s,
+                timeout=timeout,
+                crash_policy=crash_policy,
             )
         finally:
             _task_context = previous_context
@@ -341,25 +363,55 @@ class WorkerPool:
         replicas: List[concurrent.futures.Future],
         timeout: Optional[float],
     ):
-        """Result of the first finished replica (hedged tasks have two).
+        """Result of the first *usable* replica plus observed kill count.
 
-        Prefers a replica that completed cleanly over one that raised,
-        in submission order; with no hedging this degenerates to
-        ``replicas[0].result(timeout)``.
+        Returns ``(payload, kills)`` where ``kills`` counts replicas
+        that died with :class:`~repro.resilience.SimulatedKill` before a
+        usable one finished.  A crashed primary whose hedge replica is
+        still running does **not** fail the task: the wait continues so
+        the hedge can deliver — counting the primary's crash exactly
+        once instead of triggering a full retry round (which used to
+        re-run and potentially re-count the same logical task).  Only
+        when *every* replica crashed does ``SimulatedKill`` propagate.
+        With no hedging this degenerates to ``replicas[0].result()``
+        semantics.
         """
-        done, _ = concurrent.futures.wait(
-            replicas, timeout=timeout,
-            return_when=concurrent.futures.FIRST_COMPLETED,
+        kills = 0
+        pending = list(replicas)
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
         )
-        if not done:
-            raise concurrent.futures.TimeoutError()
-        for future in replicas:
-            if future in done and future.exception() is None:
-                return future.result()
-        for future in replicas:
-            if future in done:
-                return future.result()
-        raise RuntimeError("unreachable: wait() returned an unknown future")
+        while pending:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise concurrent.futures.TimeoutError()
+            done, _ = concurrent.futures.wait(
+                pending, timeout=remaining,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            if not done:
+                raise concurrent.futures.TimeoutError()
+            # Prefer a clean completion, in submission order.
+            for future in replicas:
+                if future in done and future.exception() is None:
+                    return future.result(), kills
+            for future in list(pending):
+                if future not in done:
+                    continue
+                error = future.exception()
+                if isinstance(error, SimulatedKill):
+                    # A killed replica; keep waiting on the others.
+                    kills += 1
+                    pending.remove(future)
+                else:
+                    # BrokenProcessPool (and anything else escaping the
+                    # task wrapper) poisons the whole pool: surface it.
+                    return future.result(), kills
+        raise SimulatedKill(
+            f"all {len(replicas)} replica(s) of the task were killed"
+        )
 
     def _map_pool(
         self,
@@ -368,6 +420,8 @@ class WorkerPool:
         labels: List[str],
         return_exceptions: bool,
         hedge_after_s: Optional[float] = None,
+        timeout: Optional[float] = None,
+        crash_policy: str = "raise",
     ) -> List[Any]:
         registry = self._registry()
         results: List[Any] = [_UNSET] * len(tasks)
@@ -383,6 +437,21 @@ class WorkerPool:
                 if not pending:
                     break
                 if rounds > self.max_retries:
+                    if crash_policy == "return":
+                        # Degraded mode: finished tasks keep their
+                        # results; the never-completed ones surface as
+                        # TaskFailure(WorkerCrashError) for the caller
+                        # (a circuit breaker) to account per task.
+                        for index in pending:
+                            results[index] = TaskFailure(
+                                WorkerCrashError(
+                                    f"task {labels[index]} never completed "
+                                    f"after {rounds} attempt(s)",
+                                    tasks=[labels[index]],
+                                    attempts=rounds,
+                                )
+                            )
+                        break
                     self._crash_error(labels, pending, rounds)
                 if rounds:
                     registry.increment("parallel.retries", len(pending))
@@ -403,9 +472,17 @@ class WorkerPool:
                 crashed = False
                 for index in pending:
                     try:
-                        value, state, elapsed, failed = self._first_result(
-                            futures[index], self.task_timeout
+                        payload, kills = self._first_result(
+                            futures[index], timeout
                         )
+                        value, state, elapsed, failed = payload
+                        for _ in range(kills):
+                            # Killed replicas whose hedge still answered:
+                            # real crashes, counted once each, but the
+                            # task completed — no retry round.
+                            self._record_crash(
+                                registry, labels[index], "simulated_kill"
+                            )
                     except concurrent.futures.TimeoutError:
                         # The worker is stuck; the only safe move is to
                         # tear the pool down and retry the stragglers.

@@ -19,15 +19,23 @@ exports record how eventful a run was.  See "Resilience & recovery" in
 ``docs/architecture.md`` for the metric taxonomy.
 """
 
+from .breaker import BREAKER_STATES, CircuitBreaker
 from .errors import (
     ArtifactValidationError,
+    DeadlineExceededError,
     GraphValidationError,
     InjectedFault,
     SimulatedKill,
     TrainingDivergedError,
     WorkerCrashError,
 )
-from .faults import FAULT_KINDS, Fault, FaultInjector
+from .faults import (
+    FAULT_KINDS,
+    SERVING_FAULT_KINDS,
+    TRAINING_FAULT_KINDS,
+    Fault,
+    FaultInjector,
+)
 from .recovery import RecoveryManager
 from .validation import validate_graph, validate_pair
 
@@ -35,12 +43,17 @@ __all__ = [
     "GraphValidationError",
     "ArtifactValidationError",
     "TrainingDivergedError",
+    "DeadlineExceededError",
     "WorkerCrashError",
     "InjectedFault",
     "SimulatedKill",
     "Fault",
     "FaultInjector",
     "FAULT_KINDS",
+    "TRAINING_FAULT_KINDS",
+    "SERVING_FAULT_KINDS",
+    "CircuitBreaker",
+    "BREAKER_STATES",
     "RecoveryManager",
     "validate_graph",
     "validate_pair",

@@ -19,6 +19,7 @@ __all__ = [
     "GraphValidationError",
     "ArtifactValidationError",
     "TrainingDivergedError",
+    "DeadlineExceededError",
     "WorkerCrashError",
     "InjectedFault",
     "SimulatedKill",
@@ -54,6 +55,23 @@ class TrainingDivergedError(RuntimeError):
         super().__init__(message)
         #: Number of rollback/LR-halving recoveries attempted before failing.
         self.attempts = attempts
+
+
+class DeadlineExceededError(RuntimeError):
+    """A request's absolute deadline passed before its work completed.
+
+    Raised by the serving stack wherever expired work is shed — at
+    admission, in the microbatcher, and in the scatter-gather path — and
+    mapped to HTTP **504** by
+    :func:`repro.serving.server.status_for_error` (checked before the
+    generic ``RuntimeError`` → 503 rule).  ``deadline_s`` is the absolute
+    ``time.monotonic()`` deadline that expired, when known.
+    """
+
+    def __init__(self, message: str, deadline_s=None) -> None:
+        super().__init__(message)
+        #: Absolute monotonic deadline that was missed (None if unknown).
+        self.deadline_s = deadline_s
 
 
 class WorkerCrashError(RuntimeError):

@@ -28,17 +28,44 @@ import numpy as np
 from ..observability import MetricsRegistry, get_registry
 from .errors import InjectedFault, SimulatedKill
 
-__all__ = ["Fault", "FaultInjector", "FAULT_KINDS"]
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FAULT_KINDS",
+    "TRAINING_FAULT_KINDS",
+    "SERVING_FAULT_KINDS",
+]
 
-FAULT_KINDS = ("nan_gradient", "exception", "kill")
+#: Faults fired by the training-loop hooks (:meth:`FaultInjector.at_step`
+#: and :meth:`FaultInjector.corrupt_gradients`).
+TRAINING_FAULT_KINDS = ("nan_gradient", "exception", "kill")
+
+#: Serving-path faults fired by :meth:`FaultInjector.serving_faults_at`;
+#: the :class:`~repro.resilience.chaos.ChaosEngine` interprets them
+#: against a live serving tier ("step" is the query round).
+SERVING_FAULT_KINDS = (
+    "shard_kill",        # kill a shard scorer worker mid-query
+    "shard_delay",       # freeze a shard past the request deadline
+    "artifact_corrupt",  # flip a byte in an artifact, then hot-swap it
+    "client_disconnect", # drop the client connection mid-request
+    "swap_fail",         # hot-swap a bogus artifact path mid-build
+)
+
+FAULT_KINDS = TRAINING_FAULT_KINDS + SERVING_FAULT_KINDS
 
 
 @dataclass(frozen=True)
 class Fault:
-    """One planned fault: ``kind`` fires at training step ``step``."""
+    """One planned fault: ``kind`` fires at step (or query round) ``step``.
+
+    ``shard`` optionally pins a serving fault to one shard id (``None``
+    lets the harness pick); ``delay_s`` sizes a ``shard_delay``.
+    """
 
     kind: str
     step: int
+    shard: Optional[int] = None
+    delay_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -47,6 +74,8 @@ class Fault:
             )
         if self.step < 0:
             raise ValueError(f"fault step must be >= 0, got {self.step}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
 
 
 class FaultInjector:
@@ -100,8 +129,10 @@ class FaultInjector:
         self.fired.append(fault)
         registry = self._registry()
         registry.increment("resilience.faults_injected")
+        registry.increment(f"resilience.faults.{fault.kind}")
         registry.emit(
-            "resilience.fault", {"kind": fault.kind, "step": fault.step}
+            "resilience.fault",
+            {"kind": fault.kind, "step": fault.step, "shard": fault.shard},
         )
 
     def pending(self) -> List[Fault]:
@@ -112,12 +143,30 @@ class FaultInjector:
     def at_step(self, step: int) -> None:
         """Fire raising faults scheduled for ``step`` (top of the step)."""
         for fault in list(self._pending):
-            if fault.step != step or fault.kind == "nan_gradient":
+            if fault.step != step or fault.kind not in ("exception", "kill"):
                 continue
             self._fire(fault)
             if fault.kind == "kill":
                 raise SimulatedKill(f"simulated kill at step {step}")
             raise InjectedFault(f"injected exception at step {step}")
+
+    # -- serving hooks --------------------------------------------------
+    def serving_faults_at(self, step: int) -> List[Fault]:
+        """Fire (and return) serving-path faults scheduled for ``step``.
+
+        The chaos harness calls this once per query round and interprets
+        the returned faults against the live tier — killing or delaying
+        shard scorers, corrupting artifact bytes, dropping connections,
+        or failing a hot swap.  Unlike the training hooks this never
+        raises: serving faults are environmental, not in-band.
+        """
+        fired: List[Fault] = []
+        for fault in list(self._pending):
+            if fault.step != step or fault.kind not in SERVING_FAULT_KINDS:
+                continue
+            self._fire(fault)
+            fired.append(fault)
+        return fired
 
     def corrupt_gradients(self, step: int, params: Sequence) -> bool:
         """Fire a ``nan_gradient`` fault scheduled for ``step``, if any.

@@ -7,7 +7,10 @@ This package turns a trained model + pair into a long-lived service:
 
 * :mod:`~repro.serving.artifact` — **AlignmentArtifact**
   (``repro.artifact/v1``): versioned, immutable, memory-mapped embedding
-  exports with strict load-time validation.
+  exports with strict load-time validation, torn-write-proof export
+  (staging + fsync + ``_COMMITTED`` marker + atomic rename) and
+  eager/lazy/off integrity verification naming file and byte offset on
+  corruption.
 * :mod:`~repro.serving.index` — **AlignmentIndex**: exact top-k with
   Cauchy-Schwarz norm-based candidate pruning; bit-identical with
   pruning on or off, cross-checkable against
@@ -36,9 +39,11 @@ CLI: ``repro export-artifact``, ``repro serve``, ``repro query``,
 from .artifact import (
     ARTIFACT_SCHEMA,
     AlignmentArtifact,
+    ArtifactVerifier,
     config_fingerprint,
     export_artifact,
     load_artifact,
+    verify_artifact,
 )
 from .client import HTTPClient, InProcessClient, ServingClientError
 from .engine import QueryEngine, QueryResult, StripedLRUCache
@@ -50,8 +55,10 @@ from .sharded import ShardedIndex, ShardedQueryEngine, plan_shards
 __all__ = [
     "ARTIFACT_SCHEMA",
     "AlignmentArtifact",
+    "ArtifactVerifier",
     "export_artifact",
     "load_artifact",
+    "verify_artifact",
     "config_fingerprint",
     "AlignmentIndex",
     "QueryEngine",

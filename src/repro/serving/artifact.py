@@ -22,6 +22,20 @@ Loading validates the artifact through the :mod:`repro.resilience` error
 taxonomy: schema/shape/index/non-finite problems raise
 :class:`~repro.resilience.ArtifactValidationError` with a message naming
 the path and the offending field, never a deep numpy failure.
+
+Durability
+----------
+Exports are **torn-write-proof**: every file is written into a hidden
+staging directory next to the destination, fsynced, stamped with a
+``_COMMITTED`` marker, and the whole directory is atomically renamed
+into place — a crash at any point leaves either the previous artifact or
+no artifact, never a half-written one.  The manifest stores per-chunk
+sha256 digests of every ``.npy`` file, and :func:`load_artifact` checks
+them per its ``verify`` mode: ``"eager"`` verifies every byte before
+returning, ``"lazy"`` verifies in a background thread whose failure
+poisons subsequent queries, ``"off"`` trusts the bytes.  A flipped byte
+or truncated file raises :class:`ArtifactValidationError` naming the
+offending file and byte range instead of silently corrupting scores.
 """
 
 from __future__ import annotations
@@ -29,8 +43,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,15 +56,24 @@ from ..resilience import ArtifactValidationError
 __all__ = [
     "ARTIFACT_SCHEMA",
     "MANIFEST_NAME",
+    "COMMITTED_MARKER",
     "AlignmentArtifact",
+    "ArtifactVerifier",
     "export_artifact",
     "load_artifact",
+    "verify_artifact",
     "config_fingerprint",
 ]
 
 #: Schema identifier embedded in (and required of) every manifest.
 ARTIFACT_SCHEMA = "repro.artifact/v1"
 MANIFEST_NAME = "manifest.json"
+#: Marker file written (and fsynced) last during export; its absence
+#: from an artifact whose manifest declares it means a torn write.
+COMMITTED_MARKER = "_COMMITTED"
+
+#: Chunk size for per-chunk file digests (verification granularity).
+_CHUNK_BYTES = 1 << 20
 
 _SIDES = ("source", "target")
 
@@ -62,6 +87,31 @@ def _fail(message: str, registry: Optional[MetricsRegistry]) -> None:
 
 def _array_digest(array: np.ndarray) -> str:
     return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def _file_digests(file_path: str) -> Tuple[str, List[str], int]:
+    """Whole-file sha256, per-chunk sha256 list, and byte size."""
+    whole = hashlib.sha256()
+    chunks: List[str] = []
+    size = 0
+    with open(file_path, "rb") as handle:
+        while True:
+            block = handle.read(_CHUNK_BYTES)
+            if not block:
+                break
+            whole.update(block)
+            chunks.append(hashlib.sha256(block).hexdigest())
+            size += len(block)
+    return whole.hexdigest(), chunks, size
+
+
+def _fsync_path(target: str) -> None:
+    """fsync a file or directory by path (directory fds work on POSIX)."""
+    fd = os.open(target, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def config_fingerprint(
@@ -134,9 +184,14 @@ def export_artifact(
     """Write an ``repro.artifact/v1`` directory; returns its path.
 
     ``config`` may be a :class:`~repro.core.GAlignConfig` (stored as a
-    dict for provenance) or ``None``.  Arrays are written first and the
-    manifest last, so a half-written directory is recognizably incomplete
-    (no manifest) rather than silently wrong.
+    dict for provenance) or ``None``.
+
+    The write is crash-safe: everything lands in a hidden staging
+    directory beside ``path``, every file (arrays, manifest, the
+    ``_COMMITTED`` marker) is fsynced, and the staging directory is
+    atomically renamed over ``path`` — a kill at any instant leaves
+    either the previous artifact or nothing, never torn bytes.  An
+    existing artifact at ``path`` is replaced atomically.
     """
     registry = registry if registry is not None else get_registry()
     source = _validate_embeddings("source", source_embeddings, registry)
@@ -160,54 +215,221 @@ def export_artifact(
 
         config = asdict(config)
 
-    os.makedirs(path, exist_ok=True)
+    path = os.path.normpath(path)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    stage = os.path.join(
+        parent, f".{os.path.basename(path)}.staging.{os.getpid()}"
+    )
+    if os.path.lexists(stage):
+        shutil.rmtree(stage)
+    os.makedirs(stage)
+
     arrays: Dict[str, np.ndarray] = {}
     for side, layers in (("source", source), ("target", target)):
         for index, array in enumerate(layers):
             arrays[f"{side}_layer_{index}"] = array
 
-    entries: Dict[str, Dict[str, Any]] = {}
-    digests: Dict[str, str] = {}
-    shapes: Dict[str, Sequence[int]] = {}
-    for name, array in arrays.items():
-        file_name = f"{name}.npy"
-        np.save(os.path.join(path, file_name), array)
-        digests[name] = _array_digest(array)
-        shapes[name] = array.shape
-        entries[name] = {
-            "file": file_name,
-            "shape": list(array.shape),
-            "dtype": str(array.dtype),
-            "sha256": digests[name],
-        }
+    try:
+        entries: Dict[str, Dict[str, Any]] = {}
+        digests: Dict[str, str] = {}
+        shapes: Dict[str, Sequence[int]] = {}
+        for name, array in arrays.items():
+            file_name = f"{name}.npy"
+            file_path = os.path.join(stage, file_name)
+            np.save(file_path, array)
+            _fsync_path(file_path)
+            file_sha, chunk_shas, file_bytes = _file_digests(file_path)
+            digests[name] = _array_digest(array)
+            shapes[name] = array.shape
+            entries[name] = {
+                "file": file_name,
+                "shape": list(array.shape),
+                "dtype": str(array.dtype),
+                "sha256": digests[name],
+                "file_sha256": file_sha,
+                "file_bytes": file_bytes,
+                "chunk_bytes": _CHUNK_BYTES,
+                "sha256_chunks": chunk_shas,
+            }
 
-    fingerprint = config_fingerprint(config, weights, shapes, digests)
-    manifest = {
-        "schema": ARTIFACT_SCHEMA,
-        "fingerprint": fingerprint,
-        "layer_weights": weights,
-        "num_layers": len(source),
-        "arrays": entries,
-        "config": config,
-        "stats": {
-            "pair": pair_name,
-            "n_source": int(source[0].shape[0]),
-            "n_target": int(target[0].shape[0]),
-            "dims": [int(h.shape[1]) for h in source],
-        },
-    }
-    manifest_path = os.path.join(path, MANIFEST_NAME)
-    tmp_path = manifest_path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp_path, manifest_path)
+        fingerprint = config_fingerprint(config, weights, shapes, digests)
+        manifest = {
+            "schema": ARTIFACT_SCHEMA,
+            "fingerprint": fingerprint,
+            "layer_weights": weights,
+            "num_layers": len(source),
+            "arrays": entries,
+            "config": config,
+            "committed_marker": True,
+            "stats": {
+                "pair": pair_name,
+                "n_source": int(source[0].shape[0]),
+                "n_target": int(target[0].shape[0]),
+                "dims": [int(h.shape[1]) for h in source],
+            },
+        }
+        manifest_path = os.path.join(stage, MANIFEST_NAME)
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        marker_path = os.path.join(stage, COMMITTED_MARKER)
+        with open(marker_path, "w", encoding="utf-8") as handle:
+            handle.write(fingerprint + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        _fsync_path(stage)
+
+        # Atomic placement.  A pre-existing artifact is renamed aside
+        # first (restored if the swap-in fails), so `path` only ever
+        # points at a complete artifact.
+        aside = None
+        if os.path.lexists(path):
+            aside = os.path.join(
+                parent, f".{os.path.basename(path)}.replaced.{os.getpid()}"
+            )
+            if os.path.lexists(aside):
+                shutil.rmtree(aside)
+            os.rename(path, aside)
+        try:
+            os.rename(stage, path)
+        except OSError:
+            if aside is not None:
+                os.rename(aside, path)
+            raise
+        if aside is not None:
+            shutil.rmtree(aside, ignore_errors=True)
+        _fsync_path(parent)
+    except BaseException:
+        shutil.rmtree(stage, ignore_errors=True)
+        raise
     registry.increment("serving.artifact.exports")
     registry.emit(
         "serving.artifact.exported",
         {"path": path, "fingerprint": fingerprint},
     )
     return path
+
+
+def _verify_entry_file(
+    path: str,
+    name: str,
+    entry: Dict[str, Any],
+    registry: Optional[MetricsRegistry],
+) -> None:
+    """Check one array file's bytes against its manifest digests.
+
+    New-style manifests carry per-chunk digests, so a mismatch names the
+    file *and the byte range* of the first corrupt chunk.  Pre-durability
+    manifests fall back to the whole-array content hash (no offset).
+    """
+    file_path = os.path.join(path, entry.get("file", f"{name}.npy"))
+    chunks = entry.get("sha256_chunks")
+    if chunks is None:
+        declared = entry.get("sha256")
+        if declared is None:
+            return
+        actual = _array_digest(
+            np.asarray(np.load(file_path, mmap_mode="r"))
+        )
+        if actual != declared:
+            _fail(
+                f"artifact {path!r}: array {name!r} content hash {actual} "
+                f"does not match the manifest ({declared}); the artifact "
+                "was modified after export",
+                registry,
+            )
+        return
+    chunk_bytes = int(entry.get("chunk_bytes", _CHUNK_BYTES))
+    declared_bytes = entry.get("file_bytes")
+    size = os.path.getsize(file_path)
+    if declared_bytes is not None and size != int(declared_bytes):
+        _fail(
+            f"artifact {path!r}: file {file_path!r} is {size} bytes on "
+            f"disk but the manifest declares {declared_bytes}; the file "
+            "was truncated or replaced after export",
+            registry,
+        )
+    with open(file_path, "rb") as handle:
+        for index, declared in enumerate(chunks):
+            block = handle.read(chunk_bytes)
+            actual = hashlib.sha256(block).hexdigest()
+            if actual != declared:
+                offset = index * chunk_bytes
+                _fail(
+                    f"artifact {path!r}: file {file_path!r} content hash "
+                    f"mismatch in bytes [{offset}, {offset + len(block)}) "
+                    f"(chunk {index}); the artifact was corrupted after "
+                    "export",
+                    registry,
+                )
+
+
+class ArtifactVerifier:
+    """Background (lazy) content verification for a loaded artifact.
+
+    Started by ``load_artifact(verify="lazy")``: a daemon thread hashes
+    every array file against the manifest while queries proceed.  The
+    serving engine calls :meth:`raise_if_failed` (one attribute read on
+    the hot path) per batch, so a flipped byte turns into a typed
+    :class:`~repro.resilience.ArtifactValidationError` on the next query
+    after detection — never a silently wrong score.  :meth:`ensure`
+    blocks until verification finished (tests and ``repro
+    verify-artifact`` use it).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        entries: Dict[str, Dict[str, Any]],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.path = path
+        self.registry = registry
+        self._entries = dict(entries)
+        self._error: Optional[ArtifactValidationError] = None
+        self._done = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-artifact-verify", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        registry = (
+            self.registry if self.registry is not None else get_registry()
+        )
+        try:
+            for name, entry in sorted(self._entries.items()):
+                _verify_entry_file(self.path, name, entry, self.registry)
+            registry.increment("serving.artifact.verified")
+        except ArtifactValidationError as error:
+            self._error = error
+        finally:
+            self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def error(self) -> Optional[ArtifactValidationError]:
+        return self._error
+
+    def raise_if_failed(self) -> None:
+        """Raise the detected corruption error, if any (non-blocking)."""
+        if self._error is not None:
+            raise self._error
+
+    def ensure(self, timeout: Optional[float] = None) -> None:
+        """Block until verification finished; raise if it found damage."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"artifact verification of {self.path!r} did not finish "
+                f"within {timeout}s"
+            )
+        self.raise_if_failed()
 
 
 @dataclass
@@ -219,6 +441,8 @@ class AlignmentArtifact:
     source_embeddings: List[np.ndarray]
     target_embeddings: List[np.ndarray]
     layer_weights: List[float] = field(default_factory=list)
+    #: Background verifier when loaded with ``verify="lazy"`` (else None).
+    verifier: Optional[ArtifactVerifier] = None
 
     @property
     def fingerprint(self) -> str:
@@ -279,6 +503,15 @@ def _load_manifest(path: str, registry: Optional[MetricsRegistry]) -> Dict:
     for key in ("fingerprint", "layer_weights", "num_layers", "arrays"):
         if key not in manifest:
             _fail(f"artifact {path!r} manifest is missing {key!r}", registry)
+    if manifest.get("committed_marker") and not os.path.exists(
+        os.path.join(path, COMMITTED_MARKER)
+    ):
+        _fail(
+            f"artifact {path!r} is missing its {COMMITTED_MARKER} marker; "
+            "the export was torn mid-write or the marker was deleted — "
+            "re-export the artifact",
+            registry,
+        )
     return manifest
 
 
@@ -320,20 +553,36 @@ def load_artifact(
     mmap: bool = True,
     check_finite: bool = True,
     check_hashes: bool = False,
+    verify: Optional[str] = None,
     registry: Optional[MetricsRegistry] = None,
 ) -> AlignmentArtifact:
     """Load an artifact directory back, memory-mapped by default.
 
-    Validation order: manifest schema → declared array inventory (every
-    ``{source,target}_layer_i`` for ``i < num_layers`` must exist) →
-    per-array file/shape checks → layer-weight count → optional full
-    non-finite scan (``check_finite``) and content-hash verification
-    (``check_hashes``; off by default because it reads every page of a
-    memory-mapped artifact).  Every failure raises
+    Validation order: manifest schema + ``_COMMITTED`` marker → declared
+    array inventory (every ``{source,target}_layer_i`` for ``i <
+    num_layers`` must exist) → per-array file/shape checks →
+    layer-weight count → optional full non-finite scan
+    (``check_finite``) → content verification per ``verify``:
+
+    * ``"eager"`` — hash every file chunk against the manifest before
+      returning; corruption raises here, naming file and byte range.
+    * ``"lazy"`` (default) — start an :class:`ArtifactVerifier` thread;
+      the returned artifact's ``verifier`` poisons queries once damage
+      is found.  Steady-state query cost is one attribute read.
+    * ``"off"`` — trust the bytes.
+
+    ``check_hashes=True`` is the back-compat spelling of
+    ``verify="eager"``.  Every failure raises
     :class:`~repro.resilience.ArtifactValidationError` naming the path
     and field.
     """
     registry = registry if registry is not None else get_registry()
+    if verify is None:
+        verify = "eager" if check_hashes else "lazy"
+    if verify not in ("eager", "lazy", "off"):
+        raise ValueError(
+            f"verify must be 'eager', 'lazy', or 'off', got {verify!r}"
+        )
     manifest = _load_manifest(path, registry)
     num_layers = manifest["num_layers"]
     if not isinstance(num_layers, int) or num_layers < 1:
@@ -384,19 +633,22 @@ def load_artifact(
                         "or was exported from a diverged model",
                         registry,
                     )
-    if check_hashes:
-        for side in _SIDES:
-            for index, array in enumerate(sides[side]):
-                name = f"{side}_layer_{index}"
-                declared = entries[name].get("sha256")
-                actual = _array_digest(np.asarray(array))
-                if declared != actual:
-                    _fail(
-                        f"artifact {path!r}: array {name!r} content hash "
-                        f"{actual} does not match the manifest ({declared}); "
-                        "the artifact was modified after export",
-                        registry,
-                    )
+    declared_names = [
+        f"{side}_layer_{index}"
+        for side in _SIDES
+        for index in range(num_layers)
+    ]
+    verifier: Optional[ArtifactVerifier] = None
+    if verify == "eager":
+        for name in declared_names:
+            _verify_entry_file(path, name, entries[name], registry)
+        registry.increment("serving.artifact.verified")
+    elif verify == "lazy":
+        verifier = ArtifactVerifier(
+            path,
+            {name: entries[name] for name in declared_names},
+            registry=registry,
+        )
     registry.increment("serving.artifact.loads")
     return AlignmentArtifact(
         path=path,
@@ -404,4 +656,49 @@ def load_artifact(
         source_embeddings=sides["source"],
         target_embeddings=sides["target"],
         layer_weights=weights,
+        verifier=verifier,
     )
+
+
+def verify_artifact(
+    path: str, registry: Optional[MetricsRegistry] = None
+) -> Dict[str, Any]:
+    """Eagerly verify an artifact end to end; returns a report dict.
+
+    Runs the full load-time validation plus chunkwise content hashing
+    (``verify="eager"``) and a non-finite scan.  Raises
+    :class:`~repro.resilience.ArtifactValidationError` naming the
+    offending file (and byte range, for content damage) on the first
+    problem; the CLI surface is ``repro verify-artifact``.
+    """
+    registry = registry if registry is not None else get_registry()
+    artifact = load_artifact(
+        path, mmap=True, check_finite=True, verify="eager",
+        registry=registry,
+    )
+    entries = artifact.manifest["arrays"]
+    report_arrays = {}
+    total_bytes = 0
+    for name in sorted(entries):
+        entry = entries[name]
+        file_path = os.path.join(path, entry.get("file", f"{name}.npy"))
+        file_bytes = os.path.getsize(file_path)
+        total_bytes += file_bytes
+        report_arrays[name] = {
+            "file": entry.get("file", f"{name}.npy"),
+            "bytes": file_bytes,
+            "chunks": len(entry.get("sha256_chunks", []) or []),
+            "status": "ok",
+        }
+    registry.increment("serving.artifact.verifications")
+    return {
+        "path": path,
+        "fingerprint": artifact.fingerprint,
+        "num_layers": artifact.num_layers,
+        "n_source": artifact.n_source,
+        "n_target": artifact.n_target,
+        "committed": os.path.exists(os.path.join(path, COMMITTED_MARKER)),
+        "bytes": total_bytes,
+        "arrays": report_arrays,
+        "status": "ok",
+    }

@@ -8,17 +8,30 @@ examples can swap transports without touching assertions:
   serialization, the fastest path for embedding the service in another
   Python process.
 * :class:`HTTPClient` talks to an :class:`AlignmentServer` over
-  ``urllib`` (stdlib only).  Server-side errors arrive as
-  :class:`ServingClientError` carrying the HTTP status and the server's
-  actionable message.
+  ``http.client`` (stdlib only), with split connect/read timeouts and
+  capped exponential-backoff retries (full jitter) for idempotent
+  requests.  Server-side errors arrive as :class:`ServingClientError`
+  carrying the HTTP status and the server's actionable message.
+
+Retry policy
+------------
+Reads (every GET, and ``POST /query`` — a pure read that happens to
+travel as POST) are retried on transport failures, 429, and 503, up to
+``max_retries`` times with full-jitter exponential backoff; a 429's
+``Retry-After`` header overrides the computed backoff.  Non-idempotent
+requests (``POST /admin/reload``) are **never** silently retried — a
+reload whose response was lost may have succeeded, and replaying it
+would double-swap; the caller gets the transport error and decides.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import random
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
 
 from .engine import QueryEngine
 
@@ -43,6 +56,14 @@ class ServingClientError(RuntimeError):
         self.payload = payload or {}
 
 
+def _deadline_s(deadline_ms: int) -> Optional[float]:
+    if deadline_ms < 0:
+        raise ValueError(f"deadline_ms must be >= 0, got {deadline_ms}")
+    if deadline_ms == 0:
+        return None
+    return time.monotonic() + deadline_ms / 1e3
+
+
 class InProcessClient:
     """The serving API surface over an engine in the same process."""
 
@@ -50,24 +71,33 @@ class InProcessClient:
         self.engine = engine
 
     def healthz(self) -> Dict[str, Any]:
-        return {
-            "status": "ok",
-            "fingerprint": self.engine.fingerprint,
-            "n_source": self.engine.index.n_source,
-            "n_target": self.engine.index.n_target,
-        }
+        health = getattr(self.engine, "health", None)
+        report = dict(health()) if health is not None else {}
+        report.setdefault("healthy", True)
+        report["status"] = "ok" if report["healthy"] else "unhealthy"
+        report["fingerprint"] = self.engine.fingerprint
+        report["n_source"] = self.engine.index.n_source
+        report["n_target"] = self.engine.index.n_target
+        return report
 
     def stats(self) -> Dict[str, Any]:
         return self.engine.stats()
 
-    def query(self, source: int, k: int = 1) -> Dict[str, Any]:
-        return self.engine.query(source, k).payload()
+    def query(
+        self, source: int, k: int = 1, deadline_ms: int = 0
+    ) -> Dict[str, Any]:
+        return self.engine.query(
+            source, k, deadline_s=_deadline_s(deadline_ms)
+        ).payload()
 
     def query_many(
-        self, queries: Sequence[Tuple[int, int]]
+        self, queries: Sequence[Tuple[int, int]], deadline_ms: int = 0
     ) -> List[Dict[str, Any]]:
         return [
-            result.payload() for result in self.engine.query_many(queries)
+            result.payload()
+            for result in self.engine.query_many(
+                queries, deadline_s=_deadline_s(deadline_ms)
+            )
         ]
 
     def reload(self, artifact: str) -> Dict[str, Any]:
@@ -80,64 +110,194 @@ class InProcessClient:
         return {"status": "ok", "fingerprint": reload(artifact)}
 
 
-class HTTPClient:
-    """Thin stdlib HTTP client for :class:`AlignmentServer`."""
+#: HTTP statuses worth retrying for idempotent requests: overload (429,
+#: with Retry-After) and a not-ready tier (503).  400s are the caller's
+#: bug, 504 means the latency budget is already spent.
+_RETRYABLE_STATUSES = (429, 503)
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+
+class HTTPClient:
+    """Stdlib HTTP client with timeouts and idempotent-only retries.
+
+    Parameters
+    ----------
+    timeout:
+        Default for both ``connect_timeout_s`` and ``read_timeout_s``
+        (kept as a single knob for callers that don't care).
+    connect_timeout_s / read_timeout_s:
+        Split transport budgets: a refused/blackholed connect fails
+        fast, while a legitimately slow response gets the full read
+        budget.
+    max_retries:
+        Extra attempts for *idempotent* requests after a transport
+        failure or retryable status (429/503).  Non-idempotent requests
+        (``reload``) always run exactly once.
+    backoff_base_s / backoff_max_s:
+        Capped exponential backoff; the actual sleep is full-jitter
+        (uniform in ``[0, min(cap, base * 2**attempt)]``), so a
+        thundering herd of retriers decorrelates.  A 429's
+        ``Retry-After`` header overrides the computed sleep.
+    rng:
+        Injectable ``random.Random`` for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        connect_timeout_s: Optional[float] = None,
+        read_timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base_s <= 0 or backoff_max_s < backoff_base_s:
+            raise ValueError(
+                "need 0 < backoff_base_s <= backoff_max_s, got "
+                f"{backoff_base_s} / {backoff_max_s}"
+            )
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.connect_timeout_s = (
+            timeout if connect_timeout_s is None else float(connect_timeout_s)
+        )
+        self.read_timeout_s = (
+            timeout if read_timeout_s is None else float(read_timeout_s)
+        )
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self._rng = rng if rng is not None else random.Random()
+        #: Retries performed over this client's lifetime (observability).
+        self.retries = 0
 
     # -- transport -----------------------------------------------------
-    def _request(
-        self, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
-        url = self.base_url + path
-        data = None
+    def _once(
+        self, method: str, path: str, data: Optional[bytes]
+    ) -> Tuple[int, Dict[str, Any], Optional[str]]:
+        """One attempt: ``(status, payload, retry_after_header)``.
+
+        Raises ``OSError`` / ``http.client.HTTPException`` on transport
+        failure (the retry loop's food); HTTP error statuses are
+        *returned*, not raised, so the loop can decide per status.
+        """
+        parsed = urlsplit(self.base_url)
         headers = {"Accept": "application/json"}
-        if body is not None:
-            data = json.dumps(body).encode("utf-8")
+        if data is not None:
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
+            headers["Content-Length"] = str(len(data))
+        connection = http.client.HTTPConnection(
+            parsed.hostname, parsed.port, timeout=self.connect_timeout_s
+        )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
-            raw = error.read()
+            connection.connect()
+            if connection.sock is not None:
+                # Connect succeeded: the remaining budget is read time.
+                connection.sock.settimeout(self.read_timeout_s)
+            connection.request(method, path, body=data, headers=headers)
+            response = connection.getresponse()
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+            raw = response.read()
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            payload = {"error": raw.decode("utf-8", "replace")}
+        return status, payload, retry_after
+
+    def _backoff_s(self, attempt: int, retry_after: Optional[str]) -> float:
+        if retry_after is not None:
             try:
-                payload = json.loads(raw.decode("utf-8"))
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                payload = {"error": raw.decode("utf-8", "replace")}
-            raise ServingClientError(
-                f"{path} failed with HTTP {error.code}: "
-                f"{payload.get('error', 'unknown error')}",
-                status=error.code,
+                return max(0.0, float(retry_after))
+            except ValueError:
+                pass  # date-format Retry-After: fall back to jitter
+        cap = min(self.backoff_max_s, self.backoff_base_s * (2 ** attempt))
+        return self._rng.uniform(0.0, cap)
+
+    def _request(
+        self,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        idempotent: bool = True,
+    ) -> Dict[str, Any]:
+        method = "GET" if body is None else "POST"
+        data = (
+            None if body is None else json.dumps(body).encode("utf-8")
+        )
+        attempts = (self.max_retries + 1) if idempotent else 1
+        last_error: Optional[ServingClientError] = None
+        for attempt in range(attempts):
+            try:
+                status, payload, retry_after = self._once(method, path, data)
+            except (OSError, http.client.HTTPException) as error:
+                last_error = ServingClientError(
+                    f"could not reach {self.base_url + path}: {error}"
+                )
+                last_error.__cause__ = error
+                if attempt + 1 < attempts:
+                    self.retries += 1
+                    time.sleep(self._backoff_s(attempt, None))
+                continue
+            if 200 <= status < 300:
+                return payload
+            last_error = ServingClientError(
+                f"{path} failed with HTTP {status}: "
+                f"{payload.get('error', payload.get('status', 'unknown'))}",
+                status=status,
                 payload=payload,
-            ) from error
-        except urllib.error.URLError as error:
-            raise ServingClientError(
-                f"could not reach {url}: {error.reason}"
-            ) from error
+            )
+            if status in _RETRYABLE_STATUSES and attempt + 1 < attempts:
+                self.retries += 1
+                time.sleep(self._backoff_s(
+                    attempt, retry_after if status == 429 else None
+                ))
+                continue
+            raise last_error
+        raise last_error  # transport failures exhausted every attempt
 
     # -- API -----------------------------------------------------------
     def healthz(self) -> Dict[str, Any]:
         return self._request("/healthz")
 
+    def readyz(self) -> Dict[str, Any]:
+        """Readiness probe; raises :class:`ServingClientError` on 503."""
+        return self._request("/readyz", idempotent=False)
+
     def stats(self) -> Dict[str, Any]:
         return self._request("/stats")
 
-    def query(self, source: int, k: int = 1) -> Dict[str, Any]:
-        return self._request(f"/query?source={int(source)}&k={int(k)}")
+    def query(
+        self, source: int, k: int = 1, deadline_ms: int = 0
+    ) -> Dict[str, Any]:
+        path = f"/query?source={int(source)}&k={int(k)}"
+        if deadline_ms:
+            path += f"&deadline_ms={int(deadline_ms)}"
+        return self._request(path)
 
     def query_many(
-        self, queries: Sequence[Tuple[int, int]]
+        self, queries: Sequence[Tuple[int, int]], deadline_ms: int = 0
     ) -> List[Dict[str, Any]]:
-        body = {
+        body: Dict[str, Any] = {
             "queries": [
                 {"source": int(source), "k": int(k)} for source, k in queries
             ]
         }
+        if deadline_ms:
+            body["deadline_ms"] = int(deadline_ms)
+        # POST in shape, a pure read in semantics: safe to retry.
         return self._request("/query", body=body)["results"]
 
     def reload(self, artifact: str) -> Dict[str, Any]:
-        """POST /admin/reload — ``artifact`` is a path on the *server*."""
-        return self._request("/admin/reload", body={"artifact": artifact})
+        """POST /admin/reload — ``artifact`` is a path on the *server*.
+
+        Never retried: a reload whose response was lost may have
+        committed, and replaying it would swap twice.
+        """
+        return self._request(
+            "/admin/reload", body={"artifact": artifact}, idempotent=False
+        )

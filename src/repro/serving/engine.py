@@ -41,9 +41,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..observability import MetricsRegistry, get_registry, get_tracer
+from ..resilience import DeadlineExceededError
 from .index import AlignmentIndex
 
 __all__ = ["QueryResult", "StripedLRUCache", "QueryEngine"]
+
+#: Meta dict for a fully-healthy answer (indexes without ``top_k_ex``).
+_HEALTHY_META = {"degraded": False, "coverage": 1.0, "shards_down": ()}
 
 
 def _ms_or_none(seconds: Optional[float]) -> Optional[float]:
@@ -58,6 +62,11 @@ class QueryResult:
     ``targets``/``scores`` hold at most ``k`` entries in canonical order;
     entries whose score was sanitized to ``-inf`` are dropped, and
     ``aligned`` is ``False`` when nothing finite remained.
+
+    ``degraded``/``coverage`` carry the degraded-answer contract: when a
+    shard was unavailable the answer covers only ``coverage`` of the
+    target rows (``shards_down`` names the missing shards) and is
+    explicitly marked — never silently partial.
     """
 
     source: int
@@ -67,6 +76,9 @@ class QueryResult:
     aligned: bool
     cached: bool
     latency_s: float
+    degraded: bool = False
+    coverage: float = 1.0
+    shards_down: Tuple[int, ...] = ()
 
     def payload(self) -> Dict[str, Any]:
         """JSON-ready dict (the HTTP response body for this query)."""
@@ -78,6 +90,9 @@ class QueryResult:
             "aligned": self.aligned,
             "cached": self.cached,
             "latency_ms": self.latency_s * 1e3,
+            "degraded": self.degraded,
+            "coverage": self.coverage,
+            "shards_down": list(self.shards_down),
         }
 
 
@@ -170,17 +185,30 @@ class StripedLRUCache:
 
 
 class _Pending:
-    """One enqueued query waiting for the scorer thread."""
+    """One enqueued query waiting for the scorer thread.
 
-    __slots__ = ("source", "k", "event", "value", "error", "enqueued")
+    ``deadline`` is an absolute ``time.monotonic()`` instant (or None);
+    the scorer sheds items already expired when it assembles a batch,
+    and the waiting caller gives up (and abandons the item) at the same
+    instant, so expired work is never computed *or* waited on.
+    """
 
-    def __init__(self, source: int, k: int) -> None:
+    __slots__ = (
+        "source", "k", "event", "value", "error", "enqueued", "deadline",
+        "abandoned",
+    )
+
+    def __init__(
+        self, source: int, k: int, deadline: Optional[float] = None
+    ) -> None:
         self.source = source
         self.k = k
         self.event = threading.Event()
         self.value: Optional[Tuple] = None
         self.error: Optional[BaseException] = None
         self.enqueued = time.monotonic()
+        self.deadline = deadline
+        self.abandoned = False
 
 
 class QueryEngine:
@@ -198,6 +226,7 @@ class QueryEngine:
         max_delay_ms: float = 2.0,
         cache_size: int = 4096,
         cache_stripes: int = 8,
+        verifier=None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if batch_size < 1:
@@ -208,6 +237,9 @@ class QueryEngine:
         self.fingerprint = fingerprint
         self.batch_size = int(batch_size)
         self.max_delay_s = float(max_delay_ms) / 1e3
+        #: Optional ArtifactVerifier: once lazy verification detects
+        #: corruption, every subsequent batch raises its typed error.
+        self.verifier = verifier
         self.registry = registry
         self.cache = StripedLRUCache(
             cache_size, stripes=cache_stripes, registry=registry
@@ -228,6 +260,7 @@ class QueryEngine:
         index_kwargs["registry"] = kwargs.get("registry")
         index = AlignmentIndex.from_artifact(artifact, **index_kwargs)
         kwargs.setdefault("fingerprint", artifact.fingerprint)
+        kwargs.setdefault("verifier", getattr(artifact, "verifier", None))
         return cls(index, **kwargs)
 
     def _registry(self) -> MetricsRegistry:
@@ -306,42 +339,93 @@ class QueryEngine:
             registry.record_time("serving.query_latency_cached", latency)
         else:
             registry.record_time("serving.query_latency_uncached", latency)
-        targets, scores, aligned = value
+        targets, scores, aligned, meta = value
         if not aligned:
             registry.increment("serving.unaligned")
+        if meta["degraded"]:
+            registry.increment("serving.degraded")
         return QueryResult(
             source=source, k=k, targets=targets, scores=scores,
             aligned=aligned, cached=cached, latency_s=latency,
+            degraded=bool(meta["degraded"]),
+            coverage=float(meta["coverage"]),
+            shards_down=tuple(meta.get("shards_down", ())),
         )
 
-    def query(self, source: int, k: int = 1) -> QueryResult:
-        """Answer one query, going through the cache and the microbatcher."""
+    def _shed(self, count: int = 1) -> None:
+        self._registry().increment("serving.deadline_shed", count)
+
+    def _check_deadline(
+        self, deadline_s: Optional[float], where: str
+    ) -> None:
+        if deadline_s is not None and time.monotonic() >= deadline_s:
+            self._shed()
+            raise DeadlineExceededError(
+                f"deadline expired {where}", deadline_s=deadline_s
+            )
+
+    def query(
+        self,
+        source: int,
+        k: int = 1,
+        deadline_s: Optional[float] = None,
+    ) -> QueryResult:
+        """Answer one query, going through the cache and the microbatcher.
+
+        ``deadline_s`` is an absolute ``time.monotonic()`` deadline: work
+        already expired on arrival is shed (never computed), the caller
+        never waits past it, and an expired item in the microbatcher
+        queue is dropped instead of scored.  Expiry raises
+        :class:`~repro.resilience.DeadlineExceededError` (HTTP 504).
+        """
         started = time.perf_counter()
+        self._check_deadline(deadline_s, "before admission")
         source, k = self._validate(source, k)
         key = (self.fingerprint, source, k)
         value = self.cache.get(key)
         if value is not None:
             return self._finish(source, k, value, True, started)
-        item = _Pending(source, k)
+        item = _Pending(source, k, deadline=deadline_s)
         with self._cond:
             self._ensure_worker_locked()
             self._pending.append(item)
             self._cond.notify_all()
-        item.event.wait()
+        timeout = (
+            None if deadline_s is None
+            else max(0.0, deadline_s - time.monotonic())
+        )
+        if not item.event.wait(timeout):
+            # Abandon the item: if the scorer has not picked it up yet it
+            # will be shed there; either way nobody consumes the value.
+            with self._cond:
+                item.abandoned = True
+            raise DeadlineExceededError(
+                f"query (source={source}, k={k}) missed its deadline "
+                "while waiting for the scorer",
+                deadline_s=deadline_s,
+            )
         if item.error is not None:
             raise item.error
-        self.cache.put(key, item.value)
+        if not item.value[3]["degraded"]:
+            # Degraded answers are never cached: once the shard set
+            # recovers, the full answer must not lose to a stale partial.
+            self.cache.put(key, item.value)
         return self._finish(source, k, item.value, False, started)
 
     def query_many(
-        self, queries: Sequence[Tuple[int, int]]
+        self,
+        queries: Sequence[Tuple[int, int]],
+        deadline_s: Optional[float] = None,
     ) -> List[QueryResult]:
         """Answer a caller-assembled batch directly (no coalescing delay).
 
         ``queries`` is a sequence of ``(source, k)`` pairs; cache hits are
         served immediately and the misses scored in ``batch_size`` chunks.
+        An expired ``deadline_s`` sheds every not-yet-scored chunk and
+        raises :class:`~repro.resilience.DeadlineExceededError`.
         """
         started = time.perf_counter()
+        self._check_deadline(deadline_s, "before admission")
         normalized = [self._validate(source, k) for source, k in queries]
         results: List[Optional[QueryResult]] = [None] * len(normalized)
         misses: List[Tuple[int, int, int]] = []
@@ -355,9 +439,19 @@ class QueryEngine:
                 misses.append((position, source, k))
         for chunk_start in range(0, len(misses), self.batch_size):
             chunk = misses[chunk_start:chunk_start + self.batch_size]
-            values = self._score_batch([(s, k) for _, s, k in chunk])
+            if deadline_s is not None and time.monotonic() >= deadline_s:
+                self._shed(len(misses) - chunk_start)
+                raise DeadlineExceededError(
+                    f"batch missed its deadline with "
+                    f"{len(misses) - chunk_start} queries unscored",
+                    deadline_s=deadline_s,
+                )
+            values = self._score_batch(
+                [(s, k) for _, s, k in chunk], deadline_s=deadline_s
+            )
             for (position, source, k), value in zip(chunk, values):
-                self.cache.put((self.fingerprint, source, k), value)
+                if not value[3]["degraded"]:
+                    self.cache.put((self.fingerprint, source, k), value)
                 results[position] = self._finish(
                     source, k, value, False, started
                 )
@@ -367,37 +461,85 @@ class QueryEngine:
     # Scoring
     # ------------------------------------------------------------------
     def _score_batch(
-        self, batch: Sequence[Tuple[int, int]]
+        self,
+        batch: Sequence[Tuple[int, int]],
+        deadline_s: Optional[float] = None,
     ) -> List[Tuple]:
         """Score ``(source, k)`` pairs as one index call; returns values.
 
-        A value is the cacheable ``(targets, scores, aligned)`` triple.
-        Each query's answer is the first ``k`` canonical entries of the
+        A value is the cacheable ``(targets, scores, aligned, meta)``
+        tuple, where ``meta`` carries the degraded-answer fields.  Each
+        query's answer is the first ``k`` canonical entries of the
         batch-wide top-``max(k)``, which equals its standalone answer.
+        Degraded answers (``meta["degraded"]``) may hold fewer than ``k``
+        candidates; callers must not cache them.
         """
+        if self.verifier is not None:
+            # Lazy artifact verification: the background verifier's typed
+            # corruption error surfaces on the first batch after it fires.
+            self.verifier.raise_if_failed()
         registry = self._registry()
         k_max = max(k for _, k in batch)
         sources = np.array([source for source, _ in batch], dtype=np.int64)
+        top_k_ex = getattr(self.index, "top_k_ex", None)
         with get_tracer().span(
             "serving.score_batch", size=len(batch), k=k_max
         ):
-            targets, scores = self.index.top_k(sources, k_max)
+            if top_k_ex is not None:
+                targets, scores, meta = top_k_ex(
+                    sources, k_max, deadline_s=deadline_s
+                )
+            else:
+                self._check_deadline(deadline_s, "before scoring")
+                targets, scores = self.index.top_k(sources, k_max)
+                meta = _HEALTHY_META
         registry.increment("serving.batches")
         registry.observe("serving.batch.size", len(batch))
         registry.record_histogram("serving.batch.size_hist", len(batch))
         values: List[Tuple] = []
+        columns = targets.shape[1]
         for row, (_, k) in enumerate(batch):
-            row_targets = targets[row, :k]
-            row_scores = scores[row, :k]
+            take = min(k, columns)
+            row_targets = targets[row, :take]
+            row_scores = scores[row, :take]
             finite = np.isfinite(row_scores)
             values.append(
                 (
                     tuple(int(t) for t in row_targets[finite]),
                     tuple(float(s) for s in row_scores[finite]),
                     bool(finite.any()),
+                    meta,
                 )
             )
         return values
+
+    def _take_batch_locked(self) -> List[_Pending]:
+        """Pop up to ``batch_size`` live items, shedding dead ones.
+
+        Caller holds ``self._cond``.  Items whose deadline has already
+        passed (or whose caller abandoned the wait) are dropped with
+        ``serving.deadline_shed`` instead of being scored — expired work
+        is never computed.
+        """
+        batch: List[_Pending] = []
+        shed = 0
+        now = time.monotonic()
+        while self._pending and len(batch) < self.batch_size:
+            item = self._pending.popleft()
+            expired = item.deadline is not None and now >= item.deadline
+            if item.abandoned or expired:
+                shed += 1
+                item.error = DeadlineExceededError(
+                    f"query (source={item.source}, k={item.k}) expired in "
+                    "the microbatch queue",
+                    deadline_s=item.deadline,
+                )
+                item.event.set()
+                continue
+            batch.append(item)
+        if shed:
+            self._shed(shed)
+        return batch
 
     def _worker_loop(self) -> None:
         while True:
@@ -419,15 +561,20 @@ class QueryEngine:
                     self._cond.wait(remaining)
                 if self._closed:
                     return
-                batch = [
-                    self._pending.popleft()
-                    for _ in range(min(self.batch_size, len(self._pending)))
-                ]
+                batch = self._take_batch_locked()
             if not batch:
                 continue
+            # Scoring honors the *latest* deadline in the batch: shedding
+            # at an earlier item's deadline would starve the others, and
+            # each expired caller has already stopped waiting anyway.
+            deadlines = [item.deadline for item in batch]
+            batch_deadline = (
+                None if any(d is None for d in deadlines) else max(deadlines)
+            )
             try:
                 values = self._score_batch(
-                    [(item.source, item.k) for item in batch]
+                    [(item.source, item.k) for item in batch],
+                    deadline_s=batch_deadline,
                 )
                 for item, value in zip(batch, values):
                     item.value = value
@@ -442,6 +589,36 @@ class QueryEngine:
                     item.event.set()
 
     # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """Degraded-state snapshot (the ``/healthz`` payload core).
+
+        ``healthy`` is liveness (the engine can answer *something*);
+        ``degraded`` flags reduced coverage (readiness should fail).
+        Indexes without shard health (single-process) are always fully
+        covered.
+        """
+        index_health = getattr(self.index, "health", None)
+        if index_health is not None:
+            report = dict(index_health())
+        else:
+            report = {
+                "degraded": False, "coverage": 1.0, "shards_down": [],
+                "shards": [],
+            }
+        report.setdefault("healthy", True)
+        report["closed"] = self._closed
+        if self._closed:
+            report["healthy"] = False
+        if self.verifier is not None:
+            failed = self.verifier.error is not None
+            report["artifact_verifier"] = {
+                "done": self.verifier.done,
+                "failed": failed,
+            }
+            if failed:
+                report["healthy"] = False
+        return report
+
     def stats(self) -> Dict[str, Any]:
         """Operational snapshot (the ``/stats`` payload core)."""
         registry = self._registry()
@@ -471,6 +648,8 @@ class QueryEngine:
                 "hit_rate": hits / lookups if lookups else 0.0,
             },
             "unaligned": counter("serving.unaligned"),
+            "degraded": counter("serving.degraded"),
+            "deadline_shed": counter("serving.deadline_shed"),
             "latency_ms": {
                 "mean": latency.get("mean", 0.0) * 1e3,
                 "max": latency.get("max", 0.0) * 1e3,

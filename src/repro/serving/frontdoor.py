@@ -79,6 +79,13 @@ class FrontDoor:
         Longest :meth:`reload` waits for the old engine's in-flight
         queries before closing it anyway (a backstop; the close itself
         fails stragglers loudly rather than hanging them).
+    reload_backoff_s / reload_backoff_factor / reload_backoff_max_s:
+        Crash-loop protection for :meth:`reload`: after a failed swap,
+        further reload attempts are rejected with
+        :class:`OverloadedError` (without even invoking the builder)
+        until an exponentially-growing backoff window has passed —
+        ``reload_backoff_s * factor**(failures - 1)``, capped.  A
+        successful swap resets the window.
     """
 
     def __init__(
@@ -87,6 +94,9 @@ class FrontDoor:
         max_pending: int = 64,
         builder: Optional[Callable[[str], QueryEngine]] = None,
         drain_timeout_s: float = 30.0,
+        reload_backoff_s: float = 1.0,
+        reload_backoff_factor: float = 2.0,
+        reload_backoff_max_s: float = 60.0,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_pending < 1:
@@ -95,14 +105,29 @@ class FrontDoor:
             raise ValueError(
                 f"drain_timeout_s must be positive, got {drain_timeout_s}"
             )
+        if reload_backoff_s <= 0:
+            raise ValueError(
+                f"reload_backoff_s must be positive, got {reload_backoff_s}"
+            )
+        if reload_backoff_factor < 1.0:
+            raise ValueError(
+                "reload_backoff_factor must be >= 1, got "
+                f"{reload_backoff_factor}"
+            )
         self.max_pending = int(max_pending)
         self.drain_timeout_s = float(drain_timeout_s)
+        self.reload_backoff_s = float(reload_backoff_s)
+        self.reload_backoff_factor = float(reload_backoff_factor)
+        self.reload_backoff_max_s = float(reload_backoff_max_s)
         self.registry = registry
         self._builder = builder
         self._slot = _Slot(engine)
         self._pending = 0
         self._swaps = 0
         self._rejected = 0
+        self._reload_failures = 0          # consecutive, resets on success
+        self._reload_failures_total = 0
+        self._reload_blocked_until = 0.0   # monotonic; crash-loop window
         self._closed = False
         self._cond = threading.Condition()
         self._reload_lock = threading.Lock()
@@ -154,15 +179,22 @@ class FrontDoor:
     def index(self):
         return self.engine.index
 
-    def query(self, source: int, k: int = 1) -> QueryResult:
+    def query(
+        self,
+        source: int,
+        k: int = 1,
+        deadline_s: Optional[float] = None,
+    ) -> QueryResult:
         with self._admit() as engine:
-            return engine.query(source, k)
+            return engine.query(source, k, deadline_s=deadline_s)
 
     def query_many(
-        self, queries: Sequence[Tuple[int, int]]
+        self,
+        queries: Sequence[Tuple[int, int]],
+        deadline_s: Optional[float] = None,
     ) -> List[QueryResult]:
         with self._admit(weight=max(1, len(queries))) as engine:
-            return engine.query_many(queries)
+            return engine.query_many(queries, deadline_s=deadline_s)
 
     def stats(self) -> Dict[str, Any]:
         with self._cond:
@@ -172,23 +204,96 @@ class FrontDoor:
                 "pending": self._pending,
                 "rejected": self._rejected,
                 "swaps": self._swaps,
+                "reload_failures": self._reload_failures_total,
             }
         stats = engine.stats()
         stats["frontdoor"] = frontdoor
         return stats
 
+    def health(self) -> Dict[str, Any]:
+        """Liveness + readiness snapshot (the ``/healthz`` payload).
+
+        ``healthy`` (liveness) survives degraded shards; ``ready``
+        (readiness) requires full coverage and no reload crash-loop —
+        the split that lets an orchestrator keep a degraded replica
+        serving while routing new traffic elsewhere.
+        """
+        with self._cond:
+            engine = self._slot.engine
+            closed = self._closed
+            backoff_remaining = max(
+                0.0, self._reload_blocked_until - time.monotonic()
+            )
+            reload_failures = self._reload_failures_total
+        engine_health = getattr(engine, "health", None)
+        report = (
+            dict(engine_health()) if engine_health is not None
+            else {"degraded": False, "coverage": 1.0, "shards_down": []}
+        )
+        report.setdefault("healthy", True)
+        if closed:
+            report["healthy"] = False
+        report["closed"] = closed
+        report["reload_failures"] = reload_failures
+        report["reload_backoff_s"] = backoff_remaining
+        report["ready"] = bool(
+            report["healthy"]
+            and not report.get("degraded")
+            and backoff_remaining == 0.0
+        )
+        return report
+
     # -- hot swap -------------------------------------------------------
+    def _reload_failed(self, error: BaseException) -> None:
+        """Record a failed swap and arm the crash-loop backoff window."""
+        registry = self._registry()
+        with self._cond:
+            self._reload_failures += 1
+            self._reload_failures_total += 1
+            backoff = min(
+                self.reload_backoff_s
+                * self.reload_backoff_factor ** (self._reload_failures - 1),
+                self.reload_backoff_max_s,
+            )
+            self._reload_blocked_until = time.monotonic() + backoff
+        registry.increment("serving.frontdoor.reload_failures")
+        registry.emit(
+            "serving.frontdoor.reload_failed",
+            {
+                "error": str(error),
+                "consecutive": self._reload_failures,
+                "backoff_s": backoff,
+            },
+        )
+
     def reload(self, artifact_path: str) -> str:
         """Swap in ``artifact_path``; returns the new fingerprint.
 
         Build happens before the flip, so a bad artifact (missing dir,
-        failed validation) leaves the old engine serving untouched.
+        failed validation) leaves the old engine serving untouched.  A
+        failed build arms an exponential backoff window during which
+        further reloads are rejected up front (:class:`OverloadedError`)
+        — a bad-artifact crash loop cannot burn the serving tier's CPU
+        rebuilding the same broken engine back to back.
         """
         if self._builder is None:
             raise ValueError(
                 "hot reload is not configured: this FrontDoor was built "
                 "without an engine builder"
             )
+        with self._cond:
+            remaining = self._reload_blocked_until - time.monotonic()
+            if remaining > 0:
+                self._registry().increment(
+                    "serving.frontdoor.reload_rejected"
+                )
+                error = OverloadedError(
+                    f"reload is backing off after {self._reload_failures} "
+                    f"consecutive failed swap(s); retry in "
+                    f"{remaining:.2f}s"
+                )
+                error.retry_after_s = remaining  # → Retry-After header
+                raise error
         if not self._reload_lock.acquire(blocking=False):
             raise OverloadedError(
                 "another reload is already in progress; retry later"
@@ -198,17 +303,26 @@ class FrontDoor:
             with get_tracer().span(
                 "serving.frontdoor.reload", artifact=artifact_path
             ):
-                engine = self._builder(artifact_path)
                 try:
-                    engine.start()
-                    with self._cond:
-                        if self._closed:
-                            raise RuntimeError("FrontDoor is closed")
-                        old, self._slot = self._slot, _Slot(engine)
-                        self._swaps += 1
-                except BaseException:
-                    engine.close()
+                    engine = self._builder(artifact_path)
+                    try:
+                        engine.start()
+                        with self._cond:
+                            if self._closed:
+                                raise RuntimeError("FrontDoor is closed")
+                            old, self._slot = self._slot, _Slot(engine)
+                            self._swaps += 1
+                    except BaseException:
+                        engine.close()
+                        raise
+                except BaseException as error:
+                    # The old engine is still serving, untouched; arm the
+                    # crash-loop backoff before surfacing the failure.
+                    self._reload_failed(error)
                     raise
+                with self._cond:
+                    self._reload_failures = 0
+                    self._reload_blocked_until = 0.0
                 # Queries admitted before the flip hold references to the
                 # old engine; wait for them so the close fails nobody.
                 drain_started = time.perf_counter()

@@ -3,7 +3,14 @@
 Routes
 ------
 ``GET /healthz``
-    Liveness + artifact identity: ``{"status": "ok", "fingerprint": ...}``.
+    **Liveness**: always 200 while the process can answer HTTP, with
+    the degraded-answer detail (``degraded``, ``coverage``,
+    ``shards_down``, breaker states) in the body.  A degraded tier is
+    alive — restarting it would only lose the surviving shards.
+``GET /readyz``
+    **Readiness**: 200 only at full coverage (no open breakers, no
+    reload crash-loop); 503 otherwise.  Orchestrators route new traffic
+    on this one.
 ``GET /stats``
     Engine operational snapshot plus the ``serving.*`` metrics.
 ``GET /metrics``
@@ -11,12 +18,16 @@ Routes
     counter, gauge, timer, and histogram (with p50/p90/p99), not just
     the ``serving.*`` prefix.  Scrape-friendly: what ``--metrics-out``
     writes at shutdown, available live.
-``GET /query?source=<id>&k=<k>``
-    One alignment query.
+``GET /query?source=<id>&k=<k>&deadline_ms=<budget>``
+    One alignment query.  ``deadline_ms`` (optional) is the caller's
+    latency budget: the deadline propagates through admission, the
+    microbatcher, and the shard scatter, each stage shedding expired
+    work; an answer that cannot make it returns **504**.
 ``POST /query``
-    Batch: ``{"queries": [{"source": 3, "k": 5}, ...]}`` →
-    ``{"results": [...]}``; the whole batch goes through
-    :meth:`QueryEngine.query_many` (one matmul per ``batch_size`` chunk).
+    Batch: ``{"queries": [{"source": 3, "k": 5}, ...], "deadline_ms":
+    250}`` → ``{"results": [...]}``; the whole batch goes through
+    :meth:`QueryEngine.query_many` (one matmul per ``batch_size`` chunk)
+    under one shared deadline.
 ``POST /admin/reload``
     Hot artifact swap: ``{"artifact": "<path>"}`` loads the artifact
     directory (a path on the *server's* filesystem) in the handler
@@ -29,10 +40,12 @@ Error taxonomy → HTTP status
 Malformed requests (missing/wrong-typed params or fields, bad JSON,
 invalid ``k``) map to **400**; unknown paths and out-of-range source
 ids to **404**; admission-control rejection
-(:class:`~repro.serving.frontdoor.OverloadedError` — retry later) to
-**429**; a closed or unhealthy engine to **503**; anything unexpected
-to **500**.  Client-caused input can never produce a 500: every field
-is type-checked at this boundary before it reaches the engine.  Every
+(:class:`~repro.serving.frontdoor.OverloadedError` — retry later, with
+a ``Retry-After`` header) to **429**; a missed deadline
+(:class:`~repro.resilience.DeadlineExceededError`) to **504**; a closed
+or unhealthy engine to **503**; anything unexpected to **500**.
+Client-caused input can never produce a 500: every field is
+type-checked at this boundary before it reaches the engine.  Every
 error body is ``{"error": <message>, "type": <exception class>}`` so
 clients can surface the library's actionable messages unchanged.
 
@@ -48,13 +61,15 @@ thread or pollutes ``serving.http.errors``.
 from __future__ import annotations
 
 import json
+import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..observability import MetricsRegistry, bench_payload, get_registry
-from ..resilience import ArtifactValidationError
+from ..resilience import ArtifactValidationError, DeadlineExceededError
 from .engine import QueryEngine
 from .frontdoor import OverloadedError
 
@@ -72,6 +87,10 @@ def status_for_error(error: BaseException) -> int:
         # closed/unhealthy engine (503) is not — clients back off
         # differently.
         return 429
+    if isinstance(error, DeadlineExceededError):
+        # Also before RuntimeError: the *caller's* budget expired (504);
+        # retrying with the same budget may well succeed on a warm cache.
+        return 504
     if isinstance(error, RuntimeError):
         return 503
     return 500
@@ -100,6 +119,21 @@ def _parse_int(params: Dict, name: str, default: Optional[int]) -> int:
         raise _BadRequest(
             f"query parameter {name!r} must be an integer, got {values[0]!r}"
         ) from None
+
+
+def _deadline_from_ms(deadline_ms: int) -> Optional[float]:
+    """A request's ``deadline_ms`` budget → absolute monotonic deadline.
+
+    0 (the "absent" default) means no deadline; negatives are the
+    client's bug and answer 400.
+    """
+    if deadline_ms < 0:
+        raise _BadRequest(
+            f"deadline_ms must be >= 0, got {deadline_ms}"
+        )
+    if deadline_ms == 0:
+        return None
+    return time.monotonic() + deadline_ms / 1e3
 
 
 def _require_int(value: Any, where: str) -> int:
@@ -136,12 +170,19 @@ class _ServingHandler(BaseHTTPRequestHandler):
             "serving.http.log", {"message": format % args}
         )
 
-    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
@@ -153,17 +194,28 @@ class _ServingHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, handler) -> None:
         self.registry.increment("serving.http.requests")
+        headers: Optional[Dict[str, str]] = None
         try:
             status, payload = handler()
         except Exception as error:
             status = status_for_error(error)
             payload = {"error": str(error), "type": type(error).__name__}
+            if status == 429:
+                # Well-behaved clients (ours included) honor Retry-After
+                # instead of guessing a backoff.
+                retry_after = getattr(error, "retry_after_s", None)
+                headers = {
+                    "Retry-After": str(
+                        max(1, math.ceil(retry_after))
+                        if retry_after is not None else 1
+                    )
+                }
             self.registry.increment("serving.http.errors")
             self.registry.emit(
                 "serving.http.error",
                 {"status": status, "error": str(error)},
             )
-        self._send(status, payload)
+        self._send(status, payload, headers)
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -172,15 +224,37 @@ class _ServingHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         self._dispatch(self._handle_post)
 
+    def _health(self) -> Dict[str, Any]:
+        health = getattr(self.engine, "health", None)
+        report = dict(health()) if health is not None else {
+            "healthy": True, "degraded": False, "coverage": 1.0,
+            "shards_down": [],
+        }
+        report["fingerprint"] = self.engine.fingerprint
+        report["n_source"] = self.engine.index.n_source
+        report["n_target"] = self.engine.index.n_target
+        return report
+
     def _handle_get(self) -> Tuple[int, Dict[str, Any]]:
         url = urlsplit(self.path)
         if url.path == "/healthz":
-            return 200, {
-                "status": "ok",
-                "fingerprint": self.engine.fingerprint,
-                "n_source": self.engine.index.n_source,
-                "n_target": self.engine.index.n_target,
-            }
+            # Liveness: a degraded tier is still alive — 200 with the
+            # degradation spelled out, so probes don't restart a replica
+            # that is the only one still holding the surviving shards.
+            report = self._health()
+            report["status"] = "ok" if report.get("healthy", True) else (
+                "unhealthy"
+            )
+            return 200, report
+        if url.path == "/readyz":
+            # Readiness: full coverage or don't route traffic here.
+            report = self._health()
+            ready = bool(
+                report.get("ready", report.get("healthy", True)
+                           and not report.get("degraded", False))
+            )
+            report["status"] = "ready" if ready else "not_ready"
+            return (200 if ready else 503), report
         if url.path == "/stats":
             return 200, {
                 "engine": self.engine.stats(),
@@ -198,10 +272,14 @@ class _ServingHandler(BaseHTTPRequestHandler):
             params = parse_qs(url.query)
             source = _parse_int(params, "source", None)
             k = _parse_int(params, "k", 1)
-            return 200, self.engine.query(source, k).payload()
+            deadline_ms = _parse_int(params, "deadline_ms", 0)
+            deadline_s = _deadline_from_ms(deadline_ms)
+            return 200, self.engine.query(
+                source, k, deadline_s=deadline_s
+            ).payload()
         raise _UnknownRoute(
-            f"unknown path {url.path!r}; routes: /healthz, /stats, "
-            f"/metrics, /query"
+            f"unknown path {url.path!r}; routes: /healthz, /readyz, "
+            f"/stats, /metrics, /query"
         )
 
     def _read_json_body(self) -> Dict[str, Any]:
@@ -260,7 +338,11 @@ class _ServingHandler(BaseHTTPRequestHandler):
             )
             k = _require_int(entry.get("k", 1), f"queries[{position}].k")
             pairs.append((source, k))
-        results = self.engine.query_many(pairs)
+        deadline_ms = _require_int(
+            body.get("deadline_ms", 0), "deadline_ms"
+        )
+        deadline_s = _deadline_from_ms(deadline_ms)
+        results = self.engine.query_many(pairs, deadline_s=deadline_s)
         return 200, {"results": [result.payload() for result in results]}
 
     def _handle_reload(self) -> Tuple[int, Dict[str, Any]]:

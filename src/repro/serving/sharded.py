@@ -38,13 +38,26 @@ per-query counters); the pool adds ``parallel.*`` (hedges, utilization).
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..observability import MetricsRegistry, get_registry, get_tracer
-from ..parallel import AttachedArrays, SharedArrayStore, WorkerPool
+from ..parallel import (
+    AttachedArrays,
+    SharedArrayStore,
+    TaskFailure,
+    WorkerPool,
+    in_worker,
+)
 from ..parallel.shm import load_embeddings, publish_embeddings
+from ..resilience import (
+    CircuitBreaker,
+    DeadlineExceededError,
+    InjectedFault,
+    SimulatedKill,
+)
 from .engine import QueryEngine
 from .index import AlignmentIndex
 
@@ -120,13 +133,33 @@ def _score_shard(
     sources: List[int],
     k: int,
     prune: bool,
+    fault: Optional[str] = None,
+    delay_s: float = 0.0,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """One shard's top-k candidates for a query batch (a pool task).
 
     Returns ``(targets, scores)`` with **global** target ids, shaped
     ``(batch, min(k, stop - start))`` in canonical order.  Pure: safe to
     hedge.
+
+    ``fault``/``delay_s`` are the chaos harness's hooks (wired by
+    :meth:`ShardedIndex.inject_fault`): ``"shard_kill"`` dies before
+    scoring — as a :class:`~repro.resilience.SimulatedKill` crash in a
+    real worker, as a catchable :class:`~repro.resilience.InjectedFault`
+    inline (a ``BaseException`` escaping an inline task would take the
+    scorer thread down with it) — and ``"shard_delay"`` sleeps first,
+    long enough to trip the scatter's deadline timeout.
     """
+    if fault == "shard_delay" and delay_s > 0:
+        time.sleep(delay_s)
+    elif fault == "shard_kill":
+        if in_worker():
+            raise SimulatedKill(
+                f"injected shard_kill in shard [{start}, {stop})"
+            )
+        raise InjectedFault(
+            f"injected shard_kill (inline) in shard [{start}, {stop})"
+        )
     state = _attach_state(manifest, token, num_layers)
     key = (start, stop, block_size)
     index = state["indexes"].get(key)
@@ -158,6 +191,15 @@ class ShardedIndex:
     that many seconds after scatter is duplicated onto a free worker
     and the first replica wins (needs ``workers >= 2``).
 
+    Fault tolerance (:meth:`top_k_ex`): each shard is guarded by a
+    :class:`~repro.resilience.CircuitBreaker` (tuned via
+    ``breaker_kwargs``).  A failing shard trips its breaker; open shards
+    are skipped and the surviving shards produce an explicitly *degraded*
+    answer (``meta["degraded"]``/``coverage``/``shards_down``) instead
+    of an error, until the breaker's half-open probe brings the shard
+    back.  The strict :meth:`top_k` keeps the all-or-nothing bitwise
+    contract.
+
     Close (or use as a context manager) to release the pool and the
     shared-memory segments.
     """
@@ -172,6 +214,7 @@ class ShardedIndex:
         prune: bool = True,
         workers: Optional[int] = None,
         hedge_after_s: Optional[float] = None,
+        breaker_kwargs: Optional[Dict[str, Any]] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if shards < 1:
@@ -205,6 +248,15 @@ class ShardedIndex:
         # WorkerPool.map is not reentrant; concurrent query_many callers
         # (HTTP handler threads) serialize their scatters here.
         self._lock = threading.Lock()
+        breaker_kwargs = dict(breaker_kwargs or {})
+        breaker_kwargs.setdefault("registry", registry)
+        self.breakers = [
+            CircuitBreaker(name=f"shard[{i}]", **breaker_kwargs)
+            for i in range(len(self.plan))
+        ]
+        # Chaos hooks: (shard, kind, delay_s) entries consumed (and wired
+        # into the shard tasks) by the next top_k_ex scatter.
+        self._injected: List[Tuple[Optional[int], str, float]] = []
 
     @classmethod
     def from_artifact(cls, artifact, **kwargs) -> "ShardedIndex":
@@ -232,16 +284,11 @@ class ShardedIndex:
     def _registry(self) -> MetricsRegistry:
         return self.registry if self.registry is not None else get_registry()
 
-    def top_k(
-        self,
-        sources,
-        k: int = 1,
-        prune: Optional[bool] = None,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Exact batched top-k; bit-identical to the unsharded index."""
+    def _validate_query(
+        self, sources, k: int, prune: Optional[bool]
+    ) -> Tuple[np.ndarray, int, bool, List[int]]:
         if self._closed:
             raise RuntimeError("ShardedIndex is closed")
-        registry = self._registry()
         sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
         if sources.ndim != 1 or sources.size == 0:
             raise ValueError(
@@ -258,13 +305,62 @@ class ShardedIndex:
             raise ValueError(f"k must be >= 1, got {k}")
         k = min(k, self.n_target)
         prune = self.prune if prune is None else bool(prune)
+        return sources, k, prune, [int(s) for s in sources]
 
-        source_list = [int(s) for s in sources]
+    @staticmethod
+    def _merge(
+        shard_answers: List[Tuple[np.ndarray, np.ndarray]], k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        all_targets = np.concatenate([t for t, _ in shard_answers], axis=1)
+        all_scores = np.concatenate([s for _, s in shard_answers], axis=1)
+        batch = all_targets.shape[0]
+        # A degraded merge can pool fewer than k candidates.
+        k = min(k, all_targets.shape[1])
+        out_targets = np.empty((batch, k), dtype=np.int64)
+        out_scores = np.empty((batch, k))
+        for row in range(batch):
+            # The index's canonical tie order (descending score,
+            # ascending id) over the pooled candidates: the merge that
+            # makes the answer shard-count-invariant.
+            order = np.lexsort((all_targets[row], -all_scores[row]))[:k]
+            out_targets[row] = all_targets[row, order]
+            out_scores[row] = all_scores[row, order]
+        return out_targets, out_scores
+
+    def _shard_task(
+        self,
+        start: int,
+        stop: int,
+        source_list: List[int],
+        k: int,
+        prune: bool,
+        fault: Optional[Tuple[str, float]] = None,
+    ) -> Tuple:
+        kind, delay_s = fault if fault is not None else (None, 0.0)
+        return (
+            self._manifest, self._token, self.num_layers, self._weights,
+            self.block_size, start, stop, source_list, k, prune,
+            kind, delay_s,
+        )
+
+    def top_k(
+        self,
+        sources,
+        k: int = 1,
+        prune: Optional[bool] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact batched top-k; bit-identical to the unsharded index.
+
+        All-or-nothing: every shard must answer (crashes exhaust the
+        pool's retry budget and then raise).  The fault-tolerant variant
+        is :meth:`top_k_ex`.
+        """
+        registry = self._registry()
+        sources, k, prune, source_list = self._validate_query(
+            sources, k, prune
+        )
         tasks = [
-            (
-                self._manifest, self._token, self.num_layers, self._weights,
-                self.block_size, start, stop, source_list, k, prune,
-            )
+            self._shard_task(start, stop, source_list, k, prune)
             for start, stop in self.plan
         ]
         with self._lock:
@@ -276,24 +372,176 @@ class ShardedIndex:
                     _score_shard, tasks, labels=self._labels,
                     hedge_after_s=self.hedge_after_s,
                 )
-
-        all_targets = np.concatenate([t for t, _ in shard_answers], axis=1)
-        all_scores = np.concatenate([s for _, s in shard_answers], axis=1)
-        batch = all_targets.shape[0]
-        out_targets = np.empty((batch, k), dtype=np.int64)
-        out_scores = np.empty((batch, k))
-        for row in range(batch):
-            # The index's canonical tie order (descending score,
-            # ascending id) over the pooled candidates: the merge that
-            # makes the answer shard-count-invariant.
-            order = np.lexsort((all_targets[row], -all_scores[row]))[:k]
-            out_targets[row] = all_targets[row, order]
-            out_scores[row] = all_scores[row, order]
-
+        out_targets, out_scores = self._merge(shard_answers, k)
         registry.increment("serving.sharded.queries", int(sources.size))
         registry.increment("serving.sharded.scatters")
         registry.observe("serving.sharded.shards", self.num_shards)
         return out_targets, out_scores
+
+    def top_k_ex(
+        self,
+        sources,
+        k: int = 1,
+        prune: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        """Fault-tolerant batched top-k: ``(targets, scores, meta)``.
+
+        Differences from the strict :meth:`top_k`:
+
+        * each shard is gated by its circuit breaker — open shards are
+          skipped without being scattered to;
+        * a shard failure (crash, timeout, injected fault) is recorded
+          against its breaker and the answer is assembled from the
+          surviving shards, with ``meta`` reporting ``degraded=True``,
+          the surviving ``coverage`` fraction of target rows, and the
+          ``shards_down`` ids — never a silently partial answer;
+        * ``deadline_s`` (absolute monotonic) bounds the scatter: expired
+          on arrival sheds the whole batch with
+          :class:`~repro.resilience.DeadlineExceededError`, otherwise the
+          remaining budget becomes the per-shard task timeout.
+
+        Raises ``RuntimeError`` (HTTP 503) only when *no* shard can
+        answer.  When every shard is healthy the result is bit-identical
+        to :meth:`top_k`.
+        """
+        registry = self._registry()
+        sources, k, prune, source_list = self._validate_query(
+            sources, k, prune
+        )
+        if deadline_s is not None:
+            remaining = deadline_s - time.monotonic()
+            if remaining <= 0:
+                registry.increment("serving.deadline_shed")
+                raise DeadlineExceededError(
+                    "scatter deadline expired before fan-out",
+                    deadline_s=deadline_s,
+                )
+
+        with self._lock:
+            injected, self._injected = self._injected, []
+            faults: Dict[int, Tuple[str, float]] = {}
+            for shard, kind, delay_s in injected:
+                shard = 0 if shard is None else int(shard)
+                faults[shard] = (kind, delay_s)
+
+            allowed: List[int] = []
+            rejected: List[int] = []
+            for shard in range(self.num_shards):
+                (allowed if self.breakers[shard].allow()
+                 else rejected).append(shard)
+            if not allowed:
+                raise RuntimeError(
+                    f"all {self.num_shards} shard(s) unavailable "
+                    "(circuit breakers open)"
+                )
+            tasks = [
+                self._shard_task(
+                    *self.plan[shard], source_list, k, prune,
+                    fault=faults.get(shard),
+                )
+                for shard in allowed
+            ]
+            timeout_kwargs: Dict[str, Any] = {}
+            if deadline_s is not None:
+                timeout_kwargs["timeout_s"] = max(
+                    deadline_s - time.monotonic(), 1e-3
+                )
+            with get_tracer().span(
+                "serving.sharded.scatter",
+                shards=len(tasks), batch=int(sources.size), k=k,
+            ):
+                answers = self._pool.map(
+                    _score_shard, tasks,
+                    labels=[self._labels[shard] for shard in allowed],
+                    hedge_after_s=self.hedge_after_s,
+                    return_exceptions=True,
+                    crash_policy="return",
+                    **timeout_kwargs,
+                )
+
+        shard_answers: List[Tuple[np.ndarray, np.ndarray]] = []
+        failed: List[int] = []
+        for shard, answer in zip(allowed, answers):
+            if isinstance(answer, TaskFailure):
+                failed.append(shard)
+                self.breakers[shard].record_failure(answer.error)
+                registry.emit(
+                    "serving.sharded.shard_failure",
+                    {"shard": shard, "error": str(answer.error)},
+                )
+            else:
+                self.breakers[shard].record_success()
+                shard_answers.append(answer)
+        if not shard_answers:
+            raise RuntimeError(
+                f"all {len(allowed)} scattered shard(s) failed "
+                f"(shards {failed})"
+            )
+
+        down = sorted(rejected + failed)
+        covered = sum(
+            self.plan[shard][1] - self.plan[shard][0]
+            for shard in range(self.num_shards)
+            if shard not in down
+        )
+        meta = {
+            "degraded": bool(down),
+            "coverage": covered / self.n_target,
+            "shards_down": tuple(down),
+        }
+        if down:
+            registry.increment("serving.sharded.degraded_scatters")
+        out_targets, out_scores = self._merge(shard_answers, k)
+        registry.increment("serving.sharded.queries", int(sources.size))
+        registry.increment("serving.sharded.scatters")
+        registry.observe("serving.sharded.shards", self.num_shards)
+        return out_targets, out_scores, meta
+
+    # -- chaos hooks ----------------------------------------------------
+    def inject_fault(
+        self,
+        kind: str,
+        shard: Optional[int] = None,
+        delay_s: float = 0.0,
+    ) -> None:
+        """Arm a serving fault for the next :meth:`top_k_ex` scatter.
+
+        ``kind`` is ``"shard_kill"`` or ``"shard_delay"``; ``shard``
+        picks the victim (default 0); ``delay_s`` sizes a delay.  The
+        fault rides into the shard task's trailing arguments and fires
+        inside the scorer, exercising the real crash/timeout paths.
+        """
+        if kind not in ("shard_kill", "shard_delay"):
+            raise ValueError(
+                f"kind must be 'shard_kill' or 'shard_delay', got {kind!r}"
+            )
+        if shard is not None and not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        with self._lock:
+            self._injected.append((shard, kind, float(delay_s)))
+
+    def health(self) -> Dict[str, Any]:
+        """Per-shard breaker snapshot plus the degraded-coverage summary."""
+        shards = [breaker.snapshot() for breaker in self.breakers]
+        down = [
+            index for index, snap in enumerate(shards)
+            if snap["state"] != "closed"
+        ]
+        covered = sum(
+            stop - start
+            for index, (start, stop) in enumerate(self.plan)
+            if index not in down
+        )
+        return {
+            "healthy": len(down) < self.num_shards,
+            "degraded": bool(down),
+            "coverage": covered / self.n_target,
+            "shards_down": down,
+            "shards": shards,
+        }
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -336,7 +584,7 @@ class ShardedQueryEngine(QueryEngine):
     ) -> "ShardedQueryEngine":
         index_kwargs = {
             key: kwargs.pop(key)
-            for key in ("target_block_size", "prune")
+            for key in ("target_block_size", "prune", "breaker_kwargs")
             if key in kwargs
         }
         index = ShardedIndex.from_artifact(
@@ -348,6 +596,7 @@ class ShardedQueryEngine(QueryEngine):
             **index_kwargs,
         )
         kwargs.setdefault("fingerprint", artifact.fingerprint)
+        kwargs.setdefault("verifier", getattr(artifact, "verifier", None))
         return cls(index, **kwargs)
 
     def close(self) -> None:

@@ -273,3 +273,52 @@ class TestProfile:
         args = build_parser().parse_args(["profile"])
         assert args.trace_out == "trace.json"
         assert args.nodes == 300 and args.dim == 64
+
+
+class TestVerifyArtifactCommand:
+    @pytest.fixture
+    def artifact_dir(self, pair_dir, tmp_path, capsys):
+        out = str(tmp_path / "artifact")
+        assert main(["export-artifact", "--pair", pair_dir, "--out", out,
+                     "--epochs", "5", "--dim", "8", "--seed", "3"]) == 0
+        capsys.readouterr()
+        return out
+
+    def test_healthy_artifact_reports_ok(self, artifact_dir, capsys):
+        assert main(["verify-artifact", "--artifact", artifact_dir]) == 0
+        output = capsys.readouterr().out
+        assert "status   : ok" in output
+        assert "finger" in output
+        assert "committed: True" in output
+
+    def test_corrupt_artifact_exits_nonzero(self, artifact_dir, capsys):
+        import os as os_module
+
+        victim = os_module.path.join(artifact_dir, "target_layer_0.npy")
+        with open(victim, "rb+") as handle:
+            handle.seek(-8, os_module.SEEK_END)
+            position = handle.tell()
+            byte = handle.read(1)
+            handle.seek(position)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        assert main(["verify-artifact", "--artifact", artifact_dir]) == 1
+        output = capsys.readouterr().out
+        assert "CORRUPT" in output
+        assert "target_layer_0" in output
+
+    def test_query_timeout_parser_default(self):
+        args = build_parser().parse_args(
+            ["query", "--source", "0", "--artifact", "/x"]
+        )
+        assert args.timeout_ms == 0
+        args = build_parser().parse_args(
+            ["query", "--source", "0", "--artifact", "/x",
+             "--timeout-ms", "250"]
+        )
+        assert args.timeout_ms == 250
+
+    def test_serve_breaker_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--artifact", "/x"])
+        assert args.breaker_threshold == 3
+        assert args.breaker_reset == 0.5
+        assert args.verify is None

@@ -1,0 +1,238 @@
+"""HTTPClient retry policy against a scripted flaky server.
+
+The stub server plays back a per-path script of canned responses
+(status, headers, body), recording every request it sees — so each test
+can assert not just the final outcome but exactly *how many attempts*
+the client made, which is the whole point of the retry policy:
+
+* idempotent reads retry transport failures and 429/503 with capped
+  full-jitter backoff, honoring ``Retry-After`` on 429;
+* non-idempotent requests (``POST /admin/reload``) run exactly once —
+  a lost reload response may have committed, replaying it could
+  double-swap.
+"""
+
+import json
+import random
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.serving import HTTPClient, ServingClientError
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    def _play(self):
+        server = self.server
+        with server.lock:
+            server.requests.append((self.command, self.path))
+            script = server.scripts.get(self.path.split("?")[0], [])
+            step = server.cursor.get(self.path.split("?")[0], 0)
+            index = min(step, len(script) - 1) if script else -1
+            server.cursor[self.path.split("?")[0]] = step + 1
+        if index < 0:
+            status, headers, body = 200, {}, {"status": "ok"}
+        else:
+            status, headers, body = script[index]
+        if status == -1:
+            # Scripted transport failure: slam the connection shut.
+            self.connection.close()
+            return
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self):
+        self._play()
+
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length", 0))
+        if length:
+            self.rfile.read(length)
+        self._play()
+
+    def log_message(self, *args):
+        return  # silent test server
+
+
+@pytest.fixture
+def flaky_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.scripts = {}
+    server.cursor = {}
+    server.requests = []
+    server.lock = threading.Lock()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def make_client(server, **kwargs):
+    kwargs.setdefault("max_retries", 2)
+    kwargs.setdefault("backoff_base_s", 0.001)
+    kwargs.setdefault("backoff_max_s", 0.002)
+    kwargs.setdefault("rng", random.Random(0))
+    return HTTPClient(
+        f"http://127.0.0.1:{server.server_address[1]}", **kwargs
+    )
+
+
+def hits(server, path):
+    with server.lock:
+        return sum(1 for _, p in server.requests if p.split("?")[0] == path)
+
+
+class TestIdempotentRetries:
+    def test_get_retries_through_503s(self, flaky_server):
+        flaky_server.scripts["/healthz"] = [
+            (503, {}, {"error": "warming up"}),
+            (503, {}, {"error": "warming up"}),
+            (200, {}, {"status": "ok"}),
+        ]
+        client = make_client(flaky_server)
+        assert client.healthz()["status"] == "ok"
+        assert hits(flaky_server, "/healthz") == 3
+        assert client.retries == 2
+
+    def test_get_retries_transport_drop(self, flaky_server):
+        flaky_server.scripts["/stats"] = [
+            (-1, {}, {}),  # connection slammed shut mid-request
+            (200, {}, {"queries": 1}),
+        ]
+        client = make_client(flaky_server)
+        assert client.stats()["queries"] == 1
+        assert client.retries == 1
+
+    def test_retries_exhausted_raises_last_error(self, flaky_server):
+        flaky_server.scripts["/healthz"] = [
+            (503, {}, {"error": "down"}),
+        ]
+        client = make_client(flaky_server, max_retries=2)
+        with pytest.raises(ServingClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 503
+        assert hits(flaky_server, "/healthz") == 3
+
+    def test_post_query_is_retried_as_a_pure_read(self, flaky_server):
+        flaky_server.scripts["/query"] = [
+            (503, {}, {"error": "not ready"}),
+            (200, {}, {"results": [{"targets": [0]}]}),
+        ]
+        client = make_client(flaky_server)
+        results = client.query_many([(0, 1)])
+        assert results == [{"targets": [0]}]
+        assert hits(flaky_server, "/query") == 2
+
+    def test_unreachable_server_counts_every_retry(self, flaky_server):
+        port = flaky_server.server_address[1]
+        flaky_server.shutdown()
+        flaky_server.server_close()
+        client = HTTPClient(
+            f"http://127.0.0.1:{port}", max_retries=2,
+            backoff_base_s=0.001, backoff_max_s=0.002,
+            rng=random.Random(0),
+        )
+        with pytest.raises(ServingClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 0  # transport, not HTTP
+        assert client.retries == 2
+
+
+class TestRetryAfter:
+    def test_429_retry_after_overrides_backoff(self, flaky_server):
+        flaky_server.scripts["/stats"] = [
+            (429, {"Retry-After": "0"}, {"error": "full"}),
+            (429, {"Retry-After": "0"}, {"error": "full"}),
+            (200, {}, {"queries": 7}),
+        ]
+        # Backoff so large that ignoring Retry-After would blow the
+        # elapsed-time bound below by two orders of magnitude.
+        client = make_client(
+            flaky_server, backoff_base_s=30.0, backoff_max_s=60.0
+        )
+        started = time.monotonic()
+        assert client.stats()["queries"] == 7
+        assert time.monotonic() - started < 5.0
+        assert client.retries == 2
+
+    def test_unparseable_retry_after_falls_back_to_jitter(self, flaky_server):
+        flaky_server.scripts["/stats"] = [
+            (429, {"Retry-After": "Fri, 31 Dec 1999 23:59:59 GMT"},
+             {"error": "full"}),
+            (200, {}, {"queries": 1}),
+        ]
+        client = make_client(flaky_server)
+        assert client.stats()["queries"] == 1
+
+
+class TestNonIdempotent:
+    def test_reload_is_never_retried_on_503(self, flaky_server):
+        flaky_server.scripts["/admin/reload"] = [
+            (503, {}, {"error": "swap failed"}),
+            (200, {}, {"status": "ok"}),  # a retry would reach this
+        ]
+        client = make_client(flaky_server, max_retries=5)
+        with pytest.raises(ServingClientError) as excinfo:
+            client.reload("/tmp/new.artifact")
+        assert excinfo.value.status == 503
+        assert hits(flaky_server, "/admin/reload") == 1
+        assert client.retries == 0
+
+    def test_reload_is_never_retried_on_transport_drop(self, flaky_server):
+        flaky_server.scripts["/admin/reload"] = [
+            (-1, {}, {}),
+            (200, {}, {"status": "ok"}),
+        ]
+        client = make_client(flaky_server, max_retries=5)
+        with pytest.raises(ServingClientError) as excinfo:
+            client.reload("/tmp/new.artifact")
+        assert excinfo.value.status == 0
+        assert hits(flaky_server, "/admin/reload") == 1
+
+
+class TestNoRetryOnCallerBugs:
+    def test_400_is_not_retried(self, flaky_server):
+        flaky_server.scripts["/query"] = [
+            (400, {}, {"error": "k must be >= 1"}),
+            (200, {}, {"targets": [0]}),
+        ]
+        client = make_client(flaky_server, max_retries=5)
+        with pytest.raises(ServingClientError) as excinfo:
+            client.query(0, k=0)
+        assert excinfo.value.status == 400
+        assert hits(flaky_server, "/query") == 1
+
+    def test_504_is_not_retried(self, flaky_server):
+        # The latency budget is already spent; retrying cannot help.
+        flaky_server.scripts["/query"] = [
+            (504, {}, {"error": "deadline exceeded"}),
+            (200, {}, {"targets": [0]}),
+        ]
+        client = make_client(flaky_server, max_retries=5)
+        with pytest.raises(ServingClientError) as excinfo:
+            client.query(0, k=1, deadline_ms=10)
+        assert excinfo.value.status == 504
+        assert hits(flaky_server, "/query") == 1
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, flaky_server):
+        base = f"http://127.0.0.1:{flaky_server.server_address[1]}"
+        with pytest.raises(ValueError, match="max_retries"):
+            HTTPClient(base, max_retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            HTTPClient(base, backoff_base_s=0.0)
+        with pytest.raises(ValueError, match="backoff"):
+            HTTPClient(base, backoff_base_s=1.0, backoff_max_s=0.5)

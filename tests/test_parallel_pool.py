@@ -79,6 +79,28 @@ def _sleep_forever(x):
     return x
 
 
+def _slow_kill_once(marker, x):
+    # Slow enough to get hedged; the *first* execution (the primary)
+    # then dies, leaving the hedge replica to deliver the answer.
+    time.sleep(0.3)
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        FaultInjector([Fault("kill", 0)]).at_step(0)
+    return x
+
+
+def _kill_always(x):
+    FaultInjector([Fault("kill", 0)]).at_step(0)
+    return x
+
+
+def _mixed_crash(x):
+    if x == 1:
+        FaultInjector([Fault("kill", 0)]).at_step(0)
+    return x
+
+
 class TestResolveWorkers:
     def test_none_without_env_is_inline(self, monkeypatch):
         monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
@@ -425,3 +447,76 @@ class TestStoreDestructor:
         )
         assert result.returncode == 0
         assert "Traceback" not in result.stderr
+
+
+class TestHedgeCrashAccounting:
+    def test_killed_primary_with_live_hedge_counts_one_crash(self, tmp_path):
+        # Regression: a primary that dies *after* its hedge replica was
+        # submitted used to both count its crash and trigger a full
+        # retry round, re-running (and re-counting) the same logical
+        # task.  The crash must be counted exactly once and the hedge's
+        # answer must satisfy the task with zero retries.
+        registry = MetricsRegistry()
+        marker = str(tmp_path / "primary-died")
+        with WorkerPool(2, max_retries=2, registry=registry) as pool:
+            results = pool.map(
+                _slow_kill_once, [(marker, 11)], hedge_after_s=0.05
+            )
+        assert results == [11]
+        assert registry.counter("parallel.hedges").value == 1
+        assert registry.counter("parallel.worker_crashes").value == 1
+        assert registry.counter("parallel.retries").value == 0
+
+    def test_all_replicas_killed_still_retries(self):
+        # When the hedge dies too there is no answer to salvage: the
+        # round must retry and eventually surface the named error.
+        registry = MetricsRegistry()
+        pool = WorkerPool(2, max_retries=1, registry=registry)
+        with pytest.raises(WorkerCrashError):
+            pool.map(_kill_always, [(1,)], hedge_after_s=0.01)
+        assert registry.counter("parallel.retries").value >= 1
+
+
+class TestCrashPolicyReturn:
+    def test_return_policy_yields_task_failures_not_raise(self):
+        registry = MetricsRegistry()
+        pool = WorkerPool(2, max_retries=1, registry=registry)
+        results = pool.map(
+            _kill_always, [(1,)], labels=["doomed"],
+            crash_policy="return",
+        )
+        assert len(results) == 1
+        assert isinstance(results[0], TaskFailure)
+        assert isinstance(results[0].error, WorkerCrashError)
+        assert "doomed" in str(results[0].error)
+
+    def test_return_policy_keeps_finished_results(self, tmp_path):
+        # One healthy task, one persistently crashing: the survivor's
+        # result must come back intact beside the failure.
+        registry = MetricsRegistry()
+        pool = WorkerPool(2, max_retries=1, registry=registry)
+        results = pool.map(
+            _mixed_crash, [(0,), (1,)], crash_policy="return",
+        )
+        assert results[0] == 0
+        assert isinstance(results[1], TaskFailure)
+
+    def test_invalid_crash_policy_rejected(self):
+        pool = WorkerPool(0, registry=MetricsRegistry())
+        with pytest.raises(ValueError, match="crash_policy"):
+            pool.map(_square, [(1,)], crash_policy="ignore")
+
+
+class TestTimeoutOverride:
+    def test_per_call_timeout_overrides_pool_default(self):
+        registry = MetricsRegistry()
+        pool = WorkerPool(
+            2, max_retries=0, task_timeout=None, registry=registry
+        )
+        with pytest.raises(WorkerCrashError):
+            pool.map(_sleep_forever, [(1,)], timeout_s=0.3)
+
+    def test_invalid_timeout_rejected(self):
+        pool = WorkerPool(0, registry=MetricsRegistry())
+        with pytest.raises(ValueError, match="timeout_s"):
+            pool.map(_square, [(1,)], timeout_s=0.0)

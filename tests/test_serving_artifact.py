@@ -226,3 +226,121 @@ class TestLoadValidation:
         manifest.update(updates)
         with open(manifest_path, "w") as handle:
             json.dump(manifest, handle)
+
+
+def _flip_byte(file_path, offset=-8):
+    """XOR one payload byte in place — a single-bit-rot stand-in."""
+    with open(file_path, "rb+") as handle:
+        handle.seek(offset, os.SEEK_END if offset < 0 else os.SEEK_SET)
+        position = handle.tell()
+        byte = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestCorruptionMatrix:
+    """Every way an artifact can rot on disk must surface as a typed
+    :class:`ArtifactValidationError` *naming the damaged file* — never
+    a silent wrong answer, never an anonymous crash."""
+
+    def test_flipped_byte_named_with_offset(self, exported):
+        path, *_ = exported
+        victim = os.path.join(path, "target_layer_1.npy")
+        _flip_byte(victim)
+        with pytest.raises(ArtifactValidationError) as excinfo:
+            load_artifact(path, check_finite=False, verify="eager")
+        message = str(excinfo.value)
+        assert "target_layer_1.npy" in message
+        assert "bytes [" in message  # the chunk's byte range is named
+
+    def test_truncated_npy_named(self, exported):
+        path, *_ = exported
+        victim = os.path.join(path, "source_layer_0.npy")
+        size = os.path.getsize(victim)
+        with open(victim, "rb+") as handle:
+            handle.truncate(size - 64)
+        with pytest.raises(ArtifactValidationError) as excinfo:
+            load_artifact(path, check_finite=False)
+        assert "source_layer_0" in str(excinfo.value)
+
+    def test_torn_manifest_named(self, exported):
+        path, *_ = exported
+        manifest_path = os.path.join(path, "manifest.json")
+        size = os.path.getsize(manifest_path)
+        with open(manifest_path, "rb+") as handle:
+            handle.truncate(size // 2)  # mid-write power loss
+        with pytest.raises(ArtifactValidationError) as excinfo:
+            load_artifact(path)
+        assert "manifest" in str(excinfo.value)
+
+    def test_missing_committed_marker_is_a_torn_write(self, exported):
+        from repro.serving.artifact import COMMITTED_MARKER
+
+        path, *_ = exported
+        os.remove(os.path.join(path, COMMITTED_MARKER))
+        with pytest.raises(ArtifactValidationError) as excinfo:
+            load_artifact(path)
+        message = str(excinfo.value)
+        assert COMMITTED_MARKER in message
+
+    def test_verify_off_trusts_the_bytes(self, exported):
+        path, *_ = exported
+        _flip_byte(os.path.join(path, "target_layer_1.npy"))
+        artifact = load_artifact(path, check_finite=False, verify="off")
+        assert artifact.verifier is None
+
+    def test_lazy_verifier_poisons_after_detection(self, exported):
+        path, *_ = exported
+        _flip_byte(os.path.join(path, "target_layer_0.npy"))
+        registry = MetricsRegistry()
+        artifact = load_artifact(
+            path, check_finite=False, verify="lazy", registry=registry
+        )
+        verifier = artifact.verifier
+        assert verifier is not None
+        with pytest.raises(ArtifactValidationError, match="target_layer_0"):
+            verifier.ensure()
+        assert verifier.error is not None
+        assert "target_layer_0.npy" in str(verifier.error)
+        with pytest.raises(ArtifactValidationError):
+            verifier.raise_if_failed()
+
+    def test_lazy_verifier_passes_clean_artifact(self, exported):
+        path, *_ = exported
+        registry = MetricsRegistry()
+        artifact = load_artifact(path, verify="lazy", registry=registry)
+        artifact.verifier.ensure()
+        assert artifact.verifier.error is None
+        artifact.verifier.raise_if_failed()  # must not raise
+        assert registry.counter("serving.artifact.verified").value == 1
+
+    def test_invalid_verify_mode_rejected(self, exported):
+        path, *_ = exported
+        with pytest.raises(ValueError, match="verify"):
+            load_artifact(path, verify="sometimes")
+
+
+class TestVerifyArtifactReport:
+    def test_healthy_report(self, exported):
+        from repro.serving import verify_artifact
+
+        path, source, target, _ = exported
+        report = verify_artifact(path)
+        assert report["status"] == "ok"
+        assert report["committed"] is True
+        assert report["n_source"] == source[0].shape[0]
+        assert report["n_target"] == target[0].shape[0]
+        assert set(report["arrays"]) == {
+            "source_layer_0", "source_layer_1",
+            "target_layer_0", "target_layer_1",
+        }
+        assert all(a["status"] == "ok" for a in report["arrays"].values())
+        assert report["bytes"] > 0
+
+    def test_corrupt_artifact_raises_naming_file(self, exported):
+        from repro.serving import verify_artifact
+
+        path, *_ = exported
+        _flip_byte(os.path.join(path, "source_layer_1.npy"))
+        with pytest.raises(ArtifactValidationError, match="source_layer_1"):
+            verify_artifact(path)

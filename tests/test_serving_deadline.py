@@ -1,0 +1,215 @@
+"""Deadline propagation through the serving tier.
+
+The contract under test: a query carrying an absolute deadline is shed
+— never computed — once the deadline passes, at whichever stage it is
+(admission, the microbatch queue, the scatter path), the caller never
+waits past the deadline by more than one scheduling quantum, and the
+failure is the typed :class:`~repro.resilience.DeadlineExceededError`
+(HTTP 504), distinguishable from overload (429) and outage (503).
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.resilience import DeadlineExceededError
+from repro.serving import (
+    AlignmentIndex,
+    AlignmentServer,
+    FrontDoor,
+    QueryEngine,
+    ShardedIndex,
+    status_for_error,
+)
+
+#: One scheduling quantum: the slack the latency bound grants the
+#: caller-side wakeup after the deadline fires (thread wakeup + a little
+#: CI-scheduler noise, nowhere near the 300 ms the scorer would take).
+QUANTUM_S = 0.2
+
+
+class SlowIndex:
+    """An index whose scoring takes ``delay_s`` — long past any deadline
+    used here — and counts how often it was actually asked to score."""
+
+    def __init__(self, n_source=8, n_target=16, delay_s=0.3):
+        self.n_source = n_source
+        self.n_target = n_target
+        self.delay_s = delay_s
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def top_k(self, sources, k=1):
+        with self._lock:
+            self.calls += 1
+        time.sleep(self.delay_s)
+        n = len(sources)
+        targets = np.tile(np.arange(k, dtype=np.int64), (n, 1))
+        scores = np.tile(
+            np.arange(k, 0, -1, dtype=np.float64), (n, 1)
+        )
+        return targets, scores
+
+
+def make_engine(index=None, **kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    kwargs.setdefault("max_delay_ms", 0.0)
+    kwargs.setdefault("cache_size", 0)
+    return QueryEngine(
+        index if index is not None else SlowIndex(),
+        fingerprint="deadline-test", **kwargs,
+    )
+
+
+def real_embeddings(seed=0, n_source=12, n_target=33, dims=(6, 3)):
+    rng = np.random.default_rng(seed)
+    source = [rng.standard_normal((n_source, d)) for d in dims]
+    target = [rng.standard_normal((n_target, d)) for d in dims]
+    return source, target, [0.7, 0.3]
+
+
+class TestEngineDeadline:
+    def test_expired_on_arrival_is_shed_not_computed(self):
+        registry = MetricsRegistry()
+        index = SlowIndex()
+        with make_engine(index, registry=registry) as engine:
+            with pytest.raises(DeadlineExceededError):
+                engine.query(0, k=2, deadline_s=time.monotonic() - 0.01)
+        assert index.calls == 0
+        assert registry.counter("serving.deadline_shed").value == 1
+        assert registry.counter("serving.queries").value == 0
+
+    def test_generous_deadline_answers_normally(self):
+        index = SlowIndex(delay_s=0.0)
+        with make_engine(index) as engine:
+            result = engine.query(1, k=3, deadline_s=time.monotonic() + 30.0)
+        assert result.targets == (0, 1, 2)
+        assert not result.degraded
+
+    def test_latency_bounded_by_deadline_plus_quantum(self):
+        # The scorer takes 300 ms; the caller's budget is 50 ms.  The
+        # caller must get its 504 at ~50 ms, not after the full scoring.
+        deadline_budget = 0.05
+        with make_engine(SlowIndex(delay_s=0.3)) as engine:
+            started = time.monotonic()
+            with pytest.raises(DeadlineExceededError):
+                engine.query(
+                    0, k=1, deadline_s=started + deadline_budget
+                )
+            elapsed = time.monotonic() - started
+        assert elapsed <= deadline_budget + QUANTUM_S, (
+            f"caller waited {elapsed:.3f}s, deadline was "
+            f"{deadline_budget:.3f}s + {QUANTUM_S:.3f}s quantum"
+        )
+
+    def test_expired_in_queue_is_shed_by_scorer(self):
+        # Two queries race for a single scorer thread.  The first holds
+        # it for 120 ms; the second's 30 ms budget expires while queued,
+        # so the scorer shed must drop it instead of scoring it.
+        registry = MetricsRegistry()
+        index = SlowIndex(delay_s=0.12)
+        errors = []
+
+        def hopeless():
+            try:
+                engine.query(1, k=1, deadline_s=time.monotonic() + 0.03)
+            except DeadlineExceededError as error:
+                errors.append(error)
+
+        with make_engine(index, batch_size=1, registry=registry) as engine:
+            first = threading.Thread(
+                target=lambda: engine.query(0, k=1)
+            )
+            first.start()
+            time.sleep(0.03)  # let the scorer pick query #1 up
+            second = threading.Thread(target=hopeless)
+            second.start()
+            second.join(timeout=5.0)
+            first.join(timeout=5.0)
+        assert len(errors) == 1
+        # Scored exactly once: the expired item never reached the index.
+        assert index.calls == 1
+        assert registry.counter("serving.deadline_shed").value >= 1
+
+    def test_query_many_sheds_remaining_chunks(self):
+        registry = MetricsRegistry()
+        index = SlowIndex(delay_s=0.08)
+        with make_engine(index, batch_size=2, registry=registry) as engine:
+            with pytest.raises(DeadlineExceededError, match="unscored"):
+                engine.query_many(
+                    [(i % index.n_source, 1) for i in range(8)],
+                    deadline_s=time.monotonic() + 0.04,
+                )
+        # First chunk scored, the remaining three shed in one shot.
+        assert index.calls == 1
+        assert registry.counter("serving.deadline_shed").value == 6
+
+    def test_error_is_typed_504(self):
+        error = DeadlineExceededError("late")
+        assert status_for_error(error) == 504
+        # Distinguishable from the outage (503) and overload (429) tiers.
+        assert status_for_error(RuntimeError("down")) == 503
+
+
+class TestShardedDeadline:
+    def test_sharded_scatter_respects_deadline(self):
+        source, target, weights = real_embeddings()
+        with ShardedIndex(source, target, weights, shards=2,
+                          target_block_size=16, workers=0) as index:
+            with pytest.raises(DeadlineExceededError):
+                index.top_k_ex(
+                    np.arange(4), k=2,
+                    deadline_s=time.monotonic() - 0.01,
+                )
+
+    def test_frontdoor_threads_deadline_through(self):
+        source, target, weights = real_embeddings()
+        index = AlignmentIndex(source, target, weights, target_block_size=16)
+        engine = QueryEngine(index, fingerprint="fd",
+                             registry=MetricsRegistry())
+        front = FrontDoor(engine, registry=MetricsRegistry())
+        try:
+            with pytest.raises(DeadlineExceededError):
+                front.query(0, k=1, deadline_s=time.monotonic() - 0.01)
+            result = front.query(0, k=1, deadline_s=time.monotonic() + 30.0)
+            assert result.coverage == 1.0
+        finally:
+            front.close()
+
+
+class TestHTTPDeadline:
+    @pytest.fixture
+    def server(self):
+        source, target, weights = real_embeddings()
+        index = SlowIndex(delay_s=0.25)
+        engine = make_engine(index)
+        with AlignmentServer(engine, registry=MetricsRegistry()) as server:
+            yield server
+        engine.close()
+
+    def _get(self, server, path):
+        request = urllib.request.Request(f"{server.url}{path}")
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_deadline_ms_maps_to_504(self, server):
+        status, payload = self._get(server, "/query?source=0&k=1&deadline_ms=30")
+        assert status == 504
+        assert "deadline" in payload["error"].lower()
+
+    def test_zero_deadline_ms_means_no_deadline(self, server):
+        status, payload = self._get(server, "/query?source=0&k=1&deadline_ms=0")
+        assert status == 200
+        assert payload["targets"] == [0]
+
+    def test_negative_deadline_ms_is_a_400(self, server):
+        status, _ = self._get(server, "/query?source=0&k=1&deadline_ms=-5")
+        assert status == 400

@@ -133,7 +133,11 @@ class TestQuery:
     def test_payload_shape(self, engine):
         payload = engine.query(0, k=1).payload()
         assert set(payload) == {"source", "k", "targets", "scores",
-                                "aligned", "cached", "latency_ms"}
+                                "aligned", "cached", "latency_ms",
+                                "degraded", "coverage", "shards_down"}
+        assert payload["degraded"] is False
+        assert payload["coverage"] == 1.0
+        assert payload["shards_down"] == []
         assert payload["latency_ms"] >= 0.0
 
     def test_k_clamped(self, engine):

@@ -348,7 +348,7 @@ class _BlockingEngine:
     def stats(self):
         return {"fingerprint": self.fingerprint}
 
-    def query(self, source, k=1):
+    def query(self, source, k=1, deadline_s=None):
         assert self.release.wait(timeout=10.0)
         return QueryResult(
             source=int(source), k=int(k),
@@ -357,7 +357,7 @@ class _BlockingEngine:
             aligned=True, cached=False, latency_s=0.0,
         )
 
-    def query_many(self, queries):
+    def query_many(self, queries, deadline_s=None):
         return [self.query(source, k) for source, k in queries]
 
 

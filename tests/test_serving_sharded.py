@@ -302,7 +302,7 @@ class _StubEngine:
     def stats(self):
         return {"fingerprint": self.fingerprint, "queries": self.queries}
 
-    def query(self, source, k=1):
+    def query(self, source, k=1, deadline_s=None):
         if self.closed:
             raise RuntimeError("engine is closed")
         if self.blocking:
@@ -312,7 +312,7 @@ class _StubEngine:
                            scores=(1.0,), aligned=True, cached=False,
                            latency_s=0.0)
 
-    def query_many(self, queries):
+    def query_many(self, queries, deadline_s=None):
         return [self.query(source, k) for source, k in queries]
 
 
@@ -503,3 +503,91 @@ class TestFrontDoorReload:
         assert front.stats()["frontdoor"]["swaps"] == 5
         assert front.fingerprint == "fp5"
         assert all(engine.closed for engine in engines[:5])
+
+
+class TestReloadBackoff:
+    """Crash-loop protection: failed swaps arm an exponential backoff."""
+
+    def _front(self, builder, **kwargs):
+        kwargs.setdefault("reload_backoff_s", 0.05)
+        kwargs.setdefault("reload_backoff_factor", 2.0)
+        registry = kwargs.pop("registry", MetricsRegistry())
+        front = FrontDoor(
+            _StubEngine("fp-old"), builder=builder,
+            registry=registry, **kwargs,
+        ).start()
+        return front, registry
+
+    def test_three_failed_swaps_old_engine_keeps_serving(self):
+        builds = []
+
+        def doomed_builder(path):
+            builds.append(path)
+            raise ValueError(f"artifact {path} is corrupt")
+
+        front, registry = self._front(doomed_builder)
+        for attempt in range(3):
+            with pytest.raises(ValueError, match="corrupt"):
+                front.reload(f"/bad-{attempt}")
+            # Old engine untouched and still answering.
+            assert front.fingerprint == "fp-old"
+            assert front.query(1).targets == (0,)
+            # The very next attempt inside the window is rejected up
+            # front -- the builder is not even invoked.
+            with pytest.raises(OverloadedError, match="backing off"):
+                front.reload("/bad-again")
+            # Wait out the window (0.05 * 2**attempt, small on purpose).
+            time.sleep(0.05 * (2 ** attempt) + 0.05)
+        assert builds == ["/bad-0", "/bad-1", "/bad-2"]
+        assert front.stats()["frontdoor"]["reload_failures"] == 3
+        failures = registry.counter("serving.frontdoor.reload_failures")
+        rejected = registry.counter("serving.frontdoor.reload_rejected")
+        assert failures.value == 3
+        assert rejected.value == 3
+        front.close()
+
+    def test_backoff_rejection_carries_retry_after(self):
+        def doomed_builder(path):
+            raise RuntimeError("no good")
+
+        front, _ = self._front(doomed_builder, reload_backoff_s=5.0)
+        with pytest.raises(RuntimeError, match="no good"):
+            front.reload("/bad")
+        with pytest.raises(OverloadedError) as excinfo:
+            front.reload("/bad")
+        assert status_for_error(excinfo.value) == 429
+        assert 0.0 < excinfo.value.retry_after_s <= 5.0
+        health = front.health()
+        assert health["healthy"]
+        assert not health["ready"]          # backing off => not ready
+        assert health["reload_backoff_s"] > 0.0
+        front.close()
+
+    def test_successful_swap_resets_the_window(self):
+        state = {"fail": True}
+
+        def flaky_builder(path):
+            if state["fail"]:
+                raise RuntimeError("transient")
+            return _StubEngine("fp-new")
+
+        front, registry = self._front(flaky_builder)
+        with pytest.raises(RuntimeError, match="transient"):
+            front.reload("/a")
+        time.sleep(0.11)
+        state["fail"] = False
+        assert front.reload("/a") == "fp-new"
+        assert front.fingerprint == "fp-new"
+        health = front.health()
+        assert health["ready"]
+        assert health["reload_backoff_s"] == 0.0
+        # The consecutive-failure streak is gone: a later failure backs
+        # off from the base window again, not a doubled one.
+        state["fail"] = True
+        with pytest.raises(RuntimeError, match="transient"):
+            front.reload("/b")
+        time.sleep(0.06)
+        with pytest.raises(RuntimeError, match="transient"):
+            front.reload("/b")
+        assert front.stats()["frontdoor"]["reload_failures"] == 3
+        front.close()
