@@ -33,6 +33,12 @@ Failure semantics
   then surfaced as a named
   :class:`~repro.resilience.WorkerCrashError` listing the tasks that
   never completed.  The pool never hangs: timeouts bound every wait.
+* A **deadline expiry** (``map(..., deadline_s=...)``) is the *caller's*
+  budget running out, not a worker fault: still-pending tasks are shed
+  as :class:`~repro.resilience.DeadlineExceededError` without recording
+  a crash, without a retry round, and without tearing down a persistent
+  executor's warm workers.  Crash retries under a deadline re-check the
+  remaining budget each round instead of getting a fresh full window.
 
 Workers record metrics into a fresh registry which travels back with
 each result and is merged into the parent registry in submission order
@@ -52,7 +58,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..observability import MetricsRegistry, get_registry, use_registry
-from ..resilience import SimulatedKill, WorkerCrashError
+from ..resilience import DeadlineExceededError, SimulatedKill, WorkerCrashError
 
 __all__ = [
     "WorkerPool",
@@ -258,6 +264,7 @@ class WorkerPool:
         labels: Optional[Sequence[str]] = None,
         hedge_after_s: Optional[float] = None,
         timeout_s: Any = _UNSET,
+        deadline_s: Optional[float] = None,
         crash_policy: str = "raise",
     ) -> List[Any]:
         """Run ``fn(*task)`` for every task; results in submission order.
@@ -271,9 +278,19 @@ class WorkerPool:
         needs at least two workers and is ignored inline.
 
         ``timeout_s`` overrides the pool's ``task_timeout`` for this
-        call only (deadline-bounded callers pass their remaining
-        budget).  ``crash_policy`` picks what happens when the crash
-        retry budget runs out: ``"raise"`` (default) raises
+        call only: it is *hang protection* — a task exceeding it counts
+        as a worker crash (teardown + retry).  ``deadline_s`` is an
+        absolute ``time.monotonic()`` deadline — the *caller's* latency
+        budget: once it passes, still-pending tasks are shed as
+        :class:`~repro.resilience.DeadlineExceededError` (raised under
+        ``crash_policy="raise"``, returned per task as
+        :class:`TaskFailure` under ``"return"``) with no crash recorded,
+        no retry round, and a persistent executor left warm.  Crash
+        retry rounds under a deadline get only the remaining budget,
+        never a fresh window.
+
+        ``crash_policy`` picks what happens when the crash retry budget
+        runs out: ``"raise"`` (default) raises
         :class:`~repro.resilience.WorkerCrashError` for the whole call,
         ``"return"`` returns a :class:`TaskFailure` wrapping that error
         for each never-completed task while every finished task keeps
@@ -302,11 +319,15 @@ class WorkerPool:
         _task_context = self.context
         try:
             if self.workers == 0:
-                return self._map_inline(fn, tasks, return_exceptions)
+                return self._map_inline(
+                    fn, tasks, return_exceptions,
+                    deadline_s=deadline_s, crash_policy=crash_policy,
+                )
             return self._map_pool(
                 fn, tasks, list(labels), return_exceptions,
                 hedge_after_s=hedge_after_s,
                 timeout=timeout,
+                deadline_s=deadline_s,
                 crash_policy=crash_policy,
             )
         finally:
@@ -314,11 +335,35 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def _map_inline(
-        self, fn: Callable, tasks: List[Tuple], return_exceptions: bool
+        self,
+        fn: Callable,
+        tasks: List[Tuple],
+        return_exceptions: bool,
+        deadline_s: Optional[float] = None,
+        crash_policy: str = "raise",
     ) -> List[Any]:
         registry = self._registry()
         results: List[Any] = []
-        for args in tasks:
+        for index, args in enumerate(tasks):
+            if deadline_s is not None and time.monotonic() >= deadline_s:
+                # A running task cannot be interrupted inline, but the
+                # not-yet-started remainder is shed, never computed.
+                shed = len(tasks) - index
+                registry.increment("parallel.deadline_shed", shed)
+                if crash_policy == "raise":
+                    raise DeadlineExceededError(
+                        f"deadline expired with {shed} task(s) unstarted",
+                        deadline_s=deadline_s,
+                    )
+                results.extend(
+                    TaskFailure(DeadlineExceededError(
+                        f"task[{position}] shed: deadline expired before "
+                        "it started",
+                        deadline_s=deadline_s,
+                    ))
+                    for position in range(index, len(tasks))
+                )
+                break
             with registry.timed("parallel.task_time") as timer:
                 try:
                     value = fn(*args)
@@ -421,6 +466,7 @@ class WorkerPool:
         return_exceptions: bool,
         hedge_after_s: Optional[float] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
         crash_policy: str = "raise",
     ) -> List[Any]:
         registry = self._registry()
@@ -430,11 +476,22 @@ class WorkerPool:
         persistent = self._executor is not None
         executor = self._executor
         started = time.perf_counter()
+        expired = False
         try:
             rounds = 0
             while True:
                 pending = [i for i in range(len(tasks)) if results[i] is _UNSET]
                 if not pending:
+                    break
+                if expired or (
+                    deadline_s is not None
+                    and time.monotonic() >= deadline_s
+                ):
+                    expired = True
+                    self._shed_expired(
+                        registry, results, labels, pending, deadline_s,
+                        crash_policy,
+                    )
                     break
                 if rounds > self.max_retries:
                     if crash_policy == "return":
@@ -471,9 +528,19 @@ class WorkerPool:
                     )
                 crashed = False
                 for index in pending:
+                    wait = timeout
+                    if deadline_s is not None:
+                        remaining = deadline_s - time.monotonic()
+                        if remaining <= 0:
+                            expired = True
+                            break
+                        wait = (
+                            remaining if wait is None
+                            else min(wait, remaining)
+                        )
                     try:
                         payload, kills = self._first_result(
-                            futures[index], timeout
+                            futures[index], wait
                         )
                         value, state, elapsed, failed = payload
                         for _ in range(kills):
@@ -484,10 +551,23 @@ class WorkerPool:
                                 registry, labels[index], "simulated_kill"
                             )
                     except concurrent.futures.TimeoutError:
+                        if (
+                            deadline_s is not None
+                            and time.monotonic() >= deadline_s
+                        ):
+                            # The caller's budget expired — not evidence
+                            # of a stuck worker.  Shed instead of killing
+                            # the warm pool and burning a retry round.
+                            expired = True
+                            break
                         # The worker is stuck; the only safe move is to
                         # tear the pool down and retry the stragglers.
                         self._record_crash(
                             registry, labels[index], "timeout"
+                        )
+                        busy_seconds += self._harvest_done(
+                            registry, futures, pending, results, states,
+                            return_exceptions,
                         )
                         executor = self._teardown(executor, kill=True)
                         if persistent:
@@ -500,6 +580,10 @@ class WorkerPool:
                         # unfinished tasks of this round are retried.
                         self._record_crash(
                             registry, labels[index], "broken_pool"
+                        )
+                        busy_seconds += self._harvest_done(
+                            registry, futures, pending, results, states,
+                            return_exceptions,
                         )
                         executor = self._teardown(executor, kill=False)
                         if persistent:
@@ -522,21 +606,26 @@ class WorkerPool:
                     results[index] = value
                     states[index] = state
                     busy_seconds += elapsed
-                if not crashed:
-                    # Hedge losers that never started can be dropped;
-                    # ones already running finish harmlessly (pure
-                    # tasks) and free their worker.
+                if expired or not crashed:
+                    # Hedge losers (and, on expiry, stragglers) that
+                    # never started can be dropped; ones already running
+                    # finish harmlessly (pure tasks) and free their
+                    # worker.
                     for replicas in futures.values():
                         for future in replicas:
                             future.cancel()
-                    if all(result is not _UNSET for result in results):
+                    if not expired and all(
+                        result is not _UNSET for result in results
+                    ):
                         break
         finally:
             if not persistent and executor is not None:
                 # wait=True: every future is consumed by now, so the join
                 # is immediate — and it lets the executor deregister its
                 # atexit hook instead of erroring at interpreter exit.
-                executor.shutdown(wait=True, cancel_futures=True)
+                # On deadline expiry a shed task may still be running;
+                # waiting for it would blow the latency bound.
+                executor.shutdown(wait=not expired, cancel_futures=True)
         wall = time.perf_counter() - started
         # Merge worker registries in submission order so gauges/timers
         # end up exactly as the serial loop would have left them.
@@ -551,6 +640,42 @@ class WorkerPool:
                 busy_seconds / (self.workers * wall),
             )
         return results
+
+    def _harvest_done(
+        self,
+        registry: MetricsRegistry,
+        futures: Dict[int, List[concurrent.futures.Future]],
+        pending: List[int],
+        results: List[Any],
+        states: List[Any],
+        return_exceptions: bool,
+    ) -> float:
+        """Consume cleanly-finished futures before a round is torn down.
+
+        One stuck or crashed task must not void its siblings' completed
+        work: anything already done with a usable payload keeps its
+        result and is excluded from the retry (and, under
+        ``crash_policy="return"``, from being reported as failed).
+        Returns the harvested tasks' busy seconds.
+        """
+        busy_seconds = 0.0
+        for index in pending:
+            if results[index] is not _UNSET:
+                continue
+            for future in futures.get(index, ()):
+                if not future.done() or future.exception() is not None:
+                    continue
+                value, state, elapsed, failed = future.result()
+                if failed:
+                    if not return_exceptions:
+                        registry.merge_state(state)
+                        raise value
+                    value = TaskFailure(value)
+                results[index] = value
+                states[index] = state
+                busy_seconds += elapsed
+                break
+        return busy_seconds
 
     # ------------------------------------------------------------------
     def _make_executor(self) -> concurrent.futures.ProcessPoolExecutor:
@@ -575,6 +700,44 @@ class WorkerPool:
     ) -> None:
         registry.increment("parallel.worker_crashes")
         registry.emit("parallel.worker_crash", {"task": label, "kind": kind})
+
+    def _shed_expired(
+        self,
+        registry: MetricsRegistry,
+        results: List[Any],
+        labels: List[str],
+        pending: List[int],
+        deadline_s: Optional[float],
+        crash_policy: str,
+    ) -> None:
+        """Shed still-pending tasks whose caller's deadline has passed.
+
+        Deliberately *not* a crash: no ``parallel.worker_crashes``, no
+        retry round, no executor teardown — an unauthenticated client
+        picking a tiny deadline must not be able to destroy warm workers
+        or trip circuit breakers for everyone else.
+        """
+        registry.increment("parallel.deadline_shed", len(pending))
+        registry.emit(
+            "parallel.deadline_shed",
+            {"tasks": [labels[index] for index in pending]},
+        )
+        if crash_policy == "raise":
+            shown = [labels[index] for index in pending]
+            raise DeadlineExceededError(
+                f"deadline expired with {len(pending)} task(s) "
+                "unfinished: " + ", ".join(shown[:8])
+                + ("..." if len(shown) > 8 else ""),
+                deadline_s=deadline_s,
+            )
+        for index in pending:
+            results[index] = TaskFailure(
+                DeadlineExceededError(
+                    f"task {labels[index]} shed: deadline expired before "
+                    "completion",
+                    deadline_s=deadline_s,
+                )
+            )
 
     def _crash_error(
         self, labels: List[str], pending: List[int], attempts: int

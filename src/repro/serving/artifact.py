@@ -406,6 +406,23 @@ class ArtifactVerifier:
             registry.increment("serving.artifact.verified")
         except ArtifactValidationError as error:
             self._error = error
+        except Exception as error:
+            # A crashed verification (file deleted mid-verify, I/O
+            # error) must read as *failed*, never as verified: without
+            # this, the thread would die, ``_done`` would set, and
+            # health()/ensure()/raise_if_failed() would report the
+            # artifact as clean without a single byte checked.
+            wrapped = ArtifactValidationError(
+                f"artifact {self.path!r}: background verification "
+                f"crashed: {type(error).__name__}: {error}"
+            )
+            wrapped.__cause__ = error
+            registry.increment("resilience.artifact_validation_failures")
+            registry.emit(
+                "resilience.artifact_validation_failure",
+                {"error": str(wrapped)},
+            )
+            self._error = wrapped
         finally:
             self._done.set()
 

@@ -160,6 +160,11 @@ class HTTPClient:
                 f"{backoff_base_s} / {backoff_max_s}"
             )
         self.base_url = base_url.rstrip("/")
+        self._parsed = urlsplit(self.base_url)
+        if self._parsed.scheme not in ("http", "https"):
+            raise ValueError(
+                f"base_url must be http:// or https://, got {base_url!r}"
+            )
         self.timeout = timeout
         self.connect_timeout_s = (
             timeout if connect_timeout_s is None else float(connect_timeout_s)
@@ -184,12 +189,19 @@ class HTTPClient:
         failure (the retry loop's food); HTTP error statuses are
         *returned*, not raised, so the loop can decide per status.
         """
-        parsed = urlsplit(self.base_url)
+        parsed = self._parsed
         headers = {"Accept": "application/json"}
         if data is not None:
             headers["Content-Type"] = "application/json"
             headers["Content-Length"] = str(len(data))
-        connection = http.client.HTTPConnection(
+        # https:// must actually speak TLS — silently sending plaintext
+        # HTTP to a TLS port would fail confusingly (or leak the body).
+        connection_class = (
+            http.client.HTTPSConnection
+            if parsed.scheme == "https"
+            else http.client.HTTPConnection
+        )
+        connection = connection_class(
             parsed.hostname, parsed.port, timeout=self.connect_timeout_s
         )
         try:

@@ -200,6 +200,16 @@ class ShardedIndex:
     back.  The strict :meth:`top_k` keeps the all-or-nothing bitwise
     contract.
 
+    Two distinct time budgets bound a scatter.  ``shard_timeout_s`` is
+    the *server's* per-scatter hang budget: a shard exceeding it counts
+    as a shard failure (pool teardown, breaker accounting) — the knob
+    that eventually trips a frozen shard's breaker.  A caller's
+    ``deadline_s`` is the *client's* latency budget: its expiry sheds
+    the scatter with a typed
+    :class:`~repro.resilience.DeadlineExceededError` and is never
+    recorded against breakers or used to kill warm workers, so a client
+    sending tiny deadlines cannot degrade the tier for everyone else.
+
     Close (or use as a context manager) to release the pool and the
     shared-memory segments.
     """
@@ -214,11 +224,16 @@ class ShardedIndex:
         prune: bool = True,
         workers: Optional[int] = None,
         hedge_after_s: Optional[float] = None,
+        shard_timeout_s: Optional[float] = None,
         breaker_kwargs: Optional[Dict[str, Any]] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if shard_timeout_s is not None and shard_timeout_s <= 0:
+            raise ValueError(
+                f"shard_timeout_s must be positive, got {shard_timeout_s}"
+            )
         self._n_source = int(np.asarray(source_embeddings[0]).shape[0])
         self._n_target = int(np.asarray(target_embeddings[0]).shape[0])
         self.num_layers = len(source_embeddings)
@@ -226,6 +241,7 @@ class ShardedIndex:
         self.block_size = int(target_block_size)
         self.prune = bool(prune)
         self.hedge_after_s = hedge_after_s
+        self.shard_timeout_s = shard_timeout_s
         self.registry = registry
         self.plan = plan_shards(self._n_target, shards, self.block_size)
         self._store = SharedArrayStore(registry=registry)
@@ -391,15 +407,20 @@ class ShardedIndex:
 
         * each shard is gated by its circuit breaker — open shards are
           skipped without being scattered to;
-        * a shard failure (crash, timeout, injected fault) is recorded
-          against its breaker and the answer is assembled from the
-          surviving shards, with ``meta`` reporting ``degraded=True``,
-          the surviving ``coverage`` fraction of target rows, and the
-          ``shards_down`` ids — never a silently partial answer;
-        * ``deadline_s`` (absolute monotonic) bounds the scatter: expired
-          on arrival sheds the whole batch with
-          :class:`~repro.resilience.DeadlineExceededError`, otherwise the
-          remaining budget becomes the per-shard task timeout.
+        * a shard failure (crash, ``shard_timeout_s`` expiry, injected
+          fault) is recorded against its breaker and the answer is
+          assembled from the surviving shards, with ``meta`` reporting
+          ``degraded=True``, the surviving ``coverage`` fraction of
+          target rows, and the ``shards_down`` ids — never a silently
+          partial answer;
+        * ``deadline_s`` (absolute monotonic) bounds the scatter:
+          expiry — on arrival or mid-scatter — sheds the remaining work
+          with :class:`~repro.resilience.DeadlineExceededError` (HTTP
+          504).  A deadline expiry is the caller's budget, not a shard
+          fault: it is never recorded against a breaker and never tears
+          down the warm worker pool, and the pool gets only the
+          remaining budget per crash-retry round, so end-to-end latency
+          stays within the deadline plus one scheduling quantum.
 
         Raises ``RuntimeError`` (HTTP 503) only when *no* shard can
         answer.  When every shard is healthy the result is bit-identical
@@ -443,10 +464,10 @@ class ShardedIndex:
                 for shard in allowed
             ]
             timeout_kwargs: Dict[str, Any] = {}
+            if self.shard_timeout_s is not None:
+                timeout_kwargs["timeout_s"] = self.shard_timeout_s
             if deadline_s is not None:
-                timeout_kwargs["timeout_s"] = max(
-                    deadline_s - time.monotonic(), 1e-3
-                )
+                timeout_kwargs["deadline_s"] = deadline_s
             with get_tracer().span(
                 "serving.sharded.scatter",
                 shards=len(tasks), batch=int(sources.size), k=k,
@@ -462,8 +483,15 @@ class ShardedIndex:
 
         shard_answers: List[Tuple[np.ndarray, np.ndarray]] = []
         failed: List[int] = []
+        shed = 0
         for shard, answer in zip(allowed, answers):
             if isinstance(answer, TaskFailure):
+                if isinstance(answer.error, DeadlineExceededError):
+                    # The caller's budget ran out, not the shard: never
+                    # held against the breaker (a client with a tiny
+                    # deadline must not be able to open every breaker).
+                    shed += 1
+                    continue
                 failed.append(shard)
                 self.breakers[shard].record_failure(answer.error)
                 registry.emit(
@@ -473,6 +501,13 @@ class ShardedIndex:
             else:
                 self.breakers[shard].record_success()
                 shard_answers.append(answer)
+        if shed:
+            registry.increment("serving.deadline_shed", shed)
+            raise DeadlineExceededError(
+                f"scatter deadline expired with {shed} of {len(allowed)} "
+                "shard(s) unscored",
+                deadline_s=deadline_s,
+            )
         if not shard_answers:
             raise RuntimeError(
                 f"all {len(allowed)} scattered shard(s) failed "
@@ -584,7 +619,10 @@ class ShardedQueryEngine(QueryEngine):
     ) -> "ShardedQueryEngine":
         index_kwargs = {
             key: kwargs.pop(key)
-            for key in ("target_block_size", "prune", "breaker_kwargs")
+            for key in (
+                "target_block_size", "prune", "breaker_kwargs",
+                "shard_timeout_s",
+            )
             if key in kwargs
         }
         index = ShardedIndex.from_artifact(

@@ -12,6 +12,7 @@ the client made, which is the whole point of the retry policy:
   double-swap.
 """
 
+import http.client
 import json
 import random
 import threading
@@ -236,3 +237,37 @@ class TestValidation:
             HTTPClient(base, backoff_base_s=0.0)
         with pytest.raises(ValueError, match="backoff"):
             HTTPClient(base, backoff_base_s=1.0, backoff_max_s=0.5)
+
+
+class TestScheme:
+    def test_unsupported_scheme_rejected_up_front(self):
+        with pytest.raises(ValueError, match="http:// or https://"):
+            HTTPClient("ftp://example.invalid:21")
+
+    def test_https_speaks_tls_not_plaintext(self, monkeypatch):
+        # The review-pinned regression: an https:// base_url must select
+        # HTTPSConnection — not silently speak plaintext HTTP to the
+        # TLS port.
+        created = []
+
+        class _RecordingConnection:
+            def __init__(self, host, port, timeout=None):
+                created.append((host, port))
+
+            def connect(self):
+                raise OSError("no TLS listener in this test")
+
+            def close(self):
+                pass
+
+        monkeypatch.setattr(
+            http.client, "HTTPSConnection", _RecordingConnection
+        )
+        client = HTTPClient("https://example.invalid:8443", max_retries=0)
+        with pytest.raises(ServingClientError):
+            client.healthz()
+        assert created == [("example.invalid", 8443)]
+
+    def test_http_still_uses_plain_connection(self, flaky_server):
+        flaky_server.scripts["/healthz"] = [(200, {}, {"status": "ok"})]
+        assert make_client(flaky_server).healthz() == {"status": "ok"}

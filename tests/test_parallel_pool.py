@@ -27,7 +27,12 @@ from repro.parallel import (
     publish_pair,
     resolve_workers,
 )
-from repro.resilience import Fault, FaultInjector, WorkerCrashError
+from repro.resilience import (
+    DeadlineExceededError,
+    Fault,
+    FaultInjector,
+    WorkerCrashError,
+)
 
 
 def _square(x):
@@ -505,6 +510,71 @@ class TestCrashPolicyReturn:
         pool = WorkerPool(0, registry=MetricsRegistry())
         with pytest.raises(ValueError, match="crash_policy"):
             pool.map(_square, [(1,)], crash_policy="ignore")
+
+
+class TestDeadline:
+    def test_deadline_sheds_without_crash_or_teardown(self):
+        # The review-pinned regression: a caller's deadline expiring must
+        # NOT count as a worker crash, must NOT burn retry rounds with
+        # fresh windows, and must NOT destroy the persistent executor's
+        # warm workers (a client with deadline_ms=1 could otherwise
+        # knock the whole tier degraded).
+        registry = MetricsRegistry()
+        with WorkerPool(2, registry=registry) as pool:
+            started = time.perf_counter()
+            results = pool.map(
+                _sleep_return, [(1.5,)], labels=["slow"],
+                deadline_s=time.monotonic() + 0.2,
+                return_exceptions=True,
+                crash_policy="return",
+            )
+            elapsed = time.perf_counter() - started
+            assert elapsed < 1.0  # one budget, not max_retries budgets
+            assert isinstance(results[0], TaskFailure)
+            assert isinstance(results[0].error, DeadlineExceededError)
+            assert "slow" in str(results[0].error)
+            assert registry.counter("parallel.worker_crashes").value == 0
+            assert registry.counter("parallel.retries").value == 0
+            assert registry.counter("parallel.deadline_shed").value == 1
+            # The warm pool survived the expiry and still serves.
+            assert pool.persistent
+            assert pool.map(_square, [(3,)]) == [9]
+
+    def test_deadline_raise_policy_is_typed(self):
+        registry = MetricsRegistry()
+        pool = WorkerPool(1, max_retries=2, registry=registry)
+        started = time.perf_counter()
+        with pytest.raises(DeadlineExceededError, match="deadline expired"):
+            pool.map(
+                _sleep_return, [(1.0,)],
+                deadline_s=time.monotonic() + 0.1,
+            )
+        # No retry rounds: the call returns at ~the deadline, not at
+        # (max_retries + 1) full windows plus pool rebuilds.
+        assert time.perf_counter() - started < 0.9
+        assert registry.counter("parallel.worker_crashes").value == 0
+
+    def test_inline_deadline_sheds_unstarted_tasks(self):
+        registry = MetricsRegistry()
+        pool = WorkerPool(0, registry=registry)
+        results = pool.map(
+            _sleep_return, [(0.05,), (0.05,), (0.05,)],
+            deadline_s=time.monotonic() + 0.02,
+            return_exceptions=True,
+            crash_policy="return",
+        )
+        assert results[0] == 0.05  # already running when the clock hit
+        for shed in results[1:]:
+            assert isinstance(shed, TaskFailure)
+            assert isinstance(shed.error, DeadlineExceededError)
+        assert registry.counter("parallel.deadline_shed").value == 2
+
+    def test_expired_on_arrival_computes_nothing(self):
+        registry = MetricsRegistry()
+        pool = WorkerPool(0, registry=registry)
+        with pytest.raises(DeadlineExceededError):
+            pool.map(_square, [(1,)], deadline_s=time.monotonic() - 0.01)
+        assert registry.counter("parallel.tasks").value == 0
 
 
 class TestTimeoutOverride:

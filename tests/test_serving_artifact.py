@@ -319,6 +319,39 @@ class TestCorruptionMatrix:
         with pytest.raises(ValueError, match="verify"):
             load_artifact(path, verify="sometimes")
 
+    def test_lazy_verifier_crash_reads_as_failure(self, tmp_path):
+        # The review-pinned regression: a verification that *crashes*
+        # (file deleted mid-verify → FileNotFoundError, not a digest
+        # mismatch) must report the artifact as failed, not silently
+        # verified because the daemon thread died.
+        from repro.serving import ArtifactVerifier
+
+        registry = MetricsRegistry()
+        verifier = ArtifactVerifier(
+            str(tmp_path),
+            {
+                "source_layer_0": {
+                    "file": "gone.npy",
+                    "file_bytes": 64,
+                    "chunk_bytes": 64,
+                    "sha256_chunks": ["0" * 64],
+                }
+            },
+            registry=registry,
+        )
+        with pytest.raises(
+            ArtifactValidationError, match="verification crashed"
+        ):
+            verifier.ensure(timeout=10.0)
+        assert verifier.done
+        assert verifier.error is not None
+        assert isinstance(verifier.error.__cause__, FileNotFoundError)
+        with pytest.raises(ArtifactValidationError):
+            verifier.raise_if_failed()
+        assert (
+            registry.counter("serving.artifact.verified").value == 0
+        )
+
 
 class TestVerifyArtifactReport:
     def test_healthy_report(self, exported):

@@ -167,6 +167,62 @@ class TestShardedDeadline:
                     deadline_s=time.monotonic() - 0.01,
                 )
 
+    def test_tiny_deadline_cannot_trip_breakers_or_kill_the_pool(self):
+        # The review-pinned DoS regression: repeated requests with a tiny
+        # deadline against a slow shard must come back as typed 504s
+        # without recording breaker failures or tearing down the warm
+        # worker pool — afterwards a no-deadline query still gets the
+        # full, healthy answer.
+        source, target, weights = real_embeddings()
+        registry = MetricsRegistry()
+        with ShardedIndex(
+            source, target, weights, shards=2, target_block_size=16,
+            workers=2,
+            breaker_kwargs={"failure_threshold": 2,
+                            "reset_timeout_s": 30.0},
+            registry=registry,
+        ) as index:
+            reference_t, reference_s = index.top_k(np.arange(4), k=3)
+            for _ in range(4):  # well past failure_threshold
+                index.inject_fault("shard_delay", shard=0, delay_s=0.6)
+                budget = 0.1
+                started = time.monotonic()
+                with pytest.raises(DeadlineExceededError):
+                    index.top_k_ex(
+                        np.arange(4), k=3, deadline_s=started + budget,
+                    )
+                assert time.monotonic() - started <= budget + QUANTUM_S
+            for breaker in index.breakers:
+                assert breaker.snapshot()["state"] == "closed"
+            assert registry.counter("parallel.worker_crashes").value == 0
+            health = index.health()
+            assert health["coverage"] == 1.0 and not health["degraded"]
+            # Warm pool intact: the full answer still comes out, bitwise.
+            targets, scores, meta = index.top_k_ex(np.arange(4), k=3)
+            assert not meta["degraded"]
+            np.testing.assert_array_equal(targets, reference_t)
+            np.testing.assert_array_equal(scores, reference_s)
+
+    def test_shard_timeout_still_trips_breaker_and_degrades(self):
+        # The server-side hang budget (shard_timeout_s) is the knob that
+        # counts against breakers — a frozen shard degrades the answer
+        # even when the client set no deadline.
+        source, target, weights = real_embeddings()
+        registry = MetricsRegistry()
+        with ShardedIndex(
+            source, target, weights, shards=2, target_block_size=16,
+            workers=2, shard_timeout_s=0.2,
+            breaker_kwargs={"failure_threshold": 1,
+                            "reset_timeout_s": 30.0},
+            registry=registry,
+        ) as index:
+            index.inject_fault("shard_delay", shard=0, delay_s=5.0)
+            targets, scores, meta = index.top_k_ex(np.arange(3), k=2)
+            assert meta["degraded"]
+            assert meta["shards_down"] == (0,)
+            assert index.breakers[0].snapshot()["state"] == "open"
+            assert index.breakers[1].snapshot()["state"] == "closed"
+
     def test_frontdoor_threads_deadline_through(self):
         source, target, weights = real_embeddings()
         index = AlignmentIndex(source, target, weights, target_block_size=16)
