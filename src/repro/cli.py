@@ -382,6 +382,10 @@ def _cmd_export_artifact(args: argparse.Namespace) -> int:
             config.resolved_layer_weights(),
             config=config,
             pair_name=pair.name,
+            ann_clusters=args.ann_clusters or None,
+            ann_quantize=not args.no_quantize,
+            ann_seed=args.seed,
+            ann_quant_rows=args.quant_rows,
             registry=registry,
         )
     # Re-load (memory-mapped) so the export is validated before we report
@@ -394,6 +398,10 @@ def _cmd_export_artifact(args: argparse.Namespace) -> int:
           f"(weights {artifact.layer_weights})")
     print(f"nodes    : {artifact.n_source} source, "
           f"{artifact.n_target} target")
+    if artifact.ann_params:
+        quantized = "int8" if artifact.ann_params.get("quantize") else "float"
+        print(f"ann      : {artifact.ann_params['n_clusters']} clusters, "
+              f"{quantized} inverted lists")
     if args.metrics_out:
         run = {"command": "export-artifact", "pair": pair.name,
                "artifact": args.out, "fingerprint": artifact.fingerprint}
@@ -412,7 +420,10 @@ def _build_engine(
     ``--shards N`` (N >= 2, serve only) swaps the single-process
     :class:`~repro.serving.QueryEngine` for the scatter-gather
     :class:`~repro.serving.ShardedQueryEngine` — answers are
-    bit-identical either way.
+    bit-identical either way.  A v2 artifact (exported with
+    ``--ann-clusters``) additionally wires the ANN tier; ``--mode`` /
+    ``--nprobe`` set the engine-default exactness knobs (per-request
+    overrides ride the HTTP API).
     """
     from .serving import (
         AlignmentIndex,
@@ -427,6 +438,8 @@ def _build_engine(
         registry=registry,
     )
     shards = getattr(args, "shards", 1)
+    default_mode = getattr(args, "mode", "exact")
+    default_nprobe = getattr(args, "nprobe", 0) or None
     if shards > 1:
         hedge_ms = getattr(args, "hedge_ms", 0.0)
         breaker_kwargs = {
@@ -444,21 +457,35 @@ def _build_engine(
             batch_size=args.batch_size,
             max_delay_ms=args.max_delay_ms,
             cache_size=args.cache_size,
+            default_mode=default_mode,
+            default_nprobe=default_nprobe,
             registry=registry,
         )
         return artifact, engine
-    index = AlignmentIndex.from_artifact(
-        artifact,
-        target_block_size=args.block_size,
-        prune=not args.no_prune,
-        registry=registry,
-    )
+    if getattr(artifact, "ann", None) is not None:
+        from .serving import AnnIndex
+
+        index = AnnIndex.from_artifact(
+            artifact,
+            target_block_size=args.block_size,
+            prune=not args.no_prune,
+            registry=registry,
+        )
+    else:
+        index = AlignmentIndex.from_artifact(
+            artifact,
+            target_block_size=args.block_size,
+            prune=not args.no_prune,
+            registry=registry,
+        )
     return artifact, QueryEngine(
         index,
         fingerprint=artifact.fingerprint,
         batch_size=args.batch_size,
         max_delay_ms=args.max_delay_ms,
         cache_size=args.cache_size,
+        default_mode=default_mode,
+        default_nprobe=default_nprobe,
         registry=registry,
     )
 
@@ -492,6 +519,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.start()
         print(f"artifact : {args.artifact} ({artifact.fingerprint})")
         print(f"serving  : {server.url}")
+        if getattr(artifact, "ann_params", None):
+            print(f"ann      : {artifact.ann_params['n_clusters']} "
+                  f"clusters (default mode {args.mode}, "
+                  f"nprobe {args.nprobe or 'auto'})")
         if args.shards > 1:
             print(f"shards   : {engine.index.num_shards} "
                   f"(workers {engine.index._pool.workers or 'inline'})")
@@ -533,11 +564,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
     queries = [(source, args.k) for source in args.source]
     timeout_ms = max(0, args.timeout_ms)
+    nprobe = args.nprobe or None
     if args.url:
         from .serving import HTTPClient
 
         payloads = HTTPClient(args.url).query_many(
-            queries, deadline_ms=timeout_ms
+            queries, deadline_ms=timeout_ms, mode=args.mode, nprobe=nprobe
         )
     else:
         from .serving import InProcessClient
@@ -547,7 +579,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             _, engine = _build_engine(args, registry)
             with engine:
                 payloads = InProcessClient(engine).query_many(
-                    queries, deadline_ms=timeout_ms
+                    queries, deadline_ms=timeout_ms,
+                    mode=args.mode, nprobe=nprobe,
                 )
     for payload in payloads:
         print(json.dumps(payload, sort_keys=True))
@@ -818,6 +851,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(hash before serving), lazy (background "
                                  "thread; corruption fails queries once "
                                  "found), off")
+        command.add_argument("--mode", default="exact",
+                            choices=("exact", "ann"),
+                            help="default query mode: exact top-k, or the "
+                                 "ANN tier of a --ann-clusters artifact "
+                                 "(per-request mode= overrides this)")
+        command.add_argument("--nprobe", type=int, default=0,
+                            help="default inverted lists probed per ANN "
+                                 "query (0 = ~sqrt(n_clusters); "
+                                 "n_clusters reproduces exact answers "
+                                 "bitwise)")
 
     export = commands.add_parser(
         "export-artifact",
@@ -832,6 +875,16 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--load-model",
                         help="export from this .npz model checkpoint "
                              "instead of training")
+    export.add_argument("--ann-clusters", type=int, default=0,
+                        help="also train the IVF+int8 ANN tier with this "
+                             "many k-means clusters and export as "
+                             "repro.artifact/v2 (0 = v1, exact only)")
+    export.add_argument("--no-quantize", action="store_true",
+                        help="keep the ANN inverted lists unquantized "
+                             "(float probe scan instead of int8)")
+    export.add_argument("--quant-rows", type=int, default=None,
+                        help="rows per int8 quantization block "
+                             "(default 512)")
     export.add_argument("--metrics-out",
                         help="write run metrics as a BENCH_*.json artifact")
     export.set_defaults(handler=_cmd_export_artifact)

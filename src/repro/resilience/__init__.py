@@ -21,6 +21,7 @@ exports record how eventful a run was.  See "Resilience & recovery" in
 
 from .breaker import BREAKER_STATES, CircuitBreaker
 from .errors import (
+    AnnParameterError,
     ArtifactValidationError,
     DeadlineExceededError,
     GraphValidationError,
@@ -42,6 +43,7 @@ from .validation import validate_graph, validate_pair
 __all__ = [
     "GraphValidationError",
     "ArtifactValidationError",
+    "AnnParameterError",
     "TrainingDivergedError",
     "DeadlineExceededError",
     "WorkerCrashError",

@@ -18,6 +18,7 @@ from __future__ import annotations
 __all__ = [
     "GraphValidationError",
     "ArtifactValidationError",
+    "AnnParameterError",
     "TrainingDivergedError",
     "DeadlineExceededError",
     "WorkerCrashError",
@@ -41,6 +42,19 @@ class ArtifactValidationError(ValueError):
     input validation) with a message naming the artifact path and the
     offending field, instead of letting ``np.load``/``KeyError`` failures
     surface from deep inside numpy.
+    """
+
+
+class AnnParameterError(ValueError):
+    """An approximate-serving knob (``mode``/``nprobe``) is invalid.
+
+    Raised by :class:`repro.serving.AnnIndex` and the query engines when
+    a caller asks for an unknown ``mode``, passes ``nprobe`` outside
+    ``[1, n_clusters]`` (or a non-integer look-alike), combines ``nprobe``
+    with ``mode='exact'``, or requests ``mode='ann'`` against an index
+    without an ANN tier.  Subclasses ``ValueError`` so
+    :func:`repro.serving.server.status_for_error` maps it to HTTP
+    **400** — the request is the caller's bug, never a server fault.
     """
 
 

@@ -6,15 +6,21 @@ every alignment question is answerable per-query from them (§VI-C).
 This package turns a trained model + pair into a long-lived service:
 
 * :mod:`~repro.serving.artifact` — **AlignmentArtifact**
-  (``repro.artifact/v1``): versioned, immutable, memory-mapped embedding
-  exports with strict load-time validation, torn-write-proof export
-  (staging + fsync + ``_COMMITTED`` marker + atomic rename) and
+  (``repro.artifact/v1``/``v2``): versioned, immutable, memory-mapped
+  embedding exports with strict load-time validation, torn-write-proof
+  export (staging + fsync + ``_COMMITTED`` marker + atomic rename) and
   eager/lazy/off integrity verification naming file and byte offset on
-  corruption.
+  corruption; v2 adds the ANN aux arrays (centroids, inverted lists,
+  int8 codes, scales) under the same guarantees.
 * :mod:`~repro.serving.index` — **AlignmentIndex**: exact top-k with
   Cauchy-Schwarz norm-based candidate pruning; bit-identical with
   pruning on or off, cross-checkable against
   :func:`repro.core.streaming.streaming_top_k`.
+* :mod:`~repro.serving.ann` — **AnnIndex**: IVF coarse quantizer
+  (deterministic seeded k-means) over the target embeddings plus int8
+  symmetric per-block quantization with float rescoring; ``mode='ann'``
+  + ``nprobe`` trade recall for latency, and ``nprobe == n_clusters``
+  is bitwise identical to the exact index.
 * :mod:`~repro.serving.engine` — **QueryEngine**: microbatched scoring,
   a lock-striped LRU result cache, ``aligned: false`` surfacing for
   sanitized rows, and ``serving.*`` metrics.
@@ -36,8 +42,18 @@ CLI: ``repro export-artifact``, ``repro serve``, ``repro query``,
 ``repro reload``.
 """
 
+from .ann import (
+    AnnIndex,
+    AnnProber,
+    build_ann_state,
+    default_nprobe,
+    dequantize_int8,
+    kmeans_fit,
+    quantize_int8,
+)
 from .artifact import (
     ARTIFACT_SCHEMA,
+    ARTIFACT_SCHEMA_V2,
     AlignmentArtifact,
     ArtifactVerifier,
     config_fingerprint,
@@ -54,6 +70,7 @@ from .sharded import ShardedIndex, ShardedQueryEngine, plan_shards
 
 __all__ = [
     "ARTIFACT_SCHEMA",
+    "ARTIFACT_SCHEMA_V2",
     "AlignmentArtifact",
     "ArtifactVerifier",
     "export_artifact",
@@ -61,6 +78,13 @@ __all__ = [
     "verify_artifact",
     "config_fingerprint",
     "AlignmentIndex",
+    "AnnIndex",
+    "AnnProber",
+    "build_ann_state",
+    "default_nprobe",
+    "kmeans_fit",
+    "quantize_int8",
+    "dequantize_int8",
     "QueryEngine",
     "QueryResult",
     "StripedLRUCache",

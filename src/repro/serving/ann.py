@@ -1,0 +1,702 @@
+"""Approximate serving tier: IVF coarse quantizer + int8 codes
+(``repro.serving.ann``).
+
+The exact :class:`~repro.serving.index.AlignmentIndex` scores
+``O(n_target)`` rows per query even with Cauchy-Schwarz pruning.  At the
+million-node scale the ROADMAP targets, that is the throughput ceiling.
+This module trades a *bounded, observable* amount of recall for QPS
+while keeping an exactness escape hatch:
+
+* **IVF coarse tier** — a deterministic seeded k-means (kmeans++ init,
+  fixed iteration budget) over the concatenated target embeddings
+  partitions targets into ``n_clusters`` inverted lists.  The lists are
+  stored as one contiguous *row-range remapping* of the target matrix
+  (``order`` maps remapped position → original id; ``offsets`` bounds
+  each cluster's range), so quantized codes scan sequentially and the
+  existing block/shard machinery applies unchanged.  A query probes the
+  ``nprobe`` clusters whose centroid inner product is largest (ties
+  broken by ascending cluster id, matching the index's canonical order).
+* **int8 symmetric per-block quantization** — the remapped target matrix
+  is encoded per row-block of ``quant_rows`` rows as
+  ``codes = clip(rint(x / scale), -127, 127)`` with
+  ``scale = max|x| / 127``, so every element's dequantization error is
+  at most ``scale / 2``.
+* **Float rescoring with a sound margin** — approximate (int8) scores
+  select candidates with a per-row error margin
+  ``0.5 · scale_block · ‖θ-weighted query‖₁`` (inflated by an
+  ULP-scale fudge for GEMM rounding).  Rows whose *upper* bound clears
+  the kth-best *lower* bound are rescored **through the exact index's
+  own per-block kernel over original-order blocks** — identical GEMM
+  shapes, identical bits.  The margin is a proof, not a heuristic: the
+  candidate set always contains every true top-k member (ties
+  included), so with ``nprobe == n_clusters`` the ANN answer is
+  **bitwise identical** to :meth:`AlignmentIndex.top_k`.  With smaller
+  ``nprobe`` the only approximation is *which clusters are probed*.
+
+Everything is deterministic: seeded RNG, fixed chunk sizes, canonical
+tie orders; building the same state twice (in any process) yields
+bit-identical arrays.  Metrics land under ``serving.ann.*``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..observability import MetricsRegistry, get_registry
+from ..resilience import AnnParameterError
+from .index import AlignmentIndex
+
+__all__ = [
+    "DEFAULT_QUANT_ROWS",
+    "kmeans_fit",
+    "quantize_int8",
+    "dequantize_int8",
+    "build_ann_state",
+    "default_nprobe",
+    "AnnIndex",
+]
+
+#: Rows per int8 quantization block (one shared scale per block).
+DEFAULT_QUANT_ROWS = 512
+
+#: Chunk of target rows per assignment GEMM: fixed so the distance
+#: matrices (and therefore every argmin) are computed with identical
+#: shapes on every run — the determinism keystone for k-means.
+_ASSIGN_CHUNK = 16384
+
+
+def _assign_clusters(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment; ties resolve to the lowest cluster id.
+
+    Distances are compared via ``‖c‖² - 2·p·c`` (the ``‖p‖²`` term is
+    constant per row) in fixed-size row chunks, so the result is
+    bit-reproducible across runs and independent of worker counts —
+    assignment always happens in the building process.
+    """
+    cent_sq = np.einsum("ij,ij->i", centroids, centroids)
+    out = np.empty(points.shape[0], dtype=np.int64)
+    for start in range(0, points.shape[0], _ASSIGN_CHUNK):
+        chunk = points[start:start + _ASSIGN_CHUNK]
+        # np.argmin returns the first (lowest-id) minimizer on ties.
+        scores = cent_sq[None, :] - 2.0 * (chunk @ centroids.T)
+        out[start:start + _ASSIGN_CHUNK] = np.argmin(scores, axis=1)
+    return out
+
+
+def kmeans_fit(
+    points: np.ndarray,
+    n_clusters: int,
+    seed: int = 0,
+    iters: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic seeded k-means; returns ``(centroids, assignment)``.
+
+    kmeans++ initialization (D² sampling via cumulative-sum inversion of
+    one uniform draw per centroid, all from ``default_rng(seed)``) and a
+    fixed ``iters`` Lloyd iteration budget — no convergence test, so the
+    work done (and the bits produced) never depends on the data's
+    condition.  Empty clusters keep their previous centroid.  The same
+    ``(points, n_clusters, seed, iters)`` always produces bit-identical
+    output, in any process.
+    """
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError(
+            f"points must be a non-empty 2-D matrix, got shape {points.shape}"
+        )
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    if iters < 0:
+        raise ValueError(f"iters must be >= 0, got {iters}")
+    n = points.shape[0]
+    n_clusters = min(n_clusters, n)
+    rng = np.random.default_rng(seed)
+
+    centroids = np.empty((n_clusters, points.shape[1]))
+    centroids[0] = points[int(rng.integers(n))]
+    dist_sq = np.einsum(
+        "ij,ij->i", points - centroids[0], points - centroids[0]
+    )
+    for cluster in range(1, n_clusters):
+        total = float(dist_sq.sum())
+        if total <= 0.0 or not np.isfinite(total):
+            # Every remaining point coincides with a centroid: any pick
+            # is equivalent; keep consuming the stream deterministically.
+            pick = int(rng.integers(n))
+        else:
+            draw = rng.random() * total
+            pick = min(
+                int(np.searchsorted(np.cumsum(dist_sq), draw, side="right")),
+                n - 1,
+            )
+        centroids[cluster] = points[pick]
+        delta = points - centroids[cluster]
+        dist_sq = np.minimum(dist_sq, np.einsum("ij,ij->i", delta, delta))
+
+    assignment = _assign_clusters(points, centroids)
+    for _ in range(iters):
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assignment, points)
+        counts = np.bincount(assignment, minlength=n_clusters)
+        populated = counts > 0
+        centroids[populated] = (
+            sums[populated] / counts[populated, None]
+        )
+        assignment = _assign_clusters(points, centroids)
+    return centroids, assignment
+
+
+def quantize_int8(
+    matrix: np.ndarray, quant_rows: int = DEFAULT_QUANT_ROWS
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-row-block int8 quantization: ``(codes, scales)``.
+
+    Block ``b`` covers rows ``[b·quant_rows, (b+1)·quant_rows)`` and
+    shares one scale ``max|x| / 127``; codes are
+    ``clip(rint(x / scale), -127, 127)``, so
+    ``|x - scale·code| <= scale / 2`` elementwise (an all-zero block
+    gets ``scale = 0`` and exact zero codes).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if quant_rows < 1:
+        raise ValueError(f"quant_rows must be >= 1, got {quant_rows}")
+    n = matrix.shape[0]
+    num_blocks = -(-n // quant_rows)
+    codes = np.empty(matrix.shape, dtype=np.int8)
+    scales = np.zeros(num_blocks)
+    for block in range(num_blocks):
+        start = block * quant_rows
+        stop = min(start + quant_rows, n)
+        peak = float(np.abs(matrix[start:stop]).max()) if stop > start else 0.0
+        scale = peak / 127.0
+        scales[block] = scale
+        if scale == 0.0:
+            codes[start:stop] = 0
+        else:
+            codes[start:stop] = np.clip(
+                np.rint(matrix[start:stop] / scale), -127, 127
+            ).astype(np.int8)
+    return codes, scales
+
+
+def dequantize_int8(
+    codes: np.ndarray,
+    scales: np.ndarray,
+    quant_rows: int = DEFAULT_QUANT_ROWS,
+) -> np.ndarray:
+    """Reconstruct the float matrix from :func:`quantize_int8` output."""
+    codes = np.asarray(codes)
+    row_scales = np.repeat(
+        np.asarray(scales, dtype=np.float64), quant_rows
+    )[: codes.shape[0]]
+    return codes.astype(np.float64) * row_scales[:, None]
+
+
+def default_nprobe(n_clusters: int) -> int:
+    """The serving default when no ``nprobe`` is given: ``~sqrt(C)``."""
+    return max(1, min(int(round(float(n_clusters) ** 0.5)), int(n_clusters)))
+
+
+def build_ann_state(
+    target_embeddings: Sequence[np.ndarray],
+    n_clusters: int,
+    seed: int = 0,
+    iters: int = 8,
+    quantize: bool = True,
+    quant_rows: int = DEFAULT_QUANT_ROWS,
+) -> Dict[str, Any]:
+    """Train the IVF + quantization state for a target embedding set.
+
+    Returns a dict of plain arrays (the exact payload the
+    ``repro.artifact/v2`` export writes): ``centroids`` ``(C, D)``
+    float64 over the *unweighted* concatenated target layers (θ weights
+    apply to the query side), ``offsets`` ``(C+1,)`` int64 inverted-list
+    bounds in the remapped row order, ``order`` ``(n_target,)`` int64
+    mapping remapped position → original target id (clusters ascending,
+    original id ascending within a cluster — fully canonical), plus
+    ``codes`` ``(n_target, D)`` int8 and ``scales`` float64 over the
+    *remapped* matrix when ``quantize`` (both ``None`` otherwise), and
+    a ``params`` provenance dict.
+    """
+    concat = np.concatenate(
+        [np.asarray(layer, dtype=np.float64) for layer in target_embeddings],
+        axis=1,
+    )
+    n_target = concat.shape[0]
+    n_clusters = min(int(n_clusters), n_target)
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    centroids, assignment = kmeans_fit(
+        concat, n_clusters, seed=seed, iters=iters
+    )
+    # Stable sort: clusters ascending, original row order within each.
+    order = np.argsort(assignment, kind="stable").astype(np.int64)
+    counts = np.bincount(assignment, minlength=n_clusters)
+    offsets = np.concatenate(
+        [[0], np.cumsum(counts)]
+    ).astype(np.int64)
+    codes = scales = None
+    if quantize:
+        codes, scales = quantize_int8(concat[order], quant_rows=quant_rows)
+    return {
+        "centroids": centroids,
+        "offsets": offsets,
+        "order": order,
+        "codes": codes,
+        "scales": scales,
+        "params": {
+            "n_clusters": int(n_clusters),
+            "seed": int(seed),
+            "iters": int(iters),
+            "quantize": bool(quantize),
+            "quant_rows": int(quant_rows),
+        },
+    }
+
+
+class AnnProber:
+    """The probe + candidate-selection half of the ANN tier.
+
+    Holds the IVF/quantization state and answers, for a θ-weighted query
+    batch, *which original target ids must be float-rescored* so the
+    true top-k (over the probed clusters) provably survives.  The
+    rescoring itself lives with whoever owns the target matrix — the
+    single-process :class:`AnnIndex` or the sharded scatter-gather —
+    which is what keeps shard answers bit-identical to the local ones.
+    """
+
+    def __init__(
+        self,
+        state: Dict[str, Any],
+        n_target: int,
+        dim: int,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry
+        self.centroids = np.asarray(state["centroids"], dtype=np.float64)
+        self.offsets = np.asarray(state["offsets"], dtype=np.int64)
+        self.order = np.asarray(state["order"], dtype=np.int64)
+        params = dict(state.get("params") or {})
+        self.quant_rows = int(params.get("quant_rows", DEFAULT_QUANT_ROWS))
+        self.params = params
+        codes = state.get("codes")
+        scales = state.get("scales")
+        self.codes = None if codes is None else np.asarray(codes)
+        self.scales = (
+            None if scales is None
+            else np.asarray(scales, dtype=np.float64)
+        )
+
+        if self.centroids.ndim != 2 or self.centroids.shape[1] != dim:
+            raise ValueError(
+                f"ANN centroids have shape {self.centroids.shape}, expected "
+                f"(n_clusters, {dim}) for this embedding set"
+            )
+        n_clusters = self.centroids.shape[0]
+        if self.offsets.shape != (n_clusters + 1,):
+            raise ValueError(
+                f"ANN offsets have shape {self.offsets.shape}, expected "
+                f"({n_clusters + 1},)"
+            )
+        if (
+            int(self.offsets[0]) != 0
+            or int(self.offsets[-1]) != n_target
+            or np.any(np.diff(self.offsets) < 0)
+        ):
+            raise ValueError(
+                "ANN inverted-list offsets are not a monotone partition of "
+                f"[0, {n_target})"
+            )
+        if self.order.shape != (n_target,) or not np.array_equal(
+            np.sort(self.order), np.arange(n_target, dtype=np.int64)
+        ):
+            raise ValueError(
+                f"ANN order must be a permutation of [0, {n_target})"
+            )
+        if (self.codes is None) != (self.scales is None):
+            raise ValueError(
+                "ANN codes and scales must be present together or absent "
+                "together"
+            )
+        if self.codes is not None:
+            if self.codes.dtype != np.int8:
+                raise ValueError(
+                    f"ANN codes must be int8, got {self.codes.dtype}"
+                )
+            if self.codes.shape != (n_target, dim):
+                raise ValueError(
+                    f"ANN codes have shape {self.codes.shape}, expected "
+                    f"({n_target}, {dim})"
+                )
+            expected_blocks = -(-n_target // self.quant_rows)
+            if self.scales.shape != (expected_blocks,):
+                raise ValueError(
+                    f"ANN scales have shape {self.scales.shape}, expected "
+                    f"({expected_blocks},) for quant_rows={self.quant_rows}"
+                )
+            # Per remapped-row scale, for O(1) margin lookup at query time.
+            self._row_scales = np.repeat(self.scales, self.quant_rows)[
+                :n_target
+            ]
+        else:
+            self._row_scales = None
+        self.n_target = int(n_target)
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.centroids.shape[0])
+
+    @property
+    def quantized(self) -> bool:
+        return self.codes is not None
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def resolve_nprobe(self, nprobe: Optional[int]) -> int:
+        """Validate/default ``nprobe``; raises :class:`AnnParameterError`.
+
+        ``None`` picks the ``~sqrt(n_clusters)`` serving default.  Bools
+        and non-integers are rejected (mirroring the HTTP tier's strict
+        typing), as is anything outside ``[1, n_clusters]``.
+        """
+        if nprobe is None:
+            return default_nprobe(self.n_clusters)
+        if isinstance(nprobe, bool) or not isinstance(
+            nprobe, (int, np.integer)
+        ):
+            raise AnnParameterError(
+                f"nprobe must be an integer, got {nprobe!r} "
+                f"({type(nprobe).__name__})"
+            )
+        if not 1 <= int(nprobe) <= self.n_clusters:
+            raise AnnParameterError(
+                f"nprobe must be in [1, {self.n_clusters}] for this index, "
+                f"got {int(nprobe)}"
+            )
+        return int(nprobe)
+
+    def probe(self, queries: np.ndarray, nprobe: int) -> List[np.ndarray]:
+        """Per query row, the ``nprobe`` probed cluster ids.
+
+        Clusters rank by inner product ``⟨q, centroid⟩`` descending with
+        ascending-id tie-break (the serving-wide canonical order), so
+        probing is deterministic including degenerate centroids.
+        """
+        scores = queries @ self.centroids.T
+        cluster_ids = np.arange(self.n_clusters, dtype=np.int64)
+        return [
+            np.lexsort((cluster_ids, -scores[row]))[:nprobe]
+            for row in range(queries.shape[0])
+        ]
+
+    def select_candidates(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int,
+    ) -> List[np.ndarray]:
+        """Original target ids to float-rescore, per query row (sorted).
+
+        Quantized path: approximate scores over the probed inverted
+        lists carry a per-row error margin
+        ``0.5 · scale_block · ‖q‖₁`` (plus an ULP-scale inflation for
+        GEMM rounding).  A row survives when its upper bound reaches the
+        kth-largest lower bound, which guarantees the true top-k of the
+        probed set — boundary ties included — is a subset of the
+        candidates.  Unquantized state keeps every probed row.
+        """
+        registry = self._registry()
+        started = time.perf_counter()
+        probed = self.probe(queries, nprobe)
+        scanned: Dict[int, np.ndarray] = {}
+        if self.quantized:
+            l1 = np.abs(queries).sum(axis=1)
+            needed = sorted({int(c) for row in probed for c in row})
+            for cluster in needed:
+                start = int(self.offsets[cluster])
+                stop = int(self.offsets[cluster + 1])
+                if stop <= start:
+                    scanned[cluster] = np.empty(
+                        (queries.shape[0], 0)
+                    )
+                    continue
+                block = self.codes[start:stop].astype(np.float64)
+                # codes are exact small integers: q @ codesᵀ then one
+                # multiply by the row scale reproduces scale·⟨q, code⟩.
+                scanned[cluster] = (queries @ block.T) * self._row_scales[
+                    start:stop
+                ]
+
+        candidates: List[np.ndarray] = []
+        rows_probed = 0
+        rows_kept = 0
+        for row, clusters in enumerate(probed):
+            positions: List[np.ndarray] = []
+            values: List[np.ndarray] = []
+            for cluster in clusters:
+                start = int(self.offsets[int(cluster)])
+                stop = int(self.offsets[int(cluster) + 1])
+                if stop <= start:
+                    continue
+                positions.append(np.arange(start, stop, dtype=np.int64))
+                if self.quantized:
+                    values.append(scanned[int(cluster)][row])
+            if not positions:
+                candidates.append(np.empty(0, dtype=np.int64))
+                continue
+            position = np.concatenate(positions)
+            rows_probed += position.size
+            if not self.quantized or position.size <= k:
+                kept = position
+            else:
+                approx = np.concatenate(values)
+                # Sound margin: dequantization error ≤ scale/2 per
+                # element → ≤ 0.5·scale·‖q‖₁ per inner product; the
+                # extra term absorbs float GEMM rounding on both sides.
+                margin = 0.5 * l1[row] * self._row_scales[position]
+                margin = margin + 1e-9 * (np.abs(approx) + 1.0)
+                lower = approx - margin
+                kth = -np.partition(-lower, k - 1)[k - 1]
+                kept = position[approx + margin >= kth]
+            rows_kept += kept.size
+            kept_ids = self.order[kept]
+            kept_ids.sort()
+            candidates.append(kept_ids)
+
+        registry.increment("serving.ann.queries", len(probed))
+        registry.increment("serving.ann.lists_probed", nprobe * len(probed))
+        registry.increment("serving.ann.rows_probed", int(rows_probed))
+        registry.increment("serving.ann.candidates_rescored", int(rows_kept))
+        registry.observe(
+            "serving.ann.probe_fraction", nprobe / self.n_clusters
+        )
+        if rows_probed:
+            # Recall proxy: how sharply the int8 scan narrows the probed
+            # set — near 1.0 means quantization is buying nothing.
+            registry.observe(
+                "serving.ann.candidate_fraction", rows_kept / rows_probed
+            )
+        registry.record_time(
+            "serving.ann.probe_time", time.perf_counter() - started
+        )
+        return candidates
+
+
+def select_rescored_top_k(
+    columns: np.ndarray,
+    scores: np.ndarray,
+    candidates: Sequence[np.ndarray],
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Final per-row top-k over float-rescored candidate columns.
+
+    ``columns``/``scores`` come from
+    :meth:`AlignmentIndex.score_target_blocks` (ascending global ids;
+    every candidate id is present).  Selection uses the canonical order
+    (descending score, ascending id).  Rows with fewer than ``k``
+    candidates are right-padded with ``(-1, -inf)`` — the engine's
+    finite-score filter drops the padding.
+    """
+    batch = len(candidates)
+    out_targets = np.full((batch, k), -1, dtype=np.int64)
+    out_scores = np.full((batch, k), -np.inf)
+    for row, ids in enumerate(candidates):
+        if ids.size == 0:
+            continue
+        row_scores = scores[row, np.searchsorted(columns, ids)]
+        take = min(k, ids.size)
+        chosen = np.lexsort((ids, -row_scores))[:take]
+        out_targets[row, :take] = ids[chosen]
+        out_scores[row, :take] = row_scores[chosen]
+    return out_targets, out_scores
+
+
+class AnnIndex:
+    """IVF + int8 approximate index wrapping an exact
+    :class:`AlignmentIndex`, behind the same ``top_k`` surface.
+
+    ``mode='exact'`` (the default) delegates verbatim to the inner exact
+    index, so an engine holding an :class:`AnnIndex` answers legacy
+    queries bitwise unchanged.  ``mode='ann'`` probes ``nprobe``
+    inverted lists, margin-filters candidates on the int8 scan, and
+    float-rescores them through the exact index's *original-order*
+    block kernel — identical GEMM shapes, identical bits — so
+    ``nprobe == n_clusters`` reproduces the exact answer exactly.
+
+    Build fresh (``n_clusters``/``seed``/``iters``/``quantize`` knobs)
+    or from precomputed ``state`` (what :func:`from_artifact` does with
+    the memory-mapped ``repro.artifact/v2`` aux arrays).
+    """
+
+    #: Engines check this to route ``mode='ann'`` requests.
+    supports_ann = True
+
+    def __init__(
+        self,
+        source_embeddings: Sequence[np.ndarray],
+        target_embeddings: Sequence[np.ndarray],
+        layer_weights: Sequence[float],
+        n_clusters: int = 64,
+        seed: int = 0,
+        iters: int = 8,
+        quantize: bool = True,
+        quant_rows: int = DEFAULT_QUANT_ROWS,
+        state: Optional[Dict[str, Any]] = None,
+        target_block_size: int = 512,
+        prune: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.exact = AlignmentIndex(
+            source_embeddings,
+            target_embeddings,
+            layer_weights,
+            target_block_size=target_block_size,
+            prune=prune,
+            registry=registry,
+        )
+        self.registry = registry
+        if state is None:
+            state = build_ann_state(
+                target_embeddings,
+                n_clusters=n_clusters,
+                seed=seed,
+                iters=iters,
+                quantize=quantize,
+                quant_rows=quant_rows,
+            )
+        dim = sum(
+            int(np.asarray(layer).shape[1]) for layer in target_embeddings
+        )
+        self.prober = AnnProber(
+            state, n_target=self.exact.n_target, dim=dim, registry=registry
+        )
+        self.state = state
+
+    @classmethod
+    def from_artifact(cls, artifact, **kwargs) -> "AnnIndex":
+        """Index over an artifact's embeddings + its mmap'd ANN arrays."""
+        if getattr(artifact, "ann", None) is None:
+            raise AnnParameterError(
+                f"artifact {artifact.path!r} has no ANN tier; re-export it "
+                "with `repro export-artifact --ann-clusters N`"
+            )
+        state = dict(artifact.ann)
+        state["params"] = dict(artifact.ann_params or {})
+        return cls(
+            artifact.source_embeddings,
+            artifact.target_embeddings,
+            artifact.layer_weights,
+            state=state,
+            **kwargs,
+        )
+
+    # -- AlignmentIndex surface ----------------------------------------
+    @property
+    def n_source(self) -> int:
+        return self.exact.n_source
+
+    @property
+    def n_target(self) -> int:
+        return self.exact.n_target
+
+    @property
+    def n_clusters(self) -> int:
+        return self.prober.n_clusters
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def resolve_nprobe(self, nprobe: Optional[int]) -> int:
+        return self.prober.resolve_nprobe(nprobe)
+
+    def weighted_queries(self, batch_ids: np.ndarray) -> np.ndarray:
+        """θ-weighted concatenated query rows (the probe-space vectors)."""
+        return np.concatenate(
+            [
+                weight * np.asarray(layer[batch_ids], dtype=np.float64)
+                for weight, layer in zip(
+                    self.exact._weights, self.exact._source
+                )
+            ],
+            axis=1,
+        )
+
+    def top_k(
+        self,
+        sources,
+        k: int = 1,
+        prune: Optional[bool] = None,
+        mode: str = "exact",
+        nprobe: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact or approximate batched top-k, per ``mode``.
+
+        ``mode='exact'`` ignores ``nprobe`` being absent and is the
+        inner index verbatim; passing ``nprobe`` with it is the caller's
+        bug.  ``mode='ann'`` answers from the probed clusters only;
+        rows with fewer than ``k`` reachable targets right-pad with
+        ``-inf`` scores.
+        """
+        if mode == "exact":
+            if nprobe is not None:
+                raise AnnParameterError(
+                    "nprobe only applies to mode='ann' "
+                    f"(got nprobe={nprobe!r} with mode='exact')"
+                )
+            return self.exact.top_k(sources, k, prune=prune)
+        if mode != "ann":
+            raise AnnParameterError(
+                f"mode must be 'exact' or 'ann', got {mode!r}"
+            )
+        return self._ann_top_k(sources, k, self.resolve_nprobe(nprobe))
+
+    def _ann_top_k(
+        self, sources, k: int, nprobe: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        registry = self._registry()
+        started = time.perf_counter()
+        sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        if sources.ndim != 1 or sources.size == 0:
+            raise ValueError(
+                f"sources must be a non-empty 1-D batch, got shape "
+                f"{sources.shape}"
+            )
+        out_of_range = (sources < 0) | (sources >= self.n_source)
+        if out_of_range.any():
+            bad = int(sources[out_of_range][0])
+            raise IndexError(
+                f"source node {bad} out of range [0, {self.n_source})"
+            )
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(k, self.n_target)
+
+        queries = self.weighted_queries(sources)
+        candidates = self.prober.select_candidates(queries, k, nprobe)
+        block_size = self.exact.block_size
+        needed = sorted(
+            {
+                int(block)
+                for ids in candidates
+                for block in np.unique(ids // block_size)
+            }
+        )
+        if needed:
+            columns, scores = self.exact.score_target_blocks(sources, needed)
+        else:
+            columns = np.empty(0, dtype=np.int64)
+            scores = np.empty((sources.size, 0))
+        registry.increment("serving.ann.rescore_blocks", len(needed))
+        out_targets, out_scores = select_rescored_top_k(
+            columns, scores, candidates, k
+        )
+        registry.record_time(
+            "serving.ann.query_time", time.perf_counter() - started
+        )
+        return out_targets, out_scores

@@ -36,6 +36,19 @@ returning, ``"lazy"`` verifies in a background thread whose failure
 poisons subsequent queries, ``"off"`` trusts the bytes.  A flipped byte
 or truncated file raises :class:`ArtifactValidationError` naming the
 offending file and byte range instead of silently corrupting scores.
+
+Schema v2 (ANN aux)
+-------------------
+``repro.artifact/v2`` extends v1 with the optional ANN serving tier:
+IVF centroids, inverted-list offsets, the row-order permutation, int8
+codes, and per-block scales land as additional fsynced ``.npy`` files
+(``ann_*.npy``), first-class manifest arrays (mmap'd on load, covered
+by chunkwise verification and the staged-atomic ``_COMMITTED`` export),
+plus a ``manifest["ann"]`` params section.  A v1 reader rejects v2 by
+schema string; this loader accepts both and validates the ANN aux
+against the embedding shapes — a missing codes file, a scales/codes
+shape mismatch, or a truncated inverted list raises
+:class:`ArtifactValidationError` naming the offending array.
 """
 
 from __future__ import annotations
@@ -55,6 +68,7 @@ from ..resilience import ArtifactValidationError
 
 __all__ = [
     "ARTIFACT_SCHEMA",
+    "ARTIFACT_SCHEMA_V2",
     "MANIFEST_NAME",
     "COMMITTED_MARKER",
     "AlignmentArtifact",
@@ -67,6 +81,8 @@ __all__ = [
 
 #: Schema identifier embedded in (and required of) every manifest.
 ARTIFACT_SCHEMA = "repro.artifact/v1"
+#: v1 plus the optional ANN aux arrays and ``manifest["ann"]`` params.
+ARTIFACT_SCHEMA_V2 = "repro.artifact/v2"
 MANIFEST_NAME = "manifest.json"
 #: Marker file written (and fsynced) last during export; its absence
 #: from an artifact whose manifest declares it means a torn write.
@@ -76,6 +92,17 @@ COMMITTED_MARKER = "_COMMITTED"
 _CHUNK_BYTES = 1 << 20
 
 _SIDES = ("source", "target")
+
+#: ANN aux arrays in a v2 artifact: state key → manifest array name
+#: (and ``<name>.npy`` file).  codes/scales exist only when the tier was
+#: built with ``quantize``.
+_ANN_ARRAYS = (
+    ("centroids", "ann_centroids"),
+    ("offsets", "ann_offsets"),
+    ("order", "ann_order"),
+    ("codes", "ann_codes"),
+    ("scales", "ann_scales"),
+)
 
 
 def _fail(message: str, registry: Optional[MetricsRegistry]) -> None:
@@ -119,17 +146,19 @@ def config_fingerprint(
     layer_weights: Sequence[float],
     shapes: Dict[str, Sequence[int]],
     digests: Dict[str, str],
+    schema: str = ARTIFACT_SCHEMA,
 ) -> str:
     """Short content fingerprint identifying an artifact for cache keys.
 
-    Hashes the config, layer weights, array shapes, *and* array content
-    digests, so two artifacts trained with the same config on different
-    data (or re-trained with a different seed) never collide in a serving
-    cache.
+    Hashes the schema, config, layer weights, array shapes, *and* array
+    content digests, so two artifacts trained with the same config on
+    different data (or re-trained with a different seed) never collide
+    in a serving cache — and a v2 re-export with an ANN tier gets a new
+    fingerprint (its aux arrays join ``shapes``/``digests``).
     """
     payload = json.dumps(
         {
-            "schema": ARTIFACT_SCHEMA,
+            "schema": schema,
             "config": config_fields,
             "layer_weights": [float(w) for w in layer_weights],
             "shapes": {k: list(v) for k, v in sorted(shapes.items())},
@@ -179,12 +208,24 @@ def export_artifact(
     layer_weights: Sequence[float],
     config=None,
     pair_name: str = "pair",
+    ann_clusters: Optional[int] = None,
+    ann_quantize: bool = True,
+    ann_seed: int = 0,
+    ann_iters: int = 8,
+    ann_quant_rows: Optional[int] = None,
     registry: Optional[MetricsRegistry] = None,
 ) -> str:
-    """Write an ``repro.artifact/v1`` directory; returns its path.
+    """Write an artifact directory; returns its path.
 
     ``config`` may be a :class:`~repro.core.GAlignConfig` (stored as a
     dict for provenance) or ``None``.
+
+    ``ann_clusters`` (>= 1) additionally trains the deterministic IVF +
+    int8 ANN tier over the target embeddings and writes it as
+    ``repro.artifact/v2``: the ``ann_*`` aux arrays become first-class
+    manifest arrays (same fsync, chunk hashing, and staging as the
+    embeddings) plus a ``manifest["ann"]`` params section.  Without it
+    the export stays bit-for-bit ``repro.artifact/v1``.
 
     The write is crash-safe: everything lands in a hidden staging
     directory beside ``path``, every file (arrays, manifest, the
@@ -230,6 +271,33 @@ def export_artifact(
         for index, array in enumerate(layers):
             arrays[f"{side}_layer_{index}"] = array
 
+    schema = ARTIFACT_SCHEMA
+    ann_section: Optional[Dict[str, Any]] = None
+    if ann_clusters is not None:
+        from .ann import DEFAULT_QUANT_ROWS, build_ann_state
+
+        if isinstance(ann_clusters, bool) or int(ann_clusters) < 1:
+            _fail(
+                f"ann_clusters must be a positive int, got {ann_clusters!r}",
+                registry,
+            )
+        ann_state = build_ann_state(
+            target,
+            n_clusters=int(ann_clusters),
+            seed=int(ann_seed),
+            iters=int(ann_iters),
+            quantize=bool(ann_quantize),
+            quant_rows=(
+                DEFAULT_QUANT_ROWS if ann_quant_rows is None
+                else int(ann_quant_rows)
+            ),
+        )
+        for state_key, array_name in _ANN_ARRAYS:
+            if ann_state[state_key] is not None:
+                arrays[array_name] = np.asarray(ann_state[state_key])
+        schema = ARTIFACT_SCHEMA_V2
+        ann_section = dict(ann_state["params"])
+
     try:
         entries: Dict[str, Dict[str, Any]] = {}
         digests: Dict[str, str] = {}
@@ -253,9 +321,11 @@ def export_artifact(
                 "sha256_chunks": chunk_shas,
             }
 
-        fingerprint = config_fingerprint(config, weights, shapes, digests)
+        fingerprint = config_fingerprint(
+            config, weights, shapes, digests, schema=schema
+        )
         manifest = {
-            "schema": ARTIFACT_SCHEMA,
+            "schema": schema,
             "fingerprint": fingerprint,
             "layer_weights": weights,
             "num_layers": len(source),
@@ -269,6 +339,8 @@ def export_artifact(
                 "dims": [int(h.shape[1]) for h in source],
             },
         }
+        if ann_section is not None:
+            manifest["ann"] = ann_section
         manifest_path = os.path.join(stage, MANIFEST_NAME)
         with open(manifest_path, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)
@@ -451,7 +523,7 @@ class ArtifactVerifier:
 
 @dataclass
 class AlignmentArtifact:
-    """A loaded (usually memory-mapped) ``repro.artifact/v1`` directory."""
+    """A loaded (usually memory-mapped) ``repro.artifact/v{1,2}`` directory."""
 
     path: str
     manifest: Dict[str, Any]
@@ -460,6 +532,13 @@ class AlignmentArtifact:
     layer_weights: List[float] = field(default_factory=list)
     #: Background verifier when loaded with ``verify="lazy"`` (else None).
     verifier: Optional[ArtifactVerifier] = None
+    #: v2 ANN aux arrays keyed ``centroids``/``offsets``/``order`` (and
+    #: ``codes``/``scales`` when quantized), mmap'd like the embeddings;
+    #: ``None`` for a v1 artifact.
+    ann: Optional[Dict[str, np.ndarray]] = None
+    #: ``manifest["ann"]`` params (n_clusters/seed/iters/quantize/
+    #: quant_rows); ``None`` for a v1 artifact.
+    ann_params: Optional[Dict[str, Any]] = None
 
     @property
     def fingerprint(self) -> str:
@@ -511,10 +590,20 @@ def _load_manifest(path: str, registry: Optional[MetricsRegistry]) -> Dict:
             f"artifact manifest {manifest_path!r} is not valid JSON: {error}",
             registry,
         )
-    if manifest.get("schema") != ARTIFACT_SCHEMA:
+    if manifest.get("schema") not in (ARTIFACT_SCHEMA, ARTIFACT_SCHEMA_V2):
         _fail(
             f"artifact {path!r} declares schema "
-            f"{manifest.get('schema')!r}, expected {ARTIFACT_SCHEMA!r}",
+            f"{manifest.get('schema')!r}, expected {ARTIFACT_SCHEMA!r} or "
+            f"{ARTIFACT_SCHEMA_V2!r}",
+            registry,
+        )
+    if manifest.get("schema") == ARTIFACT_SCHEMA_V2 and not isinstance(
+        manifest.get("ann"), dict
+    ):
+        _fail(
+            f"artifact {path!r} declares schema {ARTIFACT_SCHEMA_V2!r} but "
+            "has no 'ann' params section; the manifest was damaged or "
+            "hand-edited — re-export the artifact",
             registry,
         )
     for key in ("fingerprint", "layer_weights", "num_layers", "arrays"):
@@ -563,6 +652,121 @@ def _load_array(
             registry,
         )
     return array
+
+
+def _load_ann_section(
+    path: str,
+    manifest: Dict[str, Any],
+    entries: Dict[str, Dict[str, Any]],
+    target: Sequence[np.ndarray],
+    mmap: bool,
+    registry: Optional[MetricsRegistry],
+) -> Tuple[Dict[str, Optional[np.ndarray]], Dict[str, Any]]:
+    """Load + validate a v2 manifest's ANN aux against the embeddings.
+
+    Every inconsistency between the manifest and the aux arrays — a
+    missing codes file, a scales/codes shape that disagrees with the
+    target matrix, a truncated inverted list — raises
+    :class:`~repro.resilience.ArtifactValidationError` naming the
+    offending array, before the index ever scores with it.
+    """
+    params = dict(manifest["ann"])
+    n_clusters = params.get("n_clusters")
+    if isinstance(n_clusters, bool) or not isinstance(n_clusters, int) \
+            or n_clusters < 1:
+        _fail(
+            f"artifact {path!r}: ann.n_clusters must be a positive int, "
+            f"got {n_clusters!r}",
+            registry,
+        )
+    quantize = bool(params.get("quantize", False))
+    quant_rows = params.get("quant_rows")
+    if isinstance(quant_rows, bool) or not isinstance(quant_rows, int) \
+            or quant_rows < 1:
+        _fail(
+            f"artifact {path!r}: ann.quant_rows must be a positive int, "
+            f"got {quant_rows!r}",
+            registry,
+        )
+    n_target = int(target[0].shape[0])
+    dim = sum(int(layer.shape[1]) for layer in target)
+
+    required = ["ann_centroids", "ann_offsets", "ann_order"]
+    if quantize:
+        required += ["ann_codes", "ann_scales"]
+    loaded: Dict[str, np.ndarray] = {}
+    for name in required:
+        if name not in entries:
+            _fail(
+                f"artifact {path!r}: schema {ARTIFACT_SCHEMA_V2!r} with "
+                f"ann.quantize={quantize} requires array {name!r}, but the "
+                "manifest has no entry for it",
+                registry,
+            )
+        loaded[name] = _load_array(path, name, entries[name], mmap, registry)
+
+    centroids = loaded["ann_centroids"]
+    if centroids.ndim != 2 or centroids.shape != (n_clusters, dim):
+        _fail(
+            f"artifact {path!r}: array 'ann_centroids' has shape "
+            f"{tuple(centroids.shape)}, expected ({n_clusters}, {dim}) for "
+            "this embedding set",
+            registry,
+        )
+    offsets = np.asarray(loaded["ann_offsets"])
+    if (
+        offsets.shape != (n_clusters + 1,)
+        or not np.issubdtype(offsets.dtype, np.integer)
+    ):
+        _fail(
+            f"artifact {path!r}: array 'ann_offsets' has shape "
+            f"{tuple(offsets.shape)} dtype {offsets.dtype}, expected "
+            f"integer ({n_clusters + 1},)",
+            registry,
+        )
+    if (
+        int(offsets[0]) != 0
+        or np.any(np.diff(offsets) < 0)
+        or int(offsets[-1]) != n_target
+    ):
+        _fail(
+            f"artifact {path!r}: array 'ann_offsets' is not a monotone "
+            f"partition of [0, {n_target}) — the inverted lists are "
+            "truncated or scrambled",
+            registry,
+        )
+    order = np.asarray(loaded["ann_order"])
+    if order.shape != (n_target,) or not np.array_equal(
+        np.sort(order), np.arange(n_target, dtype=order.dtype)
+    ):
+        _fail(
+            f"artifact {path!r}: array 'ann_order' must be a permutation "
+            f"of [0, {n_target})",
+            registry,
+        )
+    if quantize:
+        codes = loaded["ann_codes"]
+        if codes.dtype != np.int8 or codes.shape != (n_target, dim):
+            _fail(
+                f"artifact {path!r}: array 'ann_codes' has shape "
+                f"{tuple(codes.shape)} dtype {codes.dtype}, expected int8 "
+                f"({n_target}, {dim})",
+                registry,
+            )
+        scales = np.asarray(loaded["ann_scales"])
+        expected_blocks = -(-n_target // quant_rows)
+        if scales.shape != (expected_blocks,):
+            _fail(
+                f"artifact {path!r}: array 'ann_scales' has shape "
+                f"{tuple(scales.shape)}, expected ({expected_blocks},) for "
+                f"quant_rows={quant_rows} over {n_target} rows",
+                registry,
+            )
+    ann: Dict[str, Optional[np.ndarray]] = {
+        state_key: loaded.get(array_name)
+        for state_key, array_name in _ANN_ARRAYS
+    }
+    return ann, params
 
 
 def load_artifact(
@@ -650,11 +854,23 @@ def load_artifact(
                         "or was exported from a diverged model",
                         registry,
                     )
+    ann: Optional[Dict[str, Optional[np.ndarray]]] = None
+    ann_params: Optional[Dict[str, Any]] = None
+    if manifest.get("schema") == ARTIFACT_SCHEMA_V2:
+        ann, ann_params = _load_ann_section(
+            path, manifest, entries, sides["target"], mmap, registry
+        )
     declared_names = [
         f"{side}_layer_{index}"
         for side in _SIDES
         for index in range(num_layers)
     ]
+    if ann is not None:
+        declared_names.extend(
+            array_name
+            for state_key, array_name in _ANN_ARRAYS
+            if ann.get(state_key) is not None
+        )
     verifier: Optional[ArtifactVerifier] = None
     if verify == "eager":
         for name in declared_names:
@@ -674,6 +890,8 @@ def load_artifact(
         target_embeddings=sides["target"],
         layer_weights=weights,
         verifier=verifier,
+        ann=ann,
+        ann_params=ann_params,
     )
 
 

@@ -84,19 +84,30 @@ class InProcessClient:
         return self.engine.stats()
 
     def query(
-        self, source: int, k: int = 1, deadline_ms: int = 0
+        self,
+        source: int,
+        k: int = 1,
+        deadline_ms: int = 0,
+        mode: Optional[str] = None,
+        nprobe: Optional[int] = None,
     ) -> Dict[str, Any]:
         return self.engine.query(
-            source, k, deadline_s=_deadline_s(deadline_ms)
+            source, k, deadline_s=_deadline_s(deadline_ms),
+            mode=mode, nprobe=nprobe,
         ).payload()
 
     def query_many(
-        self, queries: Sequence[Tuple[int, int]], deadline_ms: int = 0
+        self,
+        queries: Sequence[Tuple[int, int]],
+        deadline_ms: int = 0,
+        mode: Optional[str] = None,
+        nprobe: Optional[int] = None,
     ) -> List[Dict[str, Any]]:
         return [
             result.payload()
             for result in self.engine.query_many(
-                queries, deadline_s=_deadline_s(deadline_ms)
+                queries, deadline_s=_deadline_s(deadline_ms),
+                mode=mode, nprobe=nprobe,
             )
         ]
 
@@ -284,15 +295,28 @@ class HTTPClient:
         return self._request("/stats")
 
     def query(
-        self, source: int, k: int = 1, deadline_ms: int = 0
+        self,
+        source: int,
+        k: int = 1,
+        deadline_ms: int = 0,
+        mode: Optional[str] = None,
+        nprobe: Optional[int] = None,
     ) -> Dict[str, Any]:
         path = f"/query?source={int(source)}&k={int(k)}"
         if deadline_ms:
             path += f"&deadline_ms={int(deadline_ms)}"
+        if mode is not None:
+            path += f"&mode={mode}"
+        if nprobe is not None:
+            path += f"&nprobe={int(nprobe)}"
         return self._request(path)
 
     def query_many(
-        self, queries: Sequence[Tuple[int, int]], deadline_ms: int = 0
+        self,
+        queries: Sequence[Tuple[int, int]],
+        deadline_ms: int = 0,
+        mode: Optional[str] = None,
+        nprobe: Optional[int] = None,
     ) -> List[Dict[str, Any]]:
         body: Dict[str, Any] = {
             "queries": [
@@ -301,6 +325,10 @@ class HTTPClient:
         }
         if deadline_ms:
             body["deadline_ms"] = int(deadline_ms)
+        if mode is not None:
+            body["mode"] = mode
+        if nprobe is not None:
+            body["nprobe"] = int(nprobe)
         # POST in shape, a pure read in semantics: safe to retry.
         return self._request("/query", body=body)["results"]
 

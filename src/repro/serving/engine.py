@@ -41,7 +41,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..observability import MetricsRegistry, get_registry, get_tracer
-from ..resilience import DeadlineExceededError
+from ..resilience import AnnParameterError, DeadlineExceededError
 from .index import AlignmentIndex
 
 __all__ = ["QueryResult", "StripedLRUCache", "QueryEngine"]
@@ -194,15 +194,22 @@ class _Pending:
     """
 
     __slots__ = (
-        "source", "k", "event", "value", "error", "enqueued", "deadline",
-        "abandoned",
+        "source", "k", "mode", "nprobe", "event", "value", "error",
+        "enqueued", "deadline", "abandoned",
     )
 
     def __init__(
-        self, source: int, k: int, deadline: Optional[float] = None
+        self,
+        source: int,
+        k: int,
+        mode: str = "exact",
+        nprobe: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self.source = source
         self.k = k
+        self.mode = mode
+        self.nprobe = nprobe
         self.event = threading.Event()
         self.value: Optional[Tuple] = None
         self.error: Optional[BaseException] = None
@@ -227,13 +234,24 @@ class QueryEngine:
         cache_size: int = 4096,
         cache_stripes: int = 8,
         verifier=None,
+        default_mode: str = "exact",
+        default_nprobe: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if max_delay_ms < 0:
             raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        if default_mode not in ("exact", "ann"):
+            raise AnnParameterError(
+                f"default_mode must be 'exact' or 'ann', got {default_mode!r}"
+            )
         self.index = index
+        #: Mode used when a query does not say (``serve --mode``).
+        self.default_mode = default_mode
+        #: ``nprobe`` used for ann queries that do not say
+        #: (None = the index's own ``~sqrt(n_clusters)`` default).
+        self.default_nprobe = default_nprobe
         self.fingerprint = fingerprint
         self.batch_size = int(batch_size)
         self.max_delay_s = float(max_delay_ms) / 1e3
@@ -248,17 +266,32 @@ class QueryEngine:
         self._pending: deque = deque()
         self._worker: Optional[threading.Thread] = None
         self._closed = False
+        # Fail fast: a default of mode='ann' (or a default nprobe) must
+        # be satisfiable by this index, not blow up on the first query.
+        self._resolve_descriptor(None, None)
 
     @classmethod
     def from_artifact(cls, artifact, **kwargs) -> "QueryEngine":
-        """Engine over a fresh index for ``artifact`` (fingerprint wired)."""
+        """Engine over a fresh index for ``artifact`` (fingerprint wired).
+
+        An artifact carrying ANN aux arrays (``repro.artifact/v2``
+        exported with ``--ann-clusters``) gets an
+        :class:`~repro.serving.ann.AnnIndex` — ``mode='exact'`` queries
+        still go through the inner exact index verbatim; plain artifacts
+        get a bare :class:`AlignmentIndex` and reject ``mode='ann'``.
+        """
         index_kwargs = {
             key: kwargs.pop(key)
             for key in ("target_block_size", "prune")
             if key in kwargs
         }
         index_kwargs["registry"] = kwargs.get("registry")
-        index = AlignmentIndex.from_artifact(artifact, **index_kwargs)
+        if getattr(artifact, "ann", None) is not None:
+            from .ann import AnnIndex
+
+            index = AnnIndex.from_artifact(artifact, **index_kwargs)
+        else:
+            index = AlignmentIndex.from_artifact(artifact, **index_kwargs)
         kwargs.setdefault("fingerprint", artifact.fingerprint)
         kwargs.setdefault("verifier", getattr(artifact, "verifier", None))
         return cls(index, **kwargs)
@@ -327,6 +360,41 @@ class QueryEngine:
             raise ValueError(f"k must be >= 1, got {k}")
         return source, min(k, self.index.n_target)
 
+    def _resolve_descriptor(
+        self, mode: Optional[str], nprobe: Optional[int]
+    ) -> Tuple[str, Optional[int]]:
+        """Normalize a query's ``(mode, nprobe)`` to cache-key form.
+
+        ``None`` values fall back to the engine defaults.  The resolved
+        descriptor is fully concrete — for ann, ``nprobe`` is the exact
+        integer the index will probe — so two queries hit the same cache
+        entry iff they are answered by the same computation.  All
+        violations raise :class:`~repro.resilience.AnnParameterError`
+        (HTTP 400): unknown mode, ``nprobe`` with ``mode='exact'``,
+        ``mode='ann'`` against an index without an ANN tier, or an
+        out-of-range/non-integer ``nprobe``.
+        """
+        mode = self.default_mode if mode is None else mode
+        if mode not in ("exact", "ann"):
+            raise AnnParameterError(
+                f"mode must be 'exact' or 'ann', got {mode!r}"
+            )
+        if mode == "exact":
+            if nprobe is not None:
+                raise AnnParameterError(
+                    "nprobe only applies to mode='ann' "
+                    f"(got nprobe={nprobe!r} with mode='exact')"
+                )
+            return "exact", None
+        if not getattr(self.index, "supports_ann", False):
+            raise AnnParameterError(
+                "this index has no ANN tier (mode='ann' needs an artifact "
+                "exported with --ann-clusters); use mode='exact'"
+            )
+        if nprobe is None:
+            nprobe = self.default_nprobe
+        return "ann", self.index.resolve_nprobe(nprobe)
+
     def _finish(
         self, source: int, k: int, value: Tuple, cached: bool, started: float
     ) -> QueryResult:
@@ -369,6 +437,8 @@ class QueryEngine:
         source: int,
         k: int = 1,
         deadline_s: Optional[float] = None,
+        mode: Optional[str] = None,
+        nprobe: Optional[int] = None,
     ) -> QueryResult:
         """Answer one query, going through the cache and the microbatcher.
 
@@ -377,15 +447,22 @@ class QueryEngine:
         never waits past it, and an expired item in the microbatcher
         queue is dropped instead of scored.  Expiry raises
         :class:`~repro.resilience.DeadlineExceededError` (HTTP 504).
+
+        ``mode``/``nprobe`` select the exact or approximate tier (None =
+        engine defaults); the *resolved* descriptor is part of the cache
+        key, so an ann answer can never be served to an exact caller —
+        or to an ann caller with a different ``nprobe`` — and vice
+        versa.
         """
         started = time.perf_counter()
         self._check_deadline(deadline_s, "before admission")
         source, k = self._validate(source, k)
-        key = (self.fingerprint, source, k)
+        mode, nprobe = self._resolve_descriptor(mode, nprobe)
+        key = (self.fingerprint, source, k, mode, nprobe)
         value = self.cache.get(key)
         if value is not None:
             return self._finish(source, k, value, True, started)
-        item = _Pending(source, k, deadline=deadline_s)
+        item = _Pending(source, k, mode, nprobe, deadline=deadline_s)
         with self._cond:
             self._ensure_worker_locked()
             self._pending.append(item)
@@ -416,6 +493,8 @@ class QueryEngine:
         self,
         queries: Sequence[Tuple[int, int]],
         deadline_s: Optional[float] = None,
+        mode: Optional[str] = None,
+        nprobe: Optional[int] = None,
     ) -> List[QueryResult]:
         """Answer a caller-assembled batch directly (no coalescing delay).
 
@@ -423,14 +502,19 @@ class QueryEngine:
         served immediately and the misses scored in ``batch_size`` chunks.
         An expired ``deadline_s`` sheds every not-yet-scored chunk and
         raises :class:`~repro.resilience.DeadlineExceededError`.
+        ``mode``/``nprobe`` apply to the whole batch (None = engine
+        defaults) and are folded into every cache key.
         """
         started = time.perf_counter()
         self._check_deadline(deadline_s, "before admission")
+        mode, nprobe = self._resolve_descriptor(mode, nprobe)
         normalized = [self._validate(source, k) for source, k in queries]
         results: List[Optional[QueryResult]] = [None] * len(normalized)
         misses: List[Tuple[int, int, int]] = []
         for position, (source, k) in enumerate(normalized):
-            value = self.cache.get((self.fingerprint, source, k))
+            value = self.cache.get(
+                (self.fingerprint, source, k, mode, nprobe)
+            )
             if value is not None:
                 results[position] = self._finish(
                     source, k, value, True, started
@@ -447,11 +531,14 @@ class QueryEngine:
                     deadline_s=deadline_s,
                 )
             values = self._score_batch(
-                [(s, k) for _, s, k in chunk], deadline_s=deadline_s
+                [(s, k, mode, nprobe) for _, s, k in chunk],
+                deadline_s=deadline_s,
             )
             for (position, source, k), value in zip(chunk, values):
                 if not value[3]["degraded"]:
-                    self.cache.put((self.fingerprint, source, k), value)
+                    self.cache.put(
+                        (self.fingerprint, source, k, mode, nprobe), value
+                    )
                 results[position] = self._finish(
                     source, k, value, False, started
                 )
@@ -462,55 +549,72 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _score_batch(
         self,
-        batch: Sequence[Tuple[int, int]],
+        batch: Sequence[Tuple[int, int, str, Optional[int]]],
         deadline_s: Optional[float] = None,
     ) -> List[Tuple]:
-        """Score ``(source, k)`` pairs as one index call; returns values.
+        """Score ``(source, k, mode, nprobe)`` items; returns values.
 
         A value is the cacheable ``(targets, scores, aligned, meta)``
         tuple, where ``meta`` carries the degraded-answer fields.  Each
-        query's answer is the first ``k`` canonical entries of the
-        batch-wide top-``max(k)``, which equals its standalone answer.
-        Degraded answers (``meta["degraded"]``) may hold fewer than ``k``
-        candidates; callers must not cache them.
+        query's answer is the first ``k`` canonical entries of its
+        group's top-``max(k)``, which equals its standalone answer.
+        Items sharing a ``(mode, nprobe)`` descriptor coalesce into one
+        index call (a microbatch mixing exact and ann callers issues one
+        call per descriptor, order preserved).  Degraded answers
+        (``meta["degraded"]``) may hold fewer than ``k`` candidates;
+        callers must not cache them.
         """
         if self.verifier is not None:
             # Lazy artifact verification: the background verifier's typed
             # corruption error surfaces on the first batch after it fires.
             self.verifier.raise_if_failed()
         registry = self._registry()
-        k_max = max(k for _, k in batch)
-        sources = np.array([source for source, _ in batch], dtype=np.int64)
+        groups: "OrderedDict[Tuple[str, Optional[int]], List[int]]" = (
+            OrderedDict()
+        )
+        for position, (_, _, mode, nprobe) in enumerate(batch):
+            groups.setdefault((mode, nprobe), []).append(position)
+        values: List[Optional[Tuple]] = [None] * len(batch)
         top_k_ex = getattr(self.index, "top_k_ex", None)
-        with get_tracer().span(
-            "serving.score_batch", size=len(batch), k=k_max
-        ):
-            if top_k_ex is not None:
-                targets, scores, meta = top_k_ex(
-                    sources, k_max, deadline_s=deadline_s
-                )
-            else:
-                self._check_deadline(deadline_s, "before scoring")
-                targets, scores = self.index.top_k(sources, k_max)
-                meta = _HEALTHY_META
-        registry.increment("serving.batches")
-        registry.observe("serving.batch.size", len(batch))
-        registry.record_histogram("serving.batch.size_hist", len(batch))
-        values: List[Tuple] = []
-        columns = targets.shape[1]
-        for row, (_, k) in enumerate(batch):
-            take = min(k, columns)
-            row_targets = targets[row, :take]
-            row_scores = scores[row, :take]
-            finite = np.isfinite(row_scores)
-            values.append(
-                (
+        for (mode, nprobe), positions in groups.items():
+            k_max = max(batch[position][1] for position in positions)
+            sources = np.array(
+                [batch[position][0] for position in positions],
+                dtype=np.int64,
+            )
+            ann_kwargs = (
+                {"mode": "ann", "nprobe": nprobe} if mode == "ann" else {}
+            )
+            with get_tracer().span(
+                "serving.score_batch",
+                size=len(positions), k=k_max, mode=mode,
+            ):
+                if top_k_ex is not None:
+                    targets, scores, meta = top_k_ex(
+                        sources, k_max, deadline_s=deadline_s, **ann_kwargs
+                    )
+                else:
+                    self._check_deadline(deadline_s, "before scoring")
+                    targets, scores = self.index.top_k(
+                        sources, k_max, **ann_kwargs
+                    )
+                    meta = _HEALTHY_META
+            columns = targets.shape[1]
+            for row, position in enumerate(positions):
+                k = batch[position][1]
+                take = min(k, columns)
+                row_targets = targets[row, :take]
+                row_scores = scores[row, :take]
+                finite = np.isfinite(row_scores)
+                values[position] = (
                     tuple(int(t) for t in row_targets[finite]),
                     tuple(float(s) for s in row_scores[finite]),
                     bool(finite.any()),
                     meta,
                 )
-            )
+        registry.increment("serving.batches")
+        registry.observe("serving.batch.size", len(batch))
+        registry.record_histogram("serving.batch.size_hist", len(batch))
         return values
 
     def _take_batch_locked(self) -> List[_Pending]:
@@ -573,7 +677,10 @@ class QueryEngine:
             )
             try:
                 values = self._score_batch(
-                    [(item.source, item.k) for item in batch],
+                    [
+                        (item.source, item.k, item.mode, item.nprobe)
+                        for item in batch
+                    ],
                     deadline_s=batch_deadline,
                 )
                 for item, value in zip(batch, values):
@@ -650,6 +757,19 @@ class QueryEngine:
             "unaligned": counter("serving.unaligned"),
             "degraded": counter("serving.degraded"),
             "deadline_shed": counter("serving.deadline_shed"),
+            "ann": {
+                "supported": bool(
+                    getattr(self.index, "supports_ann", False)
+                ),
+                "default_mode": self.default_mode,
+                "queries": counter("serving.ann.queries"),
+                "lists_probed": counter("serving.ann.lists_probed"),
+                "rows_probed": counter("serving.ann.rows_probed"),
+                "candidates_rescored": counter(
+                    "serving.ann.candidates_rescored"
+                ),
+                "rescore_blocks": counter("serving.ann.rescore_blocks"),
+            },
             "latency_ms": {
                 "mean": latency.get("mean", 0.0) * 1e3,
                 "max": latency.get("max", 0.0) * 1e3,

@@ -184,17 +184,25 @@ class FrontDoor:
         source: int,
         k: int = 1,
         deadline_s: Optional[float] = None,
+        mode: Optional[str] = None,
+        nprobe: Optional[int] = None,
     ) -> QueryResult:
         with self._admit() as engine:
-            return engine.query(source, k, deadline_s=deadline_s)
+            return engine.query(
+                source, k, deadline_s=deadline_s, mode=mode, nprobe=nprobe
+            )
 
     def query_many(
         self,
         queries: Sequence[Tuple[int, int]],
         deadline_s: Optional[float] = None,
+        mode: Optional[str] = None,
+        nprobe: Optional[int] = None,
     ) -> List[QueryResult]:
         with self._admit(weight=max(1, len(queries))) as engine:
-            return engine.query_many(queries, deadline_s=deadline_s)
+            return engine.query_many(
+                queries, deadline_s=deadline_s, mode=mode, nprobe=nprobe
+            )
 
     def stats(self) -> Dict[str, Any]:
         with self._cond:

@@ -292,6 +292,57 @@ class AlignmentIndex:
         return out_targets, out_scores
 
     # ------------------------------------------------------------------
+    def score_target_blocks(
+        self, sources, blocks: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact scores restricted to the given block ids.
+
+        Returns ``(columns, scores)``: the ascending global target ids
+        covered by ``blocks`` (deduplicated, sorted) and the ``(batch,
+        len(columns))`` score matrix.  Each block goes through the same
+        :meth:`_score_block` kernel — identical GEMM shapes to
+        :meth:`top_k` over the same rows, hence identical bits — which
+        is what lets the ANN tier's float rescoring reproduce exact
+        answers (see :mod:`repro.serving.ann`).  Single queries are
+        padded to two rows exactly like :meth:`top_k`.
+        """
+        registry = self._registry()
+        sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        if sources.ndim != 1 or sources.size == 0:
+            raise ValueError(
+                f"sources must be a non-empty 1-D batch, got shape "
+                f"{sources.shape}"
+            )
+        out_of_range = (sources < 0) | (sources >= self.n_source)
+        if out_of_range.any():
+            bad = int(sources[out_of_range][0])
+            raise IndexError(
+                f"source node {bad} out of range [0, {self.n_source})"
+            )
+        block_ids = sorted({int(block) for block in blocks})
+        if not block_ids:
+            raise ValueError("blocks must name at least one block id")
+        if block_ids[0] < 0 or block_ids[-1] >= self.num_blocks:
+            bad = block_ids[0] if block_ids[0] < 0 else block_ids[-1]
+            raise ValueError(
+                f"block id {bad} out of range [0, {self.num_blocks})"
+            )
+        padded = sources.size == 1
+        batch_ids = np.repeat(sources, 2) if padded else sources
+        queries = [layer[batch_ids] for layer in self._source]
+        pieces = []
+        columns = []
+        for block in block_ids:
+            start, stop = self._block_bounds[block]
+            pieces.append(self._score_block(queries, start, stop, registry))
+            columns.append(np.arange(start, stop, dtype=np.int64))
+        scores = np.concatenate(pieces, axis=1)
+        registry.increment("serving.index.blocks_scored", len(block_ids))
+        return (
+            np.concatenate(columns),
+            scores[:1] if padded else scores,
+        )
+
     def score_rows(self, sources) -> np.ndarray:
         """Full score rows ``S[sources]`` (no pruning), for verification."""
         registry = self._registry()

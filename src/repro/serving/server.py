@@ -18,16 +18,24 @@ Routes
     counter, gauge, timer, and histogram (with p50/p90/p99), not just
     the ``serving.*`` prefix.  Scrape-friendly: what ``--metrics-out``
     writes at shutdown, available live.
-``GET /query?source=<id>&k=<k>&deadline_ms=<budget>``
+``GET /query?source=<id>&k=<k>&deadline_ms=<budget>&mode=<m>&nprobe=<p>``
     One alignment query.  ``deadline_ms`` (optional) is the caller's
     latency budget: the deadline propagates through admission, the
     microbatcher, and the shard scatter, each stage shedding expired
-    work; an answer that cannot make it returns **504**.
+    work; an answer that cannot make it returns **504**.  ``mode``
+    (``exact`` | ``ann``, default per the engine) and ``nprobe`` pick
+    the exactness tier: ``mode=ann`` with ``nprobe`` probed inverted
+    lists trades recall for latency, and an invalid combination —
+    unknown mode, ``nprobe`` with ``mode=exact``, ``nprobe`` outside
+    ``[1, n_clusters]``, ``mode=ann`` on an artifact without an ANN
+    tier — is a typed
+    :class:`~repro.resilience.AnnParameterError` → **400**.
 ``POST /query``
     Batch: ``{"queries": [{"source": 3, "k": 5}, ...], "deadline_ms":
-    250}`` → ``{"results": [...]}``; the whole batch goes through
-    :meth:`QueryEngine.query_many` (one matmul per ``batch_size`` chunk)
-    under one shared deadline.
+    250, "mode": "ann", "nprobe": 8}`` → ``{"results": [...]}``; the
+    whole batch goes through :meth:`QueryEngine.query_many` (one matmul
+    per ``batch_size`` chunk) under one shared deadline and one shared
+    ``mode``/``nprobe`` descriptor.
 ``POST /admin/reload``
     Hot artifact swap: ``{"artifact": "<path>"}`` loads the artifact
     directory (a path on the *server's* filesystem) in the handler
@@ -274,8 +282,17 @@ class _ServingHandler(BaseHTTPRequestHandler):
             k = _parse_int(params, "k", 1)
             deadline_ms = _parse_int(params, "deadline_ms", 0)
             deadline_s = _deadline_from_ms(deadline_ms)
+            # mode/nprobe are optional; absent means the engine default.
+            # Semantic validation (unknown mode, nprobe range/ann-tier
+            # pairing) lives in the engine's descriptor resolution and
+            # surfaces as AnnParameterError → 400.
+            mode = params.get("mode", [None])[0]
+            nprobe = (
+                _parse_int(params, "nprobe", None)
+                if "nprobe" in params else None
+            )
             return 200, self.engine.query(
-                source, k, deadline_s=deadline_s
+                source, k, deadline_s=deadline_s, mode=mode, nprobe=nprobe
             ).payload()
         raise _UnknownRoute(
             f"unknown path {url.path!r}; routes: /healthz, /readyz, "
@@ -342,7 +359,18 @@ class _ServingHandler(BaseHTTPRequestHandler):
             body.get("deadline_ms", 0), "deadline_ms"
         )
         deadline_s = _deadline_from_ms(deadline_ms)
-        results = self.engine.query_many(pairs, deadline_s=deadline_s)
+        mode = body.get("mode")
+        if mode is not None and not isinstance(mode, str):
+            raise _BadRequest(
+                f"mode must be a string, got {mode!r} "
+                f"({type(mode).__name__})"
+            )
+        nprobe = body.get("nprobe")
+        if nprobe is not None:
+            nprobe = _require_int(nprobe, "nprobe")
+        results = self.engine.query_many(
+            pairs, deadline_s=deadline_s, mode=mode, nprobe=nprobe
+        )
         return 200, {"results": [result.payload() for result in results]}
 
     def _handle_reload(self) -> Tuple[int, Dict[str, Any]]:

@@ -53,11 +53,13 @@ from ..parallel import (
 )
 from ..parallel.shm import load_embeddings, publish_embeddings
 from ..resilience import (
+    AnnParameterError,
     CircuitBreaker,
     DeadlineExceededError,
     InjectedFault,
     SimulatedKill,
 )
+from .ann import AnnProber, select_rescored_top_k
 from .engine import QueryEngine
 from .index import AlignmentIndex
 
@@ -160,6 +162,24 @@ def _score_shard(
         raise InjectedFault(
             f"injected shard_kill (inline) in shard [{start}, {stop})"
         )
+    index = _shard_slice_index(
+        manifest, token, num_layers, weights, block_size, start, stop
+    )
+    targets, scores = index.top_k(
+        np.asarray(sources, dtype=np.int64), k=k, prune=prune
+    )
+    return targets + start, scores
+
+
+def _shard_slice_index(
+    manifest: Dict,
+    token: str,
+    num_layers: int,
+    weights: Tuple[float, ...],
+    block_size: int,
+    start: int,
+    stop: int,
+) -> AlignmentIndex:
     state = _attach_state(manifest, token, num_layers)
     key = (start, stop, block_size)
     index = state["indexes"].get(key)
@@ -171,10 +191,51 @@ def _score_shard(
             target_block_size=block_size,
         )
         state["indexes"][key] = index
-    targets, scores = index.top_k(
-        np.asarray(sources, dtype=np.int64), k=k, prune=prune
+    return index
+
+
+def _rescore_shard(
+    manifest: Dict,
+    token: str,
+    num_layers: int,
+    weights: Tuple[float, ...],
+    block_size: int,
+    start: int,
+    stop: int,
+    sources: List[int],
+    local_blocks: List[int],
+    fault: Optional[str] = None,
+    delay_s: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One shard's exact scores for the requested blocks (a pool task).
+
+    The ANN rescoring scatter: the parent probes/filters candidates and
+    ships only the touched *block ids*; the shard answers with exact
+    scores over those blocks via the same slice-index kernel the exact
+    scatter uses.  Shard boundaries are block-aligned, so each local
+    block covers exactly the rows of its global counterpart and the
+    GEMM shapes (hence bits) match the single-process index.  Returns
+    ``(global column ids, scores)``.  Pure: safe to hedge.
+
+    ``fault``/``delay_s`` mirror :func:`_score_shard`'s chaos hooks.
+    """
+    if fault == "shard_delay" and delay_s > 0:
+        time.sleep(delay_s)
+    elif fault == "shard_kill":
+        if in_worker():
+            raise SimulatedKill(
+                f"injected shard_kill in shard [{start}, {stop})"
+            )
+        raise InjectedFault(
+            f"injected shard_kill (inline) in shard [{start}, {stop})"
+        )
+    index = _shard_slice_index(
+        manifest, token, num_layers, weights, block_size, start, stop
     )
-    return targets + start, scores
+    columns, scores = index.score_target_blocks(
+        np.asarray(sources, dtype=np.int64), local_blocks
+    )
+    return columns + start, scores
 
 
 class ShardedIndex:
@@ -226,6 +287,7 @@ class ShardedIndex:
         hedge_after_s: Optional[float] = None,
         shard_timeout_s: Optional[float] = None,
         breaker_kwargs: Optional[Dict[str, Any]] = None,
+        ann_state: Optional[Dict[str, Any]] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if shards < 1:
@@ -244,6 +306,24 @@ class ShardedIndex:
         self.shard_timeout_s = shard_timeout_s
         self.registry = registry
         self.plan = plan_shards(self._n_target, shards, self.block_size)
+        # ANN tier: the probe + candidate filter runs in the parent (it
+        # touches centroids and int8 codes, not the float target matrix);
+        # only the float rescoring of candidate blocks scatters.  The
+        # source layers are kept by reference (mmap-friendly) to build
+        # the θ-weighted probe vectors.
+        self._ann: Optional[AnnProber] = None
+        if ann_state is not None:
+            dim = sum(
+                int(np.asarray(layer).shape[1])
+                for layer in target_embeddings
+            )
+            self._ann = AnnProber(
+                ann_state, n_target=self._n_target, dim=dim,
+                registry=registry,
+            )
+            self._ann_source = [
+                np.asarray(layer) for layer in source_embeddings
+            ]
         self._store = SharedArrayStore(registry=registry)
         self._closed = False
         try:
@@ -276,7 +356,18 @@ class ShardedIndex:
 
     @classmethod
     def from_artifact(cls, artifact, **kwargs) -> "ShardedIndex":
-        """Sharded index over an :class:`AlignmentArtifact`'s embeddings."""
+        """Sharded index over an :class:`AlignmentArtifact`'s embeddings.
+
+        A ``repro.artifact/v2`` artifact's memory-mapped ANN aux arrays
+        (if present) wire up ``mode='ann'`` automatically.
+        """
+        if (
+            kwargs.get("ann_state") is None
+            and getattr(artifact, "ann", None) is not None
+        ):
+            state = dict(artifact.ann)
+            state["params"] = dict(artifact.ann_params or {})
+            kwargs["ann_state"] = state
         return cls(
             artifact.source_embeddings,
             artifact.target_embeddings,
@@ -296,6 +387,92 @@ class ShardedIndex:
     @property
     def num_shards(self) -> int:
         return len(self.plan)
+
+    @property
+    def supports_ann(self) -> bool:
+        return self._ann is not None
+
+    def resolve_nprobe(self, nprobe: Optional[int]) -> int:
+        if self._ann is None:
+            raise AnnParameterError(
+                "this sharded index has no ANN tier; re-export the artifact "
+                "with --ann-clusters"
+            )
+        return self._ann.resolve_nprobe(nprobe)
+
+    def _ann_candidates(
+        self, sources: np.ndarray, k: int, nprobe: int
+    ) -> List[np.ndarray]:
+        queries = np.concatenate(
+            [
+                weight * np.asarray(
+                    layer[sources], dtype=np.float64
+                )
+                for weight, layer in zip(self._weights, self._ann_source)
+            ],
+            axis=1,
+        )
+        return self._ann.select_candidates(queries, k, nprobe)
+
+    def _ann_shard_blocks(
+        self, candidates: List[np.ndarray]
+    ) -> Dict[int, List[int]]:
+        """Shard id → *local* block ids its rescore task must score."""
+        needed = sorted(
+            {
+                int(block)
+                for ids in candidates
+                for block in np.unique(ids // self.block_size)
+            }
+        )
+        per_shard: Dict[int, List[int]] = {}
+        for block in needed:
+            row = block * self.block_size
+            for shard, (start, stop) in enumerate(self.plan):
+                if start <= row < stop:
+                    per_shard.setdefault(shard, []).append(
+                        block - start // self.block_size
+                    )
+                    break
+        return per_shard
+
+    def _ann_rescore_task(
+        self,
+        start: int,
+        stop: int,
+        source_list: List[int],
+        local_blocks: List[int],
+        fault: Optional[Tuple[str, float]] = None,
+    ) -> Tuple:
+        kind, delay_s = fault if fault is not None else (None, 0.0)
+        return (
+            self._manifest, self._token, self.num_layers, self._weights,
+            self.block_size, start, stop, source_list, local_blocks,
+            kind, delay_s,
+        )
+
+    @staticmethod
+    def _ann_assemble(
+        answers: List[Tuple[np.ndarray, np.ndarray]],
+        candidates: List[np.ndarray],
+        k: int,
+        batch: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gathered rescore answers → final per-row canonical top-k.
+
+        Shards cover disjoint ascending row ranges and arrive in shard
+        order, so the concatenated columns are already sorted — exactly
+        what :func:`select_rescored_top_k` needs.
+        """
+        if answers:
+            columns = np.concatenate([cols for cols, _ in answers])
+            scores = np.concatenate(
+                [shard_scores for _, shard_scores in answers], axis=1
+            )
+        else:
+            columns = np.empty(0, dtype=np.int64)
+            scores = np.empty((batch, 0))
+        return select_rescored_top_k(columns, scores, candidates, k)
 
     def _registry(self) -> MetricsRegistry:
         return self.registry if self.registry is not None else get_registry()
@@ -364,13 +541,31 @@ class ShardedIndex:
         sources,
         k: int = 1,
         prune: Optional[bool] = None,
+        mode: str = "exact",
+        nprobe: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Exact batched top-k; bit-identical to the unsharded index.
+        """Exact or approximate batched top-k, per ``mode``.
 
-        All-or-nothing: every shard must answer (crashes exhaust the
-        pool's retry budget and then raise).  The fault-tolerant variant
-        is :meth:`top_k_ex`.
+        ``mode='exact'`` (the default) is bit-identical to the unsharded
+        index.  ``mode='ann'`` probes/filters candidates in the parent
+        and scatters only the float rescoring of the touched blocks;
+        with ``nprobe == n_clusters`` it is bit-identical to exact.
+
+        All-or-nothing: every scattered shard must answer (crashes
+        exhaust the pool's retry budget and then raise).  The
+        fault-tolerant variant is :meth:`top_k_ex`.
         """
+        if mode == "ann":
+            return self._ann_top_k(sources, k, prune, nprobe)
+        if mode != "exact":
+            raise AnnParameterError(
+                f"mode must be 'exact' or 'ann', got {mode!r}"
+            )
+        if nprobe is not None:
+            raise AnnParameterError(
+                "nprobe only applies to mode='ann' "
+                f"(got nprobe={nprobe!r} with mode='exact')"
+            )
         registry = self._registry()
         sources, k, prune, source_list = self._validate_query(
             sources, k, prune
@@ -394,14 +589,58 @@ class ShardedIndex:
         registry.observe("serving.sharded.shards", self.num_shards)
         return out_targets, out_scores
 
+    def _ann_top_k(
+        self,
+        sources,
+        k: int,
+        prune: Optional[bool],
+        nprobe: Optional[int],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Strict ANN scatter: probe in the parent, rescore on shards."""
+        nprobe = self.resolve_nprobe(nprobe)
+        registry = self._registry()
+        sources, k, _, source_list = self._validate_query(sources, k, prune)
+        candidates = self._ann_candidates(sources, k, nprobe)
+        per_shard = self._ann_shard_blocks(candidates)
+        involved = sorted(per_shard)
+        tasks = [
+            self._ann_rescore_task(
+                *self.plan[shard], source_list, per_shard[shard]
+            )
+            for shard in involved
+        ]
+        with self._lock:
+            with get_tracer().span(
+                "serving.sharded.ann_scatter",
+                shards=len(tasks), batch=int(sources.size), k=k,
+                nprobe=nprobe,
+            ):
+                answers = self._pool.map(
+                    _rescore_shard, tasks,
+                    labels=[self._labels[shard] for shard in involved],
+                    hedge_after_s=self.hedge_after_s,
+                )
+        registry.increment("serving.sharded.queries", int(sources.size))
+        registry.increment("serving.sharded.scatters")
+        registry.observe("serving.sharded.shards", self.num_shards)
+        registry.observe("serving.sharded.ann_shards_involved", len(involved))
+        return self._ann_assemble(answers, candidates, k, int(sources.size))
+
     def top_k_ex(
         self,
         sources,
         k: int = 1,
         prune: Optional[bool] = None,
         deadline_s: Optional[float] = None,
+        mode: str = "exact",
+        nprobe: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         """Fault-tolerant batched top-k: ``(targets, scores, meta)``.
+
+        ``mode='ann'`` runs the probe/candidate filter in the parent and
+        scatters only the rescoring of the touched blocks to the shards
+        that own them; a down shard's candidates are dropped from the
+        pool (its row range is explicitly uncovered in ``meta``).
 
         Differences from the strict :meth:`top_k`:
 
@@ -426,6 +665,17 @@ class ShardedIndex:
         answer.  When every shard is healthy the result is bit-identical
         to :meth:`top_k`.
         """
+        if mode == "ann":
+            return self._ann_top_k_ex(sources, k, prune, nprobe, deadline_s)
+        if mode != "exact":
+            raise AnnParameterError(
+                f"mode must be 'exact' or 'ann', got {mode!r}"
+            )
+        if nprobe is not None:
+            raise AnnParameterError(
+                "nprobe only applies to mode='ann' "
+                f"(got nprobe={nprobe!r} with mode='exact')"
+            )
         registry = self._registry()
         sources, k, prune, source_list = self._validate_query(
             sources, k, prune
@@ -531,6 +781,133 @@ class ShardedIndex:
         registry.increment("serving.sharded.queries", int(sources.size))
         registry.increment("serving.sharded.scatters")
         registry.observe("serving.sharded.shards", self.num_shards)
+        return out_targets, out_scores, meta
+
+    def _ann_top_k_ex(
+        self,
+        sources,
+        k: int,
+        prune: Optional[bool],
+        nprobe: Optional[int],
+        deadline_s: Optional[float],
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        """Fault-tolerant ANN scatter (the ``mode='ann'`` ex path)."""
+        nprobe = self.resolve_nprobe(nprobe)
+        registry = self._registry()
+        sources, k, _, source_list = self._validate_query(sources, k, prune)
+        if deadline_s is not None:
+            remaining = deadline_s - time.monotonic()
+            if remaining <= 0:
+                registry.increment("serving.deadline_shed")
+                raise DeadlineExceededError(
+                    "scatter deadline expired before fan-out",
+                    deadline_s=deadline_s,
+                )
+        candidates = self._ann_candidates(sources, k, nprobe)
+        per_shard = self._ann_shard_blocks(candidates)
+        involved = sorted(per_shard)
+
+        with self._lock:
+            injected, self._injected = self._injected, []
+            faults: Dict[int, Tuple[str, float]] = {}
+            for shard, kind, delay_s in injected:
+                shard = 0 if shard is None else int(shard)
+                faults[shard] = (kind, delay_s)
+
+            allowed: List[int] = []
+            rejected: List[int] = []
+            for shard in involved:
+                (allowed if self.breakers[shard].allow()
+                 else rejected).append(shard)
+            if not allowed:
+                raise RuntimeError(
+                    f"all {len(involved)} involved shard(s) unavailable "
+                    "(circuit breakers open)"
+                )
+            tasks = [
+                self._ann_rescore_task(
+                    *self.plan[shard], source_list, per_shard[shard],
+                    fault=faults.get(shard),
+                )
+                for shard in allowed
+            ]
+            timeout_kwargs: Dict[str, Any] = {}
+            if self.shard_timeout_s is not None:
+                timeout_kwargs["timeout_s"] = self.shard_timeout_s
+            if deadline_s is not None:
+                timeout_kwargs["deadline_s"] = deadline_s
+            with get_tracer().span(
+                "serving.sharded.ann_scatter",
+                shards=len(tasks), batch=int(sources.size), k=k,
+                nprobe=nprobe,
+            ):
+                answers = self._pool.map(
+                    _rescore_shard, tasks,
+                    labels=[self._labels[shard] for shard in allowed],
+                    hedge_after_s=self.hedge_after_s,
+                    return_exceptions=True,
+                    crash_policy="return",
+                    **timeout_kwargs,
+                )
+
+        shard_answers: List[Tuple[np.ndarray, np.ndarray]] = []
+        failed: List[int] = []
+        shed = 0
+        for shard, answer in zip(allowed, answers):
+            if isinstance(answer, TaskFailure):
+                if isinstance(answer.error, DeadlineExceededError):
+                    shed += 1
+                    continue
+                failed.append(shard)
+                self.breakers[shard].record_failure(answer.error)
+                registry.emit(
+                    "serving.sharded.shard_failure",
+                    {"shard": shard, "error": str(answer.error)},
+                )
+            else:
+                self.breakers[shard].record_success()
+                shard_answers.append(answer)
+        if shed:
+            registry.increment("serving.deadline_shed", shed)
+            raise DeadlineExceededError(
+                f"scatter deadline expired with {shed} of {len(allowed)} "
+                "shard(s) unscored",
+                deadline_s=deadline_s,
+            )
+        if not shard_answers:
+            raise RuntimeError(
+                f"all {len(allowed)} scattered shard(s) failed "
+                f"(shards {failed})"
+            )
+
+        down = sorted(rejected + failed)
+        if down:
+            # Candidates owned by a down shard were never rescored: drop
+            # them so the gather only ranks columns that actually have
+            # exact scores, and report the uncovered row ranges.
+            alive = np.ones(self.n_target, dtype=bool)
+            for shard in down:
+                start, stop = self.plan[shard]
+                alive[start:stop] = False
+            candidates = [ids[alive[ids]] for ids in candidates]
+            registry.increment("serving.sharded.degraded_scatters")
+        covered = sum(
+            self.plan[shard][1] - self.plan[shard][0]
+            for shard in range(self.num_shards)
+            if shard not in down
+        )
+        meta = {
+            "degraded": bool(down),
+            "coverage": covered / self.n_target,
+            "shards_down": tuple(down),
+        }
+        out_targets, out_scores = self._ann_assemble(
+            shard_answers, candidates, k, int(sources.size)
+        )
+        registry.increment("serving.sharded.queries", int(sources.size))
+        registry.increment("serving.sharded.scatters")
+        registry.observe("serving.sharded.shards", self.num_shards)
+        registry.observe("serving.sharded.ann_shards_involved", len(involved))
         return out_targets, out_scores, meta
 
     # -- chaos hooks ----------------------------------------------------

@@ -377,3 +377,183 @@ class TestVerifyArtifactReport:
         _flip_byte(os.path.join(path, "source_layer_1.npy"))
         with pytest.raises(ArtifactValidationError, match="source_layer_1"):
             verify_artifact(path)
+
+
+@pytest.fixture
+def ann_exported(tmp_path, rng):
+    source, target, weights = make_embeddings(rng, n_target=200)
+    path = str(tmp_path / "ann-artifact")
+    export_artifact(
+        path, source, target, weights, pair_name="unit-ann",
+        ann_clusters=6, ann_seed=3, ann_quant_rows=32,
+    )
+    return path, source, target, weights
+
+
+class TestAnnArtifact:
+    """Schema v2: the ANN aux arrays ride the same integrity rails as
+    the embeddings — staged-atomic export, chunked hashes, and semantic
+    validation that names the damaged ``ann_*`` array."""
+
+    def test_roundtrip_and_manifest(self, ann_exported):
+        from repro.serving import ARTIFACT_SCHEMA_V2
+
+        path, source, target, weights = ann_exported
+        with open(os.path.join(path, "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["schema"] == ARTIFACT_SCHEMA_V2
+        assert manifest["ann"]["n_clusters"] == 6
+        assert manifest["ann"]["quantize"] is True
+        assert {
+            "ann_centroids", "ann_offsets", "ann_order",
+            "ann_codes", "ann_scales",
+        } <= set(manifest["arrays"])
+        artifact = load_artifact(path)
+        assert artifact.ann_params["n_clusters"] == 6
+        assert artifact.ann["codes"].dtype == np.int8
+        assert int(artifact.ann["offsets"][-1]) == target[0].shape[0]
+        assert np.array_equal(
+            np.sort(artifact.ann["order"]),
+            np.arange(target[0].shape[0]),
+        )
+
+    def test_verify_artifact_covers_ann_arrays(self, ann_exported):
+        from repro.serving import verify_artifact
+
+        path, *_ = ann_exported
+        report = verify_artifact(path)
+        assert report["status"] == "ok"
+        assert "ann_codes" in report["arrays"]
+        assert all(a["status"] == "ok" for a in report["arrays"].values())
+
+    def test_v1_export_has_no_ann(self, exported):
+        path, *_ = exported
+        artifact = load_artifact(path)
+        assert artifact.ann is None and artifact.ann_params is None
+
+    def test_unquantized_export_omits_codes(self, tmp_path, rng):
+        source, target, weights = make_embeddings(rng, n_target=120)
+        path = str(tmp_path / "float-ann")
+        export_artifact(
+            path, source, target, weights,
+            ann_clusters=4, ann_quantize=False,
+        )
+        with open(os.path.join(path, "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert "ann_codes" not in manifest["arrays"]
+        assert "ann_scales" not in manifest["arrays"]
+        artifact = load_artifact(path)
+        assert artifact.ann["codes"] is None
+        assert artifact.ann_params["quantize"] is False
+
+    def test_fingerprint_differs_from_v1(self, tmp_path, rng):
+        source, target, weights = make_embeddings(rng)
+        plain = export_artifact(
+            str(tmp_path / "plain"), source, target, weights
+        )
+        ann = export_artifact(
+            str(tmp_path / "with-ann"), source, target, weights,
+            ann_clusters=4,
+        )
+        assert (
+            load_artifact(plain).fingerprint
+            != load_artifact(ann).fingerprint
+        )
+
+    def test_rejects_bad_ann_clusters(self, tmp_path, rng):
+        source, target, weights = make_embeddings(rng)
+        for bad in (True, 0, -3):
+            with pytest.raises(ValueError, match="ann_clusters"):
+                export_artifact(
+                    str(tmp_path / "bad"), source, target, weights,
+                    ann_clusters=bad,
+                )
+
+    # -- the corruption matrix, extended to the ANN aux files ----------
+    def test_missing_codes_file_named(self, ann_exported):
+        path, *_ = ann_exported
+        os.remove(os.path.join(path, "ann_codes.npy"))
+        with pytest.raises(ArtifactValidationError, match="ann_codes"):
+            load_artifact(path)
+
+    def test_missing_manifest_entry_named(self, ann_exported):
+        path, *_ = ann_exported
+        manifest_path = os.path.join(path, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        del manifest["arrays"]["ann_scales"]
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ArtifactValidationError, match="ann_scales"):
+            load_artifact(path)
+
+    def test_scales_shape_mismatch_named(self, ann_exported):
+        path, *_ = ann_exported
+        scales = np.load(os.path.join(path, "ann_scales.npy"))
+        np.save(os.path.join(path, "ann_scales.npy"), scales[:-1])
+        with pytest.raises(ArtifactValidationError, match="ann_scales"):
+            load_artifact(path, verify="off")
+
+    def test_truncated_inverted_list_named(self, ann_exported):
+        path, *_ = ann_exported
+        manifest_path = os.path.join(path, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        offsets = np.load(os.path.join(path, "ann_offsets.npy"))
+        offsets[-1] -= 5  # the last list no longer reaches n_target
+        np.save(os.path.join(path, "ann_offsets.npy"), offsets)
+        # Keep the chunk hashes honest so only the *semantic* check can
+        # catch this (a consistent-but-wrong artifact, not bit rot).
+        import hashlib
+
+        with open(os.path.join(path, "ann_offsets.npy"), "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        entry = manifest["arrays"]["ann_offsets"]
+        entry["sha256"] = digest
+        entry["chunks"] = [digest]
+        entry["bytes"] = os.path.getsize(
+            os.path.join(path, "ann_offsets.npy")
+        )
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(
+            ArtifactValidationError, match="ann_offsets"
+        ) as excinfo:
+            load_artifact(path)
+        assert "truncated or scrambled" in str(excinfo.value)
+
+    def test_order_non_permutation_named(self, ann_exported):
+        path, *_ = ann_exported
+        order = np.load(os.path.join(path, "ann_order.npy"))
+        order[1] = order[0]  # duplicate id: no longer a permutation
+        np.save(os.path.join(path, "ann_order.npy"), order)
+        with pytest.raises(ArtifactValidationError, match="ann_order"):
+            load_artifact(path, verify="off")
+
+    def test_flipped_byte_in_codes_detected(self, ann_exported):
+        path, *_ = ann_exported
+        _flip_byte(os.path.join(path, "ann_codes.npy"))
+        with pytest.raises(ArtifactValidationError, match="ann_codes"):
+            load_artifact(path, verify="eager")
+
+    def test_v2_without_ann_section_rejected(self, ann_exported):
+        path, *_ = ann_exported
+        manifest_path = os.path.join(path, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        del manifest["ann"]
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ArtifactValidationError, match="ann"):
+            load_artifact(path)
+
+    def test_loaded_artifact_serves_ann_bitwise(self, ann_exported):
+        from repro.serving import AlignmentIndex, AnnIndex
+
+        path, source, target, weights = ann_exported
+        index = AnnIndex.from_artifact(load_artifact(path))
+        exact = AlignmentIndex(source, target, weights)
+        expected = exact.top_k([0, 1, 2], k=5)
+        got = index.top_k([0, 1, 2], k=5, mode="ann", nprobe=6)
+        assert np.array_equal(got[0], expected[0])
+        assert np.array_equal(got[1], expected[1])

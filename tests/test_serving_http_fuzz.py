@@ -251,3 +251,82 @@ class TestRandomFuzz:
         assert resp.status == 200
         assert payload["source"] == 3
         assert len(payload["targets"]) == 5
+
+
+@pytest.fixture(scope="module")
+def ann_fuzz_server():
+    """A server with an ANN tier (8 clusters) for nprobe-range fuzzing."""
+    from repro.serving import AnnIndex
+
+    rng = np.random.default_rng(7)
+    source = [rng.standard_normal((N_SOURCE, 8))]
+    target = [rng.standard_normal((N_TARGET, 8))]
+    index = AnnIndex(source, target, [1.0], n_clusters=8, seed=0,
+                     target_block_size=N_TARGET)
+    engine = QueryEngine(index, fingerprint="fuzz-ann", max_delay_ms=0.5,
+                         registry=MetricsRegistry())
+    with AlignmentServer(engine, registry=MetricsRegistry()) as server:
+        yield server
+
+
+class TestAnnParameterFuzz:
+    """Malformed ``mode``/``nprobe`` are client bugs: always a JSON 400
+    from the taxonomy, never a 500, and the server stays healthy."""
+
+    @pytest.mark.parametrize("query", [
+        "source=0&mode=warp",            # unknown mode
+        "source=0&mode=ANN",             # case matters
+        "source=0&mode=exact&nprobe=2",  # nprobe without ann
+        "source=0&nprobe=banana",
+        "source=0&nprobe=1.5",
+        "source=0&nprobe=true",
+    ])
+    def test_get_garbage_mode_nprobe_is_400(self, ann_fuzz_server, query):
+        status, payload = _request(
+            ann_fuzz_server, "GET", f"/query?{query}"
+        )
+        _assert_client_error(status, payload, expect=(400,))
+
+    @pytest.mark.parametrize("nprobe", [0, -1, 9, 10**9, -(10**9)])
+    def test_get_out_of_range_nprobe_is_400(self, ann_fuzz_server, nprobe):
+        status, payload = _request(
+            ann_fuzz_server, "GET",
+            f"/query?source=0&mode=ann&nprobe={nprobe}",
+        )
+        _assert_client_error(status, payload, expect=(400,))
+        assert "nprobe" in payload["error"]
+
+    @pytest.mark.parametrize("mode", [True, 1, 1.0, [], {}, "warp", "Exact"])
+    def test_post_bad_mode_is_400(self, ann_fuzz_server, mode):
+        status, payload = _post_json(
+            ann_fuzz_server, "/query",
+            {"queries": [{"source": 0, "k": 1}], "mode": mode},
+        )
+        _assert_client_error(status, payload, expect=(400,))
+
+    @pytest.mark.parametrize("nprobe", [
+        True, False, 2.5, "3", "banana", [], {}, 0, -1, 99, 10**12,
+    ])
+    def test_post_bad_nprobe_is_400(self, ann_fuzz_server, nprobe):
+        status, payload = _post_json(
+            ann_fuzz_server, "/query",
+            {"queries": [{"source": 0, "k": 1}], "mode": "ann",
+             "nprobe": nprobe},
+        )
+        _assert_client_error(status, payload, expect=(400,))
+
+    def test_ann_mode_on_exact_only_server_is_400(self, fuzz_server):
+        status, payload = _request(
+            fuzz_server, "GET", "/query?source=0&mode=ann"
+        )
+        _assert_client_error(status, payload, expect=(400,))
+        assert "no ANN tier" in payload["error"]
+
+    def test_server_healthy_and_correct_after_barrage(self, ann_fuzz_server):
+        _assert_healthy(ann_fuzz_server)
+        # And a well-formed ann query still answers.
+        status, payload = _request(
+            ann_fuzz_server, "GET", "/query?source=0&k=3&mode=ann&nprobe=8"
+        )
+        assert status == 200
+        assert len(payload["targets"]) == 3

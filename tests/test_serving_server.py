@@ -348,7 +348,8 @@ class _BlockingEngine:
     def stats(self):
         return {"fingerprint": self.fingerprint}
 
-    def query(self, source, k=1, deadline_s=None):
+    def query(self, source, k=1, deadline_s=None, mode=None,
+              nprobe=None):
         assert self.release.wait(timeout=10.0)
         return QueryResult(
             source=int(source), k=int(k),
@@ -357,7 +358,8 @@ class _BlockingEngine:
             aligned=True, cached=False, latency_s=0.0,
         )
 
-    def query_many(self, queries, deadline_s=None):
+    def query_many(self, queries, deadline_s=None, mode=None,
+                   nprobe=None):
         return [self.query(source, k) for source, k in queries]
 
 

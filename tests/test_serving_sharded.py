@@ -302,7 +302,8 @@ class _StubEngine:
     def stats(self):
         return {"fingerprint": self.fingerprint, "queries": self.queries}
 
-    def query(self, source, k=1, deadline_s=None):
+    def query(self, source, k=1, deadline_s=None, mode=None,
+              nprobe=None):
         if self.closed:
             raise RuntimeError("engine is closed")
         if self.blocking:
@@ -312,7 +313,8 @@ class _StubEngine:
                            scores=(1.0,), aligned=True, cached=False,
                            latency_s=0.0)
 
-    def query_many(self, queries, deadline_s=None):
+    def query_many(self, queries, deadline_s=None, mode=None,
+                   nprobe=None):
         return [self.query(source, k) for source, k in queries]
 
 
