@@ -8,12 +8,21 @@ trade fidelity for speed:
 * ``REPRO_BENCH_SCALE``  — Table II stand-in scale  (default 0.06)
 * ``REPRO_BENCH_SEED_SCALE`` — bn/econ/email scale  (default 0.18)
 * ``REPRO_BENCH_REPEATS`` — runs averaged per cell  (default 1; paper: 50)
+* ``REPRO_LOG_LEVEL`` / ``REPRO_LOG_FILE`` — capture structured JSON
+  logs (CI ships the chaos/load log files as build artifacts)
 """
 
 import os
 
 import numpy as np
 import pytest
+
+from repro.observability import configure_logging_from_env
+
+# CI sets REPRO_LOG_FILE/REPRO_LOG_LEVEL to capture the chaos and load
+# benchmarks' JSON logs as build artifacts; unset, this is a no-op and
+# the benchmarks run with the silent default.
+configure_logging_from_env()
 
 
 def _env_float(name: str, default: float) -> float:

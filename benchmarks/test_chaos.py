@@ -125,6 +125,11 @@ def test_chaos_invariant_at_scale(tmp_path):
     # -- the chaos invariant, at scale ---------------------------------
     assert report.queries >= MIN_QUERIES
     assert sum(report.faults.values()) >= 200
+    # Correlation contract first: if the invariant ever breaks, every
+    # violation record must name the request id that greps to the
+    # offending query's front-door and shard log lines.
+    for violation in report.violations:
+        assert violation.get("request_id"), violation
     assert report.violations == [], report.payload()
     assert report.recovered, "tier did not return to full coverage"
     assert report.degraded_ok > 0, "no fault ever degraded an answer"

@@ -31,6 +31,10 @@ Subcommands
 ``reload``
     Hot-swap the artifact of a running ``serve`` instance with zero
     failed in-flight queries.
+``status``
+    One-screen operational snapshot of a running ``serve`` instance:
+    health/coverage, request and error counts, latency percentiles,
+    circuit-breaker states, SLO error budget, and the top slow queries.
 ``query``
     Answer alignment queries from an artifact in-process, or against a
     running ``serve`` instance via ``--url``; ``--timeout-ms`` puts a
@@ -91,6 +95,8 @@ from .observability import (
     MetricsRegistry,
     OpProfiler,
     Tracer,
+    configure_logging,
+    configure_logging_from_env,
     export_chrome_trace,
     format_op_table,
     format_span_tree,
@@ -440,6 +446,7 @@ def _build_engine(
     shards = getattr(args, "shards", 1)
     default_mode = getattr(args, "mode", "exact")
     default_nprobe = getattr(args, "nprobe", 0) or None
+    slow_query_ms = getattr(args, "slow_query_ms", 250.0)
     if shards > 1:
         hedge_ms = getattr(args, "hedge_ms", 0.0)
         breaker_kwargs = {
@@ -459,6 +466,7 @@ def _build_engine(
             cache_size=args.cache_size,
             default_mode=default_mode,
             default_nprobe=default_nprobe,
+            slow_query_ms=slow_query_ms,
             registry=registry,
         )
         return artifact, engine
@@ -486,6 +494,7 @@ def _build_engine(
         cache_size=args.cache_size,
         default_mode=default_mode,
         default_nprobe=default_nprobe,
+        slow_query_ms=slow_query_ms,
         registry=registry,
     )
 
@@ -495,6 +504,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .serving import AlignmentServer, FrontDoor
 
+    # Structured JSON logging: explicit flags win, otherwise the
+    # REPRO_LOG_LEVEL/REPRO_LOG_FILE environment hooks apply (how CI
+    # captures serving logs as artifacts without touching the command).
+    if args.log_level or args.log_file:
+        configure_logging(
+            level=args.log_level or "INFO", path=args.log_file or None
+        )
+    else:
+        configure_logging_from_env()
     registry = MetricsRegistry()
     tracer = Tracer(enabled=bool(args.trace_out))
     artifact, engine = _build_engine(args, registry)
@@ -513,7 +531,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry=registry,
     )
     server = AlignmentServer(
-        front, host=args.host, port=args.port, registry=registry
+        front, host=args.host, port=args.port, registry=registry,
+        access_log=args.access_log,
     )
     with use_registry(registry), use_tracer(tracer):
         server.start()
@@ -602,6 +621,79 @@ def _cmd_reload(args: argparse.Namespace) -> int:
     payload = HTTPClient(args.url).reload(args.artifact)
     print(f"reloaded : {args.artifact}")
     print(f"finger   : {payload.get('fingerprint')}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """One-screen operational snapshot of a running serve instance."""
+    from .serving import HTTPClient
+
+    client = HTTPClient(args.url)
+    health = client.healthz()
+    stats = client.stats()
+    engine = stats.get("engine", {})
+    metrics = stats.get("metrics", {})
+
+    def metric_value(name: str) -> int:
+        entry = metrics.get(name, {})
+        return int(entry.get("value", entry.get("count", 0)) or 0)
+
+    print(f"server   : {args.url}")
+    print(f"finger   : {health.get('fingerprint', '?')}")
+    state = "healthy" if health.get("healthy", True) else "UNHEALTHY"
+    if health.get("degraded"):
+        state += (
+            f" (degraded, coverage {float(health.get('coverage', 0)):.1%},"
+            f" shards down {health.get('shards_down', [])})"
+        )
+    print(f"status   : {state}")
+    requests = metric_value("serving.http.requests")
+    errors = metric_value("serving.http.errors")
+    print(f"requests : {requests} http ({errors} errors), "
+          f"{engine.get('queries', 0)} engine queries, "
+          f"{metric_value('serving.frontdoor.rejected')} rejected, "
+          f"{engine.get('deadline_shed', 0)} deadline-shed")
+    latency = engine.get("latency_ms") or {}
+    if latency.get("count"):
+        print(f"latency  : p50 {latency.get('p50', 0):.2f}ms  "
+              f"p99 {latency.get('p99', 0):.2f}ms  "
+              f"max {latency.get('max', 0):.2f}ms  "
+              f"({latency['count']} sampled)")
+    cache = engine.get("cache") or {}
+    if cache:
+        print(f"cache    : {cache.get('size', 0)}/{cache.get('capacity', 0)} "
+              f"entries, hit rate {float(cache.get('hit_rate') or 0):.1%}")
+    breakers = health.get("shards") or []
+    if breakers:
+        states = ", ".join(
+            f"shard[{index}]={snap.get('state', '?')}"
+            for index, snap in enumerate(breakers)
+        )
+        print(f"breakers : {states}")
+    slo = stats.get("slo") or {}
+    if slo:
+        budget = float(slo.get("error_budget_remaining", 1.0))
+        burn = float(slo.get("burn_rate", 0.0))
+        p99 = slo.get("p99_ms")
+        p99_text = f"{p99:.2f}ms" if p99 is not None else "n/a"
+        burning = "BURNING" if slo.get("burning") else "ok"
+        print(f"slo      : availability "
+              f"{float(slo.get('availability', 1.0)):.4%} "
+              f"(target {float(slo.get('availability_target', 0)):.4%}), "
+              f"budget {budget:.1%} left, burn rate {burn:.2f} [{burning}]")
+        print(f"slo p99  : {p99_text} "
+              f"(target {float(slo.get('p99_target_ms', 0)):.0f}ms, "
+              f"met: {slo.get('p99_met', True)})")
+    slow = engine.get("slow_queries") or {}
+    top = slow.get("top") or []
+    print(f"slow     : {slow.get('total', 0)} audited over "
+          f"{float(slow.get('threshold_ms', 0)):.0f}ms")
+    for entry in top:
+        descriptor = entry.get("descriptor") or {}
+        print(f"  {float(entry.get('latency_ms', 0)):8.2f}ms  "
+              f"request_id={entry.get('request_id')}  "
+              f"source={descriptor.get('source')} k={descriptor.get('k')} "
+              f"degraded={entry.get('degraded', False)}")
     return 0
 
 
@@ -923,6 +1015,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--breaker-reset", type=float, default=0.5,
                        help="seconds before an open shard breaker lets a "
                             "probe through (doubles per re-trip)")
+    serve.add_argument("--log-level", default=None,
+                       help="enable structured JSON logging at this level "
+                            "(DEBUG | INFO | WARNING | ERROR); default "
+                            "reads REPRO_LOG_LEVEL/REPRO_LOG_FILE")
+    serve.add_argument("--log-file", default=None,
+                       help="append JSON log lines to this file instead of "
+                            "stderr")
+    serve.add_argument("--access-log", action="store_true",
+                       help="also emit per-connection access-log lines as "
+                            "structured DEBUG events")
+    serve.add_argument("--slow-query-ms", type=float, default=250.0,
+                       help="latency threshold for the slow-query audit "
+                            "log (degraded answers are always audited)")
     add_engine_options(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -936,6 +1041,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="artifact directory path on the *server's* "
                                  "filesystem")
     reload_cmd.set_defaults(handler=_cmd_reload)
+
+    status = commands.add_parser(
+        "status",
+        help="operational snapshot of a running serve instance "
+             "(health, rates, breakers, SLO budget, slow queries)",
+    )
+    status.add_argument("--url", required=True,
+                        help="base URL of the serve instance")
+    status.set_defaults(handler=_cmd_status)
 
     query = commands.add_parser(
         "query", help="answer alignment queries from an artifact or server"

@@ -25,7 +25,7 @@ import numpy as np
 from ..base import AlignmentMethod
 from ..graphs import AlignmentPair
 from ..metrics import EvaluationReport, evaluate_alignment
-from ..observability import MetricsRegistry, get_registry
+from ..observability import MetricsRegistry, get_logger, get_registry
 from ..parallel import TaskFailure, WorkerPool, get_task_context, in_worker
 
 __all__ = ["MethodSpec", "RunRecord", "MethodSummary", "ExperimentRunner"]
@@ -260,7 +260,11 @@ class ExperimentRunner:
                 self._manifest_runs.append(failure_entry)
                 registry.emit("resilience.method_failure", failure_entry)
                 if verbose:
-                    print(f"  {spec.name} run {repeat}: FAILED ({error})")
+                    get_logger("eval.runner").warning(
+                        "runner.method_failed",
+                        method=spec.name, repeat=repeat, pair=pair.name,
+                        error=f"{type(error).__name__}: {error}",
+                    )
                 continue
             report = outcome["report"]
             records.setdefault((pair_index, spec_index), []).append(
@@ -287,7 +291,12 @@ class ExperimentRunner:
             self._manifest_runs.append(run_entry)
             registry.emit("runner.run", run_entry)
             if verbose:
-                print(f"  {spec.name} run {repeat}: {report}")
+                get_logger("eval.runner").info(
+                    "runner.method_run",
+                    method=spec.name, repeat=repeat, pair=pair.name,
+                    map=report.map, success_at_1=report.success_at_1,
+                    wall_seconds=outcome["wall"],
+                )
         # continue_on_error with zero successful repeats: the method is
         # absent from the summary table; its failures are in the manifest
         # and the resilience.* metrics.

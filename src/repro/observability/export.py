@@ -25,9 +25,10 @@ trajectory never accumulates malformed artifacts.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterator, Optional
+import math
+from typing import Any, Dict, Iterator, List, Optional
 
-from .registry import MetricsRegistry
+from .registry import Counter, Histogram, MetricsRegistry, TimerStat
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -36,6 +37,7 @@ __all__ = [
     "write_bench_json",
     "load_bench_json",
     "iter_metric_lines",
+    "to_prometheus_text",
 ]
 
 #: Schema identifier embedded in (and required of) every BENCH_*.json.
@@ -133,3 +135,78 @@ def iter_metric_lines(
     """One JSON object per metric per line (log-shipping friendly)."""
     for name, stats in registry.snapshot(prefix).items():
         yield json.dumps({"name": name, **stats}, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prometheus_name(name: str) -> str:
+    """Mangle a dotted metric name into a Prometheus identifier."""
+    mangled = "".join(
+        ch if ch.isascii() and (ch.isalnum() or ch == "_") else "_"
+        for ch in name
+    )
+    if mangled[:1].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def _prometheus_value(value: float) -> str:
+    """A float the exposition format (and a round-trip parse) accepts."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus_text(
+    registry: MetricsRegistry, prefix: Optional[str] = None
+) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    What a stock Prometheus scraper expects from ``GET
+    /metrics?format=prometheus``: dotted names mangled to underscores,
+    counters as ``counter``, gauges and timers as ``gauge`` (the last
+    observed value), and histograms as cumulative ``_bucket{le=...}``
+    series — the underflow bucket under ``le="<lower>"``, the log-spaced
+    body under each bucket's upper edge, the overflow under
+    ``le="+Inf"`` — plus exact ``_sum``/``_count`` companions taken from
+    the same locked state snapshot the registry merges across processes.
+    """
+    lines: List[str] = []
+    for name in registry.names(prefix):
+        metric = registry.get(name)
+        exposed = _prometheus_name(name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {exposed} counter")
+            lines.append(f"{exposed} {_prometheus_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            state = metric.state()
+            lines.append(f"# TYPE {exposed} histogram")
+            cumulative = 0
+            last = len(state["bucket_counts"]) - 1
+            for index, bucket_count in enumerate(state["bucket_counts"]):
+                cumulative += int(bucket_count)
+                if index == last:
+                    upper = "+Inf"
+                else:
+                    upper = _prometheus_value(metric._edges(index)[1])
+                lines.append(
+                    f'{exposed}_bucket{{le="{upper}"}} {cumulative}'
+                )
+            lines.append(
+                f"{exposed}_sum {_prometheus_value(state['total'])}"
+            )
+            lines.append(f"{exposed}_count {state['count']}")
+        else:  # Gauge and its TimerStat subclass
+            state = metric.state()
+            suffix = "_seconds" if isinstance(metric, TimerStat) else ""
+            lines.append(f"# TYPE {exposed}{suffix} gauge")
+            lines.append(
+                f"{exposed}{suffix} {_prometheus_value(state['last'])}"
+            )
+    return "\n".join(lines) + "\n"

@@ -479,13 +479,36 @@ class MetricsRegistry:
             self._hooks.remove(hook)
 
     def emit(self, event: str, payload: Optional[Dict[str, Any]] = None) -> None:
-        """Fan an event out to every hook (no-op without hooks)."""
+        """Fan an event out to every hook (no-op without hooks).
+
+        Hooks run inline on whatever hot path emitted — so a raising
+        hook is isolated here: counted in ``observability.hook_errors``
+        and logged at ERROR, never propagated into training or serving
+        code.  One broken observer must not fail the observed.
+        """
         if not self._hooks:
             return
         _validate_name(event)
         payload = payload if payload is not None else {}
         for hook in list(self._hooks):
-            hook(event, payload)
+            try:
+                hook(event, payload)
+            except Exception as error:
+                self._hook_error(event, hook, error)
+
+    def _hook_error(self, event: str, hook: Any, error: Exception) -> None:
+        self.counter("observability.hook_errors").increment()
+        # Local import: logging is a leaf module, but keeping the
+        # dependency out of the registry's import graph means a broken
+        # logging setup can never take the metrics substrate down.
+        from .logging import get_logger
+
+        get_logger("observability.registry").error(
+            "observability.hook_error",
+            hook_event=event,
+            hook=getattr(hook, "__qualname__", None) or repr(hook),
+            error=f"{type(error).__name__}: {error}",
+        )
 
     # -- introspection / export ----------------------------------------
     def __contains__(self, name: str) -> bool:

@@ -1,0 +1,136 @@
+"""Rolling-window SLO tracking: availability, tail latency, burn rate.
+
+Turns the serving tier's raw counters and latency samples into the two
+numbers an operator actually pages on:
+
+* **availability** — the fraction of requests in the window that were
+  *good*: no 5xx, not degraded.  Compared against a target (three
+  nines by default) to compute how much of the **error budget** the
+  window has burned.
+* **p99 latency** — the observed 99th percentile in the window against
+  a latency target.
+
+The **burn rate** is the window's error rate divided by the budget the
+target allows (``1 - availability_target``): burn rate 1.0 spends the
+budget exactly; sustained burn above ``burn_rate_threshold`` flips
+:meth:`SLOTracker.burning`, which the serving tier wires into
+``/readyz`` — a deployment burning its budget too fast stops taking
+new traffic before it pages a human.
+
+The window is time-pruned (``window_s``) and sample-bounded
+(``max_samples``), so memory stays fixed under any request rate.  The
+clock is injectable monotonic time, letting tests march the window
+forward deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["SLOTracker"]
+
+
+class SLOTracker:
+    """Availability and latency SLO accounting over a rolling window."""
+
+    def __init__(
+        self,
+        *,
+        availability_target: float = 0.999,
+        p99_target_ms: float = 250.0,
+        window_s: float = 300.0,
+        burn_rate_threshold: float = 2.0,
+        max_samples: int = 4096,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if not 0.0 < availability_target < 1.0:
+            raise ValueError(
+                "availability_target must be in (0, 1), got "
+                f"{availability_target}"
+            )
+        if p99_target_ms <= 0:
+            raise ValueError(
+                f"p99_target_ms must be positive, got {p99_target_ms}"
+            )
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if burn_rate_threshold <= 0:
+            raise ValueError(
+                "burn_rate_threshold must be positive, got "
+                f"{burn_rate_threshold}"
+            )
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.availability_target = float(availability_target)
+        self.p99_target_ms = float(p99_target_ms)
+        self.window_s = float(window_s)
+        self.burn_rate_threshold = float(burn_rate_threshold)
+        self._clock = clock if clock is not None else time.monotonic
+        # (timestamp, good, latency_s); bounded two ways — by age on
+        # every touch and by count via the deque itself.
+        self._events: deque = deque(maxlen=int(max_samples))
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def record(self, latency_s: float, *, good: bool = True) -> None:
+        """Account one finished request.
+
+        ``good`` means the request counts toward availability: not a
+        5xx, not a degraded answer.  Client errors (4xx) should be
+        recorded as good — a bad request spends no error budget.
+        """
+        now = self._clock()
+        with self._lock:
+            self._events.append((now, bool(good), float(latency_s)))
+            self._prune_locked(now)
+
+    def _prune_locked(self, now: float) -> None:
+        horizon = now - self.window_s
+        events = self._events
+        while events and events[0][0] < horizon:
+            events.popleft()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The SLO report ``/stats`` embeds and ``repro status`` renders.
+
+        An empty window reports full availability and zero burn — a
+        freshly started (or idle) deployment is not failing its SLO.
+        """
+        now = self._clock()
+        with self._lock:
+            self._prune_locked(now)
+            events = list(self._events)
+        total = len(events)
+        good = sum(1 for _, ok, _ in events if ok)
+        availability = good / total if total else 1.0
+        error_rate = 1.0 - availability
+        budget = 1.0 - self.availability_target
+        burn_rate = error_rate / budget if total else 0.0
+        p99_ms: Optional[float] = None
+        if total:
+            latencies = sorted(latency for _, _, latency in events)
+            rank = min(total - 1, int(0.99 * total))
+            p99_ms = latencies[rank] * 1e3
+        return {
+            "window_s": self.window_s,
+            "requests": total,
+            "errors": total - good,
+            "availability": availability,
+            "availability_target": self.availability_target,
+            "error_budget_remaining": max(0.0, 1.0 - burn_rate),
+            "burn_rate": burn_rate,
+            "burn_rate_threshold": self.burn_rate_threshold,
+            "burning": burn_rate >= self.burn_rate_threshold,
+            "p99_ms": p99_ms,
+            "p99_target_ms": self.p99_target_ms,
+            "p99_met": p99_ms is None or p99_ms <= self.p99_target_ms,
+        }
+
+    @property
+    def burning(self) -> bool:
+        """True when the window burns budget at ``burn_rate_threshold``+."""
+        return bool(self.snapshot()["burning"])

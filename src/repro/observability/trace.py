@@ -43,6 +43,7 @@ __all__ = [
     "set_tracer",
     "use_tracer",
     "format_span_tree",
+    "serialize_spans",
     "chrome_trace_events",
     "export_chrome_trace",
     "validate_chrome_trace",
@@ -50,10 +51,15 @@ __all__ = [
 
 
 class Span:
-    """One finished span: a named, timed, attributed slice of a thread."""
+    """One finished span: a named, timed, attributed slice of a thread.
+
+    ``pid`` is ``None`` for spans recorded in this process; spans
+    grafted from a worker (see :meth:`Tracer.graft`) keep the worker's
+    pid so the Chrome export draws them in per-process lanes.
+    """
 
     __slots__ = ("name", "start", "duration", "thread_id", "attrs",
-                 "span_id", "parent_id")
+                 "span_id", "parent_id", "pid")
 
     def __init__(
         self,
@@ -64,6 +70,7 @@ class Span:
         attrs: Dict[str, Any],
         span_id: int,
         parent_id: Optional[int],
+        pid: Optional[int] = None,
     ) -> None:
         self.name = name
         self.start = start
@@ -72,6 +79,7 @@ class Span:
         self.attrs = attrs
         self.span_id = span_id
         self.parent_id = parent_id
+        self.pid = pid
 
     def __repr__(self) -> str:
         return (
@@ -195,6 +203,66 @@ class Tracer:
     def _record(self, span: Span) -> None:
         with self._lock:
             self._spans.append(span)
+
+    # -- cross-process grafting -----------------------------------------
+    def graft(
+        self, payload: Dict[str, Any], **root_attrs: Any
+    ) -> int:
+        """Attach a worker's :func:`serialize_spans` tree to this tracer.
+
+        Span ids are re-issued from this tracer's counter (worker ids
+        would collide across shards); the shipped tree's root spans are
+        parented under the calling thread's currently open span — at a
+        fan-out site, the scatter span — and tagged with ``root_attrs``
+        (the task label, typically).  Internal parent/child links are
+        preserved, as is the worker's pid, so the Chrome export shows
+        one lane per shard process.
+
+        Timestamps are ``time.perf_counter`` values from the worker —
+        the same monotonic clock on platforms with ``fork`` — shifted
+        forward if they predate this tracer's epoch so exported ``ts``
+        never goes negative.  Returns the number of spans grafted.
+        """
+        if not self.enabled:
+            return 0
+        entries = payload.get("spans") or []
+        if not entries:
+            return 0
+        stack = self._stack()
+        anchor = stack[-1] if stack else None
+        pid = payload.get("pid")
+        shift = 0.0
+        earliest = min(entry["start"] for entry in entries)
+        if earliest < self.epoch:
+            shift = self.epoch - earliest
+        id_map = {
+            entry["span_id"]: self._next_id() for entry in entries
+        }
+        for entry in entries:
+            attrs = dict(entry.get("attrs") or {})
+            parent_id = entry.get("parent_id")
+            if parent_id is None:
+                new_parent: Optional[int] = anchor
+                attrs.update(root_attrs)
+            else:
+                new_parent = id_map.get(parent_id, anchor)
+            # max(): adding ``shift`` back to the earliest start can
+            # round a hair below the epoch, which would export as a
+            # negative ``ts``.
+            self._record(
+                Span(
+                    entry["name"],
+                    max(entry["start"] + shift, self.epoch)
+                    if shift else entry["start"],
+                    entry["duration"],
+                    entry["thread_id"],
+                    attrs,
+                    id_map[entry["span_id"]],
+                    new_parent,
+                    pid=pid if pid is not None else entry.get("pid"),
+                )
+            )
+        return len(entries)
 
     # -- access ---------------------------------------------------------
     def spans(self) -> List[Span]:
@@ -326,6 +394,36 @@ def format_span_tree(
 
 
 # ----------------------------------------------------------------------
+# Cross-process span shipping
+# ----------------------------------------------------------------------
+def serialize_spans(tracer: Tracer) -> Dict[str, Any]:
+    """Picklable span-tree payload for shipping out of a worker process.
+
+    The counterpart of :meth:`Tracer.graft`: a pool worker records its
+    task's spans into a local tracer, ships ``serialize_spans`` back
+    alongside its metrics ``dump_state()``, and the parent grafts the
+    tree under the span that launched the task.
+    """
+    return {
+        "pid": os.getpid(),
+        "epoch": tracer.epoch,
+        "spans": [
+            {
+                "name": span.name,
+                "start": span.start,
+                "duration": span.duration,
+                "thread_id": span.thread_id,
+                "attrs": dict(span.attrs),
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "pid": span.pid,
+            }
+            for span in tracer.spans()
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
 # Chrome trace-event export
 # ----------------------------------------------------------------------
 def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
@@ -333,6 +431,8 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
 
     ``ts``/``dur`` are microseconds relative to the tracer's epoch, so
     they are non-negative and monotonically consistent by construction.
+    Grafted worker spans keep their own pid — one lane per shard
+    process in the viewer.
     """
     pid = os.getpid()
     events: List[Dict[str, Any]] = []
@@ -343,7 +443,7 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
                 "ph": "X",
                 "ts": (span.start - tracer.epoch) * 1e6,
                 "dur": span.duration * 1e6,
-                "pid": pid,
+                "pid": pid if span.pid is None else span.pid,
                 "tid": span.thread_id,
                 "args": {key: _jsonable(value)
                          for key, value in span.attrs.items()},

@@ -55,9 +55,18 @@ import multiprocessing
 import os
 import time
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import ExitStack
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..observability import MetricsRegistry, get_registry, use_registry
+from ..observability import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    serialize_spans,
+    use_registry,
+    use_tracer,
+)
 from ..resilience import DeadlineExceededError, SimulatedKill, WorkerCrashError
 
 __all__ = [
@@ -150,19 +159,40 @@ class TaskFailure:
         return f"TaskFailure({type(self.error).__name__}: {self.error})"
 
 
-def _run_task(fn: Callable, args: Tuple) -> Tuple[Any, dict, float, bool]:
+def _run_task(
+    fn: Callable,
+    args: Tuple,
+    context: Any = None,
+    has_context: bool = False,
+    trace: bool = False,
+) -> Tuple[Any, dict, float, bool, Optional[dict]]:
     """Worker-side wrapper: fresh registry, timed call, state shipped back.
 
-    Returns ``(value, registry_state, elapsed, failed)``; an ordinary
-    exception is captured as the value with ``failed=True`` so the
-    worker's metrics still reach the parent.  ``SimulatedKill`` is a
+    Returns ``(value, registry_state, elapsed, failed, spans)``; an
+    ordinary exception is captured as the value with ``failed=True`` so
+    the worker's metrics still reach the parent.  ``SimulatedKill`` is a
     ``BaseException`` and escapes — the parent treats it as a crash.
+
+    ``has_context`` installs ``context`` as this worker's task context
+    before the call — the per-submission leg of the task-context
+    channel: a *persistent* executor's workers forked on an earlier
+    round, so fork inheritance alone would hand them that round's
+    context forever.  ``trace=True`` records the task's spans into a
+    worker-local tracer and ships the serialized tree back as ``spans``
+    for the parent to graft (see :meth:`Tracer.graft`); otherwise
+    ``spans`` is ``None``.
     """
-    global _in_worker
+    global _in_worker, _task_context
     _in_worker = True
+    if has_context:
+        _task_context = context
     registry = MetricsRegistry()
+    tracer = Tracer(enabled=True) if trace else None
     failed = False
-    with use_registry(registry):
+    with ExitStack() as scopes:
+        scopes.enter_context(use_registry(registry))
+        if tracer is not None:
+            scopes.enter_context(use_tracer(tracer))
         with registry.timed("parallel.task_time") as timer:
             try:
                 value = fn(*args)
@@ -170,7 +200,9 @@ def _run_task(fn: Callable, args: Tuple) -> Tuple[Any, dict, float, bool]:
                 value = error
                 failed = True
         registry.record_histogram("parallel.task_seconds", timer.elapsed)
-    return value, registry.dump_state(), timer.elapsed, failed
+    spans = serialize_spans(tracer) if tracer is not None and len(tracer) \
+        else None
+    return value, registry.dump_state(), timer.elapsed, failed, spans
 
 
 _UNSET = object()
@@ -266,8 +298,16 @@ class WorkerPool:
         timeout_s: Any = _UNSET,
         deadline_s: Optional[float] = None,
         crash_policy: str = "raise",
+        context: Any = _UNSET,
     ) -> List[Any]:
         """Run ``fn(*task)`` for every task; results in submission order.
+
+        ``context`` overrides the pool's construction-time task context
+        for this call only.  Unlike the construction-time context it
+        must be **picklable**: it is shipped with every submission so
+        the workers of a *persistent* executor — forked on an earlier
+        round, beyond fork inheritance — still see the value belonging
+        to this round (per-request metadata such as request ids).
 
         ``labels`` (defaulting to task indices) name tasks in crash
         errors and metrics events.  ``hedge_after_s`` arms request
@@ -314,9 +354,11 @@ class WorkerPool:
         timeout = self.task_timeout if timeout_s is _UNSET else timeout_s
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout}")
+        per_call = context is not _UNSET
+        call_context = context if per_call else self.context
         global _task_context
         previous_context = _task_context
-        _task_context = self.context
+        _task_context = call_context
         try:
             if self.workers == 0:
                 return self._map_inline(
@@ -329,6 +371,8 @@ class WorkerPool:
                 timeout=timeout,
                 deadline_s=deadline_s,
                 crash_policy=crash_policy,
+                ship_context=call_context if per_call else None,
+                ship=per_call,
             )
         finally:
             _task_context = previous_context
@@ -386,6 +430,7 @@ class WorkerPool:
         labels: List[str],
         futures: Dict[int, List[concurrent.futures.Future]],
         hedge_after_s: float,
+        submit_extras: Tuple,
     ) -> None:
         """Duplicate-submit tasks still unanswered after ``hedge_after_s``.
 
@@ -399,7 +444,9 @@ class WorkerPool:
         for index, replicas in futures.items():
             if replicas[0].done():
                 continue
-            replicas.append(executor.submit(_run_task, fn, tasks[index]))
+            replicas.append(
+                executor.submit(_run_task, fn, tasks[index], *submit_extras)
+            )
             registry.increment("parallel.hedges")
             registry.emit("parallel.hedge", {"task": labels[index]})
 
@@ -468,10 +515,17 @@ class WorkerPool:
         timeout: Optional[float] = None,
         deadline_s: Optional[float] = None,
         crash_policy: str = "raise",
+        ship_context: Any = None,
+        ship: bool = False,
     ) -> List[Any]:
         registry = self._registry()
         results: List[Any] = [_UNSET] * len(tasks)
         states: List[Any] = [None] * len(tasks)
+        # Worker tracing mirrors the parent: spans ship back only when
+        # someone is actually tracing, so the default costs nothing.
+        trace = get_tracer().enabled
+        submit_extras = (ship_context, ship, trace)
+        spans: List[Any] = [None] * len(tasks)
         busy_seconds = 0.0
         persistent = self._executor is not None
         executor = self._executor
@@ -518,13 +572,15 @@ class WorkerPool:
                     if persistent:
                         self._executor = executor
                 futures: Dict[int, List[concurrent.futures.Future]] = {
-                    index: [executor.submit(_run_task, fn, tasks[index])]
+                    index: [executor.submit(
+                        _run_task, fn, tasks[index], *submit_extras
+                    )]
                     for index in pending
                 }
                 if hedge_after_s is not None and self.workers > 1:
                     self._hedge(
                         registry, executor, fn, tasks, labels, futures,
-                        hedge_after_s,
+                        hedge_after_s, submit_extras,
                     )
                 crashed = False
                 for index in pending:
@@ -542,7 +598,7 @@ class WorkerPool:
                         payload, kills = self._first_result(
                             futures[index], wait
                         )
-                        value, state, elapsed, failed = payload
+                        value, state, elapsed, failed, task_spans = payload
                         for _ in range(kills):
                             # Killed replicas whose hedge still answered:
                             # real crashes, counted once each, but the
@@ -567,7 +623,7 @@ class WorkerPool:
                         )
                         busy_seconds += self._harvest_done(
                             registry, futures, pending, results, states,
-                            return_exceptions,
+                            spans, return_exceptions,
                         )
                         executor = self._teardown(executor, kill=True)
                         if persistent:
@@ -583,7 +639,7 @@ class WorkerPool:
                         )
                         busy_seconds += self._harvest_done(
                             registry, futures, pending, results, states,
-                            return_exceptions,
+                            spans, return_exceptions,
                         )
                         executor = self._teardown(executor, kill=False)
                         if persistent:
@@ -605,6 +661,7 @@ class WorkerPool:
                         value = TaskFailure(value)
                     results[index] = value
                     states[index] = state
+                    spans[index] = task_spans
                     busy_seconds += elapsed
                 if expired or not crashed:
                     # Hedge losers (and, on expiry, stragglers) that
@@ -628,10 +685,15 @@ class WorkerPool:
                 executor.shutdown(wait=not expired, cancel_futures=True)
         wall = time.perf_counter() - started
         # Merge worker registries in submission order so gauges/timers
-        # end up exactly as the serial loop would have left them.
+        # end up exactly as the serial loop would have left them; graft
+        # shipped span trees in the same order, under whatever span this
+        # map() is running in (the scatter span at a fan-out site).
+        tracer = get_tracer()
         for index, state in enumerate(states):
             if state is not None:
                 registry.merge_state(state)
+            if spans[index]:
+                tracer.graft(spans[index], task=labels[index])
             if results[index] is not _UNSET:
                 registry.increment("parallel.tasks")
         if wall > 0:
@@ -648,6 +710,7 @@ class WorkerPool:
         pending: List[int],
         results: List[Any],
         states: List[Any],
+        spans: List[Any],
         return_exceptions: bool,
     ) -> float:
         """Consume cleanly-finished futures before a round is torn down.
@@ -665,7 +728,7 @@ class WorkerPool:
             for future in futures.get(index, ()):
                 if not future.done() or future.exception() is not None:
                     continue
-                value, state, elapsed, failed = future.result()
+                value, state, elapsed, failed, task_spans = future.result()
                 if failed:
                     if not return_exceptions:
                         registry.merge_state(state)
@@ -673,6 +736,7 @@ class WorkerPool:
                     value = TaskFailure(value)
                 results[index] = value
                 states[index] = state
+                spans[index] = task_spans
                 busy_seconds += elapsed
                 break
         return busy_seconds

@@ -35,7 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..observability import MetricsRegistry, get_registry
+from ..observability import MetricsRegistry, get_registry, mint_request_id
 from ..serving.index import AlignmentIndex
 from ..serving.server import status_for_error
 from .errors import DeadlineExceededError
@@ -251,6 +251,7 @@ class ChaosEngine:
     def _bad_swap(self, kind: str, report: ChaosReport) -> None:
         """Attempt a doomed hot swap; it must fail without taking the
         serving engine down (verified by the queries that follow)."""
+        request_id = mint_request_id()
         before = self.frontdoor.fingerprint
         try:
             self.frontdoor.reload(self.bad_artifact_path)
@@ -266,12 +267,14 @@ class ChaosEngine:
         else:
             report.violations.append({
                 "kind": kind,
+                "request_id": request_id,
                 "error": "reload of a bad artifact unexpectedly succeeded",
             })
             return
         if self.frontdoor.fingerprint != before:
             report.violations.append({
                 "kind": kind,
+                "request_id": request_id,
                 "error": "failed reload still swapped the engine",
             })
 
@@ -282,7 +285,9 @@ class ChaosEngine:
         k: int,
         result,
         report: ChaosReport,
+        request_id: Optional[str] = None,
     ) -> None:
+        request_id = request_id or getattr(result, "request_id", "") or None
         down = tuple(result.shards_down)
         if result.degraded:
             covered = sum(
@@ -293,6 +298,7 @@ class ChaosEngine:
             if not down or abs(result.coverage - covered / self.n_target) > 1e-12:
                 report.violations.append({
                     "kind": "inaccurate_coverage",
+                    "request_id": request_id,
                     "source": source, "k": k,
                     "coverage": result.coverage,
                     "shards_down": list(down),
@@ -301,6 +307,7 @@ class ChaosEngine:
         elif down or result.coverage != 1.0:
             report.violations.append({
                 "kind": "undeclared_degradation",
+                "request_id": request_id,
                 "source": source, "k": k,
                 "coverage": result.coverage,
                 "shards_down": list(down),
@@ -310,6 +317,7 @@ class ChaosEngine:
         if result.targets != expected_t or result.scores != expected_s:
             report.violations.append({
                 "kind": "wrong_answer",
+                "request_id": request_id,
                 "source": source, "k": k,
                 "degraded": result.degraded,
                 "got": [list(result.targets), list(result.scores)],
@@ -326,12 +334,17 @@ class ChaosEngine:
     ) -> None:
         source = rng.randrange(self.n_source)
         k = 1 + rng.randrange(k_max)
+        # One correlation id per query: a violation's request_id greps
+        # straight to the front-door and shard log lines that served it.
+        request_id = mint_request_id()
         deadline_s = None
         if self.deadline_ms and rng.random() < 0.5:
             deadline_s = time.monotonic() + self.deadline_ms / 1e3
         report.queries += 1
         try:
-            result = self.frontdoor.query(source, k, deadline_s=deadline_s)
+            result = self.frontdoor.query(
+                source, k, deadline_s=deadline_s, request_id=request_id
+            )
         except DeadlineExceededError as error:
             status = status_for_error(error)
             report.typed_errors[status] = (
@@ -347,11 +360,12 @@ class ChaosEngine:
             else:
                 report.violations.append({
                     "kind": "untyped_error",
+                    "request_id": request_id,
                     "source": source, "k": k,
                     "error": f"{type(error).__name__}: {error}",
                 })
             return
-        self._check(source, k, result, report)
+        self._check(source, k, result, report, request_id=request_id)
 
     # -- the run --------------------------------------------------------
     def run(
@@ -394,9 +408,12 @@ class ChaosEngine:
                 before = len(report.violations)
                 source = rng.randrange(self.n_source)
                 k = 1 + rng.randrange(k_max)
+                request_id = mint_request_id()
                 report.queries += 1
                 try:
-                    result = self.frontdoor.query(source, k)
+                    result = self.frontdoor.query(
+                        source, k, request_id=request_id
+                    )
                 except Exception as error:
                     status = status_for_error(error)
                     report.typed_errors[status] = (
@@ -404,7 +421,7 @@ class ChaosEngine:
                     )
                     healthy = False
                     continue
-                self._check(source, k, result, report)
+                self._check(source, k, result, report, request_id=request_id)
                 if result.degraded or len(report.violations) > before:
                     healthy = False
             if healthy:

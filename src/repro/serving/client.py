@@ -90,10 +90,11 @@ class InProcessClient:
         deadline_ms: int = 0,
         mode: Optional[str] = None,
         nprobe: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         return self.engine.query(
             source, k, deadline_s=_deadline_s(deadline_ms),
-            mode=mode, nprobe=nprobe,
+            mode=mode, nprobe=nprobe, request_id=request_id,
         ).payload()
 
     def query_many(
@@ -102,12 +103,13 @@ class InProcessClient:
         deadline_ms: int = 0,
         mode: Optional[str] = None,
         nprobe: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
         return [
             result.payload()
             for result in self.engine.query_many(
                 queries, deadline_s=_deadline_s(deadline_ms),
-                mode=mode, nprobe=nprobe,
+                mode=mode, nprobe=nprobe, request_id=request_id,
             )
         ]
 
@@ -192,7 +194,11 @@ class HTTPClient:
 
     # -- transport -----------------------------------------------------
     def _once(
-        self, method: str, path: str, data: Optional[bytes]
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes],
+        request_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any], Optional[str]]:
         """One attempt: ``(status, payload, retry_after_header)``.
 
@@ -202,6 +208,10 @@ class HTTPClient:
         """
         parsed = self._parsed
         headers = {"Accept": "application/json"}
+        if request_id is not None:
+            # End-to-end correlation: the server binds this id instead
+            # of minting its own, so client and server logs join on it.
+            headers["X-Request-Id"] = request_id
         if data is not None:
             headers["Content-Type"] = "application/json"
             headers["Content-Length"] = str(len(data))
@@ -247,6 +257,7 @@ class HTTPClient:
         path: str,
         body: Optional[Dict[str, Any]] = None,
         idempotent: bool = True,
+        request_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         method = "GET" if body is None else "POST"
         data = (
@@ -256,7 +267,9 @@ class HTTPClient:
         last_error: Optional[ServingClientError] = None
         for attempt in range(attempts):
             try:
-                status, payload, retry_after = self._once(method, path, data)
+                status, payload, retry_after = self._once(
+                    method, path, data, request_id
+                )
             except (OSError, http.client.HTTPException) as error:
                 last_error = ServingClientError(
                     f"could not reach {self.base_url + path}: {error}"
@@ -301,6 +314,7 @@ class HTTPClient:
         deadline_ms: int = 0,
         mode: Optional[str] = None,
         nprobe: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         path = f"/query?source={int(source)}&k={int(k)}"
         if deadline_ms:
@@ -309,7 +323,7 @@ class HTTPClient:
             path += f"&mode={mode}"
         if nprobe is not None:
             path += f"&nprobe={int(nprobe)}"
-        return self._request(path)
+        return self._request(path, request_id=request_id)
 
     def query_many(
         self,
@@ -317,6 +331,7 @@ class HTTPClient:
         deadline_ms: int = 0,
         mode: Optional[str] = None,
         nprobe: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
         body: Dict[str, Any] = {
             "queries": [
@@ -330,7 +345,9 @@ class HTTPClient:
         if nprobe is not None:
             body["nprobe"] = int(nprobe)
         # POST in shape, a pure read in semantics: safe to retry.
-        return self._request("/query", body=body)["results"]
+        return self._request(
+            "/query", body=body, request_id=request_id
+        )["results"]
 
     def reload(self, artifact: str) -> Dict[str, Any]:
         """POST /admin/reload — ``artifact`` is a path on the *server*.

@@ -40,7 +40,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..observability import MetricsRegistry, get_registry, get_tracer
+from ..observability import (
+    MetricsRegistry,
+    SlowQueryLog,
+    current_request_id,
+    get_registry,
+    get_tracer,
+    mint_request_id,
+)
 from ..resilience import AnnParameterError, DeadlineExceededError
 from .index import AlignmentIndex
 
@@ -79,6 +86,7 @@ class QueryResult:
     degraded: bool = False
     coverage: float = 1.0
     shards_down: Tuple[int, ...] = ()
+    request_id: str = ""
 
     def payload(self) -> Dict[str, Any]:
         """JSON-ready dict (the HTTP response body for this query)."""
@@ -93,6 +101,7 @@ class QueryResult:
             "degraded": self.degraded,
             "coverage": self.coverage,
             "shards_down": list(self.shards_down),
+            "request_id": self.request_id,
         }
 
 
@@ -195,7 +204,7 @@ class _Pending:
 
     __slots__ = (
         "source", "k", "mode", "nprobe", "event", "value", "error",
-        "enqueued", "deadline", "abandoned",
+        "enqueued", "deadline", "abandoned", "request_id",
     )
 
     def __init__(
@@ -205,6 +214,7 @@ class _Pending:
         mode: str = "exact",
         nprobe: Optional[int] = None,
         deadline: Optional[float] = None,
+        request_id: str = "",
     ) -> None:
         self.source = source
         self.k = k
@@ -216,6 +226,7 @@ class _Pending:
         self.enqueued = time.monotonic()
         self.deadline = deadline
         self.abandoned = False
+        self.request_id = request_id
 
 
 class QueryEngine:
@@ -237,11 +248,16 @@ class QueryEngine:
         default_mode: str = "exact",
         default_nprobe: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        slow_query_ms: float = 250.0,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if max_delay_ms < 0:
             raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        if slow_query_ms < 0:
+            raise ValueError(
+                f"slow_query_ms must be >= 0, got {slow_query_ms}"
+            )
         if default_mode not in ("exact", "ann"):
             raise AnnParameterError(
                 f"default_mode must be 'exact' or 'ann', got {default_mode!r}"
@@ -262,6 +278,9 @@ class QueryEngine:
         self.cache = StripedLRUCache(
             cache_size, stripes=cache_stripes, registry=registry
         )
+        #: Audit log of slow/degraded queries (``serve --slow-query-ms``);
+        #: the "top slow queries" section of /stats and `repro status`.
+        self.slow_queries = SlowQueryLog(threshold_s=slow_query_ms / 1e3)
         self._cond = threading.Condition()
         self._pending: deque = deque()
         self._worker: Optional[threading.Thread] = None
@@ -396,7 +415,16 @@ class QueryEngine:
         return "ann", self.index.resolve_nprobe(nprobe)
 
     def _finish(
-        self, source: int, k: int, value: Tuple, cached: bool, started: float
+        self,
+        source: int,
+        k: int,
+        value: Tuple,
+        cached: bool,
+        started: float,
+        request_id: str = "",
+        mode: Optional[str] = None,
+        nprobe: Optional[int] = None,
+        stages: Optional[Dict[str, float]] = None,
     ) -> QueryResult:
         registry = self._registry()
         latency = time.perf_counter() - started
@@ -412,12 +440,26 @@ class QueryEngine:
             registry.increment("serving.unaligned")
         if meta["degraded"]:
             registry.increment("serving.degraded")
+        audited = self.slow_queries.observe(
+            latency_s=latency,
+            descriptor={
+                "source": source, "k": k, "mode": mode, "nprobe": nprobe,
+                "cached": cached, "fingerprint": self.fingerprint,
+            },
+            request_id=request_id or None,
+            degraded=bool(meta["degraded"]),
+            coverage=float(meta["coverage"]),
+            stages=stages,
+        )
+        if audited:
+            registry.increment("serving.slow_queries")
         return QueryResult(
             source=source, k=k, targets=targets, scores=scores,
             aligned=aligned, cached=cached, latency_s=latency,
             degraded=bool(meta["degraded"]),
             coverage=float(meta["coverage"]),
             shards_down=tuple(meta.get("shards_down", ())),
+            request_id=request_id,
         )
 
     def _shed(self, count: int = 1) -> None:
@@ -439,6 +481,7 @@ class QueryEngine:
         deadline_s: Optional[float] = None,
         mode: Optional[str] = None,
         nprobe: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> QueryResult:
         """Answer one query, going through the cache and the microbatcher.
 
@@ -453,16 +496,29 @@ class QueryEngine:
         key, so an ann answer can never be served to an exact caller —
         or to an ann caller with a different ``nprobe`` — and vice
         versa.
+
+        ``request_id`` is the correlation id echoed in the result and
+        shipped to shard workers; ``None`` falls back to the id bound to
+        the calling thread (the front door's per-request bind) and then
+        to a freshly minted one, so every answer is greppable.
         """
         started = time.perf_counter()
+        request_id = request_id or current_request_id() or mint_request_id()
         self._check_deadline(deadline_s, "before admission")
         source, k = self._validate(source, k)
         mode, nprobe = self._resolve_descriptor(mode, nprobe)
         key = (self.fingerprint, source, k, mode, nprobe)
         value = self.cache.get(key)
         if value is not None:
-            return self._finish(source, k, value, True, started)
-        item = _Pending(source, k, mode, nprobe, deadline=deadline_s)
+            return self._finish(
+                source, k, value, True, started,
+                request_id=request_id, mode=mode, nprobe=nprobe,
+            )
+        item = _Pending(
+            source, k, mode, nprobe, deadline=deadline_s,
+            request_id=request_id,
+        )
+        submitted = time.perf_counter()
         with self._cond:
             self._ensure_worker_locked()
             self._pending.append(item)
@@ -487,7 +543,14 @@ class QueryEngine:
             # Degraded answers are never cached: once the shard set
             # recovers, the full answer must not lose to a stale partial.
             self.cache.put(key, item.value)
-        return self._finish(source, k, item.value, False, started)
+        return self._finish(
+            source, k, item.value, False, started,
+            request_id=request_id, mode=mode, nprobe=nprobe,
+            stages={
+                "admit_ms": (submitted - started) * 1e3,
+                "score_ms": (time.perf_counter() - submitted) * 1e3,
+            },
+        )
 
     def query_many(
         self,
@@ -495,6 +558,7 @@ class QueryEngine:
         deadline_s: Optional[float] = None,
         mode: Optional[str] = None,
         nprobe: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> List[QueryResult]:
         """Answer a caller-assembled batch directly (no coalescing delay).
 
@@ -503,9 +567,12 @@ class QueryEngine:
         An expired ``deadline_s`` sheds every not-yet-scored chunk and
         raises :class:`~repro.resilience.DeadlineExceededError`.
         ``mode``/``nprobe`` apply to the whole batch (None = engine
-        defaults) and are folded into every cache key.
+        defaults) and are folded into every cache key.  One
+        ``request_id`` (resolved like :meth:`query`'s) covers the whole
+        batch — a batched HTTP POST is one request.
         """
         started = time.perf_counter()
+        request_id = request_id or current_request_id() or mint_request_id()
         self._check_deadline(deadline_s, "before admission")
         mode, nprobe = self._resolve_descriptor(mode, nprobe)
         normalized = [self._validate(source, k) for source, k in queries]
@@ -517,7 +584,8 @@ class QueryEngine:
             )
             if value is not None:
                 results[position] = self._finish(
-                    source, k, value, True, started
+                    source, k, value, True, started,
+                    request_id=request_id, mode=mode, nprobe=nprobe,
                 )
             else:
                 misses.append((position, source, k))
@@ -531,7 +599,7 @@ class QueryEngine:
                     deadline_s=deadline_s,
                 )
             values = self._score_batch(
-                [(s, k, mode, nprobe) for _, s, k in chunk],
+                [(s, k, mode, nprobe, request_id) for _, s, k in chunk],
                 deadline_s=deadline_s,
             )
             for (position, source, k), value in zip(chunk, values):
@@ -540,7 +608,8 @@ class QueryEngine:
                         (self.fingerprint, source, k, mode, nprobe), value
                     )
                 results[position] = self._finish(
-                    source, k, value, False, started
+                    source, k, value, False, started,
+                    request_id=request_id, mode=mode, nprobe=nprobe,
                 )
         return [result for result in results if result is not None]
 
@@ -549,10 +618,10 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _score_batch(
         self,
-        batch: Sequence[Tuple[int, int, str, Optional[int]]],
+        batch: Sequence[Tuple[int, int, str, Optional[int], str]],
         deadline_s: Optional[float] = None,
     ) -> List[Tuple]:
-        """Score ``(source, k, mode, nprobe)`` items; returns values.
+        """Score ``(source, k, mode, nprobe, request_id)`` items.
 
         A value is the cacheable ``(targets, scores, aligned, meta)``
         tuple, where ``meta`` carries the degraded-answer fields.  Each
@@ -563,6 +632,10 @@ class QueryEngine:
         call per descriptor, order preserved).  Degraded answers
         (``meta["degraded"]``) may hold fewer than ``k`` candidates;
         callers must not cache them.
+
+        Each group's request ids travel to indexes advertising
+        ``accepts_request_ids`` (the sharded scatter ships them to its
+        workers), so a query stays greppable across the fan-out.
         """
         if self.verifier is not None:
             # Lazy artifact verification: the background verifier's typed
@@ -572,10 +645,11 @@ class QueryEngine:
         groups: "OrderedDict[Tuple[str, Optional[int]], List[int]]" = (
             OrderedDict()
         )
-        for position, (_, _, mode, nprobe) in enumerate(batch):
+        for position, (_, _, mode, nprobe, _) in enumerate(batch):
             groups.setdefault((mode, nprobe), []).append(position)
         values: List[Optional[Tuple]] = [None] * len(batch)
         top_k_ex = getattr(self.index, "top_k_ex", None)
+        ships_ids = bool(getattr(self.index, "accepts_request_ids", False))
         for (mode, nprobe), positions in groups.items():
             k_max = max(batch[position][1] for position in positions)
             sources = np.array(
@@ -585,6 +659,10 @@ class QueryEngine:
             ann_kwargs = (
                 {"mode": "ann", "nprobe": nprobe} if mode == "ann" else {}
             )
+            if ships_ids:
+                ann_kwargs["request_ids"] = tuple(
+                    batch[position][4] for position in positions
+                )
             with get_tracer().span(
                 "serving.score_batch",
                 size=len(positions), k=k_max, mode=mode,
@@ -678,7 +756,8 @@ class QueryEngine:
             try:
                 values = self._score_batch(
                     [
-                        (item.source, item.k, item.mode, item.nprobe)
+                        (item.source, item.k, item.mode, item.nprobe,
+                         item.request_id)
                         for item in batch
                     ],
                     deadline_s=batch_deadline,
@@ -757,6 +836,11 @@ class QueryEngine:
             "unaligned": counter("serving.unaligned"),
             "degraded": counter("serving.degraded"),
             "deadline_shed": counter("serving.deadline_shed"),
+            "slow_queries": {
+                "threshold_ms": self.slow_queries.threshold_s * 1e3,
+                "total": self.slow_queries.total,
+                "top": self.slow_queries.recent(5),
+            },
             "ann": {
                 "supported": bool(
                     getattr(self.index, "supports_ann", False)

@@ -186,10 +186,12 @@ class FrontDoor:
         deadline_s: Optional[float] = None,
         mode: Optional[str] = None,
         nprobe: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> QueryResult:
         with self._admit() as engine:
             return engine.query(
-                source, k, deadline_s=deadline_s, mode=mode, nprobe=nprobe
+                source, k, deadline_s=deadline_s, mode=mode, nprobe=nprobe,
+                request_id=request_id,
             )
 
     def query_many(
@@ -198,10 +200,12 @@ class FrontDoor:
         deadline_s: Optional[float] = None,
         mode: Optional[str] = None,
         nprobe: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> List[QueryResult]:
         with self._admit(weight=max(1, len(queries))) as engine:
             return engine.query_many(
-                queries, deadline_s=deadline_s, mode=mode, nprobe=nprobe
+                queries, deadline_s=deadline_s, mode=mode, nprobe=nprobe,
+                request_id=request_id,
             )
 
     def stats(self) -> Dict[str, Any]:

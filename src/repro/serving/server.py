@@ -17,7 +17,10 @@ Routes
     The full metrics registry as a ``repro.bench/v1`` payload — every
     counter, gauge, timer, and histogram (with p50/p90/p99), not just
     the ``serving.*`` prefix.  Scrape-friendly: what ``--metrics-out``
-    writes at shutdown, available live.
+    writes at shutdown, available live.  ``?format=prometheus`` renders
+    the same registry in the Prometheus text exposition format
+    (``text/plain``) for a stock scraper; ``?format=json`` (the
+    default) keeps the bench payload.
 ``GET /query?source=<id>&k=<k>&deadline_ms=<budget>&mode=<m>&nprobe=<p>``
     One alignment query.  ``deadline_ms`` (optional) is the caller's
     latency budget: the deadline propagates through admission, the
@@ -57,6 +60,18 @@ type-checked at this boundary before it reaches the engine.  Every
 error body is ``{"error": <message>, "type": <exception class>}`` so
 clients can surface the library's actionable messages unchanged.
 
+Request correlation and SLOs
+----------------------------
+Every request gets a request id — honored from an ``X-Request-Id``
+header or a ``request_id`` JSON body field, minted otherwise — bound to
+the handler thread for the request's duration (so every log line the
+request produces carries it, down to the shard workers), echoed back in
+an ``X-Request-Id`` response header, and included in every error body.
+Query latencies and statuses feed an :class:`~repro.observability.slo.SLOTracker`
+whose snapshot rides in ``/stats``; a burning error budget flips
+``/readyz`` to 503 so orchestrators shift traffic before the SLO is
+gone.
+
 The server is a ``ThreadingHTTPServer`` (one handler thread per
 connection — exactly the concurrent-caller shape the engine's
 microbatcher coalesces) wrapped in :class:`AlignmentServer` for
@@ -76,7 +91,18 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from ..observability import MetricsRegistry, bench_payload, get_registry
+from ..observability import (
+    MetricsRegistry,
+    SLOTracker,
+    bench_payload,
+    current_request_id,
+    get_logger,
+    get_registry,
+    mint_request_id,
+    set_request_id,
+    to_prometheus_text,
+    use_request_id,
+)
 from ..resilience import ArtifactValidationError, DeadlineExceededError
 from .engine import QueryEngine
 from .frontdoor import OverloadedError
@@ -159,6 +185,19 @@ def _require_int(value: Any, where: str) -> int:
     return value
 
 
+def _payload_degraded(payload: Any) -> bool:
+    """Whether a 2xx response body carries a degraded (partial) answer."""
+    if not isinstance(payload, dict):
+        return False
+    if payload.get("degraded"):
+        return True
+    results = payload.get("results")
+    return isinstance(results, list) and any(
+        isinstance(entry, dict) and entry.get("degraded")
+        for entry in results
+    )
+
+
 class _ServingHandler(BaseHTTPRequestHandler):
     server_version = "repro-serving/1"
     protocol_version = "HTTP/1.1"
@@ -172,22 +211,40 @@ class _ServingHandler(BaseHTTPRequestHandler):
     def registry(self) -> MetricsRegistry:
         return self.server.registry  # type: ignore[attr-defined]
 
+    @property
+    def slo(self) -> Optional[SLOTracker]:
+        return getattr(self.server, "slo", None)
+
     def log_message(self, format: str, *args) -> None:
-        # Route access logs to registry hooks instead of stderr noise.
-        self.registry.emit(
-            "serving.http.log", {"message": format % args}
-        )
+        # Route access logs to registry hooks instead of stderr noise;
+        # the structured DEBUG copy is opt-in (serve --access-log) so a
+        # high-QPS tier doesn't pay a JSON encode per connection line.
+        message = format % args
+        self.registry.emit("serving.http.log", {"message": message})
+        if getattr(self.server, "access_log", False):
+            get_logger("serving.http").debug(
+                "serving.http.access",
+                message=message,
+                client=self.client_address[0] if self.client_address
+                else None,
+            )
 
     def _send(
         self,
         status: int,
-        payload: Dict[str, Any],
+        payload: Any,
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Prometheus text exposition (and any future plain route).
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
@@ -202,28 +259,65 @@ class _ServingHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, handler) -> None:
         self.registry.increment("serving.http.requests")
+        # Honor the caller's correlation id, mint one otherwise.  The id
+        # is thread-bound for the request's whole lifetime: the engine
+        # picks it up implicitly, shard workers receive it through the
+        # task-context channel, and every log line carries it.  A
+        # request_id JSON body field (seen only once the handler parses
+        # the body) rebinds it mid-request; the response header reads
+        # the final binding.
+        request_id = (
+            (self.headers.get("X-Request-Id") or "").strip()
+            or mint_request_id()
+        )
+        path = urlsplit(self.path).path
+        started = time.perf_counter()
         headers: Optional[Dict[str, str]] = None
-        try:
-            status, payload = handler()
-        except Exception as error:
-            status = status_for_error(error)
-            payload = {"error": str(error), "type": type(error).__name__}
-            if status == 429:
-                # Well-behaved clients (ours included) honor Retry-After
-                # instead of guessing a backoff.
-                retry_after = getattr(error, "retry_after_s", None)
-                headers = {
-                    "Retry-After": str(
-                        max(1, math.ceil(retry_after))
-                        if retry_after is not None else 1
-                    )
+        degraded = False
+        with use_request_id(request_id):
+            try:
+                status, payload = handler()
+                degraded = _payload_degraded(payload)
+            except Exception as error:
+                status = status_for_error(error)
+                payload = {
+                    "error": str(error),
+                    "type": type(error).__name__,
+                    "request_id": current_request_id() or request_id,
                 }
-            self.registry.increment("serving.http.errors")
-            self.registry.emit(
-                "serving.http.error",
-                {"status": status, "error": str(error)},
+                if status == 429:
+                    # Well-behaved clients (ours included) honor
+                    # Retry-After instead of guessing a backoff.
+                    retry_after = getattr(error, "retry_after_s", None)
+                    headers = {
+                        "Retry-After": str(
+                            max(1, math.ceil(retry_after))
+                            if retry_after is not None else 1
+                        )
+                    }
+                self.registry.increment("serving.http.errors")
+                self.registry.emit(
+                    "serving.http.error",
+                    {"status": status, "error": str(error)},
+                )
+                get_logger("serving.http").error(
+                    "serving.http.error",
+                    status=status, path=path, error=str(error),
+                    error_type=type(error).__name__,
+                )
+            request_id = current_request_id() or request_id
+            slo = self.slo
+            if slo is not None and path == "/query":
+                # Health probes and scrapes don't consume error budget;
+                # a degraded (partial-coverage) answer does.
+                slo.record(
+                    time.perf_counter() - started,
+                    good=status < 500 and not degraded,
+                )
+            self._send(
+                status, payload,
+                {**(headers or {}), "X-Request-Id": request_id},
             )
-        self._send(status, payload, headers)
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -255,20 +349,40 @@ class _ServingHandler(BaseHTTPRequestHandler):
             )
             return 200, report
         if url.path == "/readyz":
-            # Readiness: full coverage or don't route traffic here.
+            # Readiness: full coverage or don't route traffic here.  A
+            # burning error budget also flips not-ready — shift traffic
+            # *before* the SLO is spent, not after.
             report = self._health()
             ready = bool(
                 report.get("ready", report.get("healthy", True)
                            and not report.get("degraded", False))
             )
+            slo = self.slo
+            if slo is not None:
+                snapshot = slo.snapshot()
+                report["slo"] = snapshot
+                ready = ready and not snapshot["burning"]
             report["status"] = "ready" if ready else "not_ready"
             return (200 if ready else 503), report
         if url.path == "/stats":
-            return 200, {
+            stats: Dict[str, Any] = {
                 "engine": self.engine.stats(),
                 "metrics": self.registry.snapshot("serving"),
             }
+            slo = self.slo
+            if slo is not None:
+                stats["slo"] = slo.snapshot()
+            return 200, stats
         if url.path == "/metrics":
+            params = parse_qs(url.query)
+            exposition = params.get("format", ["json"])[0]
+            if exposition == "prometheus":
+                return 200, to_prometheus_text(self.registry)
+            if exposition != "json":
+                raise _BadRequest(
+                    "format must be 'json' or 'prometheus', got "
+                    f"{exposition!r}"
+                )
             return 200, bench_payload(
                 self.registry,
                 run={
@@ -338,6 +452,16 @@ class _ServingHandler(BaseHTTPRequestHandler):
 
     def _handle_post_query(self) -> Tuple[int, Dict[str, Any]]:
         body = self._read_json_body()
+        body_request_id = body.get("request_id")
+        if body_request_id is not None:
+            if not isinstance(body_request_id, str) or not body_request_id:
+                raise _BadRequest(
+                    "request_id must be a non-empty string, got "
+                    f"{body_request_id!r}"
+                )
+            # Rebind the thread-local id so the engine, shard workers,
+            # and the X-Request-Id response header all use the caller's.
+            set_request_id(body_request_id)
         queries = body.get("queries")
         if not isinstance(queries, list) or not queries:
             raise _BadRequest(
@@ -399,6 +523,10 @@ class AlignmentServer:
     thread, closes the listening socket, and closes the engine — safe to
     call twice.  Context-manager use starts on enter and shuts down on
     exit.
+
+    ``slo`` supplies the tracker fed by every ``/query`` (a default one
+    is built when omitted); ``access_log=True`` additionally emits each
+    access-log line as a structured DEBUG event.
     """
 
     def __init__(
@@ -407,11 +535,15 @@ class AlignmentServer:
         host: str = "127.0.0.1",
         port: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        slo: Optional[SLOTracker] = None,
+        access_log: bool = False,
     ) -> None:
         self.engine = engine
         self.host = host
         self.requested_port = port
         self.registry = registry if registry is not None else get_registry()
+        self.slo = slo if slo is not None else SLOTracker()
+        self.access_log = bool(access_log)
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -435,6 +567,8 @@ class AlignmentServer:
         httpd.daemon_threads = True
         httpd.engine = self.engine  # type: ignore[attr-defined]
         httpd.registry = self.registry  # type: ignore[attr-defined]
+        httpd.slo = self.slo  # type: ignore[attr-defined]
+        httpd.access_log = self.access_log  # type: ignore[attr-defined]
         self._httpd = httpd
         self._thread = threading.Thread(
             target=httpd.serve_forever,

@@ -43,12 +43,18 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..observability import MetricsRegistry, get_registry, get_tracer
+from ..observability import (
+    MetricsRegistry,
+    get_logger,
+    get_registry,
+    get_tracer,
+)
 from ..parallel import (
     AttachedArrays,
     SharedArrayStore,
     TaskFailure,
     WorkerPool,
+    get_task_context,
     in_worker,
 )
 from ..parallel.shm import load_embeddings, publish_embeddings
@@ -124,6 +130,23 @@ def _attach_state(manifest: Dict, token: str, num_layers: int) -> Dict:
         return state
 
 
+def _shard_log_fields(start: int, stop: int) -> Dict[str, Any]:
+    """Correlation fields for a shard task's log line.
+
+    Request ids arrive through the pool's task-context channel (per
+    scatter, not per pool), so a persistent forked worker always sees
+    the ids of the batch it is scoring right now.
+    """
+    context = get_task_context()
+    request_ids = tuple((context or {}).get("request_ids") or ())
+    fields: Dict[str, Any] = {"shard": f"{start}-{stop}"}
+    if request_ids:
+        fields["request_ids"] = list(request_ids)
+        if len(request_ids) == 1:
+            fields["request_id"] = request_ids[0]
+    return fields
+
+
 def _score_shard(
     manifest: Dict,
     token: str,
@@ -165,8 +188,19 @@ def _score_shard(
     index = _shard_slice_index(
         manifest, token, num_layers, weights, block_size, start, stop
     )
-    targets, scores = index.top_k(
-        np.asarray(sources, dtype=np.int64), k=k, prune=prune
+    shard_started = time.perf_counter()
+    with get_tracer().span(
+        "serving.sharded.shard_score",
+        shard=f"{start}-{stop}", batch=len(sources), k=k,
+    ):
+        targets, scores = index.top_k(
+            np.asarray(sources, dtype=np.int64), k=k, prune=prune
+        )
+    get_logger("serving.sharded").debug(
+        "serving.sharded.shard_scored",
+        batch=len(sources), k=k,
+        elapsed_ms=round((time.perf_counter() - shard_started) * 1e3, 3),
+        **_shard_log_fields(start, stop),
     )
     return targets + start, scores
 
@@ -232,8 +266,20 @@ def _rescore_shard(
     index = _shard_slice_index(
         manifest, token, num_layers, weights, block_size, start, stop
     )
-    columns, scores = index.score_target_blocks(
-        np.asarray(sources, dtype=np.int64), local_blocks
+    shard_started = time.perf_counter()
+    with get_tracer().span(
+        "serving.sharded.shard_rescore",
+        shard=f"{start}-{stop}", batch=len(sources),
+        blocks=len(local_blocks),
+    ):
+        columns, scores = index.score_target_blocks(
+            np.asarray(sources, dtype=np.int64), local_blocks
+        )
+    get_logger("serving.sharded").debug(
+        "serving.sharded.shard_rescored",
+        batch=len(sources), blocks=len(local_blocks),
+        elapsed_ms=round((time.perf_counter() - shard_started) * 1e3, 3),
+        **_shard_log_fields(start, stop),
     )
     return columns + start, scores
 
@@ -274,6 +320,11 @@ class ShardedIndex:
     Close (or use as a context manager) to release the pool and the
     shared-memory segments.
     """
+
+    #: Engine handshake: :meth:`top_k_ex` accepts ``request_ids`` and
+    #: ships them to shard workers over the pool's task-context channel,
+    #: so shard log lines carry the front door's correlation ids.
+    accepts_request_ids = True
 
     def __init__(
         self,
@@ -634,6 +685,7 @@ class ShardedIndex:
         deadline_s: Optional[float] = None,
         mode: str = "exact",
         nprobe: Optional[int] = None,
+        request_ids: Sequence[str] = (),
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         """Fault-tolerant batched top-k: ``(targets, scores, meta)``.
 
@@ -664,9 +716,15 @@ class ShardedIndex:
         Raises ``RuntimeError`` (HTTP 503) only when *no* shard can
         answer.  When every shard is healthy the result is bit-identical
         to :meth:`top_k`.
+
+        ``request_ids`` (one per caller in the batch) ride to the shard
+        workers through the pool's task-context channel purely for log
+        correlation — they never influence scoring.
         """
         if mode == "ann":
-            return self._ann_top_k_ex(sources, k, prune, nprobe, deadline_s)
+            return self._ann_top_k_ex(
+                sources, k, prune, nprobe, deadline_s, request_ids
+            )
         if mode != "exact":
             raise AnnParameterError(
                 f"mode must be 'exact' or 'ann', got {mode!r}"
@@ -728,6 +786,7 @@ class ShardedIndex:
                     hedge_after_s=self.hedge_after_s,
                     return_exceptions=True,
                     crash_policy="return",
+                    context={"request_ids": tuple(request_ids)},
                     **timeout_kwargs,
                 )
 
@@ -790,6 +849,7 @@ class ShardedIndex:
         prune: Optional[bool],
         nprobe: Optional[int],
         deadline_s: Optional[float],
+        request_ids: Sequence[str] = (),
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         """Fault-tolerant ANN scatter (the ``mode='ann'`` ex path)."""
         nprobe = self.resolve_nprobe(nprobe)
@@ -847,6 +907,7 @@ class ShardedIndex:
                     hedge_after_s=self.hedge_after_s,
                     return_exceptions=True,
                     crash_policy="return",
+                    context={"request_ids": tuple(request_ids)},
                     **timeout_kwargs,
                 )
 

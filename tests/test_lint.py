@@ -31,6 +31,13 @@ hoc ``multiprocessing.Pool``/``Process``, raw ``os.fork()``, or direct
 ``ProcessPoolExecutor`` use anywhere else under ``src/repro`` would
 bypass all three guarantees, so the lint bans them outside
 ``src/repro/parallel``.
+
+Logging hygiene
+---------------
+Library code must not ``print()``: diagnostics belong to the structured
+JSON logger (``repro.observability.logging``), where they carry
+timestamps, levels, and request ids and can be shipped or silenced.  The
+one exception is ``cli.py`` — the CLI's job *is* writing to stdout.
 """
 
 import ast
@@ -168,6 +175,24 @@ def _concurrency_violations(path, label=None):
     return found
 
 
+def _print_violations(path, label=None):
+    label = label if label is not None else str(path)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            found.append(
+                f"{label}:{node.lineno}: print() in library code — emit a "
+                "structured event via repro.observability.get_logger() "
+                "instead"
+            )
+    return found
+
+
 def test_source_tree_exists():
     assert SRC_ROOT.is_dir(), f"expected library sources at {SRC_ROOT}"
     assert list(SRC_ROOT.rglob("*.py")), "no python modules found to lint"
@@ -251,6 +276,45 @@ def test_no_ad_hoc_concurrency():
         "it is the only place allowed to own worker processes):\n"
         + "\n".join(violations)
     )
+
+
+def test_no_print_in_library_code():
+    violations = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path == SRC_ROOT / "cli.py":
+            continue  # the CLI's job is writing to stdout
+        violations.extend(
+            _print_violations(
+                path, label=str(path.relative_to(SRC_ROOT.parent))
+            )
+        )
+    assert not violations, (
+        "print() in src/repro (route diagnostics through the structured "
+        "logger, repro.observability.get_logger()):\n"
+        + "\n".join(violations)
+    )
+
+
+def test_print_lint_catches_call(tmp_path):
+    sample = tmp_path / "bad.py"
+    sample.write_text("print('debugging')\n")
+    assert any("print()" in v for v in _print_violations(sample))
+
+
+def test_print_lint_allows_logger(tmp_path):
+    sample = tmp_path / "ok.py"
+    sample.write_text(
+        "from repro.observability import get_logger\n"
+        "get_logger('x').info('event', value=1)\n"
+    )
+    assert not _print_violations(sample)
+
+
+def test_print_lint_ignores_docstring_mentions(tmp_path):
+    # A docstring describing print() is not a call.
+    sample = tmp_path / "ok.py"
+    sample.write_text('"""Example::\n\n    print(result)\n"""\nx = 1\n')
+    assert not _print_violations(sample)
 
 
 def test_concurrency_lint_catches_mp_pool(tmp_path):

@@ -13,7 +13,15 @@ import pytest
 import scipy.sparse as sp
 
 from repro.graphs import AlignmentPair, AttributedGraph
-from repro.observability import MetricsRegistry, use_registry
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    get_tracer,
+    use_registry,
+    use_tracer,
+    validate_chrome_trace,
+)
 from repro.parallel import (
     WORKERS_ENV_VAR,
     AttachedArrays,
@@ -590,3 +598,52 @@ class TestTimeoutOverride:
         pool = WorkerPool(0, registry=MetricsRegistry())
         with pytest.raises(ValueError, match="timeout_s"):
             pool.map(_square, [(1,)], timeout_s=0.0)
+
+
+def _traced_double(n):
+    with get_tracer().span("worker.task", n=n):
+        return n * 2
+
+
+class TestSpanShipping:
+    """Worker spans ship back and graft under the parent's open span."""
+
+    def test_forked_worker_spans_graft_with_pids_and_labels(self):
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            with tracer.span("scatter"):
+                out = WorkerPool(2).map(
+                    _traced_double, [(1,), (2,), (3,)],
+                    labels=["a", "b", "c"],
+                )
+        assert out == [2, 4, 6]
+        (scatter,) = [s for s in tracer.spans() if s.name == "scatter"]
+        shipped = [s for s in tracer.spans() if s.name == "worker.task"]
+        assert len(shipped) == 3
+        assert all(s.parent_id == scatter.span_id for s in shipped)
+        assert sorted(s.attrs["task"] for s in shipped) == ["a", "b", "c"]
+        # Spans crossed a fork: they keep the worker's pid, not ours.
+        assert all(s.pid is not None and s.pid != os.getpid()
+                   for s in shipped)
+        validate_chrome_trace({
+            "traceEvents": chrome_trace_events(tracer),
+            "displayTimeUnit": "ms",
+        })
+
+    def test_inline_workers_record_directly_no_pid(self):
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            with tracer.span("scatter"):
+                out = WorkerPool(0).map(_traced_double, [(4,)])
+        assert out == [8]
+        (scatter,) = [s for s in tracer.spans() if s.name == "scatter"]
+        (task,) = [s for s in tracer.spans() if s.name == "worker.task"]
+        assert task.parent_id == scatter.span_id
+        assert task.pid is None  # same process, no graft needed
+
+    def test_disabled_tracer_ships_nothing(self):
+        tracer = Tracer(enabled=False)
+        with use_tracer(tracer):
+            out = WorkerPool(0).map(_traced_double, [(5,)])
+        assert out == [10]
+        assert len(tracer) == 0

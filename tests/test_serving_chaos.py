@@ -8,6 +8,7 @@ to full coverage once the faults stop.
 """
 
 import time
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
@@ -126,6 +127,64 @@ class TestChaosRun:
         assert payload["num_violations"] == 0
         report.violations.append({"kind": "wrong_answer"})
         assert report.ok is False
+
+
+class TestViolationCorrelation:
+    def test_every_violation_kind_carries_a_request_id(self, stack):
+        """A violation record must grep straight to its log lines.
+
+        Forces each checker branch with doctored results (the real tier
+        never produces one — the invariant tests above pin that) and
+        requires the correlation id on every violation shape.
+        """
+        front, artifact, _ = stack
+        chaos = ChaosEngine(front, artifact, seed=1)
+        report = ChaosReport(seed=1)
+        real = front.query(3, k=2, request_id="chaos-corr-0001")
+        assert real.request_id == "chaos-corr-0001"
+
+        wrong = SimpleNamespace(
+            degraded=False, coverage=1.0, shards_down=(),
+            targets=tuple(reversed(real.targets)), scores=real.scores,
+            request_id="chaos-corr-0001",
+        )
+        chaos._check(3, 2, wrong, report)
+        undeclared = SimpleNamespace(
+            degraded=False, coverage=0.5, shards_down=(),
+            targets=real.targets, scores=real.scores,
+            request_id="chaos-corr-0002",
+        )
+        chaos._check(3, 2, undeclared, report)
+        inaccurate = SimpleNamespace(
+            degraded=True, coverage=0.123, shards_down=(0,),
+            targets=real.targets, scores=real.scores,
+            request_id="chaos-corr-0003",
+        )
+        chaos._check(3, 2, inaccurate, report)
+
+        kinds = [violation["kind"] for violation in report.violations]
+        assert kinds == [
+            "wrong_answer", "undeclared_degradation",
+            "inaccurate_coverage",
+        ]
+        ids = [violation["request_id"] for violation in report.violations]
+        assert ids == [
+            "chaos-corr-0001", "chaos-corr-0002", "chaos-corr-0003",
+        ]
+
+    def test_chaos_run_violations_would_be_correlated(self, stack,
+                                                      tmp_path):
+        """The violation-free invariant run stamps ids on its queries."""
+        front, artifact, registry = stack
+        chaos = ChaosEngine(
+            front, artifact, seed=5,
+            bad_artifact_path=str(tmp_path / "missing"),
+            registry=registry,
+        )
+        report = chaos.run(rounds=5, queries_per_round=3, num_faults=2)
+        assert report.ok, report.payload()
+        for violation in report.violations:  # ok => empty; belt-and-braces
+            assert violation.get("request_id")
 
 
 class TestDegradedContract:

@@ -134,7 +134,9 @@ class TestQuery:
         payload = engine.query(0, k=1).payload()
         assert set(payload) == {"source", "k", "targets", "scores",
                                 "aligned", "cached", "latency_ms",
-                                "degraded", "coverage", "shards_down"}
+                                "degraded", "coverage", "shards_down",
+                                "request_id"}
+        assert payload["request_id"]
         assert payload["degraded"] is False
         assert payload["coverage"] == 1.0
         assert payload["shards_down"] == []

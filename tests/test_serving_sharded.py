@@ -303,7 +303,7 @@ class _StubEngine:
         return {"fingerprint": self.fingerprint, "queries": self.queries}
 
     def query(self, source, k=1, deadline_s=None, mode=None,
-              nprobe=None):
+              nprobe=None, request_id=None):
         if self.closed:
             raise RuntimeError("engine is closed")
         if self.blocking:
@@ -314,7 +314,7 @@ class _StubEngine:
                            latency_s=0.0)
 
     def query_many(self, queries, deadline_s=None, mode=None,
-                   nprobe=None):
+                   nprobe=None, request_id=None):
         return [self.query(source, k) for source, k in queries]
 
 

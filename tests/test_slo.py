@@ -1,0 +1,103 @@
+"""SLOTracker: availability, burn rate, p99, window pruning."""
+
+import pytest
+
+from repro.observability import SLOTracker
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def tracker(**kwargs):
+    clock = kwargs.pop("clock", None) or FakeClock()
+    return SLOTracker(clock=clock, **kwargs), clock
+
+
+class TestSnapshot:
+    def test_empty_window_is_healthy(self):
+        slo, _ = tracker()
+        snap = slo.snapshot()
+        assert snap["requests"] == 0
+        assert snap["availability"] == 1.0
+        assert snap["burn_rate"] == 0.0
+        assert snap["burning"] is False
+        assert snap["p99_ms"] is None
+        assert snap["p99_met"] is True
+        assert snap["error_budget_remaining"] == 1.0
+
+    def test_availability_counts_good_requests(self):
+        slo, _ = tracker(availability_target=0.9)
+        for _ in range(8):
+            slo.record(0.01, good=True)
+        for _ in range(2):
+            slo.record(0.01, good=False)
+        snap = slo.snapshot()
+        assert snap["requests"] == 10
+        assert snap["errors"] == 2
+        assert snap["availability"] == pytest.approx(0.8)
+        # error rate 0.2 over a 0.1 budget: burning 2x the budget.
+        assert snap["burn_rate"] == pytest.approx(2.0)
+        assert snap["error_budget_remaining"] == 0.0
+
+    def test_burning_flips_at_threshold(self):
+        slo, _ = tracker(availability_target=0.9, burn_rate_threshold=2.0)
+        for _ in range(9):
+            slo.record(0.01, good=True)
+        slo.record(0.01, good=False)  # error rate 0.1 == budget: burn 1.0
+        assert slo.snapshot()["burning"] is False
+        assert slo.burning is False
+        for _ in range(5):
+            slo.record(0.01, good=False)
+        assert slo.snapshot()["burn_rate"] >= 2.0
+        assert slo.burning is True
+
+    def test_p99_against_target(self):
+        slo, _ = tracker(p99_target_ms=50.0)
+        for _ in range(99):
+            slo.record(0.010)
+        snap = slo.snapshot()
+        assert snap["p99_ms"] == pytest.approx(10.0)
+        assert snap["p99_met"] is True
+        slo.record(0.500)  # one outlier lands exactly on the p99 rank
+        snap = slo.snapshot()
+        assert snap["p99_ms"] == pytest.approx(500.0)
+        assert snap["p99_met"] is False
+
+    def test_window_pruning_forgets_old_errors(self):
+        slo, clock = tracker(window_s=60.0)
+        for _ in range(5):
+            slo.record(0.01, good=False)
+        assert slo.snapshot()["errors"] == 5
+        clock.advance(61.0)
+        snap = slo.snapshot()
+        assert snap["requests"] == 0
+        assert snap["availability"] == 1.0
+        assert snap["burning"] is False
+
+    def test_max_samples_bounds_memory(self):
+        slo, _ = tracker(max_samples=10)
+        for _ in range(100):
+            slo.record(0.01, good=False)
+        assert slo.snapshot()["requests"] == 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"availability_target": 0.0},
+        {"availability_target": 1.0},
+        {"p99_target_ms": 0.0},
+        {"window_s": 0.0},
+        {"burn_rate_threshold": 0.0},
+        {"max_samples": 0},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOTracker(**kwargs)

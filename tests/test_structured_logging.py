@@ -1,0 +1,240 @@
+"""Structured JSON-lines logging, request-id plumbing, slow-query audit.
+
+Every test configures logging onto an in-memory stream with a pinned
+clock, and resets the process-wide handler on the way out so the rest
+of the suite keeps the silent default.
+"""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.observability import (
+    LOG_FILE_ENV_VAR,
+    LOG_LEVEL_ENV_VAR,
+    MetricsRegistry,
+    SlowQueryLog,
+    configure_logging,
+    configure_logging_from_env,
+    current_request_id,
+    get_logger,
+    logging_configured,
+    mint_request_id,
+    reset_logging,
+    set_request_id,
+    use_request_id,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging():
+    reset_logging()
+    yield
+    reset_logging()
+
+
+def capture(level="DEBUG", clock=None):
+    stream = io.StringIO()
+    configure_logging(level=level, stream=stream,
+                      clock=clock or (lambda: 1234.5))
+    return stream
+
+
+def lines(stream):
+    return [json.loads(line) for line in
+            stream.getvalue().splitlines() if line.strip()]
+
+
+class TestStructuredLogger:
+    def test_emits_one_json_object_per_line(self):
+        stream = capture()
+        log = get_logger("unit")
+        log.info("unit.first", answer=42)
+        log.warning("unit.second", reason="because")
+        first, second = lines(stream)
+        assert first == {
+            "ts": 1234.5, "level": "INFO", "logger": "unit",
+            "event": "unit.first", "answer": 42,
+        }
+        assert second["level"] == "WARNING"
+        assert second["event"] == "unit.second"
+        assert second["reason"] == "because"
+
+    def test_level_gating(self):
+        stream = capture(level="WARNING")
+        log = get_logger("unit")
+        log.debug("unit.debug")
+        log.info("unit.info")
+        log.warning("unit.warning")
+        assert [entry["event"] for entry in lines(stream)] == ["unit.warning"]
+        assert not log.enabled_for(logging.INFO)
+        assert log.enabled_for(logging.ERROR)
+
+    def test_unconfigured_logger_is_silent_and_cheap(self, capsys):
+        log = get_logger("unit")
+        assert not logging_configured()
+        log.error("unit.should_vanish")  # must not raise
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+    def test_non_json_values_fall_back_to_str(self):
+        stream = capture()
+
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        get_logger("unit").info("unit.opaque", thing=Opaque())
+        (entry,) = lines(stream)
+        assert entry["thing"] == "<opaque>"
+
+    def test_reconfigure_replaces_handler(self):
+        first = io.StringIO()
+        configure_logging(level="INFO", stream=first)
+        second = io.StringIO()
+        configure_logging(level="INFO", stream=second)
+        get_logger("unit").info("unit.where")
+        assert first.getvalue() == ""
+        assert "unit.where" in second.getvalue()
+
+    def test_file_handler(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        configure_logging(level="INFO", path=str(path))
+        get_logger("unit").info("unit.to_file", n=1)
+        reset_logging()  # flush + close
+        (entry,) = [json.loads(line) for line in
+                    path.read_text().splitlines()]
+        assert entry["event"] == "unit.to_file"
+
+    def test_stream_and_path_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            configure_logging(stream=io.StringIO(), path="x.jsonl")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="LOUD")
+
+
+class TestRequestIds:
+    def test_mint_is_unique_hex(self):
+        ids = {mint_request_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(rid) == 16 for rid in ids)
+        assert all(int(rid, 16) >= 0 for rid in ids)
+
+    def test_use_request_id_scopes_and_restores(self):
+        assert current_request_id() is None
+        with use_request_id("outer-id"):
+            assert current_request_id() == "outer-id"
+            with use_request_id("inner-id"):
+                assert current_request_id() == "inner-id"
+            assert current_request_id() == "outer-id"
+        assert current_request_id() is None
+
+    def test_set_request_id_returns_previous(self):
+        assert set_request_id("abc") is None
+        assert set_request_id("def") == "abc"
+        assert set_request_id(None) == "def"
+
+    def test_bound_id_stamps_every_line(self):
+        stream = capture()
+        with use_request_id("bound-id"):
+            get_logger("unit").info("unit.stamped")
+        (entry,) = lines(stream)
+        assert entry["request_id"] == "bound-id"
+
+    def test_explicit_id_wins_over_bound(self):
+        stream = capture()
+        with use_request_id("bound-id"):
+            get_logger("unit").info("unit.explicit",
+                                    request_id="explicit-id")
+        (entry,) = lines(stream)
+        assert entry["request_id"] == "explicit-id"
+
+
+class TestConfigureFromEnv:
+    def test_noop_when_unset(self, monkeypatch):
+        monkeypatch.delenv(LOG_LEVEL_ENV_VAR, raising=False)
+        monkeypatch.delenv(LOG_FILE_ENV_VAR, raising=False)
+        assert configure_logging_from_env() is None
+        assert not logging_configured()
+
+    def test_file_and_level_from_env(self, monkeypatch, tmp_path):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv(LOG_LEVEL_ENV_VAR, "debug")
+        monkeypatch.setenv(LOG_FILE_ENV_VAR, str(path))
+        assert configure_logging_from_env() is not None
+        get_logger("unit").debug("unit.from_env")
+        reset_logging()
+        assert "unit.from_env" in path.read_text()
+
+
+class TestSlowQueryLog:
+    def test_fast_clean_queries_skip_the_audit(self):
+        audit = SlowQueryLog(threshold_s=0.1)
+        assert not audit.observe(latency_s=0.01,
+                                 descriptor={"source": 1, "k": 3})
+        assert audit.total == 0
+        assert audit.recent() == []
+
+    def test_slow_query_logs_warning_with_descriptor(self):
+        stream = capture()
+        audit = SlowQueryLog(threshold_s=0.1)
+        assert audit.observe(
+            latency_s=0.25, descriptor={"source": 7, "k": 3},
+            request_id="slow-id", stages={"score": 0.2},
+        )
+        (entry,) = lines(stream)
+        assert entry["event"] == "serving.slow_query"
+        assert entry["level"] == "WARNING"
+        assert entry["request_id"] == "slow-id"
+        assert entry["latency_ms"] == 250.0
+        assert entry["descriptor"] == {"source": 7, "k": 3}
+        assert entry["stages"] == {"score": 0.2}
+
+    def test_degraded_is_audited_regardless_of_latency(self):
+        audit = SlowQueryLog(threshold_s=10.0)
+        assert audit.observe(latency_s=0.001, descriptor={"source": 1},
+                             degraded=True, coverage=0.5)
+        (entry,) = audit.recent()
+        assert entry["degraded"] is True
+        assert entry["coverage"] == 0.5
+
+    def test_recent_is_worst_first_and_bounded(self):
+        audit = SlowQueryLog(threshold_s=0.0, keep=3)
+        for ms in (10, 40, 20, 30):
+            audit.observe(latency_s=ms / 1e3, descriptor={"ms": ms})
+        assert audit.total == 4
+        worst = [entry["latency_ms"] for entry in audit.recent(limit=2)]
+        assert worst == [40.0, 30.0]
+        kept = {entry["latency_ms"] for entry in audit.recent(limit=10)}
+        assert kept == {40.0, 20.0, 30.0}  # keep=3 evicted the first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_s=-1.0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(keep=0)
+
+
+class TestHookIsolation:
+    def test_raising_hook_is_contained_and_counted(self):
+        stream = capture()
+        registry = MetricsRegistry()
+        seen = []
+
+        def bad_hook(event, payload):
+            raise RuntimeError("hook exploded")
+
+        registry.add_hook(bad_hook)
+        registry.add_hook(lambda event, payload: seen.append(event))
+        registry.emit("unit.event", {"n": 1})  # must not raise
+        assert seen == ["unit.event"]  # later hooks still run
+        assert registry.counter("observability.hook_errors").snapshot()[
+            "value"] == 1
+        entries = lines(stream)
+        assert any(entry["event"] == "observability.hook_error"
+                   and entry["hook_event"] == "unit.event"
+                   for entry in entries)

@@ -2,6 +2,7 @@
 flame summary, and Chrome trace-event export/validation."""
 
 import json
+import os
 import threading
 import time
 
@@ -13,6 +14,7 @@ from repro.observability import (
     export_chrome_trace,
     format_span_tree,
     get_tracer,
+    serialize_spans,
     set_tracer,
     use_tracer,
     validate_chrome_trace,
@@ -224,3 +226,80 @@ class TestChromeExport:
         mutate(payload)
         with pytest.raises(ValueError):
             validate_chrome_trace(payload)
+
+
+class TestSpanShipping:
+    """serialize_spans → graft: the worker-to-parent span channel."""
+
+    def worker_payload(self):
+        worker = Tracer()
+        with worker.span("task", shard="0-50"):
+            with worker.span("score", blocks=3):
+                pass
+            with worker.span("merge"):
+                pass
+        return serialize_spans(worker), worker
+
+    def test_serialize_is_json_round_trippable(self):
+        payload, worker = self.worker_payload()
+        assert payload["pid"] == os.getpid()
+        assert len(payload["spans"]) == len(worker.spans())
+        reloaded = json.loads(json.dumps(payload))
+        assert reloaded == payload
+
+    def test_graft_reparents_roots_under_open_span(self):
+        payload, _ = self.worker_payload()
+        parent = Tracer()
+        with parent.span("scatter", shards=1) as scatter_span:
+            grafted = parent.graft(payload, task="shard-0")
+        assert grafted == 3
+        by_name = {span.name: span for span in parent.spans()}
+        scatter = by_name["scatter"]
+        task = by_name["task"]
+        # The shipped root hangs under the scatter span, tagged.
+        assert task.parent_id == scatter.span_id
+        assert task.attrs["task"] == "shard-0"
+        assert task.attrs["shard"] == "0-50"
+        # Internal parent/child links survive with re-issued ids.
+        assert by_name["score"].parent_id == task.span_id
+        assert by_name["merge"].parent_id == task.span_id
+        ids = [span.span_id for span in parent.spans()]
+        assert len(ids) == len(set(ids))
+
+    def test_grafted_spans_keep_worker_pid(self):
+        payload, _ = self.worker_payload()
+        payload = json.loads(json.dumps(payload))
+        payload["pid"] = 99999  # pretend it crossed a fork boundary
+        parent = Tracer()
+        with parent.span("scatter"):
+            parent.graft(payload)
+        shipped = [span for span in parent.spans()
+                   if span.name != "scatter"]
+        assert all(span.pid == 99999 for span in shipped)
+        # Native spans keep pid None (the exporter's own-process lane).
+        assert {span.pid for span in parent.spans()
+                if span.name == "scatter"} == {None}
+
+    def test_pre_epoch_timestamps_shift_non_negative(self, tmp_path):
+        payload, _ = self.worker_payload()
+        for entry in payload["spans"]:
+            entry["start"] -= 1e6  # worker clock far behind the parent
+        parent = Tracer()
+        with parent.span("scatter"):
+            parent.graft(payload)
+        exported = export_chrome_trace(
+            str(tmp_path / "grafted.json"), parent
+        )
+        validate_chrome_trace(exported)
+        assert all(event["ts"] >= 0
+                   for event in exported["traceEvents"])
+
+    def test_graft_into_disabled_tracer_is_a_noop(self):
+        payload, _ = self.worker_payload()
+        disabled = Tracer(enabled=False)
+        assert disabled.graft(payload) == 0
+        assert len(disabled) == 0
+
+    def test_empty_payload_grafts_nothing(self):
+        parent = Tracer()
+        assert parent.graft({"pid": 1, "spans": []}) == 0
