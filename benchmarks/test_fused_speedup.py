@@ -1,0 +1,203 @@
+"""Compiled tape replay vs eager training (BENCH_fused.json).
+
+Three gates on the ``repro profile`` workload (BA graph, 300 nodes,
+64-dim degree features, 2 GCN layers, dense trainer):
+
+* **speedup** — steady-state training epochs under the float32 tape
+  (fused GCN kernels, reused buffers, no graph rebuild) must run at
+  least 1.5x faster than eager epochs.  Per-epoch time is measured as
+  ``(t_long - t_short) / (epochs_long - epochs_short)``, which cancels
+  setup (augmentation, propagation matrices) *and* the capture epoch,
+  isolating exactly the hot path the tape optimizes.
+* **float64 oracle** — a compiled ``float64`` run must be *bitwise*
+  equal to eager training: identical loss trajectory floats and
+  identical final weight bytes, across multiple seeds.
+* **serial == parallel** — compiled training fanned out across seeds
+  through a 2-worker :class:`~repro.parallel.WorkerPool` must reproduce
+  the inline results exactly (skipped on single-core machines, like the
+  other pool benchmarks).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import GAlignConfig
+from repro.core.trainer import GAlignTrainer
+from repro.graphs import generators, noisy_copy_pair
+from repro.observability import MetricsRegistry, write_bench_json
+from repro.parallel import WorkerPool
+
+from conftest import print_section
+
+NODES = 300
+FEATURES = 64
+DIM = 64
+LAYERS = 2
+EPOCHS_SHORT = 1
+EPOCHS_LONG = 21
+TIMING_REPEATS = 2
+MIN_SPEEDUP = 1.5
+BITWISE_SEEDS = (0, 1)
+BITWISE_EPOCHS = 8
+
+
+def make_pair():
+    rng = np.random.default_rng(0)
+    graph = generators.barabasi_albert(
+        NODES, 3, rng, feature_dim=FEATURES, feature_kind="degree"
+    )
+    return noisy_copy_pair(
+        graph, rng, structure_noise_ratio=0.05, name="profile-ba"
+    )
+
+
+def make_config(*, epochs, seed=0, compile=False, compile_dtype="float32"):
+    return GAlignConfig(
+        epochs=epochs,
+        embedding_dim=DIM,
+        num_layers=LAYERS,
+        refinement_iterations=3,
+        seed=seed,
+        compile=compile,
+        compile_dtype=compile_dtype,
+    )
+
+
+def train(pair, config):
+    trainer = GAlignTrainer(config, np.random.default_rng(config.seed))
+    return trainer.train(pair)
+
+
+def timed_train_s(pair, *, epochs, compile):
+    best = float("inf")
+    for _ in range(TIMING_REPEATS):
+        config = make_config(epochs=epochs, compile=compile)
+        started = time.perf_counter()
+        train(pair, config)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def train_fingerprint(seed: int):
+    """Deterministic digest of one compiled float64 training run.
+
+    Module-level so :meth:`WorkerPool.map` can pickle it; rebuilds the
+    pair inside the task, so forked and inline execution see identical
+    inputs.
+    """
+    pair = make_pair()
+    config = make_config(
+        epochs=BITWISE_EPOCHS, seed=seed, compile=True,
+        compile_dtype="float64",
+    )
+    model, log = train(pair, config)
+    weights = [param.data.copy() for param in model.parameters()]
+    return weights, list(log.total), list(log.consistency)
+
+
+def test_compiled_replay_speedup():
+    pair = make_pair()
+    # Warm both paths (BLAS thread spin-up, allocator, imports).
+    timed_train_s(pair, epochs=2, compile=False)
+    timed_train_s(pair, epochs=2, compile=True)
+
+    span = EPOCHS_LONG - EPOCHS_SHORT
+    eager_epoch_s = (
+        timed_train_s(pair, epochs=EPOCHS_LONG, compile=False)
+        - timed_train_s(pair, epochs=EPOCHS_SHORT, compile=False)
+    ) / span
+    compiled_epoch_s = (
+        timed_train_s(pair, epochs=EPOCHS_LONG, compile=True)
+        - timed_train_s(pair, epochs=EPOCHS_SHORT, compile=True)
+    ) / span
+    speedup = eager_epoch_s / compiled_epoch_s
+
+    registry = MetricsRegistry()
+    registry.observe("fused.eager_epoch_ms", eager_epoch_s * 1e3)
+    registry.observe("fused.compiled_epoch_ms", compiled_epoch_s * 1e3)
+    registry.observe("fused.speedup", speedup)
+    payload = write_bench_json("BENCH_fused.json", registry, run={
+        "command": "fused_speedup",
+        "nodes": NODES,
+        "features": FEATURES,
+        "embedding_dim": DIM,
+        "num_layers": LAYERS,
+        "epochs_measured": span,
+        "eager_epoch_ms": eager_epoch_s * 1e3,
+        "compiled_epoch_ms": compiled_epoch_s * 1e3,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+    })
+    assert payload["run"]["speedup"] == speedup
+
+    print_section("compiled tape replay speedup (dense GAlign epoch)")
+    print(f"workload        : BA n={NODES}, features={FEATURES}, "
+          f"dim={DIM}, layers={LAYERS}")
+    print(f"eager epoch     : {eager_epoch_s * 1e3:.2f} ms")
+    print(f"compiled epoch  : {compiled_epoch_s * 1e3:.2f} ms (float32 tape)")
+    print(f"speedup         : {speedup:.2f}x (floor {MIN_SPEEDUP}x)")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"compiled epoch {compiled_epoch_s * 1e3:.2f} ms is only "
+        f"{speedup:.2f}x faster than eager {eager_epoch_s * 1e3:.2f} ms "
+        f"(floor {MIN_SPEEDUP}x)"
+    )
+
+
+def test_compiled_float64_bitwise_equals_eager():
+    pair = make_pair()
+    for seed in BITWISE_SEEDS:
+        eager_model, eager_log = train(
+            pair, make_config(epochs=BITWISE_EPOCHS, seed=seed)
+        )
+        compiled_model, compiled_log = train(
+            pair,
+            make_config(
+                epochs=BITWISE_EPOCHS, seed=seed, compile=True,
+                compile_dtype="float64",
+            ),
+        )
+        assert compiled_log.total == eager_log.total, (
+            f"seed {seed}: compiled float64 loss trajectory diverged"
+        )
+        assert compiled_log.consistency == eager_log.consistency
+        assert compiled_log.adaptivity == eager_log.adaptivity
+        for eager_p, compiled_p in zip(
+            eager_model.parameters(), compiled_model.parameters()
+        ):
+            assert (
+                eager_p.data.tobytes() == compiled_p.data.tobytes()
+            ), f"seed {seed}: compiled float64 weights are not bitwise-equal"
+    print_section("compiled float64 bitwise oracle")
+    print(f"seeds           : {list(BITWISE_SEEDS)}")
+    print(f"epochs          : {BITWISE_EPOCHS}, all losses and weights "
+          f"bitwise-equal to eager")
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason=f"parallel fan-out needs >= 2 CPUs, have {os.cpu_count()}",
+)
+def test_compiled_serial_matches_parallel():
+    serial = [train_fingerprint(seed) for seed in BITWISE_SEEDS]
+    pool = WorkerPool(2)
+    parallel = pool.map(
+        train_fingerprint, [(seed,) for seed in BITWISE_SEEDS]
+    )
+    for seed, (serial_run, parallel_run) in zip(
+        BITWISE_SEEDS, zip(serial, parallel)
+    ):
+        serial_weights, serial_total, serial_cons = serial_run
+        parallel_weights, parallel_total, parallel_cons = parallel_run
+        assert parallel_total == serial_total, (
+            f"seed {seed}: pooled compiled training diverged from serial"
+        )
+        assert parallel_cons == serial_cons
+        for serial_w, parallel_w in zip(serial_weights, parallel_weights):
+            assert serial_w.tobytes() == parallel_w.tobytes()
+    print_section("compiled training: serial == 2-worker pool")
+    print(f"seeds           : {list(BITWISE_SEEDS)}, trajectories and "
+          f"weights bitwise-equal")

@@ -32,6 +32,7 @@ from .optim import Optimizer, SGD, Adam, AdamW, clip_grad_norm
 from . import init
 from . import nn
 from .gradcheck import gradcheck, numerical_gradient
+from .tape import Tape, TapeRecorder, watch as tape_watch
 
 __all__ = [
     "Tensor",
@@ -56,4 +57,7 @@ __all__ = [
     "nn",
     "gradcheck",
     "numerical_gradient",
+    "Tape",
+    "TapeRecorder",
+    "tape_watch",
 ]

@@ -196,9 +196,25 @@ class AdamW(Adam):
 
 
 def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
-    """Clip the global gradient norm in place; return the pre-clip norm."""
+    """Clip the global gradient norm in place; return the pre-clip norm.
+
+    A NaN/Inf gradient makes the norm non-finite, and every comparison
+    against a NaN norm is False — silently skipping the clip and handing
+    the poisoned gradients straight to the optimizer.  That failure mode
+    raises :class:`~repro.resilience.TrainingDivergedError` instead, so
+    callers either crash loudly or route the epoch into recovery.
+    """
     params = [p for p in params if p.grad is not None]
     total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if not np.isfinite(total):
+        # Imported lazily: repro.autograd must stay importable without
+        # pulling in the resilience (and transitively serving) packages.
+        from ..resilience.errors import TrainingDivergedError
+
+        raise TrainingDivergedError(
+            f"gradient norm is non-finite ({total}); refusing to pass "
+            "unclipped NaN/Inf gradients to the optimizer"
+        )
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for param in params:

@@ -66,6 +66,39 @@ def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
     return np.asarray(value, dtype=dtype)
 
 
+def _index_add(full: np.ndarray, index, grad: np.ndarray) -> None:
+    """Accumulate ``grad`` into ``full`` at ``index`` (the getitem adjoint).
+
+    ``np.add.at`` handles every indexing form but is an order of magnitude
+    slower than slice assignment.  Basic indices (ints, slices, tuples of
+    them) and boolean masks select each cell at most once, so
+    ``full[index] += grad`` is exact there; a fancy integer index takes the
+    same fast path only when it is duplicate-free, because repeated
+    positions must *sum* and ``+=`` would keep just the last write.
+    """
+    if isinstance(index, (list, range)):
+        index = np.asarray(index)
+    if isinstance(index, np.ndarray):
+        if index.dtype == bool:
+            full[index] += grad
+            return
+        if index.ndim == 1 and np.unique(index).size == index.size:
+            full[index] += grad
+            return
+        np.add.at(full, index, grad)
+        return
+    if isinstance(index, tuple) and any(
+        isinstance(part, (np.ndarray, list, Tensor)) for part in index
+    ):
+        # Advanced indexing through a tuple can repeat positions; keep
+        # the always-correct scatter.
+        np.add.at(full, index, grad)
+        return
+    # Pure basic indexing (int / slice / tuple of them / Ellipsis /
+    # newaxis): selections are disjoint by construction.
+    full[index] += grad
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
 
@@ -226,6 +259,14 @@ class Tensor:
         for node in order:
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+        # Drop intermediate gradient buffers: leaves keep accumulating
+        # across calls (that is the contract optimizers rely on), but a
+        # non-leaf retaining its grad would re-propagate old+new seed on
+        # a second backward() over the same graph, double-counting every
+        # leaf gradient.  Clearing here also frees the buffers early.
+        for node in order:
+            if node._backward is not None:
+                node.grad = None
 
     def _topological_order(self) -> list:
         """Nodes reachable from self, outputs first (reverse topological)."""
@@ -368,7 +409,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
+            _index_add(full, index, grad)
             self._accumulate(full)
 
         return Tensor._make(out_data, (self,), backward)

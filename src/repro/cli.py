@@ -124,6 +124,8 @@ def _build_method(args: argparse.Namespace) -> AlignmentMethod:
             num_layers=args.layers,
             refinement_iterations=args.refinement_iterations,
             seed=args.seed,
+            compile=getattr(args, "compile", False),
+            compile_dtype=getattr(args, "compile_dtype", "float32"),
         )
         return GAlign(config)
     simple = {
@@ -756,6 +758,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         num_layers=args.layers,
         refinement_iterations=args.refinement_iterations,
         seed=args.seed,
+        compile=args.compile,
+        compile_dtype=args.compile_dtype,
     )
     registry = MetricsRegistry()
     tracer = Tracer()
@@ -844,6 +848,13 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--supervision", type=float, default=0.1,
                        help="anchor fraction for supervised methods")
     align.add_argument("--seed", type=int, default=0)
+    align.add_argument("--compile", action="store_true",
+                       help="capture the training graph into a tape and "
+                            "replay fused kernels each epoch (galign only)")
+    align.add_argument("--compile-dtype", default="float32",
+                       choices=("float32", "float64"),
+                       help="tape replay precision: float32 is the fast "
+                            "policy, float64 matches eager bitwise")
     align.add_argument("--out", help="write predicted anchors to this file")
     align.add_argument("--metrics-out",
                        help="write run metrics as a BENCH_*.json artifact")
@@ -1100,6 +1111,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serving queries to answer after refinement")
     profile.add_argument("--k", type=int, default=5)
     profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--compile", action="store_true",
+                         help="train compiled (tape replay with fused "
+                              "kernels) instead of eager")
+    profile.add_argument("--compile-dtype", default="float32",
+                         choices=("float32", "float64"),
+                         help="tape replay precision for --compile")
     profile.add_argument("--top", type=int, default=0,
                          help="show only the N busiest ops (0 = all)")
     profile.add_argument("--trace-out", default="trace.json",

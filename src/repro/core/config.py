@@ -75,6 +75,17 @@ class GAlignConfig:
     #: Uniform negative pairs per batch node (sampled trainer only).
     sample_negatives: int = 5
 
+    # --- compiled execution (repro.autograd.tape) ---
+    #: Capture the first epoch's op graph into a tape and replay it for
+    #: the remaining epochs: fused GCN kernels, buffer reuse, and no
+    #: per-epoch Python graph rebuild.  Off by default; the CLI exposes
+    #: it as ``align --compile`` / ``profile --compile``.
+    compile: bool = False
+    #: Replay precision. ``"float32"`` is the fast training policy
+    #: (tolerance-checked against eager); ``"float64"`` replays
+    #: bitwise-equal to eager execution.
+    compile_dtype: str = "float32"
+
     # --- resilience (repro.resilience extension) ---
     #: Rollback/LR-halving budget for NaN/Inf/divergence recovery; beyond
     #: it training raises :class:`~repro.resilience.TrainingDivergedError`.
@@ -100,6 +111,10 @@ class GAlignConfig:
             raise ValueError(f"unsupported activation {self.activation!r}")
         if self.trainer not in ("dense", "sampled"):
             raise ValueError(f"unsupported trainer {self.trainer!r}")
+        if self.compile_dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"unsupported compile_dtype {self.compile_dtype!r}"
+            )
         if self.max_recoveries < 0:
             raise ValueError(
                 f"max_recoveries must be >= 0, got {self.max_recoveries}"

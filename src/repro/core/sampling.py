@@ -22,9 +22,9 @@ from typing import List
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd import Adam, Tensor
+from ..autograd import Adam, Tensor, TapeRecorder
 from ..graphs import AlignmentPair, propagation_matrix
-from ..observability import MetricsRegistry, get_registry
+from ..observability import MetricsRegistry, get_registry, get_tracer
 from ..resilience import FaultInjector, validate_pair
 from .augment import GraphAugmenter
 from .config import GAlignConfig
@@ -154,52 +154,105 @@ class SampledGAlignTrainer:
             for graph_views in views
         ]
 
-        def compute_losses(_epoch: int) -> tuple:
+        def static_forward() -> list:
+            """The epoch-invariant forwards: GCN embeddings + Eq 9 terms.
+
+            Everything here depends only on the (fixed) graphs, views,
+            and the model weights — never on the per-epoch batch — so
+            it is exactly the part the tape can capture and replay.
+            """
+            results = []
+            for graph, propagation, graph_views, graph_view_props in zip(
+                networks, propagations, views, view_propagations
+            ):
+                embeddings = model.forward(graph, propagation)
+                j_adaptivity = None
+                for view, view_prop in zip(graph_views, graph_view_props):
+                    view_embeddings = model.forward(view.graph, view_prop)
+                    term = adaptivity_loss(
+                        embeddings, view_embeddings, view.correspondence,
+                        threshold=config.adaptivity_threshold,
+                    )
+                    j_adaptivity = (
+                        term if j_adaptivity is None else j_adaptivity + term
+                    )
+                results.append((embeddings, j_adaptivity))
+            return results
+
+        def dynamic_losses(static: list) -> tuple:
+            """Per-epoch batch sampling + Eq 7 estimator (always eager)."""
             total = None
             consistency_value = 0.0
             adaptivity_value = 0.0
-            with registry.timed("trainer.forward_time"):
-                for graph, propagation, graph_views, graph_view_props in zip(
-                    networks, propagations, views, view_propagations
-                ):
-                    batch = self.rng.choice(
-                        graph.num_nodes,
-                        size=min(self.batch_size, graph.num_nodes),
-                        replace=False,
-                    )
-                    registry.observe("trainer.batch_nodes", len(batch))
-                    embeddings = model.forward(graph, propagation)
-                    j_consistency = sampled_consistency_loss(
-                        propagation, embeddings, batch, self.num_negatives,
-                        self.rng,
-                    )
-                    consistency_value += float(j_consistency.data)
-
-                    j_adaptivity = None
-                    if graph_views:
-                        for view, view_prop in zip(
-                            graph_views, graph_view_props
-                        ):
-                            view_embeddings = model.forward(
-                                view.graph, view_prop
-                            )
-                            term = adaptivity_loss(
-                                embeddings, view_embeddings,
-                                view.correspondence,
-                                threshold=config.adaptivity_threshold,
-                            )
-                            j_adaptivity = (
-                                term
-                                if j_adaptivity is None
-                                else j_adaptivity + term
-                            )
-                        adaptivity_value += float(j_adaptivity.data)
-
-                    loss = combined_loss(
-                        j_consistency, j_adaptivity, config.gamma
-                    )
-                    total = loss if total is None else total + loss
+            for graph, propagation, (embeddings, j_adaptivity) in zip(
+                networks, propagations, static
+            ):
+                batch = self.rng.choice(
+                    graph.num_nodes,
+                    size=min(self.batch_size, graph.num_nodes),
+                    replace=False,
+                )
+                registry.observe("trainer.batch_nodes", len(batch))
+                j_consistency = sampled_consistency_loss(
+                    propagation, embeddings, batch, self.num_negatives,
+                    self.rng,
+                )
+                consistency_value += float(j_consistency.data)
+                if j_adaptivity is not None:
+                    adaptivity_value += float(j_adaptivity.data)
+                loss = combined_loss(j_consistency, j_adaptivity, config.gamma)
+                total = loss if total is None else total + loss
             return total, consistency_value, adaptivity_value
+
+        def compute_losses(_epoch: int) -> tuple:
+            with registry.timed("trainer.forward_time"):
+                return dynamic_losses(static_forward())
+
+        if config.compile:
+            # Hybrid compiled mode: the batch draw is data-dependent, so
+            # the tape captures only the static forwards; each epoch the
+            # sampled estimator is built eagerly on the replayed
+            # embedding/adaptivity tensors, and their gradients flow
+            # back through the tape's reverse pass.  Unlike the dense
+            # trainer this interleaves static and dynamic gradient
+            # accumulation, so float64 agreement with eager is to
+            # tolerance, not bitwise.
+            state = {"tape": None, "h0": None}
+
+            def compute_losses(_epoch: int) -> tuple:  # noqa: F811
+                with registry.timed("trainer.forward_time"):
+                    if state["tape"] is None:
+                        recorder = TapeRecorder()
+                        with get_tracer().span("tape.capture"):
+                            with recorder:
+                                static = static_forward()
+                        outputs = []
+                        for embeddings, j_adaptivity in static:
+                            outputs.extend(embeddings[1:])
+                            if j_adaptivity is not None:
+                                outputs.append(j_adaptivity)
+                        result = dynamic_losses(static)
+                        # The capture epoch's eager total fixes the
+                        # backward accumulation order for every replay.
+                        state["tape"] = recorder.finalize(
+                            outputs,
+                            order_root=result[0],
+                            dtype=config.compile_dtype,
+                        )
+                        state["h0"] = [emb[0] for emb, _ in static]
+                        return result
+                    outs, _watched = state["tape"].replay()
+                    static = []
+                    cursor = 0
+                    for h0, graph_views in zip(state["h0"], views):
+                        layers = outs[cursor:cursor + config.num_layers]
+                        cursor += config.num_layers
+                        j_adaptivity = None
+                        if graph_views:
+                            j_adaptivity = outs[cursor]
+                            cursor += 1
+                        static.append(([h0] + layers, j_adaptivity))
+                    return dynamic_losses(static)
 
         log = run_resilient_training(
             model=model,

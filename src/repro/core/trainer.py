@@ -13,7 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..autograd import Adam
+from ..autograd import Adam, tape_watch
 from ..graphs import AlignmentPair, AttributedGraph, propagation_matrix
 from ..observability import MetricsRegistry, get_registry
 from ..resilience import FaultInjector, validate_graph, validate_pair
@@ -21,7 +21,7 @@ from .augment import AugmentedView, GraphAugmenter
 from .config import GAlignConfig
 from .losses import adaptivity_loss, combined_loss, consistency_loss
 from .model import MultiOrderGCN
-from .training_loop import run_resilient_training
+from .training_loop import CompiledLoss, run_resilient_training
 
 __all__ = ["GAlignTrainer", "TrainingLog"]
 
@@ -190,6 +190,7 @@ class GAlignTrainer:
                     embeddings = model.forward(graph, propagation)
                     j_consistency = consistency_loss(propagation, embeddings)
                     consistency_value += float(j_consistency.data)
+                    tape_watch(j_consistency, "consistency")
 
                     j_adaptivity = None
                     if graph_views:
@@ -211,6 +212,7 @@ class GAlignTrainer:
                                 else j_adaptivity + term
                             )
                         adaptivity_value += float(j_adaptivity.data)
+                        tape_watch(j_adaptivity, "adaptivity")
 
                     loss = combined_loss(
                         j_consistency, j_adaptivity, config.gamma
@@ -218,13 +220,23 @@ class GAlignTrainer:
                     total = loss if total is None else total + loss
             return total, consistency_value, adaptivity_value
 
+        loss_fn = compute_losses
+        if config.compile:
+            # The dense loss is fully static (fixed propagations, fixed
+            # views): capture epoch 0, replay the tape thereafter.
+            loss_fn = CompiledLoss(
+                compute_losses,
+                dtype=config.compile_dtype,
+                registry=registry,
+            )
+
         return run_resilient_training(
             model=model,
             optimizer=optimizer,
             config=config,
             registry=registry,
             log=TrainingLog(registry=registry),
-            compute_losses=compute_losses,
+            compute_losses=loss_fn,
             rng=self.rng,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,

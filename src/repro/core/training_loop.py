@@ -18,21 +18,75 @@ the same floating-point steps as an uninterrupted one.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, clip_grad_norm
+from ..autograd import Tensor, TapeRecorder, clip_grad_norm
 from ..observability import MetricsRegistry, get_tracer
-from ..resilience import FaultInjector, RecoveryManager
+from ..resilience import FaultInjector, RecoveryManager, TrainingDivergedError
 from .checkpoint import load_training_checkpoint, save_training_checkpoint
 from .config import GAlignConfig
 from .model import MultiOrderGCN
 
-__all__ = ["run_resilient_training"]
+__all__ = ["run_resilient_training", "CompiledLoss"]
 
 #: ``compute_losses(epoch)`` → (total loss tensor, consistency, adaptivity).
 LossFn = Callable[[int], Tuple[Tensor, float, float]]
+
+
+class CompiledLoss:
+    """Capture-once / replay-thereafter wrapper for a static ``LossFn``.
+
+    The first call runs the wrapped eager loss under a
+    :class:`~repro.autograd.TapeRecorder` and returns the eager result,
+    so the capture epoch is identical to uncompiled training; every
+    later call replays the finalized tape (fused kernels, reused
+    buffers, no graph rebuild) against the parameters' live values —
+    which also makes it transparent to rollback recovery and
+    checkpoint resume, both of which only touch parameter data.
+
+    The eager closure must register the diagnostics it folds into its
+    float returns with :func:`repro.autograd.tape_watch` under the
+    labels ``"consistency"`` and ``"adaptivity"``; the replay path
+    reads them back from the tape.  Only fully static losses qualify —
+    anything data-dependent (the sampled trainer's per-epoch batches)
+    needs the hybrid split in :mod:`repro.core.sampling` instead.
+    """
+
+    def __init__(
+        self,
+        eager: LossFn,
+        dtype: str = "float32",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._eager = eager
+        self._dtype = dtype
+        self._registry = registry
+        #: The compiled tape, available after the first call.
+        self.tape = None
+
+    def __call__(self, epoch: int) -> Tuple[Tensor, float, float]:
+        if self.tape is None:
+            recorder = TapeRecorder()
+            with get_tracer().span("tape.capture"):
+                with recorder:
+                    total, consistency, adaptivity = self._eager(epoch)
+            self.tape = recorder.finalize([total], dtype=self._dtype)
+            return total, consistency, adaptivity
+        timed = (
+            self._registry.timed("trainer.forward_time")
+            if self._registry is not None
+            else nullcontext()
+        )
+        with timed:
+            (total,), watched = self.tape.replay()
+        return (
+            total,
+            watched.get("consistency", 0.0),
+            watched.get("adaptivity", 0.0),
+        )
 
 
 def _resume(
@@ -145,7 +199,15 @@ def run_resilient_training(
                         epoch, model.parameters()
                     )
                 with tracer.span("trainer.clip_grad"):
-                    clip_grad_norm(model.parameters(), max_norm=5.0)
+                    try:
+                        clip_grad_norm(model.parameters(), max_norm=5.0)
+                    except TrainingDivergedError:
+                        # Non-finite gradients: leave them unclipped for
+                        # the health check below, which rolls the epoch
+                        # back instead of stepping the optimizer.
+                        registry.increment(
+                            "resilience.nonfinite_grad_norm"
+                        )
             loss_value = float(total.data)
             reason = recovery.check(loss_value, model.parameters())
             if reason is not None:

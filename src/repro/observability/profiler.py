@@ -44,7 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .trace import Tracer, get_tracer
 
-__all__ = ["OpProfiler", "OpStat", "format_op_table"]
+__all__ = ["OpProfiler", "OpStat", "format_op_table", "active_profiler"]
 
 
 #: op name → Tensor attribute names sharing that implementation.  The
@@ -161,6 +161,16 @@ class OpStat:
 # concurrently enabled profilers would corrupt each other's restore.
 _active_lock = threading.Lock()
 _active_profiler: Optional["OpProfiler"] = None
+
+
+def active_profiler() -> Optional["OpProfiler"]:
+    """The currently enabled profiler, if any.
+
+    Compiled execution (:mod:`repro.autograd.tape`) bypasses the eager
+    patch points, so the tape replay loop asks for the active profiler
+    explicitly and reports its kernels via :meth:`OpProfiler.record_external`.
+    """
+    return _active_profiler
 
 
 class OpProfiler:
@@ -352,6 +362,31 @@ class OpProfiler:
                 )
 
         return profiled_backward
+
+    def record_external(
+        self,
+        op: str,
+        direction: str,
+        started: float,
+        elapsed: float,
+        flops: int,
+        shape: tuple = (),
+    ) -> None:
+        """Book one externally-timed kernel call (tape replay path).
+
+        Compiled tape kernels never pass through the monkey-patched op
+        wrappers, so the replay loop times them itself and lands them
+        here; they aggregate into the same table (``gcn_layer`` fused
+        kernels included) and emit the same ``op.<name>`` trace events.
+        """
+        if not self._active:
+            return
+        self._record(op, direction, elapsed, elapsed, int(flops))
+        suffix = "" if direction == "forward" else f".{direction}"
+        self._trace(
+            f"op.{op}{suffix}", started, elapsed,
+            shape=list(shape), flops=int(flops),
+        )
 
     # -- results --------------------------------------------------------
     def stats(self) -> List[OpStat]:

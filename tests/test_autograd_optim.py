@@ -117,6 +117,25 @@ class TestClipGradNorm:
         clip_grad_norm([p], max_norm=10.0)
         np.testing.assert_allclose(p.grad, [0.1, 0.1])
 
+    def test_nan_gradient_raises(self):
+        # Regression: every comparison against a NaN norm is False, so
+        # the clip used to be silently skipped and the poisoned
+        # gradients went straight into the optimizer step.
+        from repro.resilience import TrainingDivergedError
+
+        p = Tensor(np.zeros(3), requires_grad=True)
+        p.grad = np.array([1.0, np.nan, 2.0])
+        with pytest.raises(TrainingDivergedError, match="non-finite"):
+            clip_grad_norm([p], max_norm=1.0)
+
+    def test_inf_gradient_raises(self):
+        from repro.resilience import TrainingDivergedError
+
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.array([np.inf, 0.0])
+        with pytest.raises(TrainingDivergedError):
+            clip_grad_norm([p], max_norm=1.0)
+
 
 class TestInit:
     def test_xavier_uniform_bounds(self):

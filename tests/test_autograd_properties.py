@@ -112,3 +112,80 @@ class TestGraphSafety:
             y = y.tanh()
         y.backward()
         assert 0.0 < x.grad[0] <= 1.0
+
+
+class TestGetitemBackwardFastPath:
+    """The getitem adjoint's slice-assign fast path vs the np.add.at oracle.
+
+    ``_index_add`` takes ``full[index] += grad`` shortcuts for indices it
+    can prove non-duplicating (slices, bool masks, unique fancy indices)
+    and must fall back to ``np.add.at`` whenever duplicates are possible
+    — these properties pin both sides down against the reference.
+    """
+
+    @staticmethod
+    def check(values: np.ndarray, index) -> None:
+        x = Tensor(values.copy(), requires_grad=True)
+        picked = x[index]
+        seed_rng = np.random.default_rng(0)
+        seed = seed_rng.normal(size=picked.shape)
+        (picked * Tensor(seed)).sum().backward()
+        reference = np.zeros_like(values)
+        np.add.at(reference, index, np.broadcast_to(seed, picked.shape))
+        np.testing.assert_array_equal(x.grad, reference)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_fancy_index_with_duplicates(self, data):
+        rows = data.draw(st.integers(2, 6))
+        values = np.random.default_rng(
+            data.draw(st.integers(0, 2**31 - 1))
+        ).normal(size=(rows, 3))
+        index = np.asarray(
+            data.draw(
+                st.lists(st.integers(0, rows - 1), min_size=1, max_size=12)
+            )
+        )
+        self.check(values, index)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_unique_fancy_index(self, data):
+        rows = data.draw(st.integers(2, 8))
+        values = np.random.default_rng(
+            data.draw(st.integers(0, 2**31 - 1))
+        ).normal(size=(rows, 2))
+        index = data.draw(st.permutations(range(rows)))
+        count = data.draw(st.integers(1, rows))
+        self.check(values, np.asarray(index[:count]))
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_bool_mask(self, data):
+        rows = data.draw(st.integers(1, 8))
+        values = np.random.default_rng(
+            data.draw(st.integers(0, 2**31 - 1))
+        ).normal(size=(rows, 2))
+        mask = np.asarray(
+            data.draw(
+                st.lists(st.booleans(), min_size=rows, max_size=rows)
+            )
+        )
+        if not mask.any():
+            mask[0] = True
+        self.check(values, mask)
+
+    def test_slice_and_int_index(self):
+        values = np.arange(24.0).reshape(6, 4)
+        self.check(values, slice(1, 5, 2))
+        self.check(values, 3)
+        self.check(values, (slice(None), slice(0, 2)))
+
+    def test_tuple_of_arrays_with_duplicates(self):
+        values = np.arange(12.0).reshape(3, 4)
+        index = (np.array([0, 2, 0, 0]), np.array([1, 3, 1, 2]))
+        self.check(values, index)
+
+    def test_list_index_with_duplicates(self):
+        values = np.arange(10.0).reshape(5, 2)
+        self.check(values, [4, 0, 4, 4, 1])

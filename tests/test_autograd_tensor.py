@@ -155,6 +155,30 @@ class TestBackward:
         (x * 2).backward()
         assert x.grad == pytest.approx(4.0)
 
+    def test_backward_twice_same_graph_doubles_not_quadruples(self):
+        # Regression: non-leaf nodes used to retain their grad after
+        # backward(), so a second backward() over the same graph seeded
+        # each intermediate with old+new gradient and every extra call
+        # compounded the leaf gradients (x4, x8, ...) instead of adding
+        # one more contribution.
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = (x * 3.0).sum() * 2.0  # non-leaf chain: mul -> sum -> mul
+        y.backward()
+        first = x.grad.copy()
+        y.backward()
+        np.testing.assert_array_equal(x.grad, 2.0 * first)
+        y.backward()
+        np.testing.assert_array_equal(x.grad, 3.0 * first)
+
+    def test_backward_clears_intermediate_grads(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        mid = x * 2.0
+        out = mid.sum()
+        out.backward()
+        assert x.grad is not None  # leaves keep accumulating
+        assert mid.grad is None  # intermediates do not retain grad
+        assert out.grad is None
+
 
 class TestNoGrad:
     def test_disables_graph(self):

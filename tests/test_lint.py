@@ -38,6 +38,15 @@ Library code must not ``print()``: diagnostics belong to the structured
 JSON logger (``repro.observability.logging``), where they carry
 timestamps, levels, and request ids and can be shipped or silenced.  The
 one exception is ``cli.py`` — the CLI's job *is* writing to stdout.
+
+Autograd encapsulation
+----------------------
+``Tensor._make`` is the raw graph-node constructor: it wires parents
+and a backward closure with no validation, and the tape/profiler
+machinery assumes every node is produced by the patched public ops.  A
+``._make`` call outside ``repro.autograd`` would create graph nodes the
+tape cannot capture and the profiler cannot attribute, so the lint bans
+it everywhere else under ``src/repro``.
 """
 
 import ast
@@ -193,6 +202,24 @@ def _print_violations(path, label=None):
     return found
 
 
+def _make_violations(path, label=None):
+    label = label if label is not None else str(path)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "_make"
+        ):
+            found.append(
+                f"{label}:{node.lineno}: ._make() call — raw graph-node "
+                "construction belongs inside repro.autograd; build tensors "
+                "through the public Tensor ops instead"
+            )
+    return found
+
+
 def test_source_tree_exists():
     assert SRC_ROOT.is_dir(), f"expected library sources at {SRC_ROOT}"
     assert list(SRC_ROOT.rglob("*.py")), "no python modules found to lint"
@@ -293,6 +320,49 @@ def test_no_print_in_library_code():
         "logger, repro.observability.get_logger()):\n"
         + "\n".join(violations)
     )
+
+
+def test_no_make_outside_autograd():
+    autograd_pkg = SRC_ROOT / "autograd"
+    violations = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if autograd_pkg in path.parents:
+            continue
+        violations.extend(
+            _make_violations(
+                path, label=str(path.relative_to(SRC_ROOT.parent))
+            )
+        )
+    assert not violations, (
+        "Tensor._make called outside repro.autograd (the tape and "
+        "profiler only see nodes built by the public ops):\n"
+        + "\n".join(violations)
+    )
+
+
+def test_make_lint_catches_call(tmp_path):
+    sample = tmp_path / "bad.py"
+    sample.write_text(
+        "from repro.autograd.tensor import Tensor\n"
+        "out = Tensor._make(data, (a, b), backward)\n"
+    )
+    assert any("._make()" in v for v in _make_violations(sample))
+
+
+def test_make_lint_catches_instance_call(tmp_path):
+    sample = tmp_path / "bad.py"
+    sample.write_text("out = some_tensor._make(data, (), None)\n")
+    assert any("._make()" in v for v in _make_violations(sample))
+
+
+def test_make_lint_allows_public_ops(tmp_path):
+    sample = tmp_path / "ok.py"
+    sample.write_text(
+        "from repro.autograd import Tensor\n"
+        "out = (Tensor([1.0]) * 2.0).sum()\n"
+        "make = object()  # a bare name called 'make' is fine\n"
+    )
+    assert not _make_violations(sample)
 
 
 def test_print_lint_catches_call(tmp_path):
